@@ -1,0 +1,17 @@
+//! # baselines — the paper's comparison tools, reimplemented
+//!
+//! Three analyzers occupying the design-space points §6.2 contrasts with
+//! Ethainter:
+//!
+//! - [`securify`] — bytecode pattern matching without data-structure or
+//!   guard-taint modeling (high completeness, very low precision);
+//! - [`securify2`] — source-only, modern-Solidity-only patterns (tiny
+//!   domain, no composite reasoning);
+//! - [`teether`] — bounded exploit generation by concrete path search
+//!   (near-perfect precision, sharply bounded completeness).
+
+#![warn(missing_docs)]
+
+pub mod securify;
+pub mod securify2;
+pub mod teether;

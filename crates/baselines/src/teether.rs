@@ -1,0 +1,315 @@
+//! A teEther-style exploit generator (the paper's third comparison
+//! target, §6.2).
+//!
+//! teEther hunts for *provably triggerable* `SELFDESTRUCT`s by exploring
+//! execution paths and solving for the inputs — the opposite trade-off
+//! from static analysis: near-perfect precision (it produces concrete
+//! exploit transactions) at drastically lower completeness (bounded path
+//! exploration, tight time budgets, shallow transaction depth).
+//!
+//! We realize the same trade-off with a bounded concrete search executed
+//! on the real EVM interpreter:
+//!
+//! - sequences of at most [`TeetherConfig::max_depth`] transactions over
+//!   the contract's public entry points (composite chains longer than the
+//!   depth — like the §2 Victim's four steps — are structurally missed);
+//! - an input palette per call (the attacker's address, zero, one), the
+//!   concrete analogue of constraint solving;
+//! - the attacker identity itself ranges over a real address *and the
+//!   zero address* — modeling teEther's fully-symbolic `CALLER`, which
+//!   "solves" uninitialized-owner guards that no real attacker could
+//!   pass (the paper's remark on exploits needing "the right conditions,
+//!   e.g., uninitialized owner variables");
+//! - a deterministic per-contract time budget: large/branchy bytecode
+//!   "times out", reproducing teEther's scalability ceiling (the paper:
+//!   "it scales only to a fraction of the contracts deployed").
+
+use chain::TestNet;
+use decompiler::decompile;
+use evm::opcode::Opcode;
+use evm::{keccak256, Address, U256, World};
+use serde::{Deserialize, Serialize};
+
+/// Search budget.
+#[derive(Clone, Copy, Debug)]
+pub struct TeetherConfig {
+    /// Maximum transactions per exploit candidate.
+    pub max_depth: usize,
+    /// Abstract step budget; exceeding it is a timeout. Each executed
+    /// candidate transaction costs its gas in steps.
+    pub step_budget: u64,
+    /// Deterministic fraction (in percent) of contracts whose path
+    /// explosion exhausts the budget outright — teEther's observed
+    /// scaling ceiling on real bytecode. Keyed by code hash.
+    pub hash_timeout_pct: u8,
+}
+
+impl Default for TeetherConfig {
+    fn default() -> Self {
+        TeetherConfig { max_depth: 2, step_budget: 2_000_000, hash_timeout_pct: 86 }
+    }
+}
+
+/// One synthesized exploit transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploitTx {
+    /// Sender used.
+    pub from: Address,
+    /// Calldata sent.
+    pub data: Vec<u8>,
+}
+
+/// The outcome for one contract.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TeetherResult {
+    /// True when a concrete selfdestruct-triggering input was found.
+    pub flagged: bool,
+    /// The exploit transaction sequence, when found.
+    pub exploit: Option<Vec<ExploitTx>>,
+    /// True when the search exhausted its budget.
+    pub timed_out: bool,
+}
+
+/// Hunts for a selfdestruct exploit against `bytecode` deployed on a
+/// fresh chain with `initial_storage` (teEther's static mode: fresh
+/// storage, no imported chain state).
+pub fn hunt(bytecode: &[u8], initial_storage: &[(U256, U256)], cfg: &TeetherConfig) -> TeetherResult {
+    let mut result = TeetherResult::default();
+    if bytecode.is_empty() {
+        return result;
+    }
+    // Deterministic scaling ceiling.
+    let digest = keccak256(bytecode);
+    if (digest[0] as u32 * 256 + digest[1] as u32) % 100 < cfg.hash_timeout_pct as u32 {
+        result.timed_out = true;
+        return result;
+    }
+
+    let program = decompile(bytecode);
+    // No selfdestruct instruction at all: nothing to hunt.
+    if !program.iter_stmts().any(|s| s.op == decompiler::Op::SelfDestruct) {
+        return result;
+    }
+    let selectors: Vec<u32> = program.functions.iter().map(|f| f.selector).collect();
+    if selectors.is_empty() {
+        return result;
+    }
+
+    let mut base = TestNet::new();
+    let deployer = base.funded_account(U256::from(1u64));
+    let victim = base.deploy(deployer, bytecode.to_vec());
+    for (slot, value) in initial_storage {
+        base.state_mut().storage_set(victim, *slot, *value);
+    }
+    base.state_mut().commit();
+
+    let real_attacker = base.funded_account(U256::from(1_000_000u64));
+    // The zero address models the fully-symbolic CALLER.
+    let attackers = [real_attacker, Address::ZERO];
+
+    let mut steps_left = cfg.step_budget;
+
+    // Candidate calldata per (selector, attacker): two words of the
+    // attacker's address, or of small constants.
+    let candidates = |sel: u32, attacker: Address| -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for word in [attacker.to_u256(), U256::ZERO, U256::ONE] {
+            let mut d = sel.to_be_bytes().to_vec();
+            d.extend_from_slice(&word.to_be_bytes());
+            d.extend_from_slice(&word.to_be_bytes());
+            out.push(d);
+        }
+        out
+    };
+
+    // Depth-1: every (attacker, selector, args) candidate.
+    // Depth-2: every setup call followed by every kill candidate.
+    for &attacker in &attackers {
+        // Depth 1.
+        for &sel in &selectors {
+            for data in candidates(sel, attacker) {
+                let mut net = base.fork();
+                let r = net.call_traced(attacker, victim, data.clone(), U256::ZERO);
+                steps_left = steps_left.saturating_sub(r.gas_used.max(1));
+                if steps_left == 0 {
+                    result.timed_out = true;
+                    return result;
+                }
+                if r.success
+                    && r.trace
+                        .steps
+                        .iter()
+                        .any(|s| s.op == Opcode::SelfDestruct && s.address == victim)
+                {
+                    result.flagged = true;
+                    result.exploit = Some(vec![ExploitTx { from: attacker, data }]);
+                    return result;
+                }
+            }
+        }
+        if cfg.max_depth < 2 {
+            continue;
+        }
+        // Depth 2.
+        for &setup_sel in &selectors {
+            for setup_data in candidates(setup_sel, attacker) {
+                let mut staged = base.fork();
+                let r = staged.call(attacker, victim, setup_data.clone(), U256::ZERO);
+                steps_left = steps_left.saturating_sub(r.gas_used.max(1));
+                if steps_left == 0 {
+                    result.timed_out = true;
+                    return result;
+                }
+                if !r.success {
+                    continue;
+                }
+                for &kill_sel in &selectors {
+                    for kill_data in candidates(kill_sel, attacker) {
+                        let mut net = staged.fork();
+                        let r =
+                            net.call_traced(attacker, victim, kill_data.clone(), U256::ZERO);
+                        steps_left = steps_left.saturating_sub(r.gas_used.max(1));
+                        if steps_left == 0 {
+                            result.timed_out = true;
+                            return result;
+                        }
+                        if r.success
+                            && r.trace.steps.iter().any(|s| {
+                                s.op == Opcode::SelfDestruct && s.address == victim
+                            })
+                        {
+                            result.flagged = true;
+                            result.exploit = Some(vec![
+                                ExploitTx { from: attacker, data: setup_data.clone() },
+                                ExploitTx { from: attacker, data: kill_data },
+                            ]);
+                            return result;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A config with the scaling ceiling disabled, for functional tests.
+    fn eager() -> TeetherConfig {
+        TeetherConfig { hash_timeout_pct: 0, ..TeetherConfig::default() }
+    }
+
+    fn bytecode(src: &str) -> (Vec<u8>, Vec<(U256, U256)>) {
+        let c = minisol::compile_source(src).unwrap();
+        (c.bytecode, c.initial_storage)
+    }
+
+    #[test]
+    fn finds_direct_selfdestruct() {
+        let (code, init) = bytecode(
+            "contract C { function kill() public { selfdestruct(msg.sender); } }",
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(r.flagged);
+        assert_eq!(r.exploit.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn finds_two_step_owner_takeover() {
+        let (code, init) = bytecode(
+            r#"contract C {
+                address owner;
+                function setOwner(address o) public { owner = o; }
+                function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(r.flagged, "{r:?}");
+        assert_eq!(r.exploit.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn misses_four_step_victim_chain() {
+        // The §2 Victim needs 4 transactions; depth-2 search cannot reach
+        // it — the completeness gap the paper quantifies.
+        let (code, init) = bytecode(
+            r#"contract Victim {
+                mapping(address => bool) admins;
+                mapping(address => bool) users;
+                address owner;
+                modifier onlyAdmins() { require(admins[msg.sender]); _; }
+                modifier onlyUsers() { require(users[msg.sender]); _; }
+                function registerSelf() public { users[msg.sender] = true; }
+                function referAdmin(address a) public onlyUsers { admins[a] = true; }
+                function changeOwner(address o) public onlyAdmins { owner = o; }
+                function kill() public onlyAdmins { selfdestruct(owner); }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(!r.flagged, "{r:?}");
+    }
+
+    #[test]
+    fn uninitialized_owner_is_a_teether_imprecision() {
+        // The zero-caller trick flags a contract no real attacker can
+        // exploit — Ethainter correctly skips it.
+        let (code, init) = bytecode(
+            r#"contract C {
+                address owner;
+                uint deposits;
+                function deposit() public payable { deposits += 1; }
+                function sweep() public { require(msg.sender == owner); selfdestruct(owner); }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(r.flagged, "{r:?}");
+        assert_eq!(r.exploit.as_ref().unwrap()[0].from, Address::ZERO);
+    }
+
+    #[test]
+    fn sound_wallet_is_not_flagged() {
+        let (code, init) = bytecode(
+            r#"contract C {
+                address owner = 0x123456;
+                function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(!r.flagged);
+    }
+
+    #[test]
+    fn finds_dynamic_slot_owner_exploit() {
+        // The shape Ethainter's precise storage model misses (a genuine
+        // Ethainter false negative) — concrete execution walks right
+        // through it.
+        let (code, init) = bytecode(
+            r#"contract C {
+                address owner;
+                function unlock(address o) public { sstore_dyn(sload_dyn(999), uint(o)); }
+                function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(r.flagged, "{r:?}");
+    }
+
+    #[test]
+    fn hash_budget_times_out_most_contracts() {
+        let cfg = TeetherConfig::default(); // 80% ceiling
+        let mut timeouts = 0;
+        for i in 0..40 {
+            let src = format!(
+                "contract C{i} {{ uint pad{i}; function kill{i}() public {{ selfdestruct(msg.sender); }} }}"
+            );
+            let (code, init) = bytecode(&src);
+            if hunt(&code, &init, &cfg).timed_out {
+                timeouts += 1;
+            }
+        }
+        assert!((25..=40).contains(&timeouts), "timeouts = {timeouts}");
+    }
+}

@@ -1,0 +1,80 @@
+//! **S1** — the Securify comparison (§6.2): over a 2K-contract random
+//! sample, Securify flags 39.2% for the comparable violations (75% for
+//! any), with ≥10 violations per flagged contract and 0/40 sampled
+//! precision; Ethainter flags ~2.5% at 82.5% precision.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp4_securify [sample_size]
+//! ```
+
+use baselines::securify;
+use bench::{print_table, size_arg};
+use corpus::{Population, PopulationConfig};
+use ethainter::{analyze_bytecode, Config};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let size = size_arg(2_000);
+    eprintln!("generating a {size}-contract sample and running both tools…");
+    let pop = Population::generate(&PopulationConfig { size, ..Default::default() });
+
+    let mut sec_flagged_cmp = 0usize; // flagged for comparable violations
+    let mut sec_violations = 0usize;
+    let mut eth_flagged = 0usize;
+    let mut sec_reports = Vec::with_capacity(size);
+    for c in &pop.contracts {
+        let s = securify::analyze(&c.bytecode);
+        if !s.violations.is_empty() {
+            sec_flagged_cmp += 1;
+            sec_violations += s.violations.len();
+        }
+        let e = analyze_bytecode(&c.bytecode, &Config::default());
+        if !e.findings.is_empty() {
+            eth_flagged += 1;
+        }
+        sec_reports.push(s);
+    }
+
+    // Sample 40 Securify-flagged contracts; judge against ground truth.
+    let mut rng = StdRng::seed_from_u64(0x5EC);
+    let flagged_ids: Vec<usize> = (0..size)
+        .filter(|&i| !sec_reports[i].violations.is_empty())
+        .collect();
+    let sample: Vec<usize> =
+        flagged_ids.choose_multiple(&mut rng, 40.min(flagged_ids.len())).copied().collect();
+    let sec_tp = sample
+        .iter()
+        .filter(|&&i| !pop.contracts[i].truth.exploitable.is_empty())
+        .count();
+
+    println!("\nExperiment S1 — Securify comparison (paper §6.2)");
+    let rows = vec![
+        vec![
+            "flagged (comparable violations)".to_string(),
+            format!("{:.1}%", 100.0 * sec_flagged_cmp as f64 / size as f64),
+            "39.2%".to_string(),
+        ],
+        vec![
+            "violations per flagged contract".to_string(),
+            format!("{:.1}", sec_violations as f64 / sec_flagged_cmp.max(1) as f64),
+            "≥10".to_string(),
+        ],
+        vec![
+            "sampled precision (40 flagged)".to_string(),
+            format!("{sec_tp}/{}", sample.len()),
+            "0/40".to_string(),
+        ],
+        vec![
+            "Ethainter flagged, same sample".to_string(),
+            format!("{:.1}%", 100.0 * eth_flagged as f64 / size as f64),
+            "~2.5% (at 82.5% precision)".to_string(),
+        ],
+    ];
+    print_table(&["metric", "measured", "paper"], &rows);
+    println!(
+        "\nSecurify's misses stem from unmodeled data structures (mapping writes\n\
+         become \"unrestricted\") and unmodeled value checks — §6.2's analysis."
+    );
+}

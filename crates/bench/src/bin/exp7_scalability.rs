@@ -1,0 +1,116 @@
+//! **P1** — §6.3 efficiency: whole-population scan throughput, average
+//! per-contract analysis latency, parallel speedup, and the
+//! Securify-relative slowdown.
+//!
+//! Paper: 240K contracts (38 MLoC of 3-address code) in 6 hours at
+//! concurrency 45; <5 s average per contract (including decompilation);
+//! Securify >5× slower than single-thread Ethainter.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp7_scalability [population_size]
+//! ```
+
+use baselines::securify;
+use bench::{scan, size_arg};
+use corpus::{Population, PopulationConfig};
+use ethainter::Config;
+use std::time::Instant;
+
+fn main() {
+    let size = size_arg(20_000);
+    eprintln!("generating {size} contracts…");
+    let pop = Population::generate(&PopulationConfig { size, ..Default::default() });
+    let tac_stmts: usize = pop
+        .contracts
+        .iter()
+        .map(|c| decompiler::decompile(&c.bytecode).stmts.len())
+        .sum();
+
+    eprintln!("sequential Ethainter scan…");
+    let seq = scan(&pop, &Config::default(), false);
+    eprintln!("parallel Ethainter scan…");
+    let par = scan(&pop, &Config::default(), true);
+
+    // Analysis-stage comparison on pre-decompiled programs (Securify did
+    // not share Ethainter's decompiler, so the fair contrast is between
+    // the analyses themselves).
+    let sub = (size / 10).max(50).min(pop.contracts.len());
+    eprintln!("analysis-only comparison on a {sub}-contract subsample…");
+    let programs: Vec<_> = pop
+        .contracts
+        .iter()
+        .take(sub)
+        .map(|c| decompiler::decompile(&c.bytecode))
+        .collect();
+    let t0 = Instant::now();
+    for prog in &programs {
+        let _ = ethainter::analyze(prog, &Config::default());
+    }
+    let eth_analysis_per = t0.elapsed().as_secs_f64() / sub as f64;
+    let t0 = Instant::now();
+    for prog in &programs {
+        let _ = securify::analyze_program(prog);
+    }
+    let securify_per = t0.elapsed().as_secs_f64() / sub as f64;
+    let ethainter_per = seq.elapsed.as_secs_f64() / size as f64;
+
+    println!("\nExperiment P1 — analysis efficiency (paper §6.3)");
+    println!("  population:                {size} unique contracts");
+    println!("  three-address code:        {tac_stmts} statements");
+    println!(
+        "  sequential scan:           {:.2?}  ({:.3} ms/contract)",
+        seq.elapsed,
+        ethainter_per * 1e3
+    );
+    println!(
+        "  parallel scan ({} threads): {:.2?}  (speedup {:.2}×)",
+        rayon::current_num_threads(),
+        par.elapsed,
+        seq.elapsed.as_secs_f64() / par.elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  end-to-end (decompile+analyze):  {:.3} ms/contract", ethainter_per * 1e3);
+    println!(
+        "  Ethainter analysis stage:  {:.4} ms/contract", eth_analysis_per * 1e3);
+    println!(
+        "  Securify analysis stage:   {:.4} ms/contract → {:.1}× slower",
+        securify_per * 1e3,
+        securify_per / eth_analysis_per.max(1e-12)
+    );
+    // The gap widens with contract size (Securify's dense quadratic
+    // closure vs Ethainter's semi-naive sparse evaluation): compare on a
+    // realistically large contract.
+    let mut big = String::from("contract Big {\n    mapping(address => uint) balances;\n    mapping(address => mapping(address => uint)) allowed;\n    uint supply;\n");
+    for i in 0..24 {
+        big.push_str(&format!(
+            "    function op{i}(address to, uint v) public {{ require(balances[msg.sender] >= v); balances[msg.sender] -= v; balances[to] += v; supply += {i}; }}\n"
+        ));
+    }
+    big.push('}');
+    let big_code = minisol::compile_source(&big).expect("big contract compiles").bytecode;
+    let big_prog = decompiler::decompile(&big_code);
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        let _ = ethainter::analyze(&big_prog, &Config::default());
+    }
+    let eth_big = t0.elapsed().as_secs_f64() / 20.0;
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        let _ = securify::analyze_program(&big_prog);
+    }
+    let sec_big = t0.elapsed().as_secs_f64() / 20.0;
+    println!(
+        "  large contract ({} TAC stmts): Ethainter {:.2} ms, Securify {:.2} ms → {:.1}× slower",
+        big_prog.stmts.len(),
+        eth_big * 1e3,
+        sec_big * 1e3,
+        sec_big / eth_big.max(1e-12)
+    );
+
+    println!(
+        "\n  paper reference: 240K contracts in 6 h at concurrency 45 (<5 s avg);\n\
+         \x20 Securify >5× slower single-thread and not parallelizable.\n\
+         \x20 Shape check: per-contract latency far below the paper's cutoff, near-linear\n\
+         \x20 scaling in population size, Securify slower by the naive-evaluation gap."
+    );
+}

@@ -1,0 +1,91 @@
+//! Minimal Solidity ABI helpers: 4-byte selectors plus 32-byte-word
+//! arguments (the static-argument subset the corpus uses).
+
+use evm::{selector, Address, U256};
+
+/// Encodes a call to `sig` (e.g. `"kill()"`, `"setOwner(address)"`)
+/// with word-sized arguments.
+///
+/// # Examples
+///
+/// ```
+/// use chain::abi::encode_call;
+/// use evm::U256;
+/// let data = encode_call("setOwner(address)", &[U256::from(0xbeefu64)]);
+/// assert_eq!(data.len(), 4 + 32);
+/// ```
+pub fn encode_call(sig: &str, args: &[U256]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 32 * args.len());
+    out.extend_from_slice(&selector(sig));
+    for arg in args {
+        out.extend_from_slice(&arg.to_be_bytes());
+    }
+    out
+}
+
+/// Encodes a call passing an address argument (convenience).
+pub fn encode_call_addr(sig: &str, addr: Address) -> Vec<u8> {
+    encode_call(sig, &[addr.to_u256()])
+}
+
+/// Decodes a single word-sized return value; `None` when the output is
+/// shorter than 32 bytes.
+pub fn decode_word(output: &[u8]) -> Option<U256> {
+    if output.len() < 32 {
+        return None;
+    }
+    Some(U256::from_be_slice(&output[..32]))
+}
+
+/// Splits calldata into `(selector, word args)`; ragged tail bytes are
+/// zero-padded into a final word.
+pub fn decode_call(data: &[u8]) -> Option<([u8; 4], Vec<U256>)> {
+    if data.len() < 4 {
+        return None;
+    }
+    let mut sel = [0u8; 4];
+    sel.copy_from_slice(&data[..4]);
+    let mut args = Vec::new();
+    let mut rest = &data[4..];
+    while !rest.is_empty() {
+        let take = rest.len().min(32);
+        let mut word = [0u8; 32];
+        word[..take].copy_from_slice(&rest[..take]);
+        args.push(U256::from_be_bytes(word));
+        rest = &rest[take..];
+    }
+    Some((sel, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let data = encode_call("foo(uint256,uint256)", &[U256::from(1u64), U256::from(2u64)]);
+        let (sel, args) = decode_call(&data).unwrap();
+        assert_eq!(sel, selector("foo(uint256,uint256)"));
+        assert_eq!(args, vec![U256::from(1u64), U256::from(2u64)]);
+    }
+
+    #[test]
+    fn decode_word_requires_32_bytes() {
+        assert_eq!(decode_word(&[0u8; 31]), None);
+        assert_eq!(decode_word(&U256::from(9u64).to_be_bytes()), Some(U256::from(9u64)));
+    }
+
+    #[test]
+    fn short_calldata_is_rejected() {
+        assert!(decode_call(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn address_arg_is_right_aligned() {
+        let a = Address::from_low_u64(0xbeef);
+        let data = encode_call_addr("setOwner(address)", a);
+        assert_eq!(data[4 + 31], 0xef);
+        assert_eq!(data[4 + 30], 0xbe);
+        assert_eq!(data[4], 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # chain — blockchain substrate
+//!
+//! Journaled world state ([`State`]), transaction execution and logical
+//! blocks ([`TestNet`]), private forking (for exploit rehearsal, as in the
+//! paper's private Ropsten fork), and minimal ABI helpers ([`abi`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use chain::{abi, TestNet};
+//! use evm::U256;
+//! let mut net = TestNet::new();
+//! let user = net.funded_account(U256::from(1_000u64));
+//! let target = net.deploy(user, vec![0x00]); // runtime code: STOP
+//! let receipt = net.call(user, target, abi::encode_call("ping()", &[]), U256::ZERO);
+//! assert!(receipt.success);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod state;
+pub mod testnet;
+
+pub use state::{Account, LogRecord, State};
+pub use testnet::{Receipt, TestNet};

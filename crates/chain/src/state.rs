@@ -1,0 +1,319 @@
+//! Journaled world state: accounts, balances, storage, code.
+//!
+//! Every mutation is recorded in a journal so nested message calls can
+//! roll back on `REVERT` — the [`evm::World`] snapshot/revert contract.
+
+use evm::{Address, U256, World};
+use std::collections::HashMap;
+
+/// One Ethereum account.
+#[derive(Clone, Debug, Default)]
+pub struct Account {
+    /// Balance in wei.
+    pub balance: U256,
+    /// Transaction / creation nonce.
+    pub nonce: u64,
+    /// Runtime bytecode (empty for externally-owned accounts).
+    pub code: Vec<u8>,
+    /// Persistent storage.
+    pub storage: HashMap<U256, U256>,
+    /// Set once `SELFDESTRUCT` commits; the code stops executing.
+    pub destroyed: bool,
+}
+
+/// A log record emitted by `LOG0`..`LOG4`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Emitting contract.
+    pub address: Address,
+    /// Indexed topics.
+    pub topics: Vec<U256>,
+    /// Unindexed payload.
+    pub data: Vec<u8>,
+}
+
+#[derive(Clone, Debug)]
+enum JournalEntry {
+    StorageSet { address: Address, key: U256, prev: U256 },
+    BalanceSet { address: Address, prev: U256 },
+    NonceSet { address: Address, prev: u64 },
+    CodeSet { address: Address, prev: Vec<u8> },
+    Destroyed { address: Address, prev: bool },
+    LogAppended,
+}
+
+/// The journaled world state.
+///
+/// # Examples
+///
+/// ```
+/// use chain::State;
+/// use evm::{Address, U256, World};
+/// let mut s = State::new();
+/// let a = Address::from_low_u64(1);
+/// let snap = s.snapshot();
+/// s.storage_set(a, U256::ONE, U256::from(7u64));
+/// s.revert_to(snap);
+/// assert_eq!(s.storage_get(a, U256::ONE), U256::ZERO);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct State {
+    accounts: HashMap<Address, Account>,
+    journal: Vec<JournalEntry>,
+    logs: Vec<LogRecord>,
+}
+
+impl State {
+    /// An empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read-only view of an account, if it exists.
+    pub fn account(&self, address: Address) -> Option<&Account> {
+        self.accounts.get(&address)
+    }
+
+    /// All logs emitted so far (across transactions).
+    pub fn logs(&self) -> &[LogRecord] {
+        &self.logs
+    }
+
+    /// True once the account has self-destructed.
+    pub fn is_destroyed(&self, address: Address) -> bool {
+        self.accounts.get(&address).is_some_and(|a| a.destroyed)
+    }
+
+    /// Sets a balance directly (test/genesis convenience; journaled).
+    pub fn set_balance(&mut self, address: Address, balance: U256) {
+        let prev = self.balance(address);
+        self.journal.push(JournalEntry::BalanceSet { address, prev });
+        self.accounts.entry(address).or_default().balance = balance;
+    }
+
+    /// Discards the journal, making all current state permanent.
+    ///
+    /// Call between transactions: earlier snapshots become invalid.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    fn entry(&mut self, address: Address) -> &mut Account {
+        self.accounts.entry(address).or_default()
+    }
+}
+
+impl World for State {
+    fn balance(&self, address: Address) -> U256 {
+        self.accounts.get(&address).map(|a| a.balance).unwrap_or(U256::ZERO)
+    }
+
+    fn code(&self, address: Address) -> Vec<u8> {
+        match self.accounts.get(&address) {
+            Some(a) if !a.destroyed => a.code.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn storage_get(&self, address: Address, key: U256) -> U256 {
+        self.accounts
+            .get(&address)
+            .and_then(|a| a.storage.get(&key))
+            .copied()
+            .unwrap_or(U256::ZERO)
+    }
+
+    fn storage_set(&mut self, address: Address, key: U256, value: U256) {
+        let prev = self.storage_get(address, key);
+        self.journal.push(JournalEntry::StorageSet { address, key, prev });
+        self.entry(address).storage.insert(key, value);
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        let from_bal = self.balance(from);
+        let Some(new_from) = from_bal.checked_sub(value) else {
+            return false;
+        };
+        // A self-transfer must not mint: the debit and credit would
+        // otherwise read the same pre-state balance.
+        if from == to {
+            return true;
+        }
+        let to_bal = self.balance(to);
+        self.journal.push(JournalEntry::BalanceSet { address: from, prev: from_bal });
+        self.journal.push(JournalEntry::BalanceSet { address: to, prev: to_bal });
+        self.entry(from).balance = new_from;
+        self.entry(to).balance = to_bal.wrapping_add(value);
+        true
+    }
+
+    fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
+        let bal = self.balance(address);
+        if address != beneficiary {
+            self.transfer(address, beneficiary, bal);
+        }
+        let prev = self.is_destroyed(address);
+        self.journal.push(JournalEntry::Destroyed { address, prev });
+        self.entry(address).destroyed = true;
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        let prev = self.accounts.get(&address).map(|a| a.code.clone()).unwrap_or_default();
+        self.journal.push(JournalEntry::CodeSet { address, prev });
+        self.entry(address).code = code;
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.accounts.get(&address).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    fn increment_nonce(&mut self, address: Address) {
+        let prev = self.nonce(address);
+        self.journal.push(JournalEntry::NonceSet { address, prev });
+        self.entry(address).nonce = prev + 1;
+    }
+
+    fn log(&mut self, address: Address, topics: Vec<U256>, data: Vec<u8>) {
+        self.journal.push(JournalEntry::LogAppended);
+        self.logs.push(LogRecord { address, topics, data });
+    }
+
+    fn snapshot(&mut self) -> usize {
+        self.journal.len()
+    }
+
+    fn revert_to(&mut self, snapshot: usize) {
+        while self.journal.len() > snapshot {
+            match self.journal.pop().expect("journal shorter than snapshot") {
+                JournalEntry::StorageSet { address, key, prev } => {
+                    self.entry(address).storage.insert(key, prev);
+                }
+                JournalEntry::BalanceSet { address, prev } => {
+                    self.entry(address).balance = prev;
+                }
+                JournalEntry::NonceSet { address, prev } => {
+                    self.entry(address).nonce = prev;
+                }
+                JournalEntry::CodeSet { address, prev } => {
+                    self.entry(address).code = prev;
+                }
+                JournalEntry::Destroyed { address, prev } => {
+                    self.entry(address).destroyed = prev;
+                }
+                JournalEntry::LogAppended => {
+                    self.logs.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    #[test]
+    fn storage_revert_restores_previous_value() {
+        let mut s = State::new();
+        s.storage_set(a(1), U256::ONE, U256::from(10u64));
+        let snap = s.snapshot();
+        s.storage_set(a(1), U256::ONE, U256::from(20u64));
+        s.storage_set(a(1), U256::from(2u64), U256::from(30u64));
+        s.revert_to(snap);
+        assert_eq!(s.storage_get(a(1), U256::ONE), U256::from(10u64));
+        assert_eq!(s.storage_get(a(1), U256::from(2u64)), U256::ZERO);
+    }
+
+    #[test]
+    fn transfer_moves_and_checks_balance() {
+        let mut s = State::new();
+        s.set_balance(a(1), U256::from(100u64));
+        assert!(s.transfer(a(1), a(2), U256::from(60u64)));
+        assert_eq!(s.balance(a(1)), U256::from(40u64));
+        assert_eq!(s.balance(a(2)), U256::from(60u64));
+        assert!(!s.transfer(a(1), a(2), U256::from(41u64)));
+        assert_eq!(s.balance(a(1)), U256::from(40u64));
+    }
+
+    #[test]
+    fn transfer_reverts_cleanly() {
+        let mut s = State::new();
+        s.set_balance(a(1), U256::from(100u64));
+        let snap = s.snapshot();
+        s.transfer(a(1), a(2), U256::from(60u64));
+        s.revert_to(snap);
+        assert_eq!(s.balance(a(1)), U256::from(100u64));
+        assert_eq!(s.balance(a(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn selfdestruct_credits_beneficiary_and_clears_code() {
+        let mut s = State::new();
+        s.set_code(a(1), vec![0x00]);
+        s.set_balance(a(1), U256::from(5u64));
+        s.selfdestruct(a(1), a(2));
+        assert!(s.is_destroyed(a(1)));
+        assert!(s.code(a(1)).is_empty());
+        assert_eq!(s.balance(a(2)), U256::from(5u64));
+        assert_eq!(s.balance(a(1)), U256::ZERO);
+    }
+
+    #[test]
+    fn selfdestruct_reverts() {
+        let mut s = State::new();
+        s.set_code(a(1), vec![0x00]);
+        s.set_balance(a(1), U256::from(5u64));
+        let snap = s.snapshot();
+        s.selfdestruct(a(1), a(2));
+        s.revert_to(snap);
+        assert!(!s.is_destroyed(a(1)));
+        assert_eq!(s.code(a(1)), vec![0x00]);
+        assert_eq!(s.balance(a(1)), U256::from(5u64));
+    }
+
+    #[test]
+    fn selfdestruct_to_self_burns_nothing_extra() {
+        let mut s = State::new();
+        s.set_balance(a(1), U256::from(5u64));
+        s.selfdestruct(a(1), a(1));
+        assert!(s.is_destroyed(a(1)));
+        assert_eq!(s.balance(a(1)), U256::from(5u64));
+    }
+
+    #[test]
+    fn logs_revert_with_journal() {
+        let mut s = State::new();
+        let snap = s.snapshot();
+        s.log(a(1), vec![U256::ONE], vec![1, 2, 3]);
+        assert_eq!(s.logs().len(), 1);
+        s.revert_to(snap);
+        assert!(s.logs().is_empty());
+    }
+
+    #[test]
+    fn nonce_round_trip() {
+        let mut s = State::new();
+        let snap = s.snapshot();
+        s.increment_nonce(a(1));
+        s.increment_nonce(a(1));
+        assert_eq!(s.nonce(a(1)), 2);
+        s.revert_to(snap);
+        assert_eq!(s.nonce(a(1)), 0);
+    }
+
+    #[test]
+    fn commit_clears_journal_permanently() {
+        let mut s = State::new();
+        s.storage_set(a(1), U256::ONE, U256::from(9u64));
+        s.commit();
+        s.revert_to(0);
+        assert_eq!(s.storage_get(a(1), U256::ONE), U256::from(9u64));
+    }
+}

@@ -1,0 +1,420 @@
+//! A single-node test network: deploys contracts, executes transactions,
+//! mines (logical) blocks, and supports private forks — the substrate for
+//! the Ethainter-Kill experiment (the paper used a private fork of the
+//! Ropsten testnet).
+
+use crate::state::{LogRecord, State};
+use evm::interp::{execute, CallParams, Outcome, Trace};
+use evm::{Address, U256, World};
+
+/// Result of one executed transaction.
+#[derive(Clone, Debug)]
+pub struct Receipt {
+    /// True when the transaction committed (return or selfdestruct).
+    pub success: bool,
+    /// Return or revert payload.
+    pub output: Vec<u8>,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Full frame outcome.
+    pub outcome: Outcome,
+    /// Instruction trace (recorded when requested).
+    pub trace: Trace,
+}
+
+/// A deterministic in-process Ethereum test network.
+///
+/// # Examples
+///
+/// ```
+/// use chain::TestNet;
+/// use evm::{Address, U256};
+/// let mut net = TestNet::new();
+/// let alice = net.funded_account(U256::from(1_000_000u64));
+/// // Deploy a contract whose runtime code is a bare STOP.
+/// let contract = net.deploy(alice, vec![0x00]);
+/// let receipt = net.call(alice, contract, vec![], U256::ZERO);
+/// assert!(receipt.success);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TestNet {
+    state: State,
+    block_number: u64,
+    timestamp: u64,
+    next_account_seed: u64,
+    gas_limit: u64,
+}
+
+impl TestNet {
+    /// A fresh, empty network.
+    pub fn new() -> Self {
+        TestNet {
+            state: State::new(),
+            block_number: 1,
+            timestamp: 1_600_000_000,
+            next_account_seed: 1,
+            gas_limit: 10_000_000,
+        }
+    }
+
+    /// Read access to the underlying state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Mutable access to the underlying state (genesis setup, tests).
+    pub fn state_mut(&mut self) -> &mut State {
+        &mut self.state
+    }
+
+    /// Current block number.
+    pub fn block_number(&self) -> u64 {
+        self.block_number
+    }
+
+    /// Sets the per-transaction gas limit.
+    pub fn set_gas_limit(&mut self, gas: u64) {
+        self.gas_limit = gas;
+    }
+
+    /// Creates a fresh externally-owned account with `balance`.
+    pub fn funded_account(&mut self, balance: U256) -> Address {
+        let addr = Address::from_seed(self.next_account_seed);
+        self.next_account_seed += 1;
+        self.state.set_balance(addr, balance);
+        self.state.commit();
+        addr
+    }
+
+    /// Deploys `runtime_code` directly (no constructor), returning the
+    /// new contract's address. Mirrors how analysis corpora are staged.
+    pub fn deploy(&mut self, deployer: Address, runtime_code: Vec<u8>) -> Address {
+        let nonce = self.state.nonce(deployer);
+        self.state.increment_nonce(deployer);
+        let address = Address::create(deployer, nonce);
+        self.state.set_code(address, runtime_code);
+        self.state.commit();
+        self.block_number += 1;
+        self.timestamp += 13;
+        address
+    }
+
+    /// Deploys a contract by **executing its init code** (the real
+    /// deployment path): the init frame runs against the new account,
+    /// applies its constructor stores, and its return data becomes the
+    /// runtime code.
+    ///
+    /// Returns `None` when the init code reverts or errors.
+    pub fn deploy_init(&mut self, deployer: Address, init_code: Vec<u8>) -> Option<Address> {
+        let snapshot = self.state.snapshot();
+        let nonce = self.state.nonce(deployer);
+        self.state.increment_nonce(deployer);
+        let address = Address::create(deployer, nonce);
+        self.state.set_code(address, init_code);
+        let params = CallParams {
+            caller: deployer,
+            address,
+            code_address: address,
+            origin: deployer,
+            value: U256::ZERO,
+            data: Vec::new(),
+            gas: self.gas_limit,
+            is_static: false,
+            depth: 0,
+        };
+        let mut trace = Trace::default();
+        let exec = execute(&mut self.state, params, &mut trace);
+        match exec.outcome {
+            Outcome::Return(runtime) => {
+                self.state.set_code(address, runtime);
+                self.state.commit();
+                self.block_number += 1;
+                self.timestamp += 13;
+                Some(address)
+            }
+            _ => {
+                self.state.revert_to(snapshot);
+                None
+            }
+        }
+    }
+
+    /// Deploys `runtime_code` at a caller-chosen address (corpus staging).
+    pub fn deploy_at(&mut self, address: Address, runtime_code: Vec<u8>) {
+        self.state.set_code(address, runtime_code);
+        self.state.commit();
+    }
+
+    /// Executes a transaction without tracing.
+    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>, value: U256) -> Receipt {
+        self.execute_tx(from, to, data, value, false)
+    }
+
+    /// Executes a transaction, recording the instruction trace
+    /// (used by Ethainter-Kill to verify `SELFDESTRUCT` execution).
+    pub fn call_traced(
+        &mut self,
+        from: Address,
+        to: Address,
+        data: Vec<u8>,
+        value: U256,
+    ) -> Receipt {
+        self.execute_tx(from, to, data, value, true)
+    }
+
+    fn execute_tx(
+        &mut self,
+        from: Address,
+        to: Address,
+        data: Vec<u8>,
+        value: U256,
+        traced: bool,
+    ) -> Receipt {
+        let snapshot = self.state.snapshot();
+        self.state.increment_nonce(from);
+
+        if !value.is_zero() && !self.state.transfer(from, to, value) {
+            self.state.revert_to(snapshot);
+            return Receipt {
+                success: false,
+                output: Vec::new(),
+                gas_used: 0,
+                outcome: Outcome::Error(evm::VmError::InsufficientBalance),
+                trace: Trace::default(),
+            };
+        }
+
+        let mut trace = if traced { Trace::recording() } else { Trace::default() };
+        let params = CallParams {
+            caller: from,
+            address: to,
+            code_address: to,
+            origin: from,
+            value,
+            data,
+            gas: self.gas_limit,
+            is_static: false,
+            depth: 0,
+        };
+        let exec = execute(&mut self.state, params, &mut trace);
+
+        let (success, output) = match &exec.outcome {
+            Outcome::Return(data) => (true, data.clone()),
+            Outcome::SelfDestruct(_) => (true, Vec::new()),
+            Outcome::Revert(data) => (false, data.clone()),
+            Outcome::Error(_) => (false, Vec::new()),
+        };
+        if success {
+            self.state.commit();
+        } else {
+            self.state.revert_to(snapshot);
+        }
+        self.block_number += 1;
+        self.timestamp += 13;
+        Receipt { success, output, gas_used: exec.gas_used, outcome: exec.outcome, trace }
+    }
+
+    /// Clones the network into a private fork: subsequent transactions on
+    /// the fork leave this network untouched.
+    pub fn fork(&self) -> TestNet {
+        self.clone()
+    }
+
+    /// True once `address` has self-destructed.
+    pub fn is_destroyed(&self, address: Address) -> bool {
+        self.state.is_destroyed(address)
+    }
+
+    /// Balance convenience accessor.
+    pub fn balance(&self, address: Address) -> U256 {
+        self.state.balance(address)
+    }
+
+    /// Logs emitted so far.
+    pub fn logs(&self) -> &[LogRecord] {
+        self.state.logs()
+    }
+}
+
+impl World for TestNet {
+    fn balance(&self, address: Address) -> U256 {
+        self.state.balance(address)
+    }
+    fn code(&self, address: Address) -> Vec<u8> {
+        self.state.code(address)
+    }
+    fn storage_get(&self, address: Address, key: U256) -> U256 {
+        self.state.storage_get(address, key)
+    }
+    fn storage_set(&mut self, address: Address, key: U256, value: U256) {
+        self.state.storage_set(address, key, value)
+    }
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        self.state.transfer(from, to, value)
+    }
+    fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
+        self.state.selfdestruct(address, beneficiary)
+    }
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        self.state.set_code(address, code)
+    }
+    fn nonce(&self, address: Address) -> u64 {
+        self.state.nonce(address)
+    }
+    fn increment_nonce(&mut self, address: Address) {
+        self.state.increment_nonce(address)
+    }
+    fn log(&mut self, address: Address, topics: Vec<U256>, data: Vec<u8>) {
+        self.state.log(address, topics, data)
+    }
+    fn snapshot(&mut self) -> usize {
+        self.state.snapshot()
+    }
+    fn revert_to(&mut self, snapshot: usize) {
+        self.state.revert_to(snapshot)
+    }
+    fn block_number(&self) -> u64 {
+        self.block_number
+    }
+    fn block_timestamp(&self) -> u64 {
+        self.timestamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evm::asm::Asm;
+    use evm::opcode::Opcode;
+
+    #[test]
+    fn value_transfer_to_eoa() {
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(100u64));
+        let bob = net.funded_account(U256::ZERO);
+        let r = net.call(alice, bob, vec![], U256::from(40u64));
+        assert!(r.success);
+        assert_eq!(net.balance(bob), U256::from(40u64));
+        assert_eq!(net.balance(alice), U256::from(60u64));
+    }
+
+    #[test]
+    fn insufficient_balance_fails_without_side_effects() {
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(10u64));
+        let bob = net.funded_account(U256::ZERO);
+        let r = net.call(alice, bob, vec![], U256::from(40u64));
+        assert!(!r.success);
+        assert_eq!(net.balance(bob), U256::ZERO);
+    }
+
+    /// Runtime code: stores CALLVALUE at slot 0, then returns it.
+    fn store_value_contract() -> Vec<u8> {
+        let mut a = Asm::new();
+        a.op(Opcode::CallValue)
+            .push(U256::ZERO)
+            .op(Opcode::SStore)
+            .push(U256::ZERO)
+            .op(Opcode::SLoad)
+            .push(U256::ZERO)
+            .op(Opcode::MStore)
+            .push(U256::from(32u64))
+            .push(U256::ZERO)
+            .op(Opcode::Return);
+        a.assemble()
+    }
+
+    #[test]
+    fn contract_execution_and_storage_commit() {
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(1000u64));
+        let c = net.deploy(alice, store_value_contract());
+        let r = net.call(alice, c, vec![], U256::from(7u64));
+        assert!(r.success);
+        assert_eq!(U256::from_be_slice(&r.output), U256::from(7u64));
+        assert_eq!(net.state().storage_get(c, U256::ZERO), U256::from(7u64));
+    }
+
+    #[test]
+    fn revert_rolls_back_storage() {
+        // SSTORE(0, 1) then REVERT.
+        let mut a = Asm::new();
+        a.push(U256::ONE)
+            .push(U256::ZERO)
+            .op(Opcode::SStore)
+            .push(U256::ZERO)
+            .push(U256::ZERO)
+            .op(Opcode::Revert);
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(1000u64));
+        let c = net.deploy(alice, a.assemble());
+        let r = net.call(alice, c, vec![], U256::ZERO);
+        assert!(!r.success);
+        assert_eq!(net.state().storage_get(c, U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn selfdestruct_contract_destroys_and_pays_out() {
+        // SELFDESTRUCT(CALLER)
+        let mut a = Asm::new();
+        a.op(Opcode::Caller).op(Opcode::SelfDestruct);
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(1000u64));
+        let c = net.deploy(alice, a.assemble());
+        // Fund the contract.
+        net.call(alice, c, vec![0xde], U256::from(500u64));
+        // Note: call with data executes code, which selfdestructs immediately.
+        assert!(net.is_destroyed(c));
+        assert_eq!(net.balance(alice), U256::from(1000u64));
+    }
+
+    #[test]
+    fn trace_records_selfdestruct_opcode() {
+        let mut a = Asm::new();
+        a.op(Opcode::Caller).op(Opcode::SelfDestruct);
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(10u64));
+        let c = net.deploy(alice, a.assemble());
+        let r = net.call_traced(alice, c, vec![], U256::ZERO);
+        assert!(r.success);
+        assert!(r.trace.executed(Opcode::SelfDestruct));
+    }
+
+    #[test]
+    fn fork_is_isolated() {
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(100u64));
+        let mut a = Asm::new();
+        a.op(Opcode::Caller).op(Opcode::SelfDestruct);
+        let c = net.deploy(alice, a.assemble());
+
+        let mut fork = net.fork();
+        fork.call(alice, c, vec![], U256::ZERO);
+        assert!(fork.is_destroyed(c));
+        assert!(!net.is_destroyed(c));
+    }
+
+    #[test]
+    fn destroyed_contract_stops_executing() {
+        let mut a = Asm::new();
+        a.op(Opcode::Caller).op(Opcode::SelfDestruct);
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(100u64));
+        let c = net.deploy(alice, a.assemble());
+        net.call(alice, c, vec![], U256::ZERO);
+        assert!(net.is_destroyed(c));
+        // Subsequent call behaves like an EOA call (no code).
+        let r = net.call_traced(alice, c, vec![], U256::ZERO);
+        assert!(r.success);
+        assert!(r.trace.steps.is_empty());
+    }
+
+    #[test]
+    fn block_number_advances() {
+        let mut net = TestNet::new();
+        let alice = net.funded_account(U256::from(100u64));
+        let n0 = net.block_number();
+        net.call(alice, alice, vec![], U256::ZERO);
+        assert!(net.block_number() > n0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the state journal: arbitrary interleavings of
+//! mutations, snapshots, and rollbacks must behave exactly like a model
+//! that clones full state snapshots.
+
+use chain::State;
+use evm::{Address, U256, World};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations the property explores.
+#[derive(Clone, Debug)]
+enum Op {
+    SetStorage(u8, u8, u64),
+    Transfer(u8, u8, u64),
+    SetBalance(u8, u64),
+    SelfDestruct(u8, u8),
+    SetCode(u8, Vec<u8>),
+    IncNonce(u8),
+    Log(u8),
+    Snapshot,
+    /// Roll back to the i-th open snapshot (modulo how many exist).
+    Revert(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(a, k, v)| Op::SetStorage(a % 4, k % 4, v)),
+        (any::<u8>(), any::<u8>(), 0u64..500).prop_map(|(a, b, v)| Op::Transfer(a % 4, b % 4, v)),
+        (any::<u8>(), 0u64..1000).prop_map(|(a, v)| Op::SetBalance(a % 4, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::SelfDestruct(a % 4, b % 4)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..4))
+            .prop_map(|(a, c)| Op::SetCode(a % 4, c)),
+        any::<u8>().prop_map(|a| Op::IncNonce(a % 4)),
+        any::<u8>().prop_map(|a| Op::Log(a % 4)),
+        Just(Op::Snapshot),
+        any::<u8>().prop_map(Op::Revert),
+    ]
+}
+
+/// A reference model: full deep snapshots.
+#[derive(Clone, Default, PartialEq, Debug)]
+struct Model {
+    balances: HashMap<u8, U256>,
+    storage: HashMap<(u8, u8), U256>,
+    codes: HashMap<u8, Vec<u8>>,
+    nonces: HashMap<u8, u64>,
+    destroyed: Vec<u8>,
+    logs: usize,
+}
+
+fn addr(i: u8) -> Address {
+    Address::from_low_u64(i as u64 + 1)
+}
+
+fn apply_model(m: &mut Model, op: &Op) {
+    match op {
+        Op::SetStorage(a, k, v) => {
+            m.storage.insert((*a, *k), U256::from(*v));
+        }
+        Op::Transfer(a, b, v) => {
+            let fb = m.balances.get(a).copied().unwrap_or(U256::ZERO);
+            let val = U256::from(*v);
+            if fb >= val && !val.is_zero() {
+                let tb = m.balances.get(b).copied().unwrap_or(U256::ZERO);
+                m.balances.insert(*a, fb.wrapping_sub(val));
+                // Self-transfer must not create money.
+                if a == b {
+                    m.balances.insert(*b, fb);
+                } else {
+                    m.balances.insert(*b, tb.wrapping_add(val));
+                }
+            }
+        }
+        Op::SetBalance(a, v) => {
+            m.balances.insert(*a, U256::from(*v));
+        }
+        Op::SelfDestruct(a, b) => {
+            let bal = m.balances.get(a).copied().unwrap_or(U256::ZERO);
+            if a != b {
+                let tb = m.balances.get(b).copied().unwrap_or(U256::ZERO);
+                m.balances.insert(*a, U256::ZERO);
+                m.balances.insert(*b, tb.wrapping_add(bal));
+            }
+            if !m.destroyed.contains(a) {
+                m.destroyed.push(*a);
+            }
+        }
+        Op::SetCode(a, c) => {
+            m.codes.insert(*a, c.clone());
+        }
+        Op::IncNonce(a) => {
+            *m.nonces.entry(*a).or_insert(0) += 1;
+        }
+        Op::Log(_) => m.logs += 1,
+        Op::Snapshot | Op::Revert(_) => unreachable!("handled by driver"),
+    }
+}
+
+fn apply_state(s: &mut State, op: &Op) {
+    match op {
+        Op::SetStorage(a, k, v) => {
+            s.storage_set(addr(*a), U256::from(*k), U256::from(*v))
+        }
+        Op::Transfer(a, b, v) => {
+            let _ = s.transfer(addr(*a), addr(*b), U256::from(*v));
+        }
+        Op::SetBalance(a, v) => s.set_balance(addr(*a), U256::from(*v)),
+        Op::SelfDestruct(a, b) => s.selfdestruct(addr(*a), addr(*b)),
+        Op::SetCode(a, c) => s.set_code(addr(*a), c.clone()),
+        Op::IncNonce(a) => s.increment_nonce(addr(*a)),
+        Op::Log(a) => s.log(addr(*a), vec![U256::ONE], vec![*a]),
+        Op::Snapshot | Op::Revert(_) => unreachable!("handled by driver"),
+    }
+}
+
+fn check_equal(s: &State, m: &Model) -> Result<(), TestCaseError> {
+    for a in 0..4u8 {
+        prop_assert_eq!(
+            s.balance(addr(a)),
+            m.balances.get(&a).copied().unwrap_or(U256::ZERO),
+            "balance of {}", a
+        );
+        for k in 0..4u8 {
+            prop_assert_eq!(
+                s.storage_get(addr(a), U256::from(k)),
+                m.storage.get(&(a, k)).copied().unwrap_or(U256::ZERO),
+                "storage {}/{}", a, k
+            );
+        }
+        prop_assert_eq!(s.nonce(addr(a)), m.nonces.get(&a).copied().unwrap_or(0));
+        prop_assert_eq!(s.is_destroyed(addr(a)), m.destroyed.contains(&a), "destroyed {}", a);
+        // code() returns empty for destroyed accounts.
+        let want_code = if m.destroyed.contains(&a) {
+            Vec::new()
+        } else {
+            m.codes.get(&a).cloned().unwrap_or_default()
+        };
+        prop_assert_eq!(s.code(addr(a)), want_code, "code of {}", a);
+    }
+    prop_assert_eq!(s.logs().len(), m.logs);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn journal_matches_snapshot_model(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut state = State::new();
+        let mut model = Model::default();
+        // Open snapshots: (journal checkpoint, model clone).
+        let mut stack: Vec<(usize, Model)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Snapshot => {
+                    let cp = state.snapshot();
+                    stack.push((cp, model.clone()));
+                }
+                Op::Revert(i) => {
+                    if stack.is_empty() {
+                        continue;
+                    }
+                    let idx = (*i as usize) % stack.len();
+                    let (cp, m) = stack[idx].clone();
+                    stack.truncate(idx);
+                    state.revert_to(cp);
+                    model = m;
+                }
+                other => {
+                    apply_state(&mut state, other);
+                    apply_model(&mut model, other);
+                }
+            }
+        }
+        check_equal(&state, &model)?;
+    }
+}

@@ -1,0 +1,822 @@
+//! Contract templates: parameterized minisol sources with ground-truth
+//! vulnerability labels.
+//!
+//! Each template randomizes identifier names (which changes selectors
+//! and therefore bytecode — the corpus counts *unique bytecodes*, like
+//! the paper's 240K dedup) and inserts filler state variables (shifting
+//! storage slots) plus optional benign functions, without changing the
+//! labelled semantics.
+
+use ethainter::Vuln;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Ground truth for a generated contract.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Vulnerabilities genuinely exploitable end-to-end.
+    pub exploitable: BTreeSet<Vuln>,
+    /// Classes a sound-but-imprecise analyzer is *expected* to flag even
+    /// though they are not exploitable (known-hard shapes from Figure 6's
+    /// false-positive rows). Empty for honest templates.
+    pub decoy: BTreeSet<Vuln>,
+    /// Whether the exploit needs multiple transactions through tainted
+    /// guards (the ✰ composite marker).
+    pub composite: bool,
+    /// Whether the contract can be destroyed by an attacker (Ethainter-
+    /// Kill's success criterion).
+    pub killable: bool,
+    /// Killable in principle, but only with inputs an automated palette
+    /// cannot guess (magic constants read from the code) — the paper's
+    /// "actual exploits often require significant human ingenuity".
+    pub kill_needs_ingenuity: bool,
+}
+
+impl GroundTruth {
+    fn of(vulns: &[Vuln]) -> Self {
+        GroundTruth { exploitable: vulns.iter().copied().collect(), ..Self::default() }
+    }
+}
+
+/// A generated contract spec (source + label), pre-compilation.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Template family name.
+    pub family: &'static str,
+    /// minisol source text.
+    pub source: String,
+    /// Ground truth.
+    pub truth: GroundTruth,
+}
+
+/// Families whose real-world instances predate Solidity 0.5.8 (plain
+/// unguarded kills, raw initializer patterns) — they rarely appear in the
+/// modern-source universe Securify2 can analyze.
+pub fn is_old_style(family: &str) -> bool {
+    matches!(
+        family,
+        "vuln_accessible_selfdestruct"
+            | "vuln_tainted_owner"
+            | "vuln_param_beneficiary"
+            | "vuln_magic_kill"
+    )
+}
+
+const NAME_POOL: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "omega", "zeta", "theta", "sigma", "kappa", "lambda",
+    "vault", "bank", "store", "pool", "hub", "core", "base", "node", "gate", "port",
+];
+
+fn ident(rng: &mut impl Rng, stem: &str) -> String {
+    let a = NAME_POOL[rng.gen_range(0..NAME_POOL.len())];
+    let n: u32 = rng.gen_range(0..10_000);
+    format!("{stem}{a}{n}")
+}
+
+/// Filler state variables (0–3), shifting the slots of everything after
+/// them.
+fn filler_vars(rng: &mut impl Rng) -> String {
+    let n = rng.gen_range(0..4);
+    (0..n)
+        .map(|i| format!("    uint filler{i}_{};\n", rng.gen_range(0..1000u32)))
+        .collect()
+}
+
+/// A benign extra function to diversify dispatchers.
+fn benign_fn(rng: &mut impl Rng, counter_var: &str) -> String {
+    let name = ident(rng, "do");
+    match rng.gen_range(0..3) {
+        0 => format!("    function {name}(uint v) public {{ {counter_var} += v; }}\n"),
+        1 => format!(
+            "    function {name}() public returns (uint) {{ return {counter_var}; }}\n"
+        ),
+        _ => format!(
+            "    function {name}(uint v) public {{ if (v > 10) {{ {counter_var} = v; }} }}\n"
+        ),
+    }
+}
+
+// --------------------------------------------------------------- safe ---
+
+/// An ERC20-style token: clean.
+pub fn safe_token(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Token");
+    let transfer = ident(rng, "transfer");
+    let approve = ident(rng, "approve");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    mapping(address => uint) balances;
+    mapping(address => mapping(address => uint)) allowed;
+    uint supply = {supply};
+    function {transfer}(address to, uint v) public {{
+        require(balances[msg.sender] >= v);
+        balances[msg.sender] -= v;
+        balances[to] += v;
+        emit Transfer(uint(to), v);
+    }}
+    function {approve}(address spender, uint v) public {{
+        allowed[msg.sender][spender] = v;
+    }}
+    function balanceOf(address who) public returns (uint) {{ return balances[who]; }}
+}}"#,
+        filler = filler_vars(rng),
+        supply = rng.gen_range(1_000..10_000_000u64),
+    );
+    Spec { family: "safe_token", source, truth: GroundTruth::default() }
+}
+
+/// An owner-guarded wallet with constructor-set owner: clean.
+pub fn safe_wallet(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Wallet");
+    let pay = ident(rng, "pay");
+    let owner_init = rng.gen_range(1u64..u32::MAX as u64);
+    let counter = "nonce";
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner_init:x};
+    uint nonce;
+    modifier onlyOwner() {{ require(msg.sender == owner); _; }}
+    function {pay}(address to, uint amount) public onlyOwner {{
+        send(to, amount);
+        emit Payment(uint(to), amount);
+    }}
+    function {kill}() public onlyOwner {{ selfdestruct(owner); }}
+{benign}}}"#,
+        filler = filler_vars(rng),
+        kill = ident(rng, "shutdown"),
+        benign = benign_fn(rng, counter),
+    );
+    Spec { family: "safe_wallet", source, truth: GroundTruth::default() }
+}
+
+/// A registry where callers can only touch their own sender-keyed data:
+/// clean.
+pub fn safe_registry(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Registry");
+    let set = ident(rng, "set");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    mapping(address => uint) records;
+    uint total;
+    uint lastValue;
+    function {set}(uint v) public {{
+        require(v > 0);
+        records[msg.sender] = v;
+        lastValue = v;
+        total += 1;
+    }}
+    function get(address who) public returns (uint) {{ return records[who]; }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "safe_registry", source, truth: GroundTruth::default() }
+}
+
+/// Admin-managed system where admin enrollment is admin-guarded
+/// (the *fixed* Victim): clean.
+pub fn safe_admin_system(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Managed");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    mapping(address => bool) admins;
+    address owner = 0x{owner:x};
+    modifier onlyAdmins() {{ require(admins[msg.sender]); _; }}
+    modifier onlyOwner() {{ require(msg.sender == owner); _; }}
+    function addAdmin(address a) public onlyOwner {{ admins[a] = true; }}
+    function {kill}() public onlyAdmins {{ selfdestruct(owner); }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+        kill = ident(rng, "retire"),
+    );
+    Spec { family: "safe_admin_system", source, truth: GroundTruth::default() }
+}
+
+/// A checked staticcall consumer: clean.
+pub fn safe_staticcall(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Verifier");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint result;
+    function check(address w, uint input) public {{
+        result = staticcall_checked(w, input);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "safe_staticcall", source, truth: GroundTruth::default() }
+}
+
+// --------------------------------------------------------- vulnerable ---
+
+/// §3.3: an unguarded public selfdestruct (beneficiary = caller, so
+/// accessible but not "tainted").
+pub fn vuln_accessible_selfdestruct(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Killable");
+    let kill = ident(rng, "kill");
+    let mut truth = GroundTruth::of(&[Vuln::AccessibleSelfDestruct]);
+    truth.killable = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint counter;
+    function {kill}() public {{ selfdestruct(msg.sender); }}
+{benign}}}"#,
+        filler = filler_vars(rng),
+        benign = benign_fn(rng, "counter"),
+    );
+    Spec { family: "vuln_accessible_selfdestruct", source, truth }
+}
+
+/// §3.1: public `initOwner` taints the owner slot; the guard protects a
+/// non-destructive sink (token minting), so only the owner-variable class
+/// applies.
+pub fn vuln_tainted_owner(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Ownable");
+    let init = ident(rng, "initOwner");
+    let mint = ident(rng, "mint");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner;
+    mapping(address => uint) balances;
+    uint supply;
+    function {init}(address o) public {{ owner = o; }}
+    function {mint}(address to, uint v) public {{
+        require(msg.sender == owner);
+        balances[to] += v;
+        supply += v;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "vuln_tainted_owner", source, truth: GroundTruth::of(&[Vuln::TaintedOwnerVariable]) }
+}
+
+/// §3.1 + §3.3 + §3.4: tainted owner guarding a selfdestruct — the full
+/// escalation (composite).
+pub fn vuln_tainted_owner_kill(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "OwnedKill");
+    let init = ident(rng, "setOwner");
+    let kill = ident(rng, "kill");
+    let mut truth = GroundTruth::of(&[
+        Vuln::TaintedOwnerVariable,
+        Vuln::AccessibleSelfDestruct,
+        Vuln::TaintedSelfDestruct,
+    ]);
+    truth.composite = true;
+    truth.killable = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner;
+    function {init}(address o) public {{ owner = o; }}
+    function {kill}() public {{ require(msg.sender == owner); selfdestruct(owner); }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "vuln_tainted_owner_kill", source, truth }
+}
+
+/// The §2 Victim: mis-guarded admin enrollment → composite chain.
+pub fn vuln_composite_victim(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Victim");
+    let mut truth =
+        GroundTruth::of(&[Vuln::AccessibleSelfDestruct, Vuln::TaintedSelfDestruct]);
+    truth.composite = true;
+    truth.killable = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+    modifier onlyAdmins() {{ require(admins[msg.sender]); _; }}
+    modifier onlyUsers() {{ require(users[msg.sender]); _; }}
+    function {register}() public {{ users[msg.sender] = true; }}
+    function {refer_user}(address u) public onlyUsers {{ users[u] = true; }}
+    function {refer_admin}(address a) public onlyUsers {{ admins[a] = true; }}
+    function {change}(address o) public onlyAdmins {{ owner = o; }}
+    function {kill}() public onlyAdmins {{ selfdestruct(owner); }}
+}}"#,
+        filler = filler_vars(rng),
+        register = ident(rng, "register"),
+        refer_user = ident(rng, "referUser"),
+        refer_admin = ident(rng, "referAdmin"),
+        change = ident(rng, "changeOwner"),
+        kill = ident(rng, "kill"),
+    );
+    Spec { family: "vuln_composite_victim", source, truth }
+}
+
+/// §3.4: owner-guarded selfdestruct with an attacker-settable
+/// beneficiary (tainted but not accessible).
+pub fn vuln_tainted_beneficiary(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "AdminPay");
+    let init = ident(rng, "initAdmin");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    address administrator;
+    function {init}(address admin) public {{ administrator = admin; }}
+    function kill() public {{
+        if (msg.sender == owner) {{ selfdestruct(administrator); }}
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec {
+        family: "vuln_tainted_beneficiary",
+        source,
+        truth: GroundTruth::of(&[Vuln::TaintedSelfDestruct]),
+    }
+}
+
+/// §3.2: the naïve `migrate` — tainted delegatecall.
+pub fn vuln_tainted_delegatecall(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Proxy");
+    let migrate = ident(rng, "migrate");
+    let mut truth = GroundTruth::of(&[Vuln::TaintedDelegateCall]);
+    truth.killable = true; // delegatecall to attacker code can selfdestruct
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint version;
+    function {migrate}(address delegate) public {{ delegatecall(delegate); }}
+{benign}}}"#,
+        filler = filler_vars(rng),
+        benign = benign_fn(rng, "version"),
+    );
+    Spec { family: "vuln_tainted_delegatecall", source, truth }
+}
+
+/// §3.2 composite variant: the delegate target sits in attacker-settable
+/// storage behind an owner guard.
+pub fn vuln_delegate_via_storage(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Upgradable");
+    let mut truth = GroundTruth::of(&[Vuln::TaintedDelegateCall]);
+    truth.composite = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    address impl;
+    function setImpl(address d) public {{ impl = d; }}
+    function {run}() public {{
+        require(msg.sender == owner);
+        delegatecall(impl);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+        run = ident(rng, "run"),
+    );
+    Spec { family: "vuln_delegate_via_storage", source, truth }
+}
+
+/// §3.5: the 0x-style unchecked staticcall.
+pub fn vuln_unchecked_staticcall(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Exchange");
+    let check = ident(rng, "isValid");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint result;
+    function {check}(address wallet, uint data) public {{
+        result = staticcall_unchecked(wallet, data);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec {
+        family: "vuln_unchecked_staticcall",
+        source,
+        truth: GroundTruth::of(&[Vuln::UncheckedTaintedStaticCall]),
+    }
+}
+
+// ------------------------------------------------------ hard / decoys ---
+
+/// Figure 6 FP row "complex path condition": the owner write is gated by
+/// a value-dependent condition the analysis cannot see through (it only
+/// models sender guards), so Ethainter flags it although the gate makes
+/// it unexploitable in practice.
+pub fn decoy_complex_path(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Gated");
+    let magic = rng.gen_range(1_000_000u64..u32::MAX as u64);
+    let mut truth = GroundTruth::default();
+    truth.decoy.insert(Vuln::TaintedOwnerVariable);
+    // The epoch counter only increments; the branch is dead in practice.
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{oinit:x};
+    uint epoch;
+    uint secret;
+    function tick() public {{ epoch += 1; }}
+    function rescue(address o) public {{
+        require(epoch == {magic});
+        owner = o;
+    }}
+    function set(uint v) public {{ require(msg.sender == owner); secret = v; }}
+}}"#,
+        filler = filler_vars(rng),
+        oinit = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec { family: "decoy_complex_path", source, truth }
+}
+
+/// Figure 6 FP row "not an owner variable": a sender-compared slot that
+/// anyone may write, but which guards nothing of value (last-caller
+/// bookkeeping).
+pub fn decoy_not_owner(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Tracker");
+    let touch = ident(rng, "touch");
+    let mut truth = GroundTruth::default();
+    truth.decoy.insert(Vuln::TaintedOwnerVariable);
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address lastCaller;
+    uint count;
+    function {touch}() public {{ lastCaller = msg.sender; count += 1; }}
+    function touchAgain() public {{
+        require(msg.sender == lastCaller);
+        count += 2;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "decoy_not_owner", source, truth }
+}
+
+/// A genuine vulnerability Ethainter's *precise* storage model misses
+/// (the owner is written through a computed slot): a false negative for
+/// Ethainter, found by symbolic execution (teEther) and by the
+/// conservative-storage ablation (Figure 8c).
+pub fn hard_dynamic_owner(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "AsmOwner");
+    let mut truth = GroundTruth::of(&[
+        Vuln::TaintedOwnerVariable,
+        Vuln::AccessibleSelfDestruct,
+        Vuln::TaintedSelfDestruct,
+    ]);
+    truth.composite = true;
+    truth.killable = true;
+    // The owner sits at slot 0; the write goes through a pointer loaded
+    // from (zero-initialized) storage — statically unknown, dynamically 0.
+    // The *untainted* unknown address defeats the precise model's
+    // StorageWrite rules (StorageWrite-2 needs a tainted address).
+    let source = format!(
+        r#"contract {name} {{
+    address owner;
+{filler}    function unlock(address o) public {{
+        sstore_dyn(sload_dyn({ptr}), uint(o));
+    }}
+    function kill() public {{ require(msg.sender == owner); selfdestruct(owner); }}
+}}"#,
+        filler = filler_vars(rng),
+        ptr = rng.gen_range(500u64..5000),
+    );
+    Spec { family: "hard_dynamic_owner", source, truth }
+}
+
+/// Figure 6 FP row "complex memory conditions": an unchecked staticcall
+/// whose result lands in write-only bookkeeping storage — flagged by the
+/// buffer-overlap pattern, not exploitable for anything.
+pub fn decoy_staticcall(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Prober");
+    let probe = ident(rng, "probe");
+    let mut truth = GroundTruth::default();
+    truth.decoy.insert(Vuln::UncheckedTaintedStaticCall);
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint scratch;
+    function {probe}(address w, uint data) public {{
+        scratch = staticcall_unchecked(w, data);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "decoy_staticcall", source, truth }
+}
+
+/// A legacy proxy: the delegate target is only settable by the owner, so
+/// the unguarded `run()` is safe — but a source-level tool that does not
+/// reason about the setter flags its delegatecall as "unrestricted"
+/// (the Securify2 false-positive row of Figure 7).
+pub fn safe_legacy_proxy(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "LegacyProxy");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    address impl = 0x{impl_:x};
+    function setImpl(address d) public {{
+        require(msg.sender == owner);
+        impl = d;
+    }}
+    function {run}() public {{ delegatecall(impl); }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+        impl_ = rng.gen_range(1u64..u32::MAX as u64),
+        run = ident(rng, "run"),
+    );
+    Spec { family: "safe_legacy_proxy", source, truth: GroundTruth::default() }
+}
+
+/// An abandoned contract whose owner was never initialized: the kill
+/// guard compares the sender against address zero, which no real account
+/// can be — unexploitable in practice, but exploit generators that treat
+/// the caller as fully symbolic "solve" it (the paper's remark that
+/// teEther exploits may require "the right conditions, e.g.,
+/// uninitialized owner variables").
+pub fn safe_uninit_owner(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Abandoned");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner;
+    uint deposits;
+    function deposit() public payable {{ deposits += 1; }}
+    function {kill}() public {{ require(msg.sender == owner); selfdestruct(owner); }}
+}}"#,
+        filler = filler_vars(rng),
+        kill = ident(rng, "sweep"),
+    );
+    Spec { family: "safe_uninit_owner", source, truth: GroundTruth::default() }
+}
+
+
+/// §3.3 + §3.4 in one: an unguarded sweep whose beneficiary is the
+/// caller's parameter (the common "send remaining balance to this
+/// address" pattern, unguarded).
+pub fn vuln_param_beneficiary(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Sweeper");
+    let kill = ident(rng, "sweepTo");
+    let mut truth =
+        GroundTruth::of(&[Vuln::AccessibleSelfDestruct, Vuln::TaintedSelfDestruct]);
+    truth.killable = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint counter;
+    function {kill}(address to) public {{ selfdestruct(to); }}
+{benign}}}"#,
+        filler = filler_vars(rng),
+        benign = benign_fn(rng, "counter"),
+    );
+    Spec { family: "vuln_param_beneficiary", source, truth }
+}
+
+/// A two-stage owner takeover mediated by storage: `propose` is public,
+/// `adopt` copies the pending value into the owner slot. The finding
+/// *requires* storage-taint modeling (it vanishes under the Figure 8a
+/// ablation).
+pub fn vuln_pending_owner(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Pending");
+    let propose = ident(rng, "propose");
+    let mut truth = GroundTruth::of(&[Vuln::TaintedOwnerVariable]);
+    truth.composite = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner;
+    address pending;
+    mapping(address => uint) balances;
+    function {propose}(address p) public {{ pending = p; }}
+    function {adopt}() public {{ owner = pending; }}
+    function mint(address to, uint v) public {{
+        require(msg.sender == owner);
+        balances[to] += v;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        adopt = ident(rng, "adopt"),
+    );
+    Spec { family: "vuln_pending_owner", source, truth }
+}
+
+/// An unchecked staticcall whose trusted buffer is fed from publicly
+/// settable storage (storage-mediated variant of §3.5; vanishes under
+/// the 8a ablation).
+pub fn vuln_staticcall_via_storage(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Oracle");
+    let check = ident(rng, "check");
+    let mut truth = GroundTruth::of(&[Vuln::UncheckedTaintedStaticCall]);
+    truth.composite = true;
+    // The wallet address is a fixed state value, so under the 8a
+    // ablation (no storage taint) nothing about this call is tainted.
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint feed;
+    uint result;
+    address wallet = 0x{wallet:x};
+    function setFeed(uint v) public {{ feed = v; }}
+    function {check}() public {{ result = staticcall_unchecked(wallet, feed); }}
+}}"#,
+        filler = filler_vars(rng),
+        wallet = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec { family: "vuln_staticcall_via_storage", source, truth }
+}
+
+/// An owner-guarded sweep-to-parameter: clean under guard modeling, the
+/// canonical false positive once guards are ignored (the paper explains
+/// Figure 8b's tainted-selfdestruct explosion with exactly this shape).
+pub fn safe_guarded_sweep(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "GuardedSweep");
+    let sweep = ident(rng, "sweep");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    modifier onlyOwner() {{ require(msg.sender == owner); _; }}
+    function {sweep}(address to) public onlyOwner {{ selfdestruct(to); }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec { family: "safe_guarded_sweep", source, truth: GroundTruth::default() }
+}
+
+/// Owner-guarded upgrade hook: the delegate target is a parameter, but
+/// only the owner can call — clean, flips under the 8b ablation.
+pub fn safe_guarded_migrate(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "GuardedProxy");
+    let migrate = ident(rng, "migrate");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    function {migrate}(address delegate) public {{
+        require(msg.sender == owner);
+        delegatecall(delegate);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec { family: "safe_guarded_migrate", source, truth: GroundTruth::default() }
+}
+
+/// Owner-guarded unchecked staticcall: clean, flips under 8b.
+pub fn safe_guarded_staticcall(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "GuardedProbe");
+    let refresh = ident(rng, "refresh");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    uint cache;
+    function {refresh}(address w, uint x) public {{
+        require(msg.sender == owner);
+        cache = staticcall_unchecked(w, x);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec { family: "safe_guarded_staticcall", source, truth: GroundTruth::default() }
+}
+
+/// A wallet with a raw-storage scratch cache: sound (the cache region
+/// cannot reach the named slots), but the conservative storage model
+/// (Figure 8c) assumes any unknown store reaches any slot, defeating the
+/// owner guard and flagging all three taint classes.
+pub fn safe_cached_wallet(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "CachedWallet");
+    let truth = GroundTruth::default();
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    address backup = 0x{backup:x};
+    uint nonce;
+    modifier onlyOwner() {{ require(msg.sender == owner); _; }}
+    function cache(uint v) public {{ sstore_dyn({region} + sload_dyn({ptr}), v); }}
+    function setBackup(address b) public onlyOwner {{ backup = b; }}
+    function recover() public {{ require(msg.sender == backup); nonce += 1; }}
+    function sweep() public onlyOwner {{ selfdestruct(backup); }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+        backup = rng.gen_range(1u64..u32::MAX as u64),
+        region = rng.gen_range(50_000u64..90_000),
+        ptr = rng.gen_range(10_000u64..20_000),
+    );
+    Spec { family: "safe_cached_wallet", source, truth }
+}
+
+/// A registry variant with a raw-storage scratch cache and a
+/// sender-compared backup slot (but no selfdestruct): sound, yet the
+/// conservative storage model (Figure 8c) lets the cache write poison the
+/// owner guard, turning the guarded backup-setter into a tainted-owner
+/// report.
+pub fn safe_cached_registry(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "CachedRegistry");
+    let set = ident(rng, "record");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    address backup = 0x{backup:x};
+    uint entries;
+    modifier onlyOwner() {{ require(msg.sender == owner); _; }}
+    function cache(uint v) public {{ sstore_dyn({region} + sload_dyn({ptr}), v); }}
+    function setBackup(address b) public onlyOwner {{ backup = b; }}
+    function {set}() public {{ require(msg.sender == backup); entries += 1; }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+        backup = rng.gen_range(1u64..u32::MAX as u64),
+        region = rng.gen_range(50_000u64..90_000),
+        ptr = rng.gen_range(10_000u64..20_000),
+    );
+    Spec { family: "safe_cached_registry", source, truth: GroundTruth::default() }
+}
+
+/// An accessible selfdestruct gated by a magic constant: Ethainter
+/// rightly flags it (a non-sender check sanitizes nothing), a human can
+/// exploit it by reading the constant from the bytecode, but automated
+/// exploit generation with a small input palette fails — the dominant
+/// reason Experiment 1's destruction rate is only a *lower* bound.
+pub fn vuln_magic_kill(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "MagicKill");
+    let kill = ident(rng, "kill");
+    let magic: u64 = rng.gen_range(0x1_0000_0000u64..0xffff_ffff_ffffu64);
+    let mut truth = GroundTruth::of(&[Vuln::AccessibleSelfDestruct]);
+    truth.killable = true;
+    truth.kill_needs_ingenuity = true;
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint marker;
+    function {kill}(uint code) public {{
+        require(code == 0x{magic:x});
+        selfdestruct(msg.sender);
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "vuln_magic_kill", source, truth }
+}
+
+/// Which deployment universe a population models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// The §6.2 mainnet snapshot (240K unique contracts).
+    #[default]
+    Mainnet,
+    /// The §6.1 Ropsten testnet window: fewer flagged contracts overall
+    /// (0.54%), most of them experimental shapes that defeat automated
+    /// exploitation.
+    Ropsten,
+}
+
+/// Vulnerable + decoy families with their default mainnet weights
+/// (calibrated so the flagged percentages land near the paper's §6.2
+/// table).
+pub fn weighted_templates() -> Vec<(f64, fn(&mut rand::rngs::StdRng) -> Spec)> {
+    weighted_templates_for(Profile::Mainnet)
+}
+
+/// Template mixture for a given universe profile.
+pub fn weighted_templates_for(profile: Profile) -> Vec<(f64, fn(&mut rand::rngs::StdRng) -> Spec)> {
+    if profile == Profile::Ropsten {
+        return vec![
+            (0.400, safe_token as fn(&mut rand::rngs::StdRng) -> Spec),
+            (0.300, safe_wallet),
+            (0.200, safe_registry),
+            (0.094, safe_admin_system),
+            // flagged ≈ 0.55%, of which automated kills land on ~17%
+            (0.0045, vuln_magic_kill),
+            (0.0006, vuln_accessible_selfdestruct),
+            (0.0002, vuln_param_beneficiary),
+            (0.0001, vuln_composite_victim),
+            (0.0001, vuln_tainted_owner_kill),
+        ];
+    }
+    vec![
+        // ~95.7% safe
+        (0.190, safe_token as fn(&mut rand::rngs::StdRng) -> Spec),
+        (0.290, safe_wallet),
+        (0.150, safe_registry),
+        (0.170, safe_admin_system),
+        (0.078, safe_staticcall),
+        (0.0340, safe_guarded_sweep),
+        (0.0017, safe_guarded_migrate),
+        (0.0010, safe_guarded_staticcall),
+        (0.0030, safe_cached_wallet),
+        (0.0200, safe_cached_registry),
+        // accessible selfdestruct flagged ≈ 1.2% = 1.05 + .05 + .03 + .07
+        (0.0105, vuln_accessible_selfdestruct),
+        (0.0005, vuln_composite_victim),
+        (0.0003, vuln_tainted_owner_kill),
+        (0.0007, vuln_param_beneficiary),
+        // tainted owner flagged ≈ 1.33% = .57 + .03 + .33 + decoys .40
+        // (decoys give the class its ~70% sampled precision, Fig. 6)
+        (0.0050, vuln_tainted_owner),
+        (0.0033, vuln_pending_owner),
+        // tainted selfdestruct flagged ≈ 0.17% = .05 + .03 + .02 + .07
+        (0.0002, vuln_tainted_beneficiary),
+        // tainted delegatecall flagged ≈ 0.17% = .12 + .05
+        (0.0012, vuln_tainted_delegatecall),
+        (0.0005, vuln_delegate_via_storage),
+        // unchecked staticcall flagged ≈ 0.04% = .02 + .01 + decoy .01
+        (0.0001, vuln_unchecked_staticcall),
+        (0.0001, vuln_staticcall_via_storage),
+        // decoys (flagged, not exploitable) and hard FNs (missed by the
+        // precise storage model, caught by symbolic execution)
+        (0.0030, decoy_complex_path),
+        (0.0020, decoy_not_owner),
+        (0.0002, decoy_staticcall),
+        (0.0003, hard_dynamic_owner),
+        // tool-comparison targets
+        (0.0004, safe_legacy_proxy),
+        (0.0030, safe_uninit_owner),
+    ]
+}

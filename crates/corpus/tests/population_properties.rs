@@ -1,0 +1,104 @@
+//! Property tests over generated populations: every contract must be
+//! deployable and behaviorally sane, and labels must be internally
+//! consistent.
+
+use corpus::{Population, PopulationConfig, Profile};
+use ethainter::Vuln;
+use evm::{U256, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed yields a population whose every contract decompiles
+    /// cleanly and deploys+responds on the testnet.
+    #[test]
+    fn populations_are_deployable(seed in 0u64..10_000) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 30,
+            seed,
+            ..Default::default()
+        });
+        let mut net = chain::TestNet::new();
+        let addrs = pop.deploy(&mut net);
+        let user = net.funded_account(U256::from(1_000_000u64));
+        for (c, &addr) in pop.contracts.iter().zip(&addrs) {
+            let p = decompiler::decompile(&c.bytecode);
+            prop_assert!(!p.incomplete, "{} hit the decompile budget", c.family);
+            prop_assert!(!p.functions.is_empty(), "{} has no public functions", c.family);
+            // Poke the first public function; any outcome except a VM
+            // bug (panic) is acceptable.
+            let sel = p.functions[0].selector;
+            let mut data = sel.to_be_bytes().to_vec();
+            data.extend_from_slice(&user.to_u256().to_be_bytes());
+            data.extend_from_slice(&user.to_u256().to_be_bytes());
+            let _ = net.call(user, addr, data, U256::ZERO);
+        }
+    }
+
+    /// Label consistency: killable implies a selfdestruct- or
+    /// delegatecall-class exploitable label; decoys never overlap
+    /// exploitable.
+    #[test]
+    fn labels_are_consistent(seed in 0u64..10_000) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 60,
+            seed,
+            ..Default::default()
+        });
+        for c in &pop.contracts {
+            if c.truth.killable {
+                prop_assert!(
+                    c.truth.exploitable.contains(&Vuln::AccessibleSelfDestruct)
+                        || c.truth.exploitable.contains(&Vuln::TaintedSelfDestruct)
+                        || c.truth.exploitable.contains(&Vuln::TaintedDelegateCall),
+                    "{}: killable without a destroy-class label",
+                    c.family
+                );
+            }
+            for v in &c.truth.decoy {
+                prop_assert!(
+                    !c.truth.exploitable.contains(v),
+                    "{}: {v:?} both decoy and exploitable",
+                    c.family
+                );
+            }
+        }
+    }
+
+    /// The Ropsten profile stays in its calibrated flagged regime.
+    #[test]
+    fn ropsten_profile_is_mostly_safe(seed in 0u64..1_000) {
+        let pop = Population::generate(&PopulationConfig {
+            size: 400,
+            seed,
+            profile: Profile::Ropsten,
+            ..Default::default()
+        });
+        let vulnerable =
+            pop.contracts.iter().filter(|c| !c.truth.exploitable.is_empty()).count();
+        // ~0.55% expected; allow generous sampling noise on 400.
+        prop_assert!(vulnerable <= 12, "unexpectedly many vulnerable: {vulnerable}");
+    }
+}
+
+#[test]
+fn sources_when_present_reparse_and_recompile() {
+    let pop = Population::generate(&PopulationConfig {
+        size: 80,
+        seed: 42,
+        source_fraction: 1.0,
+        ..Default::default()
+    });
+    for c in &pop.contracts {
+        let src = c.source.as_deref().expect("forced source_fraction=1");
+        let reparsed = minisol::parse(src).expect("source parses");
+        let printed = minisol::pretty::print_contract(&reparsed);
+        let recompiled = minisol::compile_source(&printed).expect("pretty output compiles");
+        assert_eq!(
+            recompiled.bytecode, c.bytecode,
+            "{}: print→compile diverges from original bytecode",
+            c.family
+        );
+    }
+}

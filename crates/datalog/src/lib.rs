@@ -1,0 +1,598 @@
+//! # datalog — a semi-naive fixpoint engine
+//!
+//! A small, from-scratch reimplementation of the engine architecture the
+//! paper's Soufflé backend provides: sorted [`Relation`]s, iteration
+//! [`Variable`]s with *stable*/*recent* partitions, and semi-naive rule
+//! evaluation ([`join_into`], [`join_relation_into`], [`antijoin_into`],
+//! [`Variable::from_map`]) driven to fixpoint by an [`Iteration`].
+//! Stratified negation is expressed by completing one stratum's variables
+//! into [`Relation`]s consumed by the next (antijoins only ever see
+//! completed relations), exactly as the paper's `DS`/`DSA` relations are
+//! computed in a stratum before the mutually-recursive taint rules.
+//!
+//! # Examples
+//!
+//! Transitive closure — `reach(x, z) :- reach(x, y), edge(y, z)`:
+//!
+//! ```
+//! use datalog::{join_relation_into, Iteration, Relation};
+//! let edges = Relation::from_iter(vec![(1u32, 2u32), (2, 3), (3, 4)]);
+//! let mut iteration = Iteration::new();
+//! let reach = iteration.variable::<(u32, u32)>("reach");
+//! let reach_rev = iteration.variable::<(u32, u32)>("reach_rev");
+//! reach.extend(edges.iter().copied());
+//! while iteration.changed() {
+//!     // re-key reach on its destination, then join against edge sources
+//!     reach_rev.from_map(&reach, |&(x, y)| (y, x));
+//!     join_relation_into(&reach_rev, &edges, &reach, |_, &x, &z| (x, z));
+//! }
+//! let tc = reach.complete();
+//! assert!(tc.contains(&(1, 4)));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A sorted, deduplicated set of tuples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation<T: Ord> {
+    elements: Vec<T>,
+}
+
+impl<T: Ord> Relation<T> {
+    /// An empty relation.
+    pub fn empty() -> Self {
+        Relation { elements: Vec::new() }
+    }
+
+    /// Builds from an iterator (sorts and dedups).
+    pub fn from_iter(iter: impl IntoIterator<Item = T>) -> Self {
+        let mut elements: Vec<T> = iter.into_iter().collect();
+        elements.sort();
+        elements.dedup();
+        Relation { elements }
+    }
+
+    /// Unions two relations.
+    pub fn merge(self, other: Self) -> Self {
+        let mut elements = self.elements;
+        elements.extend(other.elements);
+        elements.sort();
+        elements.dedup();
+        Relation { elements }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when no tuples exist.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterates tuples in sorted order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.elements.iter()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, t: &T) -> bool {
+        self.elements.binary_search(t).is_ok()
+    }
+
+    /// Borrows the sorted tuples.
+    pub fn as_slice(&self) -> &[T] {
+        &self.elements
+    }
+}
+
+impl<T: Ord> Default for Relation<T> {
+    fn default() -> Self {
+        Relation::empty()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Relation<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Relation::from_iter(iter)
+    }
+}
+
+impl<T: Ord> IntoIterator for Relation<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.into_iter()
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a Relation<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter()
+    }
+}
+
+trait VariableTrait {
+    /// Moves `to_add` into `recent` and `recent` into `stable`; returns
+    /// true if `recent` ends up nonempty.
+    fn changed(&self) -> bool;
+}
+
+struct Inner<T: Ord> {
+    stable: Vec<Relation<T>>,
+    recent: Relation<T>,
+    to_add: Vec<Relation<T>>,
+}
+
+/// A monotonically growing relation under iteration.
+///
+/// Internally partitioned into *stable* (seen in previous rounds),
+/// *recent* (new last round), and *to-add* (discovered this round) — the
+/// semi-naive discipline that evaluates each rule only against fresh
+/// tuples.
+pub struct Variable<T: Ord> {
+    inner: Rc<RefCell<Inner<T>>>,
+    name: String,
+}
+
+impl<T: Ord> Clone for Variable<T> {
+    fn clone(&self) -> Self {
+        Variable { inner: self.inner.clone(), name: self.name.clone() }
+    }
+}
+
+impl<T: Ord + Clone + 'static> VariableTrait for Variable<T> {
+    fn changed(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+
+        // 1. Fold recent into stable (LSM-style batch merging).
+        let recent = std::mem::replace(&mut inner.recent, Relation::empty());
+        if !recent.is_empty() {
+            inner.stable.push(recent);
+            while inner.stable.len() > 1 {
+                let n = inner.stable.len();
+                if inner.stable[n - 2].len() <= 2 * inner.stable[n - 1].len() {
+                    let top = inner.stable.pop().expect("len checked");
+                    let next = inner.stable.pop().expect("len checked");
+                    inner.stable.push(next.merge(top));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 2. Merge to_add batches, subtract stable, into recent.
+        let to_add = std::mem::take(&mut inner.to_add);
+        let mut merged = Relation::empty();
+        for batch in to_add {
+            merged = merged.merge(batch);
+        }
+        if !merged.is_empty() {
+            let stable = &inner.stable;
+            let fresh: Vec<T> = merged
+                .into_iter()
+                .filter(|t| !stable.iter().any(|s| s.contains(t)))
+                .collect();
+            inner.recent = Relation::from_iter(fresh);
+        }
+
+        !inner.recent.is_empty()
+    }
+}
+
+impl<T: Ord + Clone + 'static> Variable<T> {
+    /// Adds initial tuples.
+    pub fn extend(&self, iter: impl IntoIterator<Item = T>) {
+        self.insert(Relation::from_iter(iter));
+    }
+
+    /// Adds a pre-built relation.
+    pub fn insert(&self, relation: Relation<T>) {
+        if !relation.is_empty() {
+            self.inner.borrow_mut().to_add.push(relation);
+        }
+    }
+
+    /// Finalizes the variable after iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration has not reached fixpoint for this variable
+    /// (tuples still pending in `recent`/`to_add`).
+    pub fn complete(&self) -> Relation<T> {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.recent.is_empty() && inner.to_add.is_empty(),
+            "variable `{}` completed before fixpoint",
+            self.name
+        );
+        let mut out = Relation::empty();
+        for batch in std::mem::take(&mut inner.stable) {
+            out = out.merge(batch);
+        }
+        out
+    }
+
+    /// Adds `logic(t)` for each tuple `t` new in `input` this round.
+    pub fn from_map<S: Ord + Clone + 'static>(
+        &self,
+        input: &Variable<S>,
+        logic: impl Fn(&S) -> T,
+    ) {
+        let batch = {
+            let inner = input.inner.borrow();
+            if inner.recent.is_empty() {
+                return;
+            }
+            Relation::from_iter(inner.recent.iter().map(&logic))
+        };
+        self.insert(batch);
+    }
+
+    /// Adds `logic(t)` for each new tuple of `input` where it yields
+    /// `Some`.
+    pub fn from_filter_map<S: Ord + Clone + 'static>(
+        &self,
+        input: &Variable<S>,
+        logic: impl Fn(&S) -> Option<T>,
+    ) {
+        let batch = {
+            let inner = input.inner.borrow();
+            if inner.recent.is_empty() {
+                return;
+            }
+            Relation::from_iter(inner.recent.iter().filter_map(&logic))
+        };
+        self.insert(batch);
+    }
+}
+
+/// Semi-naive binary join of `left` and `right` on their first component,
+/// outputting `logic(k, v1, v2)` into `output`.
+///
+/// Evaluates `recent(left) ⋈ stable(right)`, `stable(left) ⋈
+/// recent(right)`, and `recent(left) ⋈ recent(right)` — every fresh pair
+/// exactly once.
+pub fn join_into<K, V1, V2, R>(
+    left: &Variable<(K, V1)>,
+    right: &Variable<(K, V2)>,
+    output: &Variable<R>,
+    logic: impl Fn(&K, &V1, &V2) -> R,
+) where
+    K: Ord + Clone + 'static,
+    V1: Ord + Clone + 'static,
+    V2: Ord + Clone + 'static,
+    R: Ord + Clone + 'static,
+{
+    let mut results = Vec::new();
+    {
+        let l = left.inner.borrow();
+        let r = right.inner.borrow();
+        for rel in &r.stable {
+            join_pairs(l.recent.as_slice(), rel.as_slice(), &logic, &mut results);
+        }
+        for rel in &l.stable {
+            join_pairs(rel.as_slice(), r.recent.as_slice(), &logic, &mut results);
+        }
+        join_pairs(l.recent.as_slice(), r.recent.as_slice(), &logic, &mut results);
+    }
+    if !results.is_empty() {
+        output.insert(Relation::from_iter(results));
+    }
+}
+
+/// Joins a variable against a *static* relation: only the variable's
+/// recent tuples are considered (the relation never changes).
+pub fn join_relation_into<K, V1, V2, R>(
+    left: &Variable<(K, V1)>,
+    right: &Relation<(K, V2)>,
+    output: &Variable<R>,
+    logic: impl Fn(&K, &V1, &V2) -> R,
+) where
+    K: Ord + Clone + 'static,
+    V1: Ord + Clone + 'static,
+    V2: Ord + Clone + 'static,
+    R: Ord + Clone + 'static,
+{
+    let mut results = Vec::new();
+    {
+        let l = left.inner.borrow();
+        join_pairs(l.recent.as_slice(), right.as_slice(), &logic, &mut results);
+    }
+    if !results.is_empty() {
+        output.insert(Relation::from_iter(results));
+    }
+}
+
+/// Antijoin: adds `logic(k, v)` for each *new* `(k, v)` in `input` whose
+/// key is absent from `except`.
+///
+/// `except` must be a completed relation from an earlier stratum —
+/// stratified negation; joining against a still-growing variable would be
+/// unsound.
+pub fn antijoin_into<K, V, R>(
+    input: &Variable<(K, V)>,
+    except: &Relation<K>,
+    output: &Variable<R>,
+    logic: impl Fn(&K, &V) -> R,
+) where
+    K: Ord + Clone + 'static,
+    V: Ord + Clone + 'static,
+    R: Ord + Clone + 'static,
+{
+    let mut results = Vec::new();
+    {
+        let l = input.inner.borrow();
+        for (k, v) in l.recent.iter() {
+            if !except.contains(k) {
+                results.push(logic(k, v));
+            }
+        }
+    }
+    if !results.is_empty() {
+        output.insert(Relation::from_iter(results));
+    }
+}
+
+fn join_pairs<K: Ord, V1, V2, R>(
+    mut left: &[(K, V1)],
+    mut right: &[(K, V2)],
+    logic: &impl Fn(&K, &V1, &V2) -> R,
+    out: &mut Vec<R>,
+) {
+    while !left.is_empty() && !right.is_empty() {
+        let lk = &left[0].0;
+        let rk = &right[0].0;
+        match lk.cmp(rk) {
+            std::cmp::Ordering::Less => {
+                left = gallop(left, |t| t.0 < *rk);
+            }
+            std::cmp::Ordering::Greater => {
+                right = gallop(right, |t| t.0 < *lk);
+            }
+            std::cmp::Ordering::Equal => {
+                let l_run = left.iter().take_while(|t| t.0 == *lk).count();
+                let r_run = right.iter().take_while(|t| t.0 == *lk).count();
+                for l in &left[..l_run] {
+                    for r in &right[..r_run] {
+                        out.push(logic(lk, &l.1, &r.1));
+                    }
+                }
+                left = &left[l_run..];
+                right = &right[r_run..];
+            }
+        }
+    }
+}
+
+/// Skips past the prefix of `slice` satisfying `cmp`, geometrically.
+fn gallop<T>(mut slice: &[T], cmp: impl Fn(&T) -> bool) -> &[T] {
+    if !slice.is_empty() && cmp(&slice[0]) {
+        let mut step = 1;
+        while step < slice.len() && cmp(&slice[step]) {
+            slice = &slice[step..];
+            step <<= 1;
+        }
+        step >>= 1;
+        while step > 0 {
+            if step < slice.len() && cmp(&slice[step]) {
+                slice = &slice[step..];
+            }
+            step >>= 1;
+        }
+        slice = &slice[1..];
+    }
+    slice
+}
+
+/// Drives a set of variables to fixpoint.
+#[derive(Default)]
+pub struct Iteration {
+    variables: Vec<Box<dyn VariableTrait>>,
+    rounds: usize,
+}
+
+impl Iteration {
+    /// A fresh iteration context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new variable.
+    pub fn variable<T: Ord + Clone + 'static>(&mut self, name: &str) -> Variable<T> {
+        let v = Variable {
+            inner: Rc::new(RefCell::new(Inner {
+                stable: Vec::new(),
+                recent: Relation::empty(),
+                to_add: Vec::new(),
+            })),
+            name: name.to_string(),
+        };
+        self.variables.push(Box::new(v.clone()));
+        v
+    }
+
+    /// Advances one round; true while any variable still changes.
+    pub fn changed(&mut self) -> bool {
+        self.rounds += 1;
+        let mut any = false;
+        for v in &self.variables {
+            if v.changed() {
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closure(edges: &[(u32, u32)]) -> Relation<(u32, u32)> {
+        let edges_rel = Relation::from_iter(edges.iter().copied());
+        let mut it = Iteration::new();
+        let reach = it.variable::<(u32, u32)>("reach");
+        let reach_rev = it.variable::<(u32, u32)>("reach_rev");
+        reach.extend(edges.iter().copied());
+        while it.changed() {
+            reach_rev.from_map(&reach, |&(x, y)| (y, x));
+            join_relation_into(&reach_rev, &edges_rel, &reach, |_, &x, &z| (x, z));
+        }
+        reach.complete()
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let tc = closure(&[(1, 2), (2, 3), (3, 4)]);
+        assert!(tc.contains(&(1, 4)));
+        assert!(tc.contains(&(2, 4)));
+        assert!(!tc.contains(&(4, 1)));
+        assert_eq!(tc.len(), 6);
+    }
+
+    #[test]
+    fn transitive_closure_with_cycle_terminates() {
+        let tc = closure(&[(1, 2), (2, 3), (3, 1)]);
+        assert_eq!(tc.len(), 9); // complete digraph on {1,2,3}
+    }
+
+    #[test]
+    fn empty_iteration_stops_immediately() {
+        let mut it = Iteration::new();
+        let _v = it.variable::<(u32, u32)>("v");
+        assert!(!it.changed());
+    }
+
+    #[test]
+    fn relation_dedups_and_sorts() {
+        let r = Relation::from_iter(vec![3, 1, 2, 3, 1]);
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let a = Relation::from_iter(vec![1, 3]);
+        let b = Relation::from_iter(vec![2, 3]);
+        assert_eq!(a.merge(b).as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn variable_join_two_variables() {
+        // parent(x,y), parent(y,z) => grandparent(x,z)
+        let mut it = Iteration::new();
+        let parent = it.variable::<(u32, u32)>("parent");
+        let parent_rev = it.variable::<(u32, u32)>("parent_rev");
+        let grandparent = it.variable::<(u32, u32)>("grandparent");
+        parent.extend(vec![(1, 2), (2, 3), (2, 4)]);
+        while it.changed() {
+            parent_rev.from_map(&parent, |&(x, y)| (y, x));
+            join_into(&parent_rev, &parent, &grandparent, |_, &x, &z| (x, z));
+        }
+        let gp = grandparent.complete();
+        assert_eq!(gp.as_slice(), &[(1, 3), (1, 4)]);
+    }
+
+    #[test]
+    fn antijoin_excludes_keys() {
+        let mut it = Iteration::new();
+        let input = it.variable::<(u32, u32)>("input");
+        let output = it.variable::<(u32, u32)>("output");
+        let except = Relation::from_iter(vec![2u32]);
+        input.extend(vec![(1, 10), (2, 20), (3, 30)]);
+        while it.changed() {
+            antijoin_into(&input, &except, &output, |&k, &v| (k, v));
+        }
+        assert_eq!(output.complete().as_slice(), &[(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn filter_map_variable() {
+        let mut it = Iteration::new();
+        let a = it.variable::<u32>("a");
+        let b = it.variable::<u32>("b");
+        a.extend(vec![1, 2, 3, 4]);
+        while it.changed() {
+            b.from_filter_map(&a, |&x| if x % 2 == 0 { Some(x * 10) } else { None });
+        }
+        assert_eq!(b.complete().as_slice(), &[20, 40]);
+    }
+
+    #[test]
+    fn complete_panics_midway() {
+        let mut it = Iteration::new();
+        let v = it.variable::<u32>("v");
+        v.extend(vec![1]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| v.complete()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gallop_skips_correctly() {
+        let v: Vec<u32> = (0..100).collect();
+        let rest = gallop(&v, |&x| x < 37);
+        assert_eq!(rest[0], 37);
+        let none = gallop(&v, |&x| x < 1000);
+        assert!(none.is_empty());
+        let all = gallop(&v, |&x| x < 1);
+        assert_eq!(all.len(), 99);
+    }
+
+    #[test]
+    fn duplicate_insertion_does_not_loop_forever() {
+        let mut it = Iteration::new();
+        let v = it.variable::<u32>("v");
+        v.extend(vec![1, 2, 3]);
+        let mut rounds = 0;
+        while it.changed() {
+            // Re-derive the same facts every round; the stable-subtraction
+            // must quiesce.
+            let snapshot: Vec<u32> = vec![1, 2, 3];
+            v.extend(snapshot);
+            rounds += 1;
+            assert!(rounds < 10, "fixpoint never reached");
+        }
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_on_graph() {
+        let edges: Vec<(u32, u32)> =
+            vec![(0, 1), (1, 2), (0, 3), (3, 4), (4, 0), (2, 2), (5, 6)];
+        let tc = closure(&edges);
+        let n = 8;
+        let mut m = vec![vec![false; n]; n];
+        for &(a, b) in &edges {
+            m[a as usize][b as usize] = true;
+        }
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                for j in 0..n {
+                    if !m[i][j] && (0..n).any(|k| m[i][k] && m[k][j]) {
+                        m[i][j] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(m[i][j], tc.contains(&(i as u32, j as u32)), "({i},{j})");
+            }
+        }
+    }
+}

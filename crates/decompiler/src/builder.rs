@@ -1,0 +1,695 @@
+//! CFG reconstruction: abstract-stack interpretation of EVM bytecode
+//! with context cloning (the Gigahorse approach, in miniature).
+//!
+//! EVM bytecode has no explicit control flow — `JUMP` targets are stack
+//! values. We symbolically execute each block over an abstract stack of
+//! constants and variables, cloning a block per distinct *stack shape*
+//! (the vector of constant-vs-dynamic positions, constants included).
+//! Return addresses pushed by callers are constants in the shape, so
+//! internal subroutines are naturally analyzed per call site —
+//! call-site sensitivity for free. Dynamic stack positions become block
+//! parameters bound by `Copy` statements in each predecessor (SSA with
+//! block arguments instead of phis).
+
+use crate::tac::*;
+use evm::opcode::{disassemble, Instruction, Opcode};
+use evm::U256;
+use std::collections::HashMap;
+
+/// Resource budget for decompilation; exceeding it marks the output
+/// [`Program::incomplete`] (the paper's 120 s timeout analogue).
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum TAC blocks (context clones).
+    pub max_blocks: usize,
+    /// Maximum TAC statements.
+    pub max_stmts: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_blocks: 4000, max_stmts: 200_000 }
+    }
+}
+
+/// An abstract stack value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AVal {
+    Const(U256),
+    Dyn(Var),
+}
+
+impl AVal {
+    fn shape(&self) -> Option<U256> {
+        match self {
+            AVal::Const(v) => Some(*v),
+            AVal::Dyn(_) => None,
+        }
+    }
+}
+
+type Shape = Vec<Option<U256>>;
+
+struct Builder {
+    insns: HashMap<usize, Instruction>,
+    leaders: Vec<usize>,
+    jumpdests: HashMap<usize, bool>,
+    program: Program,
+    ctx_map: HashMap<(usize, Shape), BlockId>,
+    /// entry stacks for created blocks (consts + params)
+    entry_stacks: Vec<Vec<AVal>>,
+    worklist: Vec<BlockId>,
+    limits: Limits,
+}
+
+/// Decompiles runtime bytecode to TAC with default limits.
+pub fn decompile(code: &[u8]) -> Program {
+    decompile_with_limits(code, Limits::default())
+}
+
+/// Decompiles with an explicit resource budget.
+pub fn decompile_with_limits(code: &[u8], limits: Limits) -> Program {
+    let insns = disassemble(code);
+    let mut leaders = vec![0usize];
+    let mut jumpdests = HashMap::new();
+    for (i, insn) in insns.iter().enumerate() {
+        match insn.opcode {
+            Opcode::JumpDest => {
+                leaders.push(insn.offset);
+                jumpdests.insert(insn.offset, true);
+            }
+            Opcode::JumpI => {
+                if let Some(next) = insns.get(i + 1) {
+                    leaders.push(next.offset);
+                }
+            }
+            _ => {}
+        }
+    }
+    leaders.sort_unstable();
+    leaders.dedup();
+
+    let mut b = Builder {
+        insns: insns.into_iter().map(|i| (i.offset, i)).collect(),
+        leaders,
+        jumpdests,
+        program: Program::default(),
+        ctx_map: HashMap::new(),
+        entry_stacks: Vec::new(),
+        worklist: Vec::new(),
+        limits,
+    };
+
+    if !b.insns.is_empty() {
+        let entry = b.get_block(0, Vec::new());
+        debug_assert_eq!(entry, BlockId(0));
+        while let Some(block) = b.worklist.pop() {
+            if b.program.blocks.len() > b.limits.max_blocks
+                || b.program.stmts.len() > b.limits.max_stmts
+            {
+                b.program.incomplete = true;
+                b.program
+                    .warnings
+                    .push("decompile budget exhausted; CFG incomplete".to_string());
+                break;
+            }
+            b.analyze_block(block);
+        }
+    }
+
+    b.finish()
+}
+
+impl Builder {
+    fn fresh_var(&mut self) -> Var {
+        let v = Var(self.program.n_vars);
+        self.program.n_vars += 1;
+        v
+    }
+
+    /// Gets or creates the TAC clone of the bytecode block at `pc` for
+    /// the given entry-stack shape.
+    fn get_block(&mut self, pc: usize, shape: Shape) -> BlockId {
+        if let Some(&id) = self.ctx_map.get(&(pc, shape.clone())) {
+            return id;
+        }
+        let id = BlockId(self.program.blocks.len() as u32);
+        let mut params = Vec::new();
+        let mut entry = Vec::with_capacity(shape.len());
+        for slot in &shape {
+            match slot {
+                Some(c) => entry.push(AVal::Const(*c)),
+                None => {
+                    let v = Var(self.program.n_vars);
+                    self.program.n_vars += 1;
+                    params.push(v);
+                    entry.push(AVal::Dyn(v));
+                }
+            }
+        }
+        self.program.blocks.push(Block {
+            pc_start: pc,
+            params,
+            stmts: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        self.entry_stacks.push(entry);
+        self.ctx_map.insert((pc, shape), id);
+        self.worklist.push(id);
+        id
+    }
+
+    fn emit(&mut self, block: BlockId, pc: usize, op: Op, def: Option<Var>, uses: Vec<Var>) -> StmtId {
+        let id = StmtId(self.program.stmts.len() as u32);
+        self.program.stmts.push(Stmt { id, block, pc, op, def, uses });
+        self.program.blocks[block.0 as usize].stmts.push(id);
+        id
+    }
+
+    /// Materializes an abstract value as a variable (emitting a `Const`
+    /// statement when needed).
+    fn materialize(&mut self, block: BlockId, pc: usize, v: AVal) -> Var {
+        match v {
+            AVal::Dyn(var) => var,
+            AVal::Const(c) => {
+                let var = self.fresh_var();
+                self.emit(block, pc, Op::Const(c), Some(var), Vec::new());
+                var
+            }
+        }
+    }
+
+    /// Connects `pred → succ`, emitting parameter-binding copies in the
+    /// predecessor for each dynamic stack slot.
+    fn add_edge(&mut self, pred: BlockId, succ: BlockId, exit_stack: &[AVal], pc: usize) {
+        self.program.blocks[pred.0 as usize].succs.push(succ);
+        self.program.blocks[succ.0 as usize].preds.push(pred);
+        // Bind succ params to pred's dynamic stack values, in order.
+        let params = self.program.blocks[succ.0 as usize].params.clone();
+        let mut pi = 0usize;
+        for v in exit_stack {
+            if let AVal::Dyn(src) = v {
+                if pi < params.len() {
+                    let dst = params[pi];
+                    self.emit(pred, pc, Op::Copy, Some(dst), vec![*src]);
+                    pi += 1;
+                }
+            }
+        }
+        debug_assert_eq!(pi, params.len(), "param/shape mismatch");
+    }
+
+    /// True if `pc` starts a new block (other than the current one).
+    fn is_leader(&self, pc: usize) -> bool {
+        self.leaders.binary_search(&pc).is_ok()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn analyze_block(&mut self, block: BlockId) {
+        let mut pc = self.program.blocks[block.0 as usize].pc_start;
+        let mut stack: Vec<AVal> = self.entry_stacks[block.0 as usize].clone();
+        // Abstract memory: constant offset → value, valid within the block.
+        let mut mem: HashMap<u64, AVal> = HashMap::new();
+
+        macro_rules! underflow {
+            () => {{
+                self.program
+                    .warnings
+                    .push(format!("stack underflow at pc 0x{pc:x}"));
+                return;
+            }};
+        }
+
+        loop {
+            let Some(insn) = self.insns.get(&pc).cloned() else {
+                // Ran off the end: implicit STOP.
+                self.emit(block, pc, Op::Stop, None, Vec::new());
+                return;
+            };
+            let op = insn.opcode;
+            let next_pc = insn.next_offset();
+
+            use Opcode::*;
+            match op {
+                Push(_) => {
+                    stack.push(AVal::Const(insn.immediate.unwrap_or(U256::ZERO)));
+                }
+                Dup(n) => {
+                    let n = n as usize;
+                    if stack.len() < n {
+                        underflow!();
+                    }
+                    let v = stack[stack.len() - n];
+                    stack.push(v);
+                }
+                Swap(n) => {
+                    let n = n as usize;
+                    if stack.len() < n + 1 {
+                        underflow!();
+                    }
+                    let top = stack.len() - 1;
+                    stack.swap(top, top - n);
+                }
+                Pop => {
+                    if stack.pop().is_none() {
+                        underflow!();
+                    }
+                }
+                JumpDest => {}
+                // Binary operations (with constant folding).
+                Add | Mul | Sub | Div | SDiv | Mod | SMod | Exp | SignExtend | Lt | Gt
+                | SLt | SGt | Eq | And | Or | Xor | Byte | Shl | Shr | Sar => {
+                    let Some(a) = stack.pop() else { underflow!() };
+                    let Some(b) = stack.pop() else { underflow!() };
+                    if let (AVal::Const(ca), AVal::Const(cb)) = (a, b) {
+                        if let Some(folded) = fold(op, ca, cb) {
+                            stack.push(AVal::Const(folded));
+                            pc = next_pc;
+                            continue;
+                        }
+                    }
+                    let ua = self.materialize(block, pc, a);
+                    let ub = self.materialize(block, pc, b);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Bin(op), Some(def), vec![ua, ub]);
+                    stack.push(AVal::Dyn(def));
+                }
+                AddMod | MulMod => {
+                    let Some(a) = stack.pop() else { underflow!() };
+                    let Some(b) = stack.pop() else { underflow!() };
+                    let Some(m) = stack.pop() else { underflow!() };
+                    let ua = self.materialize(block, pc, a);
+                    let ub = self.materialize(block, pc, b);
+                    let um = self.materialize(block, pc, m);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Other(op), Some(def), vec![ua, ub, um]);
+                    stack.push(AVal::Dyn(def));
+                }
+                IsZero | Not => {
+                    let Some(a) = stack.pop() else { underflow!() };
+                    if let AVal::Const(c) = a {
+                        let folded = if op == IsZero {
+                            U256::from(c.is_zero())
+                        } else {
+                            !c
+                        };
+                        stack.push(AVal::Const(folded));
+                        pc = next_pc;
+                        continue;
+                    }
+                    let ua = self.materialize(block, pc, a);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Un(op), Some(def), vec![ua]);
+                    stack.push(AVal::Dyn(def));
+                }
+                Balance | ExtCodeSize | ExtCodeHash | BlockHash => {
+                    let Some(a) = stack.pop() else { underflow!() };
+                    let ua = self.materialize(block, pc, a);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Un(op), Some(def), vec![ua]);
+                    stack.push(AVal::Dyn(def));
+                }
+                Address | Origin | Caller | CallValue | CallDataSize | CodeSize | GasPrice
+                | ReturnDataSize | Coinbase | Timestamp | Number | Difficulty | GasLimit
+                | Pc | MSize | Gas => {
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Env(op), Some(def), Vec::new());
+                    stack.push(AVal::Dyn(def));
+                }
+                CallDataLoad => {
+                    let Some(a) = stack.pop() else { underflow!() };
+                    let ua = self.materialize(block, pc, a);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::CallDataLoad, Some(def), vec![ua]);
+                    stack.push(AVal::Dyn(def));
+                }
+                CallDataCopy => {
+                    let Some(d) = stack.pop() else { underflow!() };
+                    let Some(s) = stack.pop() else { underflow!() };
+                    let Some(l) = stack.pop() else { underflow!() };
+                    let ud = self.materialize(block, pc, d);
+                    let us = self.materialize(block, pc, s);
+                    let ul = self.materialize(block, pc, l);
+                    self.emit(block, pc, Op::CallDataCopy, None, vec![ud, us, ul]);
+                    mem.clear();
+                }
+                CodeCopy | ExtCodeCopy | ReturnDataCopy => {
+                    let pops = op.pops();
+                    if stack.len() < pops {
+                        underflow!();
+                    }
+                    let mut uses = Vec::with_capacity(pops);
+                    for _ in 0..pops {
+                        let v = stack.pop().expect("len checked");
+                        let u = self.materialize(block, pc, v);
+                        uses.push(u);
+                    }
+                    self.emit(block, pc, Op::Other(op), None, uses);
+                    mem.clear();
+                }
+                Sha3 => {
+                    let Some(off) = stack.pop() else { underflow!() };
+                    let Some(len) = stack.pop() else { underflow!() };
+                    // Recognize the Solidity mapping hash: SHA3 over two
+                    // known memory words.
+                    if let (AVal::Const(co), AVal::Const(cl)) = (off, len) {
+                        if cl == U256::from(0x40u64) {
+                            if let (Some(o), Some(w0), Some(w1)) = (
+                                co.to_u64(),
+                                co.to_u64().and_then(|o| mem.get(&o)).copied(),
+                                co.to_u64().and_then(|o| mem.get(&(o + 0x20))).copied(),
+                            ) {
+                                let _ = o;
+                                let u0 = self.materialize(block, pc, w0);
+                                let u1 = self.materialize(block, pc, w1);
+                                let def = self.fresh_var();
+                                self.emit(block, pc, Op::Hash2, Some(def), vec![u0, u1]);
+                                stack.push(AVal::Dyn(def));
+                                pc = next_pc;
+                                continue;
+                            }
+                        }
+                    }
+                    let uo = self.materialize(block, pc, off);
+                    let ul = self.materialize(block, pc, len);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Sha3, Some(def), vec![uo, ul]);
+                    stack.push(AVal::Dyn(def));
+                }
+                MLoad => {
+                    let Some(off) = stack.pop() else { underflow!() };
+                    if let AVal::Const(co) = off {
+                        if let Some(v) = co.to_u64().and_then(|o| mem.get(&o)).copied() {
+                            stack.push(v);
+                            pc = next_pc;
+                            continue;
+                        }
+                    }
+                    let uo = self.materialize(block, pc, off);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::MLoad, Some(def), vec![uo]);
+                    stack.push(AVal::Dyn(def));
+                }
+                MStore => {
+                    let Some(off) = stack.pop() else { underflow!() };
+                    let Some(val) = stack.pop() else { underflow!() };
+                    match off.shape().and_then(|c| c.to_u64()) {
+                        Some(o) => {
+                            mem.insert(o, val);
+                        }
+                        None => mem.clear(),
+                    }
+                    let uo = self.materialize(block, pc, off);
+                    let uv = self.materialize(block, pc, val);
+                    self.emit(block, pc, Op::MStore, None, vec![uo, uv]);
+                }
+                MStore8 => {
+                    let Some(off) = stack.pop() else { underflow!() };
+                    let Some(val) = stack.pop() else { underflow!() };
+                    mem.clear();
+                    let uo = self.materialize(block, pc, off);
+                    let uv = self.materialize(block, pc, val);
+                    self.emit(block, pc, Op::Other(op), None, vec![uo, uv]);
+                }
+                SLoad => {
+                    let Some(key) = stack.pop() else { underflow!() };
+                    let uk = self.materialize(block, pc, key);
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::SLoad, Some(def), vec![uk]);
+                    stack.push(AVal::Dyn(def));
+                }
+                SStore => {
+                    let Some(key) = stack.pop() else { underflow!() };
+                    let Some(val) = stack.pop() else { underflow!() };
+                    let uk = self.materialize(block, pc, key);
+                    let uv = self.materialize(block, pc, val);
+                    self.emit(block, pc, Op::SStore, None, vec![uk, uv]);
+                }
+                Call | CallCode | DelegateCall | StaticCall => {
+                    let pops = op.pops();
+                    if stack.len() < pops {
+                        underflow!();
+                    }
+                    let mut uses = Vec::with_capacity(pops);
+                    for _ in 0..pops {
+                        let v = stack.pop().expect("len checked");
+                        let u = self.materialize(block, pc, v);
+                        uses.push(u);
+                    }
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Call { kind: op }, Some(def), uses);
+                    stack.push(AVal::Dyn(def));
+                    // The callee may write the output window; drop what we
+                    // know about memory (conservative, per-block anyway).
+                    mem.clear();
+                }
+                Create | Create2 => {
+                    let pops = op.pops();
+                    if stack.len() < pops {
+                        underflow!();
+                    }
+                    let mut uses = Vec::with_capacity(pops);
+                    for _ in 0..pops {
+                        let v = stack.pop().expect("len checked");
+                        let u = self.materialize(block, pc, v);
+                        uses.push(u);
+                    }
+                    let def = self.fresh_var();
+                    self.emit(block, pc, Op::Other(op), Some(def), uses);
+                    stack.push(AVal::Dyn(def));
+                    mem.clear();
+                }
+                Log(n) => {
+                    let pops = op.pops();
+                    if stack.len() < pops {
+                        underflow!();
+                    }
+                    let mut uses = Vec::with_capacity(pops);
+                    for _ in 0..pops {
+                        let v = stack.pop().expect("len checked");
+                        let u = self.materialize(block, pc, v);
+                        uses.push(u);
+                    }
+                    self.emit(block, pc, Op::Log(n), None, uses);
+                }
+                Jump => {
+                    let Some(target) = stack.pop() else { underflow!() };
+                    match target {
+                        AVal::Const(t) => {
+                            let tpc = t.to_usize().unwrap_or(usize::MAX);
+                            if self.jumpdests.contains_key(&tpc) {
+                                let shape: Shape = stack.iter().map(AVal::shape).collect();
+                                let succ = self.get_block(tpc, shape);
+                                self.add_edge(block, succ, &stack, pc);
+                                self.emit(block, pc, Op::Jump, None, Vec::new());
+                            } else {
+                                self.program
+                                    .warnings
+                                    .push(format!("jump to non-JUMPDEST 0x{tpc:x} at 0x{pc:x}"));
+                                self.emit(block, pc, Op::Jump, None, Vec::new());
+                            }
+                        }
+                        AVal::Dyn(v) => {
+                            self.program
+                                .warnings
+                                .push(format!("unresolved jump target {v} at 0x{pc:x}"));
+                            self.emit(block, pc, Op::Jump, None, vec![v]);
+                        }
+                    }
+                    return;
+                }
+                JumpI => {
+                    let Some(target) = stack.pop() else { underflow!() };
+                    let Some(cond) = stack.pop() else { underflow!() };
+                    let ucond = self.materialize(block, pc, cond);
+                    let shape: Shape = stack.iter().map(AVal::shape).collect();
+                    // Taken edge.
+                    if let AVal::Const(t) = target {
+                        let tpc = t.to_usize().unwrap_or(usize::MAX);
+                        if self.jumpdests.contains_key(&tpc) {
+                            let succ = self.get_block(tpc, shape.clone());
+                            self.add_edge(block, succ, &stack, pc);
+                        } else {
+                            self.program
+                                .warnings
+                                .push(format!("jumpi to non-JUMPDEST 0x{tpc:x} at 0x{pc:x}"));
+                        }
+                    } else {
+                        self.program
+                            .warnings
+                            .push(format!("unresolved jumpi target at 0x{pc:x}"));
+                    }
+                    // Fallthrough edge.
+                    let succ = self.get_block(next_pc, shape);
+                    self.add_edge(block, succ, &stack, pc);
+                    self.emit(block, pc, Op::JumpI, None, vec![ucond]);
+                    return;
+                }
+                Return | Revert => {
+                    let Some(off) = stack.pop() else { underflow!() };
+                    let Some(len) = stack.pop() else { underflow!() };
+                    let uo = self.materialize(block, pc, off);
+                    let ul = self.materialize(block, pc, len);
+                    let kind = if op == Return { Op::Return } else { Op::Revert };
+                    self.emit(block, pc, kind, None, vec![uo, ul]);
+                    return;
+                }
+                Stop => {
+                    self.emit(block, pc, Op::Stop, None, Vec::new());
+                    return;
+                }
+                SelfDestruct => {
+                    let Some(b) = stack.pop() else { underflow!() };
+                    let ub = self.materialize(block, pc, b);
+                    self.emit(block, pc, Op::SelfDestruct, None, vec![ub]);
+                    return;
+                }
+                Invalid | Unknown(_) => {
+                    self.emit(block, pc, Op::Other(op), None, Vec::new());
+                    return;
+                }
+            }
+
+            pc = next_pc;
+            // Fallthrough into a leader: close the block with an edge.
+            if self.is_leader(pc) {
+                let shape: Shape = stack.iter().map(AVal::shape).collect();
+                let succ = self.get_block(pc, shape);
+                self.add_edge(block, succ, &stack, pc);
+                self.emit(block, pc, Op::Jump, None, Vec::new());
+                return;
+            }
+        }
+    }
+
+    /// Post-pass: discover public functions and block ownership.
+    fn finish(mut self) -> Program {
+        let selector_source = self.find_selector_vars();
+        let mut functions = Vec::new();
+        for b in 0..self.program.blocks.len() {
+            let block = &self.program.blocks[b];
+            let Some(&last) = block.stmts.last() else { continue };
+            let last_stmt = self.program.stmt(last);
+            if last_stmt.op != Op::JumpI {
+                continue;
+            }
+            let cond = last_stmt.uses[0];
+            // cond = Eq(x, c) where one side is a selector-derived var and
+            // the other a small constant.
+            let Some(def) = self.def_of(cond) else { continue };
+            let Op::Bin(Opcode::Eq) = def.op else { continue };
+            let (a, bv) = (def.uses[0], def.uses[1]);
+            let const_of = |builder: &Self, v: Var| -> Option<U256> {
+                builder.def_of(v).and_then(|s| match s.op {
+                    Op::Const(c) => Some(c),
+                    _ => None,
+                })
+            };
+            let (sel, other) = match (const_of(&self, a), const_of(&self, bv)) {
+                (Some(c), None) => (c, bv),
+                (None, Some(c)) => (c, a),
+                _ => continue,
+            };
+            let Some(sel_u64) = sel.to_u64() else { continue };
+            if sel_u64 > u32::MAX as u64 {
+                continue;
+            }
+            if !selector_source.contains(&other) {
+                continue;
+            }
+            // Taken successor = function entry (JumpI's first added edge
+            // was the taken one when resolved; the fallthrough is last).
+            let succs = &self.program.blocks[b].succs;
+            if succs.len() == 2 {
+                functions.push(PublicFunction { selector: sel_u64 as u32, entry: succs[0] });
+            }
+        }
+        functions.sort_by_key(|f| f.selector);
+        functions.dedup_by_key(|f| (f.selector, f.entry));
+        self.program.functions = functions;
+
+        // Block ownership: BFS from each function entry.
+        let n = self.program.blocks.len();
+        let mut ownership: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for f in self.program.functions.clone() {
+            let mut seen = vec![false; n];
+            let mut stack = vec![f.entry];
+            while let Some(b) = stack.pop() {
+                if seen[b.0 as usize] {
+                    continue;
+                }
+                seen[b.0 as usize] = true;
+                ownership[b.0 as usize].push(f.selector);
+                for &s in &self.program.blocks[b.0 as usize].succs {
+                    stack.push(s);
+                }
+            }
+        }
+        self.program.block_functions = ownership;
+        self.program
+    }
+
+    fn def_of(&self, v: Var) -> Option<&Stmt> {
+        // Linear scan is fine at decompile time (called on few vars).
+        self.program.stmts.iter().find(|s| s.def == Some(v))
+    }
+
+    /// Variables derived from `CALLDATALOAD(0) >> 0xe0` (the selector),
+    /// following `Copy` chains forward.
+    fn find_selector_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for s in &self.program.stmts {
+            if let Op::Bin(Opcode::Shr) = s.op {
+                let shift_const = self.def_of(s.uses[0]).and_then(|d| match d.op {
+                    Op::Const(c) => Some(c),
+                    _ => None,
+                });
+                let from_calldata = self
+                    .def_of(s.uses[1])
+                    .map(|d| matches!(d.op, Op::CallDataLoad))
+                    .unwrap_or(false);
+                if shift_const == Some(U256::from(0xe0u64)) && from_calldata {
+                    out.push(s.def.expect("Shr defines"));
+                }
+            }
+        }
+        // Propagate through copies to fixpoint.
+        loop {
+            let mut added = false;
+            for s in &self.program.stmts {
+                if s.op == Op::Copy && out.contains(&s.uses[0]) {
+                    let d = s.def.expect("Copy defines");
+                    if !out.contains(&d) {
+                        out.push(d);
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn fold(op: Opcode, a: U256, b: U256) -> Option<U256> {
+    use Opcode::*;
+    Some(match op {
+        Add => a.wrapping_add(b),
+        Mul => a.wrapping_mul(b),
+        Sub => a.wrapping_sub(b),
+        Div => a / b,
+        Exp => a.wrapping_pow(b),
+        Lt => U256::from(a < b),
+        Gt => U256::from(a > b),
+        Eq => U256::from(a == b),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => b << a,
+        Shr => b >> a,
+        _ => return None,
+    })
+}

@@ -1,0 +1,208 @@
+//! Dominator computation over the TAC CFG (Cooper–Harvey–Kennedy).
+//!
+//! Guard inference needs dominance: a `JUMPI` condition guards exactly
+//! the statements its chosen successor dominates (paper §4.5: "if a check
+//! dominates a use of a tainted variable, it is considered a guard").
+
+use crate::tac::{BlockId, Program};
+
+/// Immediate-dominator tree: `idom[b]` is `b`'s immediate dominator
+/// (`None` for the entry and for unreachable blocks).
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+    reachable: Vec<bool>,
+}
+
+impl Dominators {
+    /// Computes dominators for `program` from entry block 0.
+    pub fn compute(program: &Program) -> Dominators {
+        let n = program.blocks.len();
+        if n == 0 {
+            return Dominators { idom: Vec::new(), reachable: Vec::new() };
+        }
+        // Reverse postorder over reachable blocks.
+        let mut rpo: Vec<BlockId> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        seen[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = &program.blocks[b.0 as usize].succs;
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                rpo.push(b);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+        let mut order = vec![usize::MAX; n]; // block -> rpo index
+        for (i, &b) in rpo.iter().enumerate() {
+            order[b.0 as usize] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let preds = &program.blocks[b.0 as usize].preds;
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &order, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The entry's idom is conventionally itself; store None for the
+        // public API (walking up stops there).
+        idom[0] = None;
+        Dominators { idom, reachable: seen }
+    }
+
+    /// True when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(b) || !self.is_reachable(a) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Immediate dominator of `b`.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.0 as usize).copied().flatten()
+    }
+
+    /// True when `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable.get(b.0 as usize).copied().unwrap_or(false)
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    order: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    // Walk both up the (partial) dominator tree by rpo index.
+    while a != b {
+        while order[a.0 as usize] > order[b.0 as usize] {
+            a = idom[a.0 as usize].unwrap_or(BlockId(0));
+            if a == BlockId(0) {
+                break;
+            }
+        }
+        while order[b.0 as usize] > order[a.0 as usize] {
+            b = idom[b.0 as usize].unwrap_or(BlockId(0));
+            if b == BlockId(0) {
+                break;
+            }
+        }
+        if order[a.0 as usize] == order[b.0 as usize] && a != b {
+            return BlockId(0);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tac::{Block, Program};
+
+    /// Builds a program skeleton with the given edges.
+    fn diamond() -> Program {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut p = Program::default();
+        for _ in 0..4 {
+            p.blocks.push(Block::default());
+        }
+        let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3)];
+        for (a, b) in edges {
+            p.blocks[a as usize].succs.push(BlockId(b));
+            p.blocks[b as usize].preds.push(BlockId(a));
+        }
+        p
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_entry_only() {
+        let p = diamond();
+        let dom = Dominators::compute(&p);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn chain_dominance_is_transitive() {
+        // 0 -> 1 -> 2
+        let mut p = Program::default();
+        for _ in 0..3 {
+            p.blocks.push(Block::default());
+        }
+        for (a, b) in [(0u32, 1u32), (1, 2)] {
+            p.blocks[a as usize].succs.push(BlockId(b));
+            p.blocks[b as usize].preds.push(BlockId(a));
+        }
+        let dom = Dominators::compute(&p);
+        assert!(dom.dominates(BlockId(0), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(2), BlockId(2)));
+        assert!(!dom.dominates(BlockId(2), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_dominated() {
+        let mut p = diamond();
+        p.blocks.push(Block::default()); // block 4: unreachable
+        let dom = Dominators::compute(&p);
+        assert!(!dom.is_reachable(BlockId(4)));
+        assert!(!dom.dominates(BlockId(0), BlockId(4)));
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_header_dominating() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let mut p = Program::default();
+        for _ in 0..4 {
+            p.blocks.push(Block::default());
+        }
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 1), (2, 3)] {
+            p.blocks[a as usize].succs.push(BlockId(b));
+            p.blocks[b as usize].preds.push(BlockId(a));
+        }
+        let dom = Dominators::compute(&p);
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(2), BlockId(3)));
+    }
+}

@@ -1,0 +1,28 @@
+//! # decompiler — EVM bytecode → three-address code
+//!
+//! A Gigahorse-style decompiler (paper §5: Ethainter runs on the
+//! Gigahorse toolchain's functional 3-address IR). Reconstructs control
+//! flow from stack-machine bytecode by abstract-stack interpretation with
+//! context cloning, discovers public functions from the selector
+//! dispatcher, recognizes Solidity's `keccak256(key ++ slot)` mapping
+//! idiom as first-class [`tac::Op::Hash2`] statements, and computes
+//! dominators for guard inference.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "contract C { function f() public {} }";
+//! let compiled = minisol::compile_source(src).unwrap();
+//! let program = decompiler::decompile(&compiled.bytecode);
+//! assert_eq!(program.functions.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dom;
+pub mod tac;
+
+pub use builder::{decompile, decompile_with_limits, Limits};
+pub use dom::Dominators;
+pub use tac::{Block, BlockId, Op, Program, PublicFunction, Stmt, StmtId, Var};

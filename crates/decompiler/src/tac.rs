@@ -1,0 +1,251 @@
+//! Three-address code (TAC): the decompiler's output representation,
+//! consumed by the Ethainter analysis.
+//!
+//! The program is a set of basic blocks in a resolved control-flow graph.
+//! Blocks are *context clones*: the same bytecode block reached with
+//! distinct abstract stack shapes becomes distinct TAC blocks (Gigahorse's
+//! context sensitivity). Values are in SSA-with-block-parameters form —
+//! instead of phi nodes, a block declares parameter variables and each
+//! predecessor ends with `Copy` statements binding them.
+
+use evm::opcode::Opcode;
+use evm::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A TAC variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A TAC basic-block id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A TAC statement id (global, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The operation a TAC statement performs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `def = <constant>`
+    Const(U256),
+    /// `def = uses[0]` (block-parameter binding).
+    Copy,
+    /// `def = op(uses[0], uses[1])` — arithmetic/comparison/logic.
+    Bin(Opcode),
+    /// `def = op(uses[0])` — `ISZERO`, `NOT`, `BALANCE`, `EXTCODESIZE`,
+    /// `EXTCODEHASH`, `BLOCKHASH`.
+    Un(Opcode),
+    /// `def = op()` — environment reads: `CALLER`, `ORIGIN`, `CALLVALUE`,
+    /// `ADDRESS`, `NUMBER`, `TIMESTAMP`, `CALLDATASIZE`, `GAS`,
+    /// `RETURNDATASIZE`, `MSIZE`, `PC`, `CODESIZE`, …
+    Env(Opcode),
+    /// `def = CALLDATALOAD(uses[0])` — a taint source.
+    CallDataLoad,
+    /// `def = SHA3(mem[uses[0] .. uses[0]+uses[1]])` — unrecognized
+    /// hash over a raw memory range.
+    Sha3,
+    /// `def = keccak256(uses[0] ++ uses[1])` — the recognized two-word
+    /// mapping-element hash (Solidity storage layout).
+    Hash2,
+    /// `def = SLOAD(uses[0])`.
+    SLoad,
+    /// `SSTORE(key: uses[0], value: uses[1])`.
+    SStore,
+    /// `def = MLOAD(uses[0])`.
+    MLoad,
+    /// `MSTORE(offset: uses[0], value: uses[1])`.
+    MStore,
+    /// Message call; `kind` ∈ {CALL, CALLCODE, DELEGATECALL, STATICCALL}.
+    /// Uses: `[gas, target, value?, in_off, in_len, out_off, out_len]`
+    /// (`value` present only for CALL/CALLCODE). Defines the success flag.
+    Call {
+        /// Which call opcode.
+        kind: Opcode,
+    },
+    /// `SELFDESTRUCT(uses[0])` — a taint sink.
+    SelfDestruct,
+    /// Unconditional jump (successors on the block).
+    Jump,
+    /// Conditional jump; `uses[0]` is the condition.
+    JumpI,
+    /// `RETURN(uses[0], uses[1])`.
+    Return,
+    /// `REVERT(uses[0], uses[1])`.
+    Revert,
+    /// `STOP`.
+    Stop,
+    /// `LOGn(uses...)`.
+    Log(u8),
+    /// `CALLDATACOPY(dest_off, src_off, len)` — bulk taint source.
+    CallDataCopy,
+    /// Anything else, kept opaque.
+    Other(Opcode),
+}
+
+/// One TAC statement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// Dense id.
+    pub id: StmtId,
+    /// Owning block.
+    pub block: BlockId,
+    /// Originating bytecode offset.
+    pub pc: usize,
+    /// Operation.
+    pub op: Op,
+    /// Defined variable, if the operation produces a value.
+    pub def: Option<Var>,
+    /// Operand variables.
+    pub uses: Vec<Var>,
+}
+
+/// A TAC basic block (a context clone of a bytecode block).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// Bytecode offset this clone starts at.
+    pub pc_start: usize,
+    /// Block-parameter variables bound by predecessor `Copy`s.
+    pub params: Vec<Var>,
+    /// Statement ids, in order.
+    pub stmts: Vec<StmtId>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// A public (dispatched) function discovered from the selector dispatcher.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicFunction {
+    /// 4-byte selector value.
+    pub selector: u32,
+    /// Entry block of the function body.
+    pub entry: BlockId,
+}
+
+/// The decompiled program.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Blocks, indexed by [`BlockId`]. Block 0 is the contract entry.
+    pub blocks: Vec<Block>,
+    /// Statements, indexed by [`StmtId`].
+    pub stmts: Vec<Stmt>,
+    /// Number of variables allocated.
+    pub n_vars: u32,
+    /// Discovered public functions.
+    pub functions: Vec<PublicFunction>,
+    /// For each block, the selectors of public functions it belongs to
+    /// (reachable from that function's entry).
+    pub block_functions: Vec<Vec<u32>>,
+    /// Non-fatal analysis notes (unresolved jumps, clone-budget cutoffs).
+    pub warnings: Vec<String>,
+    /// True when the decompiler hit its clone/step budget and the CFG may
+    /// be incomplete (analysis treats such contracts as timeouts).
+    pub incomplete: bool,
+}
+
+impl Program {
+    /// The statement with id `s`.
+    pub fn stmt(&self, s: StmtId) -> &Stmt {
+        &self.stmts[s.0 as usize]
+    }
+
+    /// The block with id `b`.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Iterates all statements in program order.
+    pub fn iter_stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.stmts.iter()
+    }
+
+    /// The defining statement of a variable, if any.
+    pub fn def_site(&self, v: Var) -> Option<&Stmt> {
+        // Built densely: cache-friendly linear scan is fine for tests;
+        // the analysis builds its own indexes.
+        self.stmts.iter().find(|s| s.def == Some(v))
+    }
+
+    /// Total statement count.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True when the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+impl Program {
+    /// Renders the CFG in Graphviz dot format (blocks as nodes labelled
+    /// with their statements, edges as control flow) — for debugging and
+    /// documentation.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=monospace];\n");
+        for (i, b) in self.blocks.iter().enumerate() {
+            let mut label = format!("B{i} @0x{:x}\\l", b.pc_start);
+            for &sid in &b.stmts {
+                let s = self.stmt(sid);
+                let uses: Vec<String> = s.uses.iter().map(|u| u.to_string()).collect();
+                match s.def {
+                    Some(d) => {
+                        let _ = write!(label, "{d} = {:?}({})\\l", s.op, uses.join(","));
+                    }
+                    None => {
+                        let _ = write!(label, "{:?}({})\\l", s.op, uses.join(","));
+                    }
+                }
+            }
+            let label = label.replace('"', "'");
+            let _ = writeln!(out, "  B{i} [label=\"{label}\"];");
+            for succ in &b.succs {
+                let _ = writeln!(out, "  B{i} -> {succ};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            let params: Vec<String> = b.params.iter().map(|p| p.to_string()).collect();
+            writeln!(f, "B{i}({}):  // pc 0x{:x}", params.join(", "), b.pc_start)?;
+            for &sid in &b.stmts {
+                let s = self.stmt(sid);
+                let uses: Vec<String> = s.uses.iter().map(|u| u.to_string()).collect();
+                match s.def {
+                    Some(d) => writeln!(f, "  {d} = {:?}({})", s.op, uses.join(", "))?,
+                    None => writeln!(f, "  {:?}({})", s.op, uses.join(", "))?,
+                }
+            }
+            let succs: Vec<String> = b.succs.iter().map(|s| s.to_string()).collect();
+            writeln!(f, "  -> [{}]", succs.join(", "))?;
+        }
+        Ok(())
+    }
+}

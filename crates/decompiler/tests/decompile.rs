@@ -1,0 +1,265 @@
+//! Decompiler integration tests against real minisol-compiled bytecode.
+
+use decompiler::{decompile, decompile_with_limits, Dominators, Limits, Op, Stmt, Var};
+use evm::opcode::Opcode;
+use evm::{selector, U256};
+
+fn compile(src: &str) -> Vec<u8> {
+    minisol::compile_source(src).unwrap().bytecode
+}
+
+fn sel(sig: &str) -> u32 {
+    u32::from_be_bytes(selector(sig))
+}
+
+#[test]
+fn discovers_all_public_functions() {
+    let code = compile(
+        r#"contract C {
+            uint x;
+            function a() public { x = 1; }
+            function b(uint v) public { x = v; }
+            function c() public returns (uint) { return x; }
+        }"#,
+    );
+    let p = decompile(&code);
+    let sels: Vec<u32> = p.functions.iter().map(|f| f.selector).collect();
+    assert!(sels.contains(&sel("a()")), "missing a()");
+    assert!(sels.contains(&sel("b(uint256)")), "missing b(uint256)");
+    assert!(sels.contains(&sel("c()")), "missing c()");
+    assert_eq!(p.functions.len(), 3);
+}
+
+#[test]
+fn internal_functions_are_not_public() {
+    let code = compile(
+        r#"contract C {
+            uint x;
+            function inner() internal { x = 2; }
+            function outer() public { inner(); }
+        }"#,
+    );
+    let p = decompile(&code);
+    assert_eq!(p.functions.len(), 1);
+    assert_eq!(p.functions[0].selector, sel("outer()"));
+}
+
+#[test]
+fn all_jumps_resolve_for_compiler_output() {
+    let code = compile(
+        r#"contract C {
+            uint x;
+            function f(uint n) public {
+                uint i = 0;
+                while (i < n) { x += i; i += 1; }
+            }
+            function g() internal returns (uint) { return x; }
+            function h() public returns (uint) { return g() + g(); }
+        }"#,
+    );
+    let p = decompile(&code);
+    assert!(
+        p.warnings.iter().all(|w| !w.contains("unresolved")),
+        "unresolved jumps: {:?}",
+        p.warnings
+    );
+    assert!(!p.incomplete);
+}
+
+#[test]
+fn mapping_access_becomes_hash2() {
+    let code = compile(
+        r#"contract C {
+            mapping(address => bool) users;
+            function add(address u) public { users[u] = true; }
+        }"#,
+    );
+    let p = decompile(&code);
+    let hash2 = p.iter_stmts().filter(|s| s.op == Op::Hash2).count();
+    assert!(hash2 >= 1, "mapping idiom not recognized:\n{p}");
+    let h = p.iter_stmts().find(|s| s.op == Op::Hash2).unwrap();
+    let slot_def = p.def_site(h.uses[1]).unwrap();
+    assert_eq!(slot_def.op, Op::Const(U256::ZERO));
+}
+
+#[test]
+fn nested_mapping_hashes_compose() {
+    let code = compile(
+        r#"contract C {
+            mapping(address => mapping(address => uint)) m;
+            function set(address a, address b, uint v) public { m[a][b] = v; }
+        }"#,
+    );
+    let p = decompile(&code);
+    let hashes: Vec<&Stmt> = p.iter_stmts().filter(|s| s.op == Op::Hash2).collect();
+    assert!(hashes.len() >= 2);
+    let inner_defs: Vec<Var> = hashes.iter().filter_map(|s| s.def).collect();
+    assert!(
+        hashes.iter().any(|h| h.uses.iter().any(|u| inner_defs.contains(u))),
+        "no composed hash found"
+    );
+}
+
+#[test]
+fn selfdestruct_statement_present() {
+    let code = compile(
+        r#"contract C {
+            address owner;
+            function kill() public { selfdestruct(owner); }
+        }"#,
+    );
+    let p = decompile(&code);
+    assert!(p.iter_stmts().any(|s| s.op == Op::SelfDestruct));
+}
+
+#[test]
+fn victim_contract_decompiles_cleanly() {
+    let code = compile(
+        r#"contract Victim {
+            mapping(address => bool) admins;
+            mapping(address => bool) users;
+            address owner;
+            modifier onlyAdmins() { require(admins[msg.sender]); _; }
+            modifier onlyUsers() { require(users[msg.sender]); _; }
+            function registerSelf() public { users[msg.sender] = true; }
+            function referUser(address user) public onlyUsers { users[user] = true; }
+            function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+            function changeOwner(address o) public onlyAdmins { owner = o; }
+            function kill() public onlyAdmins { selfdestruct(owner); }
+        }"#,
+    );
+    let p = decompile(&code);
+    assert_eq!(p.functions.len(), 5);
+    assert!(p.warnings.iter().all(|w| !w.contains("unresolved")));
+    let caller_vars: Vec<Var> = p
+        .iter_stmts()
+        .filter(|s| s.op == Op::Env(Opcode::Caller))
+        .filter_map(|s| s.def)
+        .collect();
+    assert!(
+        p.iter_stmts()
+            .filter(|s| s.op == Op::Hash2)
+            .any(|s| caller_vars.contains(&s.uses[0])),
+        "sender-keyed lookup not visible"
+    );
+}
+
+#[test]
+fn block_ownership_maps_selfdestruct_to_kill() {
+    let code = compile(
+        r#"contract C {
+            uint x;
+            function safe() public { x = 1; }
+            function kill() public { selfdestruct(msg.sender); }
+        }"#,
+    );
+    let p = decompile(&code);
+    let sd = p.iter_stmts().find(|s| s.op == Op::SelfDestruct).unwrap();
+    let owners = &p.block_functions[sd.block.0 as usize];
+    assert!(owners.contains(&sel("kill()")));
+    assert!(!owners.contains(&sel("safe()")));
+}
+
+#[test]
+fn guard_block_dominates_guarded_body() {
+    let code = compile(
+        r#"contract C {
+            address owner;
+            function kill() public {
+                require(msg.sender == owner);
+                selfdestruct(owner);
+            }
+        }"#,
+    );
+    let p = decompile(&code);
+    let dom = Dominators::compute(&p);
+    let jumpi = p
+        .iter_stmts()
+        .filter(|s| s.op == Op::JumpI)
+        .find(|s| {
+            p.def_site(s.uses[0])
+                .map(|d| matches!(d.op, Op::Bin(Opcode::Eq)))
+                .unwrap_or(false)
+        })
+        .expect("guard JUMPI present");
+    let sd = p.iter_stmts().find(|s| s.op == Op::SelfDestruct).unwrap();
+    let guard_block = &p.blocks[jumpi.block.0 as usize];
+    assert!(
+        guard_block.succs.iter().any(|&s| dom.dominates(s, sd.block)),
+        "guard does not dominate the sink"
+    );
+}
+
+#[test]
+fn truncated_bytecode_does_not_panic() {
+    let code = compile("contract C { function f() public {} }");
+    for cut in 0..code.len() {
+        let _ = decompile(&code[..cut]);
+    }
+}
+
+#[test]
+fn garbage_bytecode_is_tolerated() {
+    let garbage: Vec<u8> = (0..=255u8).collect();
+    let _ = decompile(&garbage);
+}
+
+#[test]
+fn budget_exhaustion_is_reported() {
+    let code = compile(
+        r#"contract C {
+            uint x;
+            function f(uint n) public {
+                uint i = 0;
+                while (i < n) { x += i; i += 1; }
+            }
+        }"#,
+    );
+    let p = decompile_with_limits(&code, Limits { max_blocks: 2, max_stmts: 10_000 });
+    assert!(p.incomplete);
+}
+
+#[test]
+fn copy_statements_bind_block_params() {
+    let code = compile(
+        r#"contract C {
+            uint x;
+            function f(uint a) public returns (uint) {
+                if (a > 1) { x = a; }
+                return x;
+            }
+        }"#,
+    );
+    let p = decompile(&code);
+    for (i, b) in p.blocks.iter().enumerate() {
+        for &param in &b.params {
+            if !b.preds.is_empty() {
+                let has_def =
+                    p.iter_stmts().any(|s| s.op == Op::Copy && s.def == Some(param));
+                assert!(has_def, "param {param} of B{i} unbound");
+            }
+        }
+    }
+}
+
+#[test]
+fn staticcall_statement_carries_buffer_operands() {
+    let code = compile(
+        r#"contract C {
+            uint result;
+            function check(address w, uint input) public {
+                result = staticcall_unchecked(w, input);
+            }
+        }"#,
+    );
+    let p = decompile(&code);
+    let call = p
+        .iter_stmts()
+        .find(|s| matches!(s.op, Op::Call { kind: Opcode::StaticCall }))
+        .expect("staticcall present");
+    assert_eq!(call.uses.len(), 6);
+    let in_off = p.def_site(call.uses[2]).unwrap();
+    let out_off = p.def_site(call.uses[4]).unwrap();
+    assert_eq!(in_off.op, Op::Const(U256::ZERO));
+    assert_eq!(out_off.op, Op::Const(U256::ZERO));
+}

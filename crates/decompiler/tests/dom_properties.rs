@@ -1,0 +1,76 @@
+//! Property test: the iterative dominator computation against a naive
+//! oracle (a dominates b iff removing a disconnects b from the entry).
+
+use decompiler::dom::Dominators;
+use decompiler::tac::{Block, BlockId, Program};
+use proptest::prelude::*;
+
+fn make_program(n: usize, edges: &[(usize, usize)]) -> Program {
+    let mut p = Program::default();
+    for _ in 0..n {
+        p.blocks.push(Block::default());
+    }
+    for &(a, b) in edges {
+        p.blocks[a].succs.push(BlockId(b as u32));
+        p.blocks[b].preds.push(BlockId(a as u32));
+    }
+    p
+}
+
+/// Reachability from `from`, optionally with one node removed.
+fn reachable(n: usize, edges: &[(usize, usize)], from: usize, removed: Option<usize>) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    if Some(from) == removed {
+        return seen;
+    }
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(x) = stack.pop() {
+        for &(a, b) in edges {
+            if a == x && Some(b) != removed && !seen[b] {
+                seen[b] = true;
+                stack.push(b);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn dominators_match_cut_vertex_oracle(
+        n in 2usize..9,
+        raw_edges in proptest::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+        let p = make_program(n, &edges);
+        let dom = Dominators::compute(&p);
+        let base = reachable(n, &edges, 0, None);
+
+        for a in 0..n {
+            for b in 0..n {
+                if !base[b] || !base[a] {
+                    // Unreachable nodes dominate/are dominated by nothing.
+                    prop_assert!(
+                        !dom.dominates(BlockId(a as u32), BlockId(b as u32))
+                            || (a == b && base[a]),
+                        "unreachable dominance {a}->{b}"
+                    );
+                    continue;
+                }
+                // Oracle: a dominates b iff b == a, or removing a makes b
+                // unreachable from the entry.
+                let without_a = reachable(n, &edges, 0, Some(a));
+                let oracle = a == b || !without_a[b];
+                prop_assert_eq!(
+                    dom.dominates(BlockId(a as u32), BlockId(b as u32)),
+                    oracle,
+                    "dominates({}, {}) with edges {:?}", a, b, edges
+                );
+            }
+        }
+    }
+}

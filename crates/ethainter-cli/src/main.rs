@@ -1,0 +1,271 @@
+//! `ethainter` — the command-line front end.
+//!
+//! ```text
+//! ethainter analyze <file>          # .sol/.msol source or .hex/.bin bytecode
+//! ethainter analyze <file> --json   # machine-readable report
+//! ethainter analyze <file> --no-guards|--no-storage|--conservative
+//! ethainter decompile <file>        # print the TAC
+//! ethainter disasm <file>           # print the disassembly
+//! ethainter compile <file>          # print bytecode hex + selectors
+//! ethainter kill <file>             # analyze, deploy on a sandbox, exploit
+//! ethainter scan <n>                # generate a population and scan it
+//! ```
+
+use ethainter::{Config, Vuln};
+use std::process::ExitCode;
+
+/// Like `println!`, but ignores broken pipes (`ethainter ... | head`
+/// must not panic when the reader goes away).
+macro_rules! out {
+    ($($t:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "analyze" => cmd_analyze(rest),
+        "decompile" => cmd_decompile(rest),
+        "cfg" => cmd_cfg(rest),
+        "disasm" => cmd_disasm(rest),
+        "compile" => cmd_compile(rest),
+        "kill" => cmd_kill(rest),
+        "scan" => cmd_scan(rest),
+        "help" | "--help" | "-h" => {
+            out!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ethainter — composite information-flow analysis for EVM contracts
+
+USAGE:
+    ethainter analyze <file> [--json] [--no-guards] [--no-storage] [--conservative]
+    ethainter decompile <file>
+    ethainter cfg <file>            # Graphviz dot of the TAC CFG
+    ethainter disasm <file>
+    ethainter compile <file>
+    ethainter kill <file>
+    ethainter scan [n]
+
+<file> is minisol source (.sol/.msol/anything parseable) or hex bytecode
+(.hex/.bin, with or without a 0x prefix).";
+
+/// Loads bytecode from a source or hex file.
+fn load_bytecode(path: &str) -> Result<Vec<u8>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trimmed = text.trim();
+    // Hex if it looks like hex; otherwise compile as minisol.
+    let hexish = trimmed.strip_prefix("0x").unwrap_or(trimmed);
+    if !hexish.is_empty() && hexish.chars().all(|c| c.is_ascii_hexdigit()) {
+        if hexish.len() % 2 != 0 {
+            return Err("odd-length hex bytecode".into());
+        }
+        return (0..hexish.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hexish[i..i + 2], 16).map_err(|e| e.to_string()))
+            .collect();
+    }
+    minisol::compile_source(trimmed).map(|c| c.bytecode).map_err(|e| e.to_string())
+}
+
+fn parse_config(flags: &[String]) -> Config {
+    let mut cfg = Config::default();
+    for f in flags {
+        match f.as_str() {
+            "--no-guards" => cfg = Config::no_guard_model(),
+            "--no-storage" => cfg = Config::no_storage_taint(),
+            "--conservative" => cfg = Config::conservative_storage(),
+            _ => {}
+        }
+    }
+    cfg
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze: missing <file>")?;
+    let code = load_bytecode(path)?;
+    let cfg = parse_config(args);
+    let report = ethainter::analyze_bytecode(&code, &cfg);
+    if args.iter().any(|a| a == "--json") {
+        out!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if report.timed_out {
+        out!("decompilation budget exhausted — partial analysis");
+    }
+    if report.findings.is_empty() {
+        out!("no findings");
+        return Ok(());
+    }
+    if !report.defeated_guards.is_empty() {
+        let pcs: Vec<String> =
+            report.defeated_guards.iter().map(|p| format!("0x{p:04x}")).collect();
+        out!("defeated guards at pc: {}", pcs.join(", "));
+    }
+    out!("{} finding(s):", report.findings.len());
+    for f in &report.findings {
+        let star = if f.composite { "  ✰ composite" } else { "" };
+        out!("  {:<30} pc 0x{:04x}{star}", f.vuln.to_string(), f.pc);
+        for sel in &f.selectors {
+            out!("      via selector 0x{sel:08x}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_decompile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("decompile: missing <file>")?;
+    let code = load_bytecode(path)?;
+    let program = decompiler::decompile(&code);
+    print!("{program}");
+    if !program.functions.is_empty() {
+        out!("\npublic functions:");
+        for f in &program.functions {
+            out!("  0x{:08x} -> {}", f.selector, f.entry);
+        }
+    }
+    for w in &program.warnings {
+        eprintln!("warning: {w}");
+    }
+    Ok(())
+}
+
+fn cmd_cfg(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("cfg: missing <file>")?;
+    let code = load_bytecode(path)?;
+    let program = decompiler::decompile(&code);
+    print!("{}", program.to_dot());
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("disasm: missing <file>")?;
+    let code = load_bytecode(path)?;
+    for insn in evm::disassemble(&code) {
+        out!("{insn}");
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("compile: missing <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let compiled = minisol::compile_source(&text).map_err(|e| e.to_string())?;
+    out!("contract {} ({} bytes)", compiled.name, compiled.bytecode.len());
+    let hex: String = compiled.bytecode.iter().map(|b| format!("{b:02x}")).collect();
+    out!("0x{hex}");
+    out!("functions:");
+    for f in &compiled.functions {
+        let vis = if f.dispatched { "public" } else { "internal" };
+        out!("  0x{} {:<9} {}", hex4(&f.selector), vis, f.signature);
+    }
+    if !compiled.initial_storage.is_empty() {
+        out!("initial storage:");
+        for (slot, value) in &compiled.initial_storage {
+            out!("  slot {slot:?} = {value:?}");
+        }
+    }
+    Ok(())
+}
+
+fn hex4(sel: &[u8; 4]) -> String {
+    sel.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn cmd_kill(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("kill: missing <file>")?;
+    let code = load_bytecode(path)?;
+    let report = ethainter::analyze_bytecode(&code, &Config::default());
+    out!(
+        "analysis: {} finding(s), selfdestruct-class: {}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .filter(|f| matches!(
+                f.vuln,
+                Vuln::AccessibleSelfDestruct | Vuln::TaintedSelfDestruct
+            ))
+            .count()
+    );
+    let mut net = chain::TestNet::new();
+    let deployer = net.funded_account(evm::U256::from(1_000u64));
+    let victim = net.deploy(deployer, code);
+    net.state_mut().set_balance(victim, evm::U256::from(1_000_000u64));
+    net.state_mut().commit();
+    let outcome = kill::exploit(&net, victim, &report, &kill::KillConfig::default());
+    out!("transactions sent: {}", outcome.steps.len());
+    for s in &outcome.steps {
+        out!(
+            "  0x{:08x}  success={}  destroyed={}",
+            s.selector, s.success, s.destroyed
+        );
+    }
+    if outcome.destroyed {
+        out!(
+            "DESTROYED — attacker recovered {} wei of 1000000",
+            outcome.funds_recovered
+        );
+    } else {
+        out!("contract survived");
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let size: usize = args
+        .first()
+        .map(|s| s.parse().map_err(|e| format!("bad size: {e}")))
+        .transpose()?
+        .unwrap_or(2_000);
+    let pop = corpus::Population::generate(&corpus::PopulationConfig {
+        size,
+        ..Default::default()
+    });
+    let started = std::time::Instant::now();
+    let mut flagged = 0usize;
+    let mut per_class = std::collections::BTreeMap::new();
+    for c in &pop.contracts {
+        let r = ethainter::analyze_bytecode(&c.bytecode, &Config::default());
+        if !r.findings.is_empty() {
+            flagged += 1;
+        }
+        for v in Vuln::ALL {
+            if r.has(v) {
+                *per_class.entry(v).or_insert(0usize) += 1;
+            }
+        }
+    }
+    out!(
+        "scanned {size} contracts in {:.1?} — {flagged} flagged ({:.2}%)",
+        started.elapsed(),
+        100.0 * flagged as f64 / size as f64
+    );
+    for (v, n) in per_class {
+        out!("  {:<30} {n} ({:.2}%)", v.to_string(), 100.0 * n as f64 / size as f64);
+    }
+    Ok(())
+}

@@ -1,0 +1,897 @@
+//! The Ethainter analysis over decompiled TAC — the implementation-level
+//! mutual recursion of Figure 5.
+//!
+//! The relations and their paper names:
+//!
+//! - `StaticallyGuardedStatement(s, p)` → guards: a `JUMPI` whose
+//!   chosen successor dominates `s`, with condition `p` scrutinizing the
+//!   caller (directly, or via a sender-keyed data-structure lookup —
+//!   Figure 4's `DS`/`DSA`).
+//! - `ReachableByAttacker(s)` → per-block `rba`: `s` is unguarded, or
+//!   every sanitizing guard dominating `s` has been defeated.
+//! - `TaintedFlow` / `AttackerModelInfoflow` → the two taint flavors:
+//!   *input* taint propagates only through attacker-reachable statements
+//!   (guards sanitize it — Figure 3's `Guard-2`), while *storage* taint
+//!   propagates unconditionally (`Guard-1`: sender guards cannot remove
+//!   taint that reached persistent storage).
+//! - Guard defeat is the composite-vulnerability engine: a tainted guard
+//!   condition (`Uguard-T`), or a guard reading a data structure the
+//!   attacker can enroll themselves in, makes more statements
+//!   attacker-reachable, which introduces more taint, which defeats more
+//!   guards — evaluated to mutual fixpoint.
+
+use crate::config::{Config, StorageModel};
+use crate::report::{Finding, Report, Stats, Vuln};
+use decompiler::{BlockId, Dominators, Op, Program, Stmt, StmtId, Var};
+use evm::opcode::Opcode;
+use evm::U256;
+use std::collections::{HashMap, HashSet};
+
+/// How a guard scrutinizes the caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum GuardKind {
+    /// `msg.sender == SLOAD(slot)` — an owner comparison; `slot` is also
+    /// an *inferred sink* (§4.5).
+    SenderEqSlot(U256),
+    /// `msg.sender` compared against something non-constant (still
+    /// sanitizing; defeated only by tainting the compared value).
+    SenderEqOther,
+    /// A sender-keyed data-structure membership test over the mapping
+    /// with the given base slot (`require(m[msg.sender])`).
+    Membership(U256),
+    /// Sender-derived condition with no recognized shape (kept
+    /// sanitizing, defeated only via condition taint).
+    SenderOpaque,
+}
+
+/// How atomic guard kinds compose in a compound condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum GuardCond {
+    /// A single sender check.
+    Single(GuardKind),
+    /// `a && b`: the attacker must defeat **every** conjunct.
+    Conj(Vec<GuardKind>),
+    /// `a || b`: defeating **any** disjunct suffices.
+    Disj(Vec<GuardKind>),
+}
+
+/// A sanitizing guard: condition + the blocks it protects.
+#[derive(Clone, Debug)]
+struct Guard {
+    /// Base condition variable (after peeling `ISZERO` chains).
+    cond: Var,
+    cond_kind: GuardCond,
+    /// Bytecode offset of the guarding `JUMPI`.
+    pc: usize,
+    /// Blocks dominated by the guard's chosen successor.
+    region: Vec<BlockId>,
+}
+
+/// Storage address classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SAddr {
+    Const(U256),
+    /// `Hash2*`-derived mapping element: base slot + key variables
+    /// (outermost first).
+    Mapping { base: U256, keys: Vec<Var> },
+    Unknown,
+}
+
+struct Ctx<'a> {
+    p: &'a Program,
+    /// var → defining statements (params have one per predecessor copy).
+    defs: Vec<Vec<StmtId>>,
+    /// var → constant value, when uniquely determined.
+    consts: Vec<Option<U256>>,
+    /// Figure 4 relations over TAC vars.
+    ds: Vec<bool>,
+    dsa: Vec<bool>,
+    /// var → storage-address classification (for SLoad/SStore keys).
+    saddr_cache: HashMap<Var, SAddr>,
+}
+
+/// Runs the Ethainter analysis on a decompiled program.
+pub fn analyze(p: &Program, cfg: &Config) -> Report {
+    let mut report = Report {
+        timed_out: p.incomplete,
+        stats: Stats { blocks: p.blocks.len(), stmts: p.stmts.len(), rounds: 0 },
+        ..Report::default()
+    };
+    if p.incomplete || p.blocks.is_empty() {
+        return report;
+    }
+
+    let dom = Dominators::compute(p);
+
+    // ---- Static indexes -------------------------------------------------
+    let mut defs: Vec<Vec<StmtId>> = vec![Vec::new(); p.n_vars as usize];
+    for s in p.iter_stmts() {
+        if let Some(d) = s.def {
+            defs[d.0 as usize].push(s.id);
+        }
+    }
+
+    let mut ctx = Ctx {
+        p,
+        defs,
+        consts: vec![None; p.n_vars as usize],
+        ds: vec![false; p.n_vars as usize],
+        dsa: vec![false; p.n_vars as usize],
+        saddr_cache: HashMap::new(),
+    };
+    ctx.compute_consts();
+    ctx.compute_ds();
+
+    // ---- Guards (StaticallyGuardedStatement) ---------------------------
+    let guards: Vec<Guard> = if cfg.guard_modeling { ctx.find_guards(&dom) } else { Vec::new() };
+
+    // Memory def-use: const offset → (store stmts, value vars).
+    let mut mem_stores: HashMap<U256, Vec<(StmtId, Var)>> = HashMap::new();
+    for s in p.iter_stmts() {
+        if s.op == Op::MStore {
+            if let Some(off) = ctx.consts[s.uses[0].0 as usize] {
+                mem_stores.entry(off).or_default().push((s.id, s.uses[1]));
+            }
+        }
+    }
+
+    // ---- Mutually-recursive fixpoint ------------------------------------
+    let n_vars = p.n_vars as usize;
+    let n_blocks = p.blocks.len();
+    let mut input_tainted = vec![false; n_vars];
+    let mut storage_tainted = vec![false; n_vars];
+    let mut tainted_slots: HashSet<U256> = HashSet::new();
+    let mut tainted_mappings: HashSet<U256> = HashSet::new();
+    let mut writable_mappings: HashSet<U256> = HashSet::new();
+    let mut all_slots_tainted = false;
+    let mut unknown_store_tainted = false;
+    let mut defeated: Vec<bool> = vec![false; guards.len()];
+    // Findings that required a defeated guard on their taint path are
+    // "composite" (the ✰ of Figure 6).
+    let mut any_defeat = false;
+
+    let mut rba = vec![true; n_blocks];
+    let recompute_rba = |defeated: &[bool], rba: &mut Vec<bool>| {
+        for b in rba.iter_mut() {
+            *b = true;
+        }
+        for (g, guard) in guards.iter().enumerate() {
+            if !defeated[g] {
+                for &blk in &guard.region {
+                    rba[blk.0 as usize] = false;
+                }
+            }
+        }
+        // Unreachable blocks are not attacker-reachable either.
+        for (i, b) in rba.iter_mut().enumerate() {
+            if !dom.is_reachable(BlockId(i as u32)) {
+                *b = false;
+            }
+        }
+    };
+    recompute_rba(&defeated, &mut rba);
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+
+        // Taint propagation (inner pass repeated within the round until
+        // stable — statement order is arbitrary).
+        loop {
+            let mut inner_changed = false;
+            for s in p.iter_stmts() {
+                let stmt_rba = rba[s.block.0 as usize];
+                let Some(d) = s.def else {
+                    continue;
+                };
+                let di = d.0 as usize;
+                match &s.op {
+                    Op::CallDataLoad => {
+                        // TaintedFlow(x,x) :- ReachableByAttacker(s),
+                        //                     CALLDATALOAD(s, x).
+                        if stmt_rba && !input_tainted[di] {
+                            input_tainted[di] = true;
+                            inner_changed = true;
+                        }
+                    }
+                    Op::Copy
+                    | Op::Bin(_)
+                    | Op::Un(_)
+                    | Op::Hash2
+                    | Op::Sha3
+                    | Op::Other(_) => {
+                        let any_in = s.uses.iter().any(|u| input_tainted[u.0 as usize]);
+                        let any_st = s.uses.iter().any(|u| storage_tainted[u.0 as usize]);
+                        // Input taint moves only through attacker-reachable
+                        // statements (Guard-2); storage taint through all
+                        // (Guard-1).
+                        if any_in && stmt_rba && !input_tainted[di] {
+                            input_tainted[di] = true;
+                            inner_changed = true;
+                        }
+                        if any_st && !storage_tainted[di] {
+                            storage_tainted[di] = true;
+                            inner_changed = true;
+                        }
+                    }
+                    Op::MLoad => {
+                        // Local memory modeling: values stored at the same
+                        // constant offset flow to this load.
+                        if let Some(off) = ctx.consts[s.uses[0].0 as usize] {
+                            if let Some(stores) = mem_stores.get(&off) {
+                                let any_in =
+                                    stores.iter().any(|(_, v)| input_tainted[v.0 as usize]);
+                                let any_st =
+                                    stores.iter().any(|(_, v)| storage_tainted[v.0 as usize]);
+                                if any_in && stmt_rba && !input_tainted[di] {
+                                    input_tainted[di] = true;
+                                    inner_changed = true;
+                                }
+                                if any_st && !storage_tainted[di] {
+                                    storage_tainted[di] = true;
+                                    inner_changed = true;
+                                }
+                            }
+                        }
+                    }
+                    Op::SLoad => {
+                        if !cfg.storage_taint {
+                            continue;
+                        }
+                        let tainted_load = match ctx.classify_addr(s.uses[0]) {
+                            SAddr::Const(v) => {
+                                tainted_slots.contains(&v) || all_slots_tainted
+                            }
+                            SAddr::Mapping { base, .. } => tainted_mappings.contains(&base),
+                            SAddr::Unknown => {
+                                cfg.storage_model == StorageModel::Conservative
+                                    && unknown_store_tainted
+                            }
+                        };
+                        // StorageLoad: loads of tainted storage are
+                        // storage-tainted, eluding guards.
+                        if tainted_load && !storage_tainted[di] {
+                            storage_tainted[di] = true;
+                            inner_changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !inner_changed {
+                break;
+            }
+            changed = true;
+        }
+
+        // Storage writes (StorageWrite-1 / StorageWrite-2 and the
+        // attacker-enrollment rule for sender-keyed structures).
+        if cfg.storage_taint {
+            for s in p.iter_stmts() {
+                if s.op != Op::SStore {
+                    continue;
+                }
+                let stmt_rba = rba[s.block.0 as usize];
+                let key = s.uses[0];
+                let value = s.uses[1];
+                let v_in = input_tainted[value.0 as usize];
+                let v_st = storage_tainted[value.0 as usize];
+                // `msg.sender`-derived values written by the attacker are
+                // attacker-chosen (public-initializer pattern: anyone can
+                // become owner).
+                let v_ds = ctx.ds[value.0 as usize];
+                let attacker_value = (v_in || v_ds) && stmt_rba;
+                let tainted_value = v_st || attacker_value;
+                if !tainted_value {
+                    continue;
+                }
+                match ctx.classify_addr(key) {
+                    SAddr::Const(v) => {
+                        if tainted_slots.insert(v) {
+                            changed = true;
+                        }
+                    }
+                    SAddr::Mapping { base, keys } => {
+                        if tainted_mappings.insert(base) {
+                            changed = true;
+                        }
+                        let key_attacker = keys.iter().any(|k| {
+                            ctx.ds[k.0 as usize] || input_tainted[k.0 as usize]
+                        });
+                        if key_attacker && writable_mappings.insert(base) {
+                            changed = true;
+                        }
+                    }
+                    SAddr::Unknown => {
+                        // StorageWrite-2: tainted value at a tainted
+                        // (attacker-influenced) address taints all known
+                        // slots. Conservative mode does this for *any*
+                        // unknown address.
+                        let key_tainted = input_tainted[key.0 as usize]
+                            || storage_tainted[key.0 as usize];
+                        let conservative =
+                            cfg.storage_model == StorageModel::Conservative;
+                        if key_tainted || conservative {
+                            if !all_slots_tainted {
+                                all_slots_tainted = true;
+                                changed = true;
+                            }
+                            if !unknown_store_tainted {
+                                unknown_store_tainted = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Enrollment without taint: an attacker-reachable write of a
+            // *non-zero constant* into a structure keyed by the attacker
+            // (users[msg.sender] = true) makes its membership guards
+            // passable.
+            for s in p.iter_stmts() {
+                if s.op != Op::SStore || !rba[s.block.0 as usize] {
+                    continue;
+                }
+                let value_const = ctx.consts[s.uses[1].0 as usize];
+                let value_nonzero_const = value_const.is_some_and(|c| !c.is_zero());
+                let value_attacker = value_nonzero_const
+                    || input_tainted[s.uses[1].0 as usize]
+                    || storage_tainted[s.uses[1].0 as usize]
+                    || ctx.ds[s.uses[1].0 as usize];
+                if !value_attacker {
+                    continue;
+                }
+                if let SAddr::Mapping { base, keys } = ctx.classify_addr(s.uses[0]) {
+                    let key_attacker = keys
+                        .iter()
+                        .any(|k| ctx.ds[k.0 as usize] || input_tainted[k.0 as usize]);
+                    if key_attacker && writable_mappings.insert(base) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Guard defeat:
+        // ReachableByAttacker(s) :- StaticallyGuardedStatement(s, guard),
+        //                           TaintedFlow(_, guard).
+        for (g, guard) in guards.iter().enumerate() {
+            if defeated[g] {
+                continue;
+            }
+            let cond_tainted = input_tainted[guard.cond.0 as usize]
+                || storage_tainted[guard.cond.0 as usize];
+            let kind_defeated = |k: &GuardKind| match k {
+                GuardKind::SenderEqSlot(v) => {
+                    cfg.storage_taint
+                        && (tainted_slots.contains(v) || all_slots_tainted)
+                }
+                GuardKind::Membership(base) => {
+                    cfg.storage_taint && writable_mappings.contains(base)
+                }
+                GuardKind::SenderEqOther | GuardKind::SenderOpaque => false,
+            };
+            let structural = match &guard.cond_kind {
+                GuardCond::Single(k) => kind_defeated(k),
+                GuardCond::Conj(ks) => ks.iter().all(kind_defeated),
+                GuardCond::Disj(ks) => ks.iter().any(kind_defeated),
+            };
+            if (cond_tainted || structural) && !cfg.freeze_guards {
+                defeated[g] = true;
+                any_defeat = true;
+                changed = true;
+            }
+        }
+        recompute_rba(&defeated, &mut rba);
+
+        if !changed || rounds > 64 {
+            break;
+        }
+    }
+    report.stats.rounds = rounds;
+    report.defeated_guards = guards
+        .iter()
+        .zip(&defeated)
+        .filter(|(_, &d)| d)
+        .map(|(g, _)| g.pc)
+        .collect();
+    report.defeated_guards.sort_unstable();
+    report.defeated_guards.dedup();
+
+    // ---- Detectors -------------------------------------------------------
+    let selectors_of = |b: BlockId| -> Vec<u32> {
+        p.block_functions.get(b.0 as usize).cloned().unwrap_or_default()
+    };
+    let tainted = |v: Var| input_tainted[v.0 as usize] || storage_tainted[v.0 as usize];
+
+    for s in p.iter_stmts() {
+        match &s.op {
+            Op::SelfDestruct => {
+                if rba[s.block.0 as usize] {
+                    report.findings.push(Finding {
+                        vuln: Vuln::AccessibleSelfDestruct,
+                        stmt: s.id.0,
+                        pc: s.pc,
+                        selectors: selectors_of(s.block),
+                        composite: any_defeat,
+                    });
+                }
+                if tainted(s.uses[0]) {
+                    report.findings.push(Finding {
+                        vuln: Vuln::TaintedSelfDestruct,
+                        stmt: s.id.0,
+                        pc: s.pc,
+                        selectors: selectors_of(s.block),
+                        composite: any_defeat,
+                    });
+                }
+            }
+            Op::Call { kind: Opcode::DelegateCall } => {
+                // uses: [gas, target, in_off, in_len, out_off, out_len]
+                if tainted(s.uses[1]) {
+                    report.findings.push(Finding {
+                        vuln: Vuln::TaintedDelegateCall,
+                        stmt: s.id.0,
+                        pc: s.pc,
+                        selectors: selectors_of(s.block),
+                        composite: any_defeat,
+                    });
+                }
+            }
+            Op::Call { kind: Opcode::StaticCall } => {
+                if let Some(f) = detect_unchecked_staticcall(
+                    &ctx, s, &rba, &input_tainted, &storage_tainted, &mem_stores,
+                ) {
+                    report.findings.push(Finding {
+                        selectors: selectors_of(s.block),
+                        composite: any_defeat,
+                        ..f
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Tainted owner variable (§4.5): a slot compared against the sender
+    // in some guard is a sink; attacker-reachable tainted writes to it
+    // are violations.
+    let guard_slots: HashSet<U256> = guards
+        .iter()
+        .flat_map(|g| {
+            let ks: Vec<&GuardKind> = match &g.cond_kind {
+                GuardCond::Single(k) => vec![k],
+                GuardCond::Conj(ks) | GuardCond::Disj(ks) => ks.iter().collect(),
+            };
+            ks.into_iter().filter_map(|k| match k {
+                GuardKind::SenderEqSlot(v) => Some(*v),
+                _ => None,
+            })
+        })
+        .collect();
+    {
+        for s in p.iter_stmts() {
+            if s.op != Op::SStore || !rba[s.block.0 as usize] {
+                continue;
+            }
+            let SAddr::Const(v) = ctx.classify_addr(s.uses[0]) else { continue };
+            let is_sink = if cfg.guard_modeling {
+                guard_slots.contains(&v)
+            } else {
+                // Without guard modeling there is no sink inference —
+                // every attacker-reachable tainted write to a constant
+                // slot is flagged (the Figure 8b explosion).
+                true
+            };
+            let value_attacker = input_tainted[s.uses[1].0 as usize]
+                || storage_tainted[s.uses[1].0 as usize]
+                || ctx.ds[s.uses[1].0 as usize];
+            if is_sink && value_attacker {
+                report.findings.push(Finding {
+                    vuln: Vuln::TaintedOwnerVariable,
+                    stmt: s.id.0,
+                    pc: s.pc,
+                    selectors: selectors_of(s.block),
+                    composite: any_defeat,
+                });
+            }
+        }
+    }
+
+    report.findings.sort_by_key(|f| (f.vuln, f.stmt));
+    report.findings.dedup();
+
+    // Exact composite (✰) markers: a finding is composite iff it does
+    // not survive single-transaction reasoning — guards cannot be
+    // defeated and taint cannot travel through storage across
+    // transactions. One extra pass, only when escalation happened.
+    if (any_defeat || cfg.storage_taint) && !cfg.freeze_guards {
+        let frozen =
+            analyze(p, &Config { freeze_guards: true, storage_taint: false, ..*cfg });
+        for f in &mut report.findings {
+            let direct = frozen
+                .findings
+                .iter()
+                .any(|g| g.vuln == f.vuln && g.stmt == f.stmt);
+            f.composite = !direct;
+        }
+    } else if cfg.freeze_guards {
+        for f in &mut report.findings {
+            f.composite = false;
+        }
+    } else {
+        for f in &mut report.findings {
+            f.composite = false;
+        }
+    }
+    report
+}
+
+fn detect_unchecked_staticcall(
+    ctx: &Ctx<'_>,
+    s: &Stmt,
+    rba: &[bool],
+    input_tainted: &[bool],
+    storage_tainted: &[bool],
+    mem_stores: &HashMap<U256, Vec<(StmtId, Var)>>,
+) -> Option<Finding> {
+    // uses: [gas, target, in_off, in_len, out_off, out_len]
+    let in_off = ctx.consts[s.uses[2].0 as usize];
+    let out_off = ctx.consts[s.uses[4].0 as usize];
+    let out_len = ctx.consts[s.uses[5].0 as usize];
+    // Output window must overlap the input window and be non-empty.
+    let overlap = match (in_off, out_off) {
+        (Some(a), Some(b)) => a == b,
+        _ => s.uses[2] == s.uses[4],
+    };
+    if !overlap || out_len == Some(U256::ZERO) {
+        return None;
+    }
+    if !rba[s.block.0 as usize] {
+        return None;
+    }
+    // A RETURNDATASIZE check anywhere in the functions owning this call
+    // counts as the fix (the Solidity-compiler-inserted pattern, §3.5).
+    let owners = ctx.p.block_functions.get(s.block.0 as usize);
+    let checked = ctx.p.iter_stmts().any(|t| {
+        t.op == Op::Env(Opcode::ReturnDataSize)
+            && match (owners, ctx.p.block_functions.get(t.block.0 as usize)) {
+                (Some(a), Some(b)) => a.iter().any(|x| b.contains(x)),
+                _ => t.block == s.block,
+            }
+    });
+    if checked {
+        return None;
+    }
+    // The trusted buffer must be attacker-influenced: either the input
+    // window holds tainted data, or the call target is tainted.
+    let buffer_tainted = in_off
+        .and_then(|off| mem_stores.get(&off))
+        .map(|stores| {
+            stores.iter().any(|(_, v)| {
+                input_tainted[v.0 as usize] || storage_tainted[v.0 as usize]
+            })
+        })
+        .unwrap_or(false);
+    let target_tainted =
+        input_tainted[s.uses[1].0 as usize] || storage_tainted[s.uses[1].0 as usize];
+    if !buffer_tainted && !target_tainted {
+        return None;
+    }
+    Some(Finding {
+        vuln: Vuln::UncheckedTaintedStaticCall,
+        stmt: s.id.0,
+        pc: s.pc,
+        selectors: Vec::new(),
+        composite: false,
+    })
+}
+
+impl Ctx<'_> {
+    /// Constant propagation (`ConstValue`, C(x) = v): through `Const`
+    /// definitions and `Copy` chains where all definitions agree.
+    fn compute_consts(&mut self) {
+        loop {
+            let mut changed = false;
+            for v in 0..self.consts.len() {
+                if self.consts[v].is_some() {
+                    continue;
+                }
+                let defs = &self.defs[v];
+                if defs.is_empty() {
+                    continue;
+                }
+                let mut val: Option<U256> = None;
+                let mut ok = true;
+                for &d in defs {
+                    let s = self.p.stmt(d);
+                    let this = match &s.op {
+                        Op::Const(c) => Some(*c),
+                        Op::Copy => self.consts[s.uses[0].0 as usize],
+                        _ => None,
+                    };
+                    match (this, val) {
+                        (Some(a), None) => val = Some(a),
+                        (Some(a), Some(b)) if a == b => {}
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    if let Some(c) = val {
+                        self.consts[v] = Some(c);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Figure 4 over TAC: `DS` (caller-identity data) and `DSA`
+    /// (addresses of caller-keyed structure elements).
+    fn compute_ds(&mut self) {
+        loop {
+            let mut changed = false;
+            for s in self.p.iter_stmts() {
+                let Some(d) = s.def else { continue };
+                let di = d.0 as usize;
+                match &s.op {
+                    // DS-SenderKey
+                    Op::Env(Opcode::Caller) => {
+                        if !self.ds[di] {
+                            self.ds[di] = true;
+                            changed = true;
+                        }
+                    }
+                    // DS-Lookup / DSA-Lookup: the mapping hash of a
+                    // sender-derived key (or of a structure address) is a
+                    // structure address.
+                    Op::Hash2 => {
+                        let k = s.uses[0].0 as usize;
+                        let b = s.uses[1].0 as usize;
+                        if (self.ds[k] || self.dsa[k] || self.dsa[b]) && !self.dsa[di] {
+                            self.dsa[di] = true;
+                            changed = true;
+                        }
+                    }
+                    // DS-AddrOp: arithmetic on structure addresses.
+                    Op::Bin(_) => {
+                        if s.uses.iter().any(|u| self.dsa[u.0 as usize]) && !self.dsa[di] {
+                            self.dsa[di] = true;
+                            changed = true;
+                        }
+                    }
+                    // DSA-Load: dereferencing a structure address yields
+                    // caller-pertinent data.
+                    Op::SLoad => {
+                        if self.dsa[s.uses[0].0 as usize] && !self.ds[di] {
+                            self.ds[di] = true;
+                            changed = true;
+                        }
+                    }
+                    Op::Copy => {
+                        let u = s.uses[0].0 as usize;
+                        if self.ds[u] && !self.ds[di] {
+                            self.ds[di] = true;
+                            changed = true;
+                        }
+                        if self.dsa[u] && !self.dsa[di] {
+                            self.dsa[di] = true;
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Storage-address classification for a key variable.
+    fn classify_addr(&mut self, v: Var) -> SAddr {
+        if let Some(cached) = self.saddr_cache.get(&v) {
+            return cached.clone();
+        }
+        let result = self.classify_addr_inner(v, 0);
+        self.saddr_cache.insert(v, result.clone());
+        result
+    }
+
+    fn classify_addr_inner(&mut self, v: Var, depth: usize) -> SAddr {
+        if depth > 16 {
+            return SAddr::Unknown;
+        }
+        if let Some(c) = self.consts[v.0 as usize] {
+            return SAddr::Const(c);
+        }
+        let defs = self.defs[v.0 as usize].clone();
+        let mut result: Option<SAddr> = None;
+        for d in defs {
+            let s = self.p.stmt(d);
+            let this = match &s.op {
+                Op::Hash2 => {
+                    let key = s.uses[0];
+                    match self.classify_addr_inner(s.uses[1], depth + 1) {
+                        SAddr::Const(base) => SAddr::Mapping { base, keys: vec![key] },
+                        SAddr::Mapping { base, mut keys } => {
+                            keys.push(key);
+                            SAddr::Mapping { base, keys }
+                        }
+                        SAddr::Unknown => SAddr::Unknown,
+                    }
+                }
+                Op::Copy => self.classify_addr_inner(s.uses[0], depth + 1),
+                _ => SAddr::Unknown,
+            };
+            match (&result, this) {
+                (None, t) => result = Some(t),
+                (Some(a), t) if *a == t => {}
+                _ => return SAddr::Unknown,
+            }
+        }
+        result.unwrap_or(SAddr::Unknown)
+    }
+
+    /// Finds sanitizing guards: `JUMPI`s whose condition scrutinizes the
+    /// caller, guarding the region dominated by their chosen successor.
+    fn find_guards(&mut self, dom: &Dominators) -> Vec<Guard> {
+        let mut out = Vec::new();
+        for s in self.p.iter_stmts() {
+            if s.op != Op::JumpI {
+                continue;
+            }
+            let block = self.p.block(s.block);
+            // Peel ISZERO chains off the condition, tracking polarity.
+            let (base, polarity) = self.peel_iszero(s.uses[0]);
+            for (i, &succ) in block.succs.iter().enumerate() {
+                // succs = [taken, fallthrough] when the target resolved;
+                // the taken edge asserts cond != 0, fallthrough cond == 0.
+                let edge_polarity = if block.succs.len() == 2 {
+                    i == 0
+                } else {
+                    // Single successor: no information.
+                    continue;
+                };
+                if edge_polarity != polarity {
+                    continue;
+                }
+                // The region is sound only when the successor's sole
+                // predecessor is this block (edge dominance).
+                let succ_block = self.p.block(succ);
+                if !(succ_block.preds.len() == 1 && succ_block.preds[0] == s.block) {
+                    continue;
+                }
+                let Some(cond_kind) = self.guard_cond(base, 0) else { continue };
+                let region: Vec<BlockId> = (0..self.p.blocks.len() as u32)
+                    .map(BlockId)
+                    .filter(|&b| dom.dominates(succ, b))
+                    .collect();
+                if !region.is_empty() {
+                    out.push(Guard { cond: base, cond_kind, pc: s.pc, region });
+                }
+            }
+        }
+        out
+    }
+
+    /// Follows `ISZERO` chains: returns the base variable and the
+    /// polarity under which "cond true" asserts the base is true.
+    fn peel_iszero(&self, v: Var) -> (Var, bool) {
+        let mut cur = v;
+        let mut polarity = true;
+        for _ in 0..16 {
+            let defs = &self.defs[cur.0 as usize];
+            if defs.len() != 1 {
+                break;
+            }
+            let s = self.p.stmt(defs[0]);
+            match &s.op {
+                Op::Un(Opcode::IsZero) => {
+                    polarity = !polarity;
+                    cur = s.uses[0];
+                }
+                Op::Copy => cur = s.uses[0],
+                _ => break,
+            }
+        }
+        (cur, polarity)
+    }
+
+    /// Classifies a (possibly compound) guard condition. `&&`/`||`
+    /// compile to bitwise AND/OR over normalized booleans; recurse into
+    /// them so each conjunct/disjunct is scrutinized separately.
+    fn guard_cond(&mut self, base: Var, depth: usize) -> Option<GuardCond> {
+        if depth > 8 {
+            return None;
+        }
+        let defs = self.defs[base.0 as usize].clone();
+        if defs.len() == 1 {
+            let s = self.p.stmt(defs[0]);
+            if let Op::Bin(op @ (Opcode::And | Opcode::Or)) = s.op {
+                let (a, _) = self.peel_iszero(s.uses[0]);
+                let (b, _) = self.peel_iszero(s.uses[1]);
+                let ka = self.guard_cond(a, depth + 1);
+                let kb = self.guard_cond(b, depth + 1);
+                let flatten = |c: GuardCond| -> Vec<GuardKind> {
+                    match c {
+                        GuardCond::Single(k) => vec![k],
+                        GuardCond::Conj(ks) | GuardCond::Disj(ks) => ks,
+                    }
+                };
+                return match (op, ka, kb) {
+                    // a && b: any sanitizing conjunct keeps the guard; all
+                    // sanitizing conjuncts must fall for defeat.
+                    (Opcode::And, Some(x), Some(y)) => {
+                        let mut ks = flatten(x);
+                        ks.extend(flatten(y));
+                        Some(GuardCond::Conj(ks))
+                    }
+                    (Opcode::And, Some(x), None) | (Opcode::And, None, Some(x)) => Some(x),
+                    // a || b: a non-sender disjunct lets the attacker
+                    // through outright (Uguard-NDS on that side).
+                    (Opcode::Or, Some(x), Some(y)) => {
+                        let mut ks = flatten(x);
+                        ks.extend(flatten(y));
+                        Some(GuardCond::Disj(ks))
+                    }
+                    _ => None,
+                };
+            }
+        }
+        self.guard_kind(base).map(GuardCond::Single)
+    }
+
+    /// Does an atomic condition scrutinize the caller, and how?
+    fn guard_kind(&mut self, base: Var) -> Option<GuardKind> {
+        // Membership: the condition is itself caller-pertinent data
+        // (require(m[msg.sender])).
+        if self.ds[base.0 as usize] {
+            // Identify the mapping base if the shape is recognizable.
+            let defs = self.defs[base.0 as usize].clone();
+            for d in defs {
+                let s = self.p.stmt(d);
+                if s.op == Op::SLoad {
+                    if let SAddr::Mapping { base: b, .. } = self.classify_addr(s.uses[0]) {
+                        return Some(GuardKind::Membership(b));
+                    }
+                }
+            }
+            return Some(GuardKind::SenderOpaque);
+        }
+        // Comparison: Eq with a caller-derived side (Uguard-NDS excludes
+        // conditions with no DS side).
+        let defs = self.defs[base.0 as usize].clone();
+        if defs.len() != 1 {
+            return None;
+        }
+        let s = self.p.stmt(defs[0]);
+        let Op::Bin(Opcode::Eq) = s.op else { return None };
+        let (a, b) = (s.uses[0], s.uses[1]);
+        let a_ds = self.ds[a.0 as usize];
+        let b_ds = self.ds[b.0 as usize];
+        if !a_ds && !b_ds {
+            return None; // Uguard-NDS: not a sanitizing guard.
+        }
+        let other = if a_ds { b } else { a };
+        // msg.sender == SLOAD(const slot): the owner pattern; the slot is
+        // an inferred sink.
+        let other_defs = self.defs[other.0 as usize].clone();
+        if other_defs.len() == 1 {
+            let od = self.p.stmt(other_defs[0]);
+            if od.op == Op::SLoad {
+                if let SAddr::Const(v) = self.classify_addr(od.uses[0]) {
+                    return Some(GuardKind::SenderEqSlot(v));
+                }
+            }
+        }
+        Some(GuardKind::SenderEqOther)
+    }
+}

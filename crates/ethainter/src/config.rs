@@ -1,0 +1,66 @@
+//! Analysis configuration — including the §6.4 ablation switches.
+
+use serde::{Deserialize, Serialize};
+
+/// How statically-unresolved storage addresses are treated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum StorageModel {
+    /// The paper's default: only constant slots and recognized
+    /// data-structure addresses participate; unknown addresses are
+    /// ignored except for the `StorageWrite-2` rule (tainted value *and*
+    /// tainted address taints every known slot). Favors precision (§4.4).
+    #[default]
+    Precise,
+    /// Figure 8c: any store to an unknown location may reach any
+    /// location, and loads from unknown locations are tainted whenever
+    /// any tainted unknown store exists. Favors completeness, hurts
+    /// precision.
+    Conservative,
+}
+
+/// Analysis switches. The defaults reproduce the paper's main
+/// configuration; the ablations of Figure 8 flip one switch each.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Config {
+    /// Model guards (Figure 8b ablation sets this to `false`:
+    /// every statement becomes attacker-reachable).
+    pub guard_modeling: bool,
+    /// Allow taint to propagate through persistent storage — and hence
+    /// across transactions (Figure 8a ablation sets this to `false`).
+    pub storage_taint: bool,
+    /// Storage address modeling (Figure 8c ablation).
+    pub storage_model: StorageModel,
+    /// Internal: forbid guard defeat (guards stay effective even when
+    /// tainted). Used to compute exact per-finding composite markers —
+    /// a finding is *composite* iff it vanishes under this restriction.
+    #[serde(default)]
+    pub freeze_guards: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            guard_modeling: true,
+            storage_taint: true,
+            storage_model: StorageModel::Precise,
+            freeze_guards: false,
+        }
+    }
+}
+
+impl Config {
+    /// Figure 8a: no storage modeling (completeness ablation).
+    pub fn no_storage_taint() -> Self {
+        Config { storage_taint: false, ..Config::default() }
+    }
+
+    /// Figure 8b: no guard modeling (precision ablation).
+    pub fn no_guard_model() -> Self {
+        Config { guard_modeling: false, ..Config::default() }
+    }
+
+    /// Figure 8c: conservative storage modeling (precision ablation).
+    pub fn conservative_storage() -> Self {
+        Config { storage_model: StorageModel::Conservative, ..Config::default() }
+    }
+}

@@ -1,0 +1,59 @@
+//! # ethainter — composite information-flow analysis for smart contracts
+//!
+//! A from-scratch Rust reproduction of *Ethainter: A Smart Contract
+//! Security Analyzer for Composite Vulnerabilities* (PLDI 2020).
+//!
+//! Two layers:
+//!
+//! - [`formalism`] — the paper's §4 abstract language and inference rules
+//!   (Figures 1–4), runnable in isolation on the `datalog` engine.
+//! - [`analysis`] — the production analysis over decompiled EVM bytecode
+//!   (the Figure 5 mutual recursion): guard inference, sender-keyed
+//!   data-structure modeling, two-flavor taint (input vs. storage), guard
+//!   defeat, and the five vulnerability detectors of §3.
+//!
+//! # Examples
+//!
+//! ```
+//! use ethainter::{analyze_bytecode, Config, Vuln};
+//!
+//! let src = r#"
+//! contract Bad {
+//!     address owner;
+//!     function initOwner(address o) public { owner = o; }
+//!     function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+//! }"#;
+//! let compiled = minisol::compile_source(src).unwrap();
+//! let report = analyze_bytecode(&compiled.bytecode, &Config::default());
+//! assert!(report.has(Vuln::TaintedOwnerVariable));
+//! assert!(report.has(Vuln::AccessibleSelfDestruct));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod formalism;
+pub mod report;
+
+pub use analysis::analyze;
+pub use config::{Config, StorageModel};
+pub use report::{Finding, Report, Stats, Vuln};
+
+/// Decompiles `bytecode` and runs the analysis — the end-to-end entry
+/// point used by the CLI, the scanner, and Ethainter-Kill.
+pub fn analyze_bytecode(bytecode: &[u8], config: &Config) -> Report {
+    let program = decompiler::decompile(bytecode);
+    analyze(&program, config)
+}
+
+/// Like [`analyze_bytecode`], with an explicit decompilation budget
+/// (the paper's timeout analogue).
+pub fn analyze_bytecode_with_limits(
+    bytecode: &[u8],
+    config: &Config,
+    limits: decompiler::Limits,
+) -> Report {
+    let program = decompiler::decompile_with_limits(bytecode, limits);
+    analyze(&program, config)
+}

@@ -1,0 +1,107 @@
+//! Findings and per-contract reports (Ethainter's output, consumed by
+//! Ethainter-Kill and the evaluation harness).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The vulnerability classes of §3.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Vuln {
+    /// §3.3 — `SELFDESTRUCT` executable by an arbitrary caller.
+    AccessibleSelfDestruct,
+    /// §3.4 — `SELFDESTRUCT` whose beneficiary is attacker-influenced.
+    TaintedSelfDestruct,
+    /// §3.1 — a storage slot used in a sender guard is attacker-writable.
+    TaintedOwnerVariable,
+    /// §3.2 — `DELEGATECALL` to an attacker-influenced address.
+    TaintedDelegateCall,
+    /// §3.5 — `STATICCALL` whose output window overlaps its input and is
+    /// trusted without a `RETURNDATASIZE` check.
+    UncheckedTaintedStaticCall,
+}
+
+impl Vuln {
+    /// All vulnerability classes, in the paper's table order.
+    pub const ALL: [Vuln; 5] = [
+        Vuln::AccessibleSelfDestruct,
+        Vuln::TaintedSelfDestruct,
+        Vuln::TaintedOwnerVariable,
+        Vuln::UncheckedTaintedStaticCall,
+        Vuln::TaintedDelegateCall,
+    ];
+
+    /// Short display name as in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vuln::AccessibleSelfDestruct => "accessible selfdestruct",
+            Vuln::TaintedSelfDestruct => "tainted selfdestruct",
+            Vuln::TaintedOwnerVariable => "tainted owner variable",
+            Vuln::TaintedDelegateCall => "tainted delegatecall",
+            Vuln::UncheckedTaintedStaticCall => "unchecked tainted staticcall",
+        }
+    }
+}
+
+impl fmt::Display for Vuln {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One flagged program point.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Vulnerability class.
+    pub vuln: Vuln,
+    /// TAC statement id of the sink/anchor.
+    pub stmt: u32,
+    /// Bytecode offset of the sink.
+    pub pc: usize,
+    /// Selectors of public functions from which the sink is reachable
+    /// (Ethainter-Kill's entry-point candidates; empty when the
+    /// dispatcher pattern was not recovered).
+    pub selectors: Vec<u32>,
+    /// Whether the composite machinery (guard tainting) was needed to
+    /// establish this finding (the ✰ marker of Figure 6).
+    pub composite: bool,
+}
+
+/// Analysis statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// TAC blocks analyzed.
+    pub blocks: usize,
+    /// TAC statements analyzed.
+    pub stmts: usize,
+    /// Outer fixpoint rounds.
+    pub rounds: usize,
+}
+
+/// Full per-contract output.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Flagged vulnerabilities.
+    pub findings: Vec<Finding>,
+    /// True when decompilation hit its budget; findings may be partial
+    /// (counted as a timeout in the evaluation, like the paper's 120 s
+    /// cutoff).
+    pub timed_out: bool,
+    /// Bytecode offsets of the guard `JUMPI`s the fixpoint defeated —
+    /// the provenance of every composite finding (the escalation chain
+    /// an attacker walks through these guards, in pc order).
+    pub defeated_guards: Vec<usize>,
+    /// Statistics.
+    pub stats: Stats,
+}
+
+impl Report {
+    /// True if any finding has the given class.
+    pub fn has(&self, vuln: Vuln) -> bool {
+        self.findings.iter().any(|f| f.vuln == vuln)
+    }
+
+    /// Findings of one class.
+    pub fn of(&self, vuln: Vuln) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.vuln == vuln)
+    }
+}

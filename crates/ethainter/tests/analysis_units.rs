@@ -1,0 +1,397 @@
+//! Focused tests of the analysis internals — each exercising one rule or
+//! mechanism of the Figure 5 recursion through small compiled contracts.
+
+use ethainter::{analyze_bytecode, Config, Report, Vuln};
+
+fn analyze(src: &str) -> Report {
+    let compiled = minisol::compile_source(src).unwrap();
+    analyze_bytecode(&compiled.bytecode, &Config::default())
+}
+
+// ------------------------------------------------------ guard inference --
+
+#[test]
+fn if_form_guard_protects_then_branch_only() {
+    // The sink in the else-branch is NOT sender-guarded.
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            function f() public {
+                if (msg.sender == owner) { } else { selfdestruct(msg.sender); }
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn negated_guard_polarity_is_understood() {
+    // require(!(msg.sender != owner)) — a double negation that still
+    // sanitizes (the ISZERO-peeling path).
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            function kill() public {
+                require(!(msg.sender != owner));
+                selfdestruct(owner);
+            }
+        }"#,
+    );
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn non_sender_guard_is_not_sanitizing() {
+    // Uguard-NDS: a threshold check sanitizes nothing.
+    let r = analyze(
+        r#"contract C {
+            function kill(uint amount) public {
+                require(amount > 100);
+                selfdestruct(msg.sender);
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn guard_applies_through_nested_control_flow() {
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            uint x;
+            function f(uint a) public {
+                require(msg.sender == owner);
+                if (a > 5) {
+                    while (x < a) { x += 1; }
+                    selfdestruct(owner);
+                }
+            }
+        }"#,
+    );
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn two_guards_both_must_be_defeated() {
+    // kill requires owner AND admin membership; only the membership is
+    // attacker-enrollable, so the statement stays protected.
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            mapping(address => bool) admins;
+            function enroll() public { admins[msg.sender] = true; }
+            function kill() public {
+                require(admins[msg.sender]);
+                require(msg.sender == owner);
+                selfdestruct(owner);
+            }
+        }"#,
+    );
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn conjoined_guard_with_enrollable_side_still_holds() {
+    // require(a && b) where only a is defeatable: the condition is a
+    // single AND whose owner side cannot be satisfied.
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            mapping(address => bool) admins;
+            function enroll() public { admins[msg.sender] = true; }
+            function kill() public {
+                require(admins[msg.sender] && msg.sender == owner);
+                selfdestruct(owner);
+            }
+        }"#,
+    );
+    // The conjunction involves the sender; it is sanitizing. Defeat
+    // requires tainting it, which the owner side prevents.
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn disjoined_guard_defeated_via_weaker_side() {
+    // require(msg.sender == owner || admins[msg.sender]): enrolling into
+    // the admins side opens the guard even though owner is sound.
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            mapping(address => bool) admins;
+            function enroll(address who) public { admins[who] = true; }
+            function kill() public {
+                require(msg.sender == owner || admins[msg.sender]);
+                selfdestruct(msg.sender);
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn disjoined_guard_holds_when_both_sides_sound() {
+    let r = analyze(
+        r#"contract C {
+            address owner = 0x1234;
+            address backup = 0x5678;
+            function kill() public {
+                require(msg.sender == owner || msg.sender == backup);
+                selfdestruct(msg.sender);
+            }
+        }"#,
+    );
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+// ----------------------------------------------- sender-keyed structures --
+
+#[test]
+fn nested_membership_guard_is_recognized() {
+    // require(perms[msg.sender][msg.sender]) — nested sender-keyed lookup.
+    let r = analyze(
+        r#"contract C {
+            mapping(address => mapping(address => bool)) perms;
+            address owner = 0x1234;
+            function grant(address a) public {
+                require(msg.sender == owner);
+                perms[a][a] = true;
+            }
+            function kill() public {
+                require(perms[msg.sender][msg.sender]);
+                selfdestruct(msg.sender);
+            }
+        }"#,
+    );
+    // Enrollment is owner-guarded: not attacker-writable, kill protected.
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn enrollment_with_attacker_key_defeats_membership() {
+    let r = analyze(
+        r#"contract C {
+            mapping(address => bool) vips;
+            function join(address who) public { vips[who] = true; }
+            function kill() public {
+                require(vips[msg.sender]);
+                selfdestruct(msg.sender);
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn enrollment_into_different_mapping_is_insufficient() {
+    // Attacker can enroll in `users`, but the guard checks `admins`.
+    let r = analyze(
+        r#"contract C {
+            mapping(address => bool) users;
+            mapping(address => bool) admins;
+            function join() public { users[msg.sender] = true; }
+            function kill() public {
+                require(admins[msg.sender]);
+                selfdestruct(msg.sender);
+            }
+        }"#,
+    );
+    assert!(!r.has(Vuln::AccessibleSelfDestruct), "{:?}", r.findings);
+}
+
+// ------------------------------------------------------------ taint flow --
+
+#[test]
+fn taint_flows_through_arithmetic_and_casts() {
+    let r = analyze(
+        r#"contract C {
+            function kill(uint seed) public {
+                selfdestruct(address(seed + 7));
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::TaintedSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn taint_flows_through_local_variables_and_memory() {
+    let r = analyze(
+        r#"contract C {
+            function kill(address to) public {
+                address a = to;
+                address b = a;
+                selfdestruct(b);
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::TaintedSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn storage_taint_crosses_functions() {
+    // Write in one function, sink in another: the cross-transaction flow.
+    let r = analyze(
+        r#"contract C {
+            address target;
+            function set(address t) public { target = t; }
+            function kill() public { selfdestruct(target); }
+        }"#,
+    );
+    assert!(r.has(Vuln::TaintedSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn taint_does_not_flow_backwards() {
+    // The sink reads slot 0; the attacker writes slot 1.
+    let r = analyze(
+        r#"contract C {
+            address beneficiary = 0x99;
+            address unrelated;
+            function set(address t) public { unrelated = t; }
+            function kill() public { selfdestruct(beneficiary); }
+        }"#,
+    );
+    assert!(r.has(Vuln::AccessibleSelfDestruct));
+    assert!(!r.has(Vuln::TaintedSelfDestruct), "{:?}", r.findings);
+}
+
+#[test]
+fn tainted_mapping_value_taints_loads_of_that_mapping() {
+    let r = analyze(
+        r#"contract C {
+            mapping(uint => address) routes;
+            function setRoute(uint k, address t) public { routes[k] = t; }
+            function kill(uint k) public { selfdestruct(routes[k]); }
+        }"#,
+    );
+    assert!(r.has(Vuln::TaintedSelfDestruct), "{:?}", r.findings);
+}
+
+// -------------------------------------------------------- sink inference --
+
+#[test]
+fn slot_compared_to_sender_is_a_sink() {
+    // §4.5: `admin` guards nothing sensitive syntactically, but a slot
+    // compared against the sender is itself a sink.
+    let r = analyze(
+        r#"contract C {
+            address admin;
+            uint counter;
+            function setAdmin(address a) public { admin = a; }
+            function bump() public {
+                require(msg.sender == admin);
+                counter += 1;
+            }
+        }"#,
+    );
+    assert!(r.has(Vuln::TaintedOwnerVariable), "{:?}", r.findings);
+}
+
+#[test]
+fn slot_never_used_in_guards_is_not_a_sink() {
+    // Writes to a plain data slot are not "tainted owner" findings.
+    let r = analyze(
+        r#"contract C {
+            address lastSender;
+            function record(address x) public { lastSender = x; }
+        }"#,
+    );
+    assert!(!r.has(Vuln::TaintedOwnerVariable), "{:?}", r.findings);
+}
+
+// ------------------------------------------------------- report metadata --
+
+#[test]
+fn composite_marker_distinguishes_direct_findings() {
+    let direct = analyze(
+        "contract C { function kill(address to) public { selfdestruct(to); } }",
+    );
+    assert!(direct.of(Vuln::TaintedSelfDestruct).all(|f| !f.composite), "{direct:?}");
+
+    let composite = analyze(
+        r#"contract C {
+            address owner;
+            function init(address o) public { owner = o; }
+            function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+        }"#,
+    );
+    assert!(composite.of(Vuln::TaintedSelfDestruct).all(|f| f.composite), "{composite:?}");
+}
+
+#[test]
+fn stats_are_populated() {
+    let r = analyze("contract C { function f() public {} }");
+    assert!(r.stats.blocks > 0);
+    assert!(r.stats.stmts > 0);
+    assert!(r.stats.rounds > 0);
+}
+
+#[test]
+fn findings_are_sorted_and_deduped() {
+    let r = analyze(
+        r#"contract C {
+            address owner;
+            function init(address o) public { owner = o; }
+            function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+        }"#,
+    );
+    let mut sorted = r.findings.clone();
+    sorted.sort_by_key(|f| (f.vuln, f.stmt));
+    sorted.dedup();
+    assert_eq!(r.findings, sorted);
+}
+#[test]
+fn emit_produces_log_with_name_topic() {
+    use evm::World;
+    let src = r#"contract C {
+        uint total;
+        function pay(address to, uint v) public {
+            total += v;
+            emit Payment(uint(to), v);
+        }
+    }"#;
+    let compiled = minisol::compile_source(src).unwrap();
+    let mut net = chain::TestNet::new();
+    let user = net.funded_account(evm::U256::from(1_000u64));
+    let c = net.deploy(user, compiled.bytecode);
+    let r = net.call(
+        user,
+        c,
+        chain::abi::encode_call("pay(address,uint256)", &[evm::U256::from(0x77u64), evm::U256::from(9u64)]),
+        evm::U256::ZERO,
+    );
+    assert!(r.success, "{:?}", r.outcome);
+    let logs = net.logs();
+    assert_eq!(logs.len(), 1);
+    assert_eq!(logs[0].topics, vec![evm::keccak256_u256(b"Payment")]);
+    assert_eq!(logs[0].data.len(), 64);
+    assert_eq!(evm::U256::from_be_slice(&logs[0].data[32..]), evm::U256::from(9u64));
+    let _ = net.state().code(c);
+}
+
+#[test]
+fn emit_round_trips_through_pretty_printer() {
+    let src = r#"contract C {
+        uint x;
+        function f(uint v) public { emit Tick(v); x = v; }
+    }"#;
+    let ast = minisol::parse(src).unwrap();
+    let printed = minisol::pretty::print_contract(&ast);
+    assert!(printed.contains("emit Tick(v);"), "{printed}");
+    let direct = minisol::compile_source(src).unwrap();
+    let reprinted = minisol::compile_source(&printed).unwrap();
+    assert_eq!(direct.bytecode, reprinted.bytecode);
+}
+
+#[test]
+fn emit_does_not_perturb_analysis() {
+    let src = r#"contract C {
+        address owner;
+        function initOwner(address o) public { owner = o; emit OwnerSet(uint(o)); }
+        function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+    }"#;
+    let compiled = minisol::compile_source(src).unwrap();
+    let r = ethainter::analyze_bytecode(&compiled.bytecode, &ethainter::Config::default());
+    assert!(r.has(ethainter::Vuln::TaintedOwnerVariable), "{:?}", r.findings);
+    assert!(r.has(ethainter::Vuln::AccessibleSelfDestruct));
+}

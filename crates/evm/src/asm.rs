@@ -1,0 +1,310 @@
+//! A small EVM assembler with label resolution.
+//!
+//! This is the code-generation backend used by the `minisol` compiler and
+//! by hand-written test contracts. Labels are bound to `JUMPDEST`s and
+//! referenced with fixed-width `PUSH2` (code must stay under 64 KiB,
+//! which is far above the mainnet contract-size cap anyway).
+
+use crate::opcode::Opcode;
+use crate::u256::U256;
+
+/// A forward-referenceable jump target.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(u32);
+
+#[derive(Clone, Debug)]
+enum Item {
+    Op(Opcode),
+    PushValue(U256),
+    PushLabel(Label),
+    Bind(Label),
+    Raw(Vec<u8>),
+}
+
+/// An assembly buffer: append operations, bind labels, then
+/// [`Asm::assemble`] into bytecode.
+///
+/// # Examples
+///
+/// ```
+/// use evm::asm::Asm;
+/// use evm::opcode::Opcode;
+/// use evm::U256;
+/// let mut a = Asm::new();
+/// let done = a.label();
+/// a.push(U256::ONE).jump_to(done);
+/// a.bind(done);
+/// a.op(Opcode::Stop);
+/// let code = a.assemble();
+/// assert!(!code.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    next_label: u32,
+}
+
+/// Error produced when assembly cannot complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A `PUSH` label reference was never bound.
+    UnboundLabel(u32),
+    /// A label was bound more than once.
+    DuplicateLabel(u32),
+    /// The assembled code exceeds the PUSH2-addressable 64 KiB.
+    CodeTooLarge(usize),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l} referenced but never bound"),
+            AsmError::DuplicateLabel(l) => write!(f, "label {l} bound twice"),
+            AsmError::CodeTooLarge(n) => write!(f, "assembled code is {n} bytes (max 65535)"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl Asm {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Appends a bare opcode.
+    pub fn op(&mut self, op: Opcode) -> &mut Self {
+        self.items.push(Item::Op(op));
+        self
+    }
+
+    /// Appends a minimal-width `PUSH` of `v`.
+    pub fn push(&mut self, v: U256) -> &mut Self {
+        self.items.push(Item::PushValue(v));
+        self
+    }
+
+    /// Appends a `PUSH2` of the eventual offset of `l`.
+    pub fn push_label(&mut self, l: Label) -> &mut Self {
+        self.items.push(Item::PushLabel(l));
+        self
+    }
+
+    /// Binds `l` here and emits the `JUMPDEST`.
+    pub fn bind(&mut self, l: Label) -> &mut Self {
+        self.items.push(Item::Bind(l));
+        self.items.push(Item::Op(Opcode::JumpDest));
+        self
+    }
+
+    /// Binds `l` here **without** a `JUMPDEST` — for data offsets
+    /// (e.g. the runtime blob embedded in init code), not jump targets.
+    pub fn mark(&mut self, l: Label) -> &mut Self {
+        self.items.push(Item::Bind(l));
+        self
+    }
+
+    /// `PUSH2 l; JUMP`.
+    pub fn jump_to(&mut self, l: Label) -> &mut Self {
+        self.push_label(l).op(Opcode::Jump)
+    }
+
+    /// `PUSH2 l; JUMPI` (consumes the condition already on the stack).
+    pub fn jumpi_to(&mut self, l: Label) -> &mut Self {
+        self.push_label(l).op(Opcode::JumpI)
+    }
+
+    /// Appends raw bytes verbatim (e.g. embedded runtime code or data).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.items.push(Item::Raw(bytes.to_vec()));
+        self
+    }
+
+    /// Splices another buffer's items onto this one, renumbering its
+    /// labels so they cannot collide.
+    pub fn append(&mut self, mut other: Asm) -> &mut Self {
+        let base = self.next_label;
+        for item in &mut other.items {
+            match item {
+                Item::PushLabel(Label(l)) | Item::Bind(Label(l)) => *l += base,
+                _ => {}
+            }
+        }
+        self.next_label += other.next_label;
+        self.items.extend(other.items);
+        self
+    }
+
+    fn width(item: &Item) -> usize {
+        match item {
+            Item::Op(op) => 1 + op.immediate_len(),
+            Item::PushValue(v) => {
+                let nbytes = (v.bits().div_ceil(8)).max(1) as usize;
+                1 + nbytes
+            }
+            Item::PushLabel(_) => 3, // PUSH2 hi lo
+            Item::Bind(_) => 0,
+            Item::Raw(b) => b.len(),
+        }
+    }
+
+    /// Resolves labels and produces bytecode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for unbound or duplicate labels, or code over
+    /// 64 KiB.
+    pub fn try_assemble(self) -> Result<Vec<u8>, AsmError> {
+        // Pass 1: layout.
+        let mut offsets = std::collections::HashMap::new();
+        let mut pc = 0usize;
+        for item in &self.items {
+            if let Item::Bind(Label(l)) = item {
+                if offsets.insert(*l, pc).is_some() {
+                    return Err(AsmError::DuplicateLabel(*l));
+                }
+            }
+            pc += Self::width(item);
+        }
+        if pc > 0xffff {
+            return Err(AsmError::CodeTooLarge(pc));
+        }
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(pc);
+        for item in &self.items {
+            match item {
+                Item::Op(op) => {
+                    out.push(op.to_byte());
+                    // Bare `Op(Push(n))` (without a value) emits zero
+                    // immediates; the `push` helper is the normal path.
+                    out.extend(std::iter::repeat_n(0u8, op.immediate_len()));
+                }
+                Item::PushValue(v) => {
+                    let nbytes = (v.bits().div_ceil(8)).max(1) as usize;
+                    out.push(Opcode::Push(nbytes as u8).to_byte());
+                    out.extend_from_slice(&v.to_be_bytes()[32 - nbytes..]);
+                }
+                Item::PushLabel(Label(l)) => {
+                    let target = *offsets.get(l).ok_or(AsmError::UnboundLabel(*l))?;
+                    out.push(Opcode::Push(2).to_byte());
+                    out.extend_from_slice(&(target as u16).to_be_bytes());
+                }
+                Item::Bind(_) => {}
+                Item::Raw(b) => out.extend_from_slice(b),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves labels and produces bytecode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound/duplicate labels or oversized code; use
+    /// [`Asm::try_assemble`] for the fallible form.
+    pub fn assemble(self) -> Vec<u8> {
+        self.try_assemble().expect("assembly failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{disassemble, Opcode};
+
+    #[test]
+    fn push_uses_minimal_width() {
+        let mut a = Asm::new();
+        a.push(U256::from(0x1u64));
+        a.push(U256::from(0x1234u64));
+        a.push(U256::ZERO);
+        let code = a.assemble();
+        assert_eq!(code, vec![0x60, 0x01, 0x61, 0x12, 0x34, 0x60, 0x00]);
+    }
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut a = Asm::new();
+        let end = a.label();
+        a.push(U256::ONE).jumpi_to(end);
+        a.op(Opcode::Invalid);
+        a.bind(end);
+        a.op(Opcode::Stop);
+        let code = a.assemble();
+        let insns = disassemble(&code);
+        // PUSH1 1; PUSH2 end; JUMPI; INVALID; JUMPDEST; STOP
+        let jumpdest_off = insns.iter().find(|i| i.opcode == Opcode::JumpDest).unwrap().offset;
+        assert_eq!(insns[1].immediate.unwrap().low_u64() as usize, jumpdest_off);
+    }
+
+    #[test]
+    fn backward_label_resolves() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.push(U256::ZERO).jumpi_to(top);
+        a.op(Opcode::Stop);
+        let code = a.assemble();
+        let insns = disassemble(&code);
+        assert_eq!(insns[0].opcode, Opcode::JumpDest);
+        assert_eq!(insns[2].immediate.unwrap().low_u64(), 0);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.push_label(l);
+        assert_eq!(a.try_assemble(), Err(AsmError::UnboundLabel(0)));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+        assert!(matches!(a.try_assemble(), Err(AsmError::DuplicateLabel(0))));
+    }
+
+    #[test]
+    fn append_renumbers_labels() {
+        let mut inner = Asm::new();
+        let li = inner.label();
+        inner.jump_to(li);
+        inner.bind(li);
+
+        let mut outer = Asm::new();
+        let lo = outer.label();
+        outer.jump_to(lo);
+        outer.bind(lo);
+        outer.append(inner);
+        let code = outer.assemble();
+        let insns = disassemble(&code);
+        let dests: Vec<usize> = insns
+            .iter()
+            .filter(|i| i.opcode == Opcode::JumpDest)
+            .map(|i| i.offset)
+            .collect();
+        assert_eq!(dests.len(), 2);
+        // First jump targets first dest, second jump the second.
+        assert_eq!(insns[0].immediate.unwrap().low_u64() as usize, dests[0]);
+        let second_push = insns.iter().filter(|i| i.opcode == Opcode::Push(2)).nth(1).unwrap();
+        assert_eq!(second_push.immediate.unwrap().low_u64() as usize, dests[1]);
+    }
+
+    #[test]
+    fn raw_bytes_emitted_verbatim() {
+        let mut a = Asm::new();
+        a.raw(&[0xde, 0xad]);
+        assert_eq!(a.assemble(), vec![0xde, 0xad]);
+    }
+}

@@ -1,0 +1,893 @@
+//! The EVM interpreter: executes bytecode frames against a [`World`].
+//!
+//! The interpreter is deliberately self-contained: nested message calls
+//! (`CALL`, `DELEGATECALL`, `STATICCALL`, `CALLCODE`, `CREATE`,
+//! `CREATE2`) recurse within the interpreter, using the world's journal
+//! (snapshot/revert) for state rollback. Gas accounting uses a simplified
+//! schedule — enough to terminate runaway execution and to inject
+//! out-of-gas failures, without modeling the full Yellow-Paper fee table.
+
+use crate::keccak::keccak256_u256;
+use crate::opcode::Opcode;
+use crate::types::Address;
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+
+/// Maximum message-call depth. The real EVM allows 1024; we cap far
+/// lower because the interpreter recurses natively per frame and debug
+/// builds have 2 MiB test-thread stacks. Nothing in the corpus nests
+/// deeper than a handful of frames.
+pub const MAX_CALL_DEPTH: usize = 40;
+
+/// Maximum stack height, per the EVM specification.
+pub const MAX_STACK: usize = 1024;
+
+/// The state interface the interpreter runs against.
+///
+/// Implementations must provide journaling: [`World::snapshot`] returns a
+/// checkpoint and [`World::revert_to`] undoes everything since it. The
+/// `chain` crate provides the production implementation.
+pub trait World {
+    /// Balance of `address`.
+    fn balance(&self, address: Address) -> U256;
+    /// Runtime code of `address` (empty if none).
+    fn code(&self, address: Address) -> Vec<u8>;
+    /// Persistent storage read.
+    fn storage_get(&self, address: Address, key: U256) -> U256;
+    /// Persistent storage write.
+    fn storage_set(&mut self, address: Address, key: U256, value: U256);
+    /// Moves `value` wei; returns false if `from` has insufficient funds.
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool;
+    /// Marks `address` destroyed, crediting its balance to `beneficiary`.
+    fn selfdestruct(&mut self, address: Address, beneficiary: Address);
+    /// Registers freshly deployed runtime code at `address`.
+    fn set_code(&mut self, address: Address, code: Vec<u8>);
+    /// Account nonce (used for CREATE address derivation).
+    fn nonce(&self, address: Address) -> u64;
+    /// Increments the account nonce.
+    fn increment_nonce(&mut self, address: Address);
+    /// Appends a log record.
+    fn log(&mut self, address: Address, topics: Vec<U256>, data: Vec<u8>);
+    /// Takes a journal checkpoint.
+    fn snapshot(&mut self) -> usize;
+    /// Rolls state back to a checkpoint from [`World::snapshot`].
+    fn revert_to(&mut self, snapshot: usize);
+    /// Current block number.
+    fn block_number(&self) -> u64 {
+        0
+    }
+    /// Current block timestamp.
+    fn block_timestamp(&self) -> u64 {
+        0
+    }
+}
+
+/// Why a frame stopped executing abnormally.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names (pc, op, target, byte) are self-documenting
+pub enum VmError {
+    /// Stack underflow at the given pc.
+    StackUnderflow { pc: usize, op: String },
+    /// Stack exceeded [`MAX_STACK`].
+    StackOverflow { pc: usize },
+    /// Gas exhausted.
+    OutOfGas,
+    /// Jump to a non-`JUMPDEST` destination.
+    InvalidJump { pc: usize, target: U256 },
+    /// `INVALID` or an unassigned opcode executed.
+    InvalidOpcode { pc: usize, byte: u8 },
+    /// State modification attempted inside `STATICCALL`.
+    StaticViolation { pc: usize, op: String },
+    /// Message-call depth exceeded [`MAX_CALL_DEPTH`].
+    CallDepthExceeded,
+    /// Value transfer failed (insufficient balance).
+    InsufficientBalance,
+    /// `RETURNDATACOPY` out of the return buffer's bounds.
+    ReturnDataOutOfBounds { pc: usize },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::StackUnderflow { pc, op } => write!(f, "stack underflow at {pc} in {op}"),
+            VmError::StackOverflow { pc } => write!(f, "stack overflow at {pc}"),
+            VmError::OutOfGas => write!(f, "out of gas"),
+            VmError::InvalidJump { pc, target } => {
+                write!(f, "invalid jump at {pc} to {target:?}")
+            }
+            VmError::InvalidOpcode { pc, byte } => {
+                write!(f, "invalid opcode 0x{byte:02x} at {pc}")
+            }
+            VmError::StaticViolation { pc, op } => {
+                write!(f, "state modification in static context at {pc} ({op})")
+            }
+            VmError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            VmError::InsufficientBalance => write!(f, "insufficient balance for transfer"),
+            VmError::ReturnDataOutOfBounds { pc } => {
+                write!(f, "returndatacopy out of bounds at {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// How a frame finished.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `RETURN` (or implicit `STOP`) with output data.
+    Return(Vec<u8>),
+    /// `REVERT` with revert data; state changes rolled back by the caller.
+    Revert(Vec<u8>),
+    /// `SELFDESTRUCT`: contract destroyed, balance sent to the address.
+    SelfDestruct(Address),
+    /// Abnormal termination; state changes rolled back by the caller.
+    Error(VmError),
+}
+
+impl Outcome {
+    /// True for `Return` and `SelfDestruct` (the success cases that commit
+    /// state).
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Return(_) | Outcome::SelfDestruct(_))
+    }
+}
+
+/// One executed instruction, for trace-based exploit verification.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Call depth (0 = outermost frame).
+    pub depth: usize,
+    /// Executing contract (storage context).
+    pub address: Address,
+    /// Program counter.
+    pub pc: usize,
+    /// Executed opcode.
+    pub op: Opcode,
+}
+
+/// Execution trace across all frames of a transaction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Executed steps, in order.
+    pub steps: Vec<TraceStep>,
+    /// When true, steps are recorded; otherwise the trace stays empty.
+    pub enabled: bool,
+}
+
+impl Trace {
+    /// A recording trace.
+    pub fn recording() -> Self {
+        Trace { steps: Vec::new(), enabled: true }
+    }
+
+    /// True if the trace contains an executed `op` (any frame).
+    pub fn executed(&self, op: Opcode) -> bool {
+        self.steps.iter().any(|s| s.op == op)
+    }
+
+    fn record(&mut self, depth: usize, address: Address, pc: usize, op: Opcode) {
+        if self.enabled {
+            self.steps.push(TraceStep { depth, address, pc, op });
+        }
+    }
+}
+
+/// Parameters of a message-call frame.
+#[derive(Clone, Debug)]
+pub struct CallParams {
+    /// Immediate caller (`CALLER`).
+    pub caller: Address,
+    /// Storage/balance context (`ADDRESS`).
+    pub address: Address,
+    /// Account whose code runs (differs from `address` under
+    /// `DELEGATECALL`/`CALLCODE`).
+    pub code_address: Address,
+    /// Transaction originator (`ORIGIN`).
+    pub origin: Address,
+    /// Wei transferred (`CALLVALUE`).
+    pub value: U256,
+    /// Call data.
+    pub data: Vec<u8>,
+    /// Gas budget.
+    pub gas: u64,
+    /// Static context: state mutation forbidden.
+    pub is_static: bool,
+    /// Current call depth.
+    pub depth: usize,
+}
+
+impl CallParams {
+    /// A fresh top-level call with sensible defaults.
+    pub fn transaction(from: Address, to: Address, data: Vec<u8>, value: U256) -> Self {
+        CallParams {
+            caller: from,
+            address: to,
+            code_address: to,
+            origin: from,
+            value,
+            data,
+            gas: 10_000_000,
+            is_static: false,
+            depth: 0,
+        }
+    }
+}
+
+/// Result of executing a frame.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// How the frame finished.
+    pub outcome: Outcome,
+    /// Gas consumed by this frame (including children).
+    pub gas_used: u64,
+}
+
+/// Simplified gas cost for one opcode.
+fn gas_cost(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        SStore => 5000,
+        SLoad => 200,
+        Sha3 => 36,
+        Call | CallCode | DelegateCall | StaticCall => 700,
+        Create | Create2 => 32000,
+        Balance | ExtCodeSize | ExtCodeHash | ExtCodeCopy => 400,
+        Exp => 50,
+        Log(n) => 375 * (n as u64 + 1),
+        SelfDestruct => 5000,
+        _ => 3,
+    }
+}
+
+struct Frame<'a> {
+    params: CallParams,
+    code: Vec<u8>,
+    stack: Vec<U256>,
+    memory: Vec<u8>,
+    pc: usize,
+    gas: u64,
+    return_data: Vec<u8>,
+    world: &'a mut dyn World,
+    trace: &'a mut Trace,
+    valid_jumpdests: Vec<bool>,
+}
+
+/// Executes a message call against `world`, recording into `trace`.
+///
+/// This is the main entry point; the `chain` crate wraps it in
+/// transaction processing.
+///
+/// # Examples
+///
+/// See the `chain` crate's `TestNet` for end-to-end usage.
+pub fn execute(world: &mut dyn World, params: CallParams, trace: &mut Trace) -> Execution {
+    if params.depth > MAX_CALL_DEPTH {
+        return Execution { outcome: Outcome::Error(VmError::CallDepthExceeded), gas_used: 0 };
+    }
+    let code = world.code(params.code_address);
+
+    // NOTE: value transfer is the caller's responsibility — the `chain`
+    // crate moves value for top-level transactions, and `do_call` moves it
+    // for nested CALLs — so that it happens exactly once per message.
+
+    if code.is_empty() {
+        // Plain value transfer or call to an EOA.
+        return Execution { outcome: Outcome::Return(Vec::new()), gas_used: 0 };
+    }
+
+    let mut valid_jumpdests = vec![false; code.len()];
+    {
+        let mut i = 0usize;
+        while i < code.len() {
+            let op = Opcode::from_byte(code[i]);
+            if op == Opcode::JumpDest {
+                valid_jumpdests[i] = true;
+            }
+            i += 1 + op.immediate_len();
+        }
+    }
+
+    let gas = params.gas;
+    let mut frame = Frame {
+        params,
+        code,
+        stack: Vec::with_capacity(64),
+        memory: Vec::new(),
+        pc: 0,
+        gas,
+        return_data: Vec::new(),
+        world,
+        trace,
+        valid_jumpdests,
+    };
+    let outcome = frame.run();
+    Execution { outcome, gas_used: gas - frame.gas }
+}
+
+/// Truncating 256-bit → address cast (free fn so `use Opcode::*` globs
+/// inside `step` cannot shadow the `Address` type).
+fn addr(v: U256) -> Address {
+    Address::from_u256(v)
+}
+
+impl Frame<'_> {
+    fn pop(&mut self, op: Opcode) -> Result<U256, VmError> {
+        self.stack
+            .pop()
+            .ok_or(VmError::StackUnderflow { pc: self.pc, op: op.mnemonic() })
+    }
+
+    fn push(&mut self, v: U256) -> Result<(), VmError> {
+        if self.stack.len() >= MAX_STACK {
+            return Err(VmError::StackOverflow { pc: self.pc });
+        }
+        self.stack.push(v);
+        Ok(())
+    }
+
+    fn charge(&mut self, amount: u64) -> Result<(), VmError> {
+        if self.gas < amount {
+            self.gas = 0;
+            return Err(VmError::OutOfGas);
+        }
+        self.gas -= amount;
+        Ok(())
+    }
+
+    fn mem_expand(&mut self, offset: usize, len: usize) -> Result<(), VmError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = offset.checked_add(len).ok_or(VmError::OutOfGas)?;
+        if end > self.memory.len() {
+            let new_len = end.div_ceil(32) * 32;
+            // 1 gas per fresh 32-byte word: keeps memory bombs bounded.
+            let words = (new_len - self.memory.len()) / 32;
+            self.charge(words as u64)?;
+            if new_len > 16 * 1024 * 1024 {
+                return Err(VmError::OutOfGas);
+            }
+            self.memory.resize(new_len, 0);
+        }
+        Ok(())
+    }
+
+    fn mem_read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, VmError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        self.mem_expand(offset, len)?;
+        Ok(self.memory[offset..offset + len].to_vec())
+    }
+
+    fn mem_write(&mut self, offset: usize, data: &[u8]) -> Result<(), VmError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.mem_expand(offset, data.len())?;
+        self.memory[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn usize_arg(&self, v: U256) -> Result<usize, VmError> {
+        v.to_usize().ok_or(VmError::OutOfGas)
+    }
+
+    fn run(&mut self) -> Outcome {
+        loop {
+            match self.step() {
+                Ok(Some(outcome)) => return outcome,
+                Ok(None) => {}
+                Err(e) => return Outcome::Error(e),
+            }
+        }
+    }
+
+    /// Executes one instruction. `Ok(Some(..))` terminates the frame.
+    fn step(&mut self) -> Result<Option<Outcome>, VmError> {
+        if self.pc >= self.code.len() {
+            // Running off the code end is an implicit STOP.
+            return Ok(Some(Outcome::Return(Vec::new())));
+        }
+        let byte = self.code[self.pc];
+        let op = Opcode::from_byte(byte);
+        self.trace.record(self.params.depth, self.params.address, self.pc, op);
+        self.charge(gas_cost(op))?;
+
+        use Opcode::*;
+        match op {
+            Stop => return Ok(Some(Outcome::Return(Vec::new()))),
+            Add => self.binop(op, U256::wrapping_add)?,
+            Mul => self.binop(op, U256::wrapping_mul)?,
+            Sub => self.binop(op, U256::wrapping_sub)?,
+            Div => self.binop(op, |a, b| a / b)?,
+            SDiv => self.binop(op, U256::sdiv)?,
+            Mod => self.binop(op, |a, b| a % b)?,
+            SMod => self.binop(op, U256::smod)?,
+            AddMod => self.ternop(op, U256::add_mod)?,
+            MulMod => self.ternop(op, U256::mul_mod)?,
+            Exp => self.binop(op, U256::wrapping_pow)?,
+            SignExtend => self.binop(op, |b, x| x.signextend(b))?,
+            Lt => self.binop(op, |a, b| U256::from(a < b))?,
+            Gt => self.binop(op, |a, b| U256::from(a > b))?,
+            SLt => self.binop(op, |a, b| U256::from(a.slt(b)))?,
+            SGt => self.binop(op, |a, b| U256::from(a.sgt(b)))?,
+            Eq => self.binop(op, |a, b| U256::from(a == b))?,
+            IsZero => {
+                let a = self.pop(op)?;
+                self.push(U256::from(a.is_zero()))?;
+            }
+            And => self.binop(op, |a, b| a & b)?,
+            Or => self.binop(op, |a, b| a | b)?,
+            Xor => self.binop(op, |a, b| a ^ b)?,
+            Not => {
+                let a = self.pop(op)?;
+                self.push(!a)?;
+            }
+            Byte => self.binop(op, |i, x| x.byte_msb(i))?,
+            Shl => self.binop(op, |s, x| x << s)?,
+            Shr => self.binop(op, |s, x| x >> s)?,
+            Sar => self.binop(op, |s, x| x.sar(s))?,
+            Sha3 => {
+                let offset = self.pop(op)?;
+                let len = self.pop(op)?;
+                let (o, l) = (self.usize_arg(offset)?, self.usize_arg(len)?);
+                let data = self.mem_read(o, l)?;
+                self.push(keccak256_u256(&data))?;
+            }
+            Address => {
+                let a = self.params.address;
+                self.push(a.to_u256())?;
+            }
+            Balance => {
+                let a = self.pop(op)?;
+                let bal = self.world.balance(addr(a));
+                self.push(bal)?;
+            }
+            Origin => {
+                let o = self.params.origin;
+                self.push(o.to_u256())?;
+            }
+            Caller => {
+                let c = self.params.caller;
+                self.push(c.to_u256())?;
+            }
+            CallValue => {
+                let v = self.params.value;
+                self.push(v)?;
+            }
+            CallDataLoad => {
+                let off = self.pop(op)?;
+                let mut buf = [0u8; 32];
+                if let Some(o) = off.to_usize() {
+                    for (i, slot) in buf.iter_mut().enumerate() {
+                        *slot = self.params.data.get(o + i).copied().unwrap_or(0);
+                    }
+                }
+                self.push(U256::from_be_bytes(buf))?;
+            }
+            CallDataSize => {
+                let n = self.params.data.len();
+                self.push(U256::from(n))?;
+            }
+            CallDataCopy => {
+                let dst = self.pop(op)?;
+                let src = self.pop(op)?;
+                let len = self.pop(op)?;
+                let (d, l) = (self.usize_arg(dst)?, self.usize_arg(len)?);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                let mut buf = vec![0u8; l];
+                for (i, slot) in buf.iter_mut().enumerate() {
+                    *slot = s
+                        .checked_add(i)
+                        .and_then(|idx| self.params.data.get(idx).copied())
+                        .unwrap_or(0);
+                }
+                self.mem_write(d, &buf)?;
+            }
+            CodeSize => {
+                let n = self.code.len();
+                self.push(U256::from(n))?;
+            }
+            CodeCopy => {
+                let dst = self.pop(op)?;
+                let src = self.pop(op)?;
+                let len = self.pop(op)?;
+                let (d, l) = (self.usize_arg(dst)?, self.usize_arg(len)?);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                let mut buf = vec![0u8; l];
+                for (i, slot) in buf.iter_mut().enumerate() {
+                    *slot = s
+                        .checked_add(i)
+                        .and_then(|idx| self.code.get(idx).copied())
+                        .unwrap_or(0);
+                }
+                self.mem_write(d, &buf)?;
+            }
+            GasPrice => self.push(U256::ONE)?,
+            ExtCodeSize => {
+                let a = self.pop(op)?;
+                let n = self.world.code(addr(a)).len();
+                self.push(U256::from(n))?;
+            }
+            ExtCodeCopy => {
+                let a_ext = self.pop(op)?;
+                let dst = self.pop(op)?;
+                let src = self.pop(op)?;
+                let len = self.pop(op)?;
+                let ext = self.world.code(addr(a_ext));
+                let (d, l) = (self.usize_arg(dst)?, self.usize_arg(len)?);
+                let s = src.to_usize().unwrap_or(usize::MAX);
+                let mut buf = vec![0u8; l];
+                for (i, slot) in buf.iter_mut().enumerate() {
+                    *slot = s.checked_add(i).and_then(|idx| ext.get(idx).copied()).unwrap_or(0);
+                }
+                self.mem_write(d, &buf)?;
+            }
+            ExtCodeHash => {
+                let a = self.pop(op)?;
+                let code = self.world.code(addr(a));
+                if code.is_empty() {
+                    self.push(U256::ZERO)?;
+                } else {
+                    self.push(keccak256_u256(&code))?;
+                }
+            }
+            ReturnDataSize => {
+                let n = self.return_data.len();
+                self.push(U256::from(n))?;
+            }
+            ReturnDataCopy => {
+                let dst = self.pop(op)?;
+                let src = self.pop(op)?;
+                let len = self.pop(op)?;
+                let (d, l) = (self.usize_arg(dst)?, self.usize_arg(len)?);
+                let s = self.usize_arg(src)?;
+                if s.checked_add(l).is_none_or(|end| end > self.return_data.len()) {
+                    return Err(VmError::ReturnDataOutOfBounds { pc: self.pc });
+                }
+                let buf = self.return_data[s..s + l].to_vec();
+                self.mem_write(d, &buf)?;
+            }
+            BlockHash => {
+                let n = self.pop(op)?;
+                self.push(keccak256_u256(&n.to_be_bytes()))?;
+            }
+            Coinbase => self.push(U256::ZERO)?,
+            Timestamp => {
+                let t = self.world.block_timestamp();
+                self.push(U256::from(t))?;
+            }
+            Number => {
+                let n = self.world.block_number();
+                self.push(U256::from(n))?;
+            }
+            Difficulty => self.push(U256::ZERO)?,
+            GasLimit => self.push(U256::from(30_000_000u64))?,
+            Pop => {
+                self.pop(op)?;
+            }
+            MLoad => {
+                let off = self.pop(op)?;
+                let o = self.usize_arg(off)?;
+                let data = self.mem_read(o, 32)?;
+                self.push(U256::from_be_slice(&data))?;
+            }
+            MStore => {
+                let off = self.pop(op)?;
+                let val = self.pop(op)?;
+                let o = self.usize_arg(off)?;
+                self.mem_write(o, &val.to_be_bytes())?;
+            }
+            MStore8 => {
+                let off = self.pop(op)?;
+                let val = self.pop(op)?;
+                let o = self.usize_arg(off)?;
+                self.mem_write(o, &[val.low_u64() as u8])?;
+            }
+            SLoad => {
+                let key = self.pop(op)?;
+                let v = self.world.storage_get(self.params.address, key);
+                self.push(v)?;
+            }
+            SStore => {
+                if self.params.is_static {
+                    return Err(VmError::StaticViolation { pc: self.pc, op: op.mnemonic() });
+                }
+                let key = self.pop(op)?;
+                let val = self.pop(op)?;
+                self.world.storage_set(self.params.address, key, val);
+            }
+            Jump => {
+                let target = self.pop(op)?;
+                self.jump(target)?;
+                return Ok(None);
+            }
+            JumpI => {
+                let target = self.pop(op)?;
+                let cond = self.pop(op)?;
+                if !cond.is_zero() {
+                    self.jump(target)?;
+                    return Ok(None);
+                }
+            }
+            Pc => {
+                let pc = self.pc;
+                self.push(U256::from(pc))?;
+            }
+            MSize => {
+                let n = self.memory.len();
+                self.push(U256::from(n))?;
+            }
+            Gas => {
+                let g = self.gas;
+                self.push(U256::from(g))?;
+            }
+            JumpDest => {}
+            Push(_) => {
+                let ilen = op.immediate_len();
+                let end = (self.pc + 1 + ilen).min(self.code.len());
+                let avail = &self.code[self.pc + 1..end];
+                let mut buf = vec![0u8; ilen];
+                buf[..avail.len()].copy_from_slice(avail);
+                let v = U256::from_be_slice(&buf);
+                self.push(v)?;
+            }
+            Dup(n) => {
+                let idx = self
+                    .stack
+                    .len()
+                    .checked_sub(n as usize)
+                    .ok_or(VmError::StackUnderflow { pc: self.pc, op: op.mnemonic() })?;
+                let v = self.stack[idx];
+                self.push(v)?;
+            }
+            Swap(n) => {
+                let top = self.stack.len();
+                let idx = top
+                    .checked_sub(n as usize + 1)
+                    .ok_or(VmError::StackUnderflow { pc: self.pc, op: op.mnemonic() })?;
+                self.stack.swap(idx, top - 1);
+            }
+            Log(n) => {
+                if self.params.is_static {
+                    return Err(VmError::StaticViolation { pc: self.pc, op: op.mnemonic() });
+                }
+                let off = self.pop(op)?;
+                let len = self.pop(op)?;
+                let mut topics = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    topics.push(self.pop(op)?);
+                }
+                let (o, l) = (self.usize_arg(off)?, self.usize_arg(len)?);
+                let data = self.mem_read(o, l)?;
+                let addr = self.params.address;
+                self.world.log(addr, topics, data);
+            }
+            Create | Create2 => {
+                return self.do_create(op).map(|_| None);
+            }
+            Call | CallCode | DelegateCall | StaticCall => {
+                self.do_call(op)?;
+            }
+            Return => {
+                let off = self.pop(op)?;
+                let len = self.pop(op)?;
+                let (o, l) = (self.usize_arg(off)?, self.usize_arg(len)?);
+                let data = self.mem_read(o, l)?;
+                return Ok(Some(Outcome::Return(data)));
+            }
+            Revert => {
+                let off = self.pop(op)?;
+                let len = self.pop(op)?;
+                let (o, l) = (self.usize_arg(off)?, self.usize_arg(len)?);
+                let data = self.mem_read(o, l)?;
+                return Ok(Some(Outcome::Revert(data)));
+            }
+            Invalid | Unknown(_) => {
+                return Err(VmError::InvalidOpcode { pc: self.pc, byte });
+            }
+            SelfDestruct => {
+                if self.params.is_static {
+                    return Err(VmError::StaticViolation { pc: self.pc, op: op.mnemonic() });
+                }
+                let beneficiary = addr(self.pop(op)?);
+                let me = self.params.address;
+                self.world.selfdestruct(me, beneficiary);
+                return Ok(Some(Outcome::SelfDestruct(beneficiary)));
+            }
+        }
+        self.pc += 1 + op.immediate_len();
+        Ok(None)
+    }
+
+    fn jump(&mut self, target: U256) -> Result<(), VmError> {
+        match target.to_usize() {
+            Some(t) if t < self.code.len() && self.valid_jumpdests[t] => {
+                self.pc = t;
+                Ok(())
+            }
+            _ => Err(VmError::InvalidJump { pc: self.pc, target }),
+        }
+    }
+
+    fn binop(&mut self, op: Opcode, f: impl FnOnce(U256, U256) -> U256) -> Result<(), VmError> {
+        let a = self.pop(op)?;
+        let b = self.pop(op)?;
+        self.push(f(a, b))
+    }
+
+    fn ternop(
+        &mut self,
+        op: Opcode,
+        f: impl FnOnce(U256, U256, U256) -> U256,
+    ) -> Result<(), VmError> {
+        let a = self.pop(op)?;
+        let b = self.pop(op)?;
+        let c = self.pop(op)?;
+        self.push(f(a, b, c))
+    }
+
+    fn do_create(&mut self, op: Opcode) -> Result<(), VmError> {
+        if self.params.is_static {
+            return Err(VmError::StaticViolation { pc: self.pc, op: op.mnemonic() });
+        }
+        let value = self.pop(op)?;
+        let off = self.pop(op)?;
+        let len = self.pop(op)?;
+        let salt = if op == Opcode::Create2 { Some(self.pop(op)?) } else { None };
+        let (o, l) = (self.usize_arg(off)?, self.usize_arg(len)?);
+        let init_code = self.mem_read(o, l)?;
+
+        let creator = self.params.address;
+        let nonce = self.world.nonce(creator);
+        self.world.increment_nonce(creator);
+        let new_address = match salt {
+            None => Address::create(creator, nonce),
+            Some(s) => {
+                // Simplified CREATE2: keccak(creator ++ salt ++ keccak(init)).
+                let mut buf = Vec::new();
+                buf.extend_from_slice(&creator.0);
+                buf.extend_from_slice(&s.to_be_bytes());
+                buf.extend_from_slice(&keccak256_u256(&init_code).to_be_bytes());
+                addr(keccak256_u256(&buf))
+            }
+        };
+
+        let snapshot = self.world.snapshot();
+        if !value.is_zero() && !self.world.transfer(creator, new_address, value) {
+            self.return_data.clear();
+            self.push(U256::ZERO)?;
+            self.pc += 1;
+            return Ok(());
+        }
+        // Run the init code; its return value is the runtime code.
+        let gas = self.gas - self.gas / 64;
+        let child = CallParams {
+            caller: creator,
+            address: new_address,
+            code_address: new_address,
+            origin: self.params.origin,
+            value: U256::ZERO,
+            data: Vec::new(),
+            gas,
+            is_static: false,
+            depth: self.params.depth + 1,
+        };
+        // Init code isn't registered yet; execute it directly by
+        // temporarily installing it.
+        self.world.set_code(new_address, init_code);
+        let exec = execute(self.world, child, self.trace);
+        self.gas = self.gas.saturating_sub(exec.gas_used);
+        match exec.outcome {
+            Outcome::Return(runtime) => {
+                self.world.set_code(new_address, runtime);
+                self.return_data.clear();
+                self.push(new_address.to_u256())?;
+            }
+            _ => {
+                self.world.revert_to(snapshot);
+                self.return_data.clear();
+                self.push(U256::ZERO)?;
+            }
+        }
+        self.pc += 1;
+        Ok(())
+    }
+
+    fn do_call(&mut self, op: Opcode) -> Result<(), VmError> {
+        use Opcode::*;
+        let gas_req = self.pop(op)?;
+        let target = addr(self.pop(op)?);
+        let value = match op {
+            Call | CallCode => self.pop(op)?,
+            _ => U256::ZERO,
+        };
+        let in_off = self.pop(op)?;
+        let in_len = self.pop(op)?;
+        let out_off = self.pop(op)?;
+        let out_len = self.pop(op)?;
+
+        if op == Call && self.params.is_static && !value.is_zero() {
+            return Err(VmError::StaticViolation { pc: self.pc, op: op.mnemonic() });
+        }
+
+        let (io, il) = (self.usize_arg(in_off)?, self.usize_arg(in_len)?);
+        let (oo, ol) = (self.usize_arg(out_off)?, self.usize_arg(out_len)?);
+        let input = self.mem_read(io, il)?;
+        // Pre-expand the output window so a short return still has a
+        // well-defined buffer (the unchecked-staticcall hazard relies on
+        // the window retaining its previous contents).
+        self.mem_expand(oo, ol)?;
+
+        let max_forward = self.gas - self.gas / 64;
+        let gas = gas_req.to_u64().unwrap_or(u64::MAX).min(max_forward);
+
+        let (ctx_address, ctx_caller, ctx_value, is_static, code_address) = match op {
+            Call => (target, self.params.address, value, self.params.is_static, target),
+            CallCode => (self.params.address, self.params.address, value, self.params.is_static, target),
+            DelegateCall => (
+                self.params.address,
+                self.params.caller,
+                self.params.value,
+                self.params.is_static,
+                target,
+            ),
+            StaticCall => (target, self.params.address, U256::ZERO, true, target),
+            _ => unreachable!("do_call on non-call opcode"),
+        };
+
+        let snapshot = self.world.snapshot();
+
+        // Value moves only for plain CALL (CALLCODE keeps it in-place
+        // semantically; we simplify by skipping its self-transfer).
+        if op == Call && !value.is_zero() {
+            let from = self.params.address;
+            if !self.world.transfer(from, target, value) {
+                self.return_data.clear();
+                self.push(U256::ZERO)?;
+                return Ok(());
+            }
+        }
+
+        let child = CallParams {
+            caller: ctx_caller,
+            address: ctx_address,
+            code_address,
+            origin: self.params.origin,
+            value: ctx_value,
+            data: input,
+            gas,
+            is_static,
+            depth: self.params.depth + 1,
+        };
+        let exec = execute(self.world, child, self.trace);
+        self.gas = self.gas.saturating_sub(exec.gas_used);
+
+        let (success, ret) = match exec.outcome {
+            Outcome::Return(data) => (true, data),
+            Outcome::SelfDestruct(_) => (true, Vec::new()),
+            Outcome::Revert(data) => {
+                self.world.revert_to(snapshot);
+                (false, data)
+            }
+            Outcome::Error(_) => {
+                self.world.revert_to(snapshot);
+                (false, Vec::new())
+            }
+        };
+
+        // Copy return data into the output window. Crucially, only
+        // `min(out_len, ret.len())` bytes are overwritten — a callee
+        // returning fewer bytes leaves the tail of the window untouched.
+        let n = ol.min(ret.len());
+        if n > 0 {
+            let chunk = ret[..n].to_vec();
+            self.mem_write(oo, &chunk)?;
+        }
+        self.return_data = ret;
+        self.push(U256::from(success))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! # evm — Ethereum Virtual Machine substrate
+//!
+//! A from-scratch EVM implementation built for the Ethainter
+//! reproduction: 256-bit arithmetic ([`U256`]), Keccak-256
+//! ([`keccak::keccak256`]), the opcode table and disassembler
+//! ([`opcode`]), a label-resolving assembler ([`asm::Asm`]), and a full
+//! interpreter ([`interp::execute`]) with message calls,
+//! `delegatecall`/`staticcall` semantics, `selfdestruct`, and
+//! instruction-level tracing.
+//!
+//! # Examples
+//!
+//! Assemble and disassemble a tiny program:
+//!
+//! ```
+//! use evm::asm::Asm;
+//! use evm::opcode::{disassemble, Opcode};
+//! use evm::U256;
+//!
+//! let mut a = Asm::new();
+//! a.push(U256::from(2u64)).push(U256::from(40u64)).op(Opcode::Add).op(Opcode::Stop);
+//! let code = a.assemble();
+//! let insns = disassemble(&code);
+//! assert_eq!(insns[2].opcode, Opcode::Add);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod interp;
+pub mod keccak;
+pub mod opcode;
+pub mod types;
+pub mod u256;
+
+pub use interp::{execute, CallParams, Execution, Outcome, Trace, TraceStep, VmError, World};
+pub use keccak::{keccak256, keccak256_u256, selector};
+pub use opcode::{disassemble, Instruction, Opcode};
+pub use types::Address;
+pub use u256::U256;

@@ -1,0 +1,476 @@
+//! EVM opcode table, instruction representation, and disassembler.
+
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An EVM opcode (Istanbul-era instruction set).
+///
+/// `PUSH`/`DUP`/`SWAP`/`LOG` families carry their index as data, which
+/// keeps the table compact while staying lossless: [`Opcode::from_byte`]
+/// and [`Opcode::to_byte`] round-trip every byte.
+#[allow(missing_docs)] // mnemonic variants are self-documenting
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Opcode {
+    Stop,
+    Add,
+    Mul,
+    Sub,
+    Div,
+    SDiv,
+    Mod,
+    SMod,
+    AddMod,
+    MulMod,
+    Exp,
+    SignExtend,
+    Lt,
+    Gt,
+    SLt,
+    SGt,
+    Eq,
+    IsZero,
+    And,
+    Or,
+    Xor,
+    Not,
+    Byte,
+    Shl,
+    Shr,
+    Sar,
+    Sha3,
+    Address,
+    Balance,
+    Origin,
+    Caller,
+    CallValue,
+    CallDataLoad,
+    CallDataSize,
+    CallDataCopy,
+    CodeSize,
+    CodeCopy,
+    GasPrice,
+    ExtCodeSize,
+    ExtCodeCopy,
+    ReturnDataSize,
+    ReturnDataCopy,
+    ExtCodeHash,
+    BlockHash,
+    Coinbase,
+    Timestamp,
+    Number,
+    Difficulty,
+    GasLimit,
+    Pop,
+    MLoad,
+    MStore,
+    MStore8,
+    SLoad,
+    SStore,
+    Jump,
+    JumpI,
+    Pc,
+    MSize,
+    Gas,
+    JumpDest,
+    /// `PUSHn` for n in 1..=32.
+    Push(u8),
+    /// `DUPn` for n in 1..=16.
+    Dup(u8),
+    /// `SWAPn` for n in 1..=16.
+    Swap(u8),
+    /// `LOGn` for n in 0..=4.
+    Log(u8),
+    Create,
+    Call,
+    CallCode,
+    Return,
+    DelegateCall,
+    Create2,
+    StaticCall,
+    Revert,
+    Invalid,
+    SelfDestruct,
+    /// Any byte not assigned an instruction.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// Decodes a raw byte.
+    pub fn from_byte(b: u8) -> Opcode {
+        use Opcode::*;
+        match b {
+            0x00 => Stop,
+            0x01 => Add,
+            0x02 => Mul,
+            0x03 => Sub,
+            0x04 => Div,
+            0x05 => SDiv,
+            0x06 => Mod,
+            0x07 => SMod,
+            0x08 => AddMod,
+            0x09 => MulMod,
+            0x0a => Exp,
+            0x0b => SignExtend,
+            0x10 => Lt,
+            0x11 => Gt,
+            0x12 => SLt,
+            0x13 => SGt,
+            0x14 => Eq,
+            0x15 => IsZero,
+            0x16 => And,
+            0x17 => Or,
+            0x18 => Xor,
+            0x19 => Not,
+            0x1a => Byte,
+            0x1b => Shl,
+            0x1c => Shr,
+            0x1d => Sar,
+            0x20 => Sha3,
+            0x30 => Address,
+            0x31 => Balance,
+            0x32 => Origin,
+            0x33 => Caller,
+            0x34 => CallValue,
+            0x35 => CallDataLoad,
+            0x36 => CallDataSize,
+            0x37 => CallDataCopy,
+            0x38 => CodeSize,
+            0x39 => CodeCopy,
+            0x3a => GasPrice,
+            0x3b => ExtCodeSize,
+            0x3c => ExtCodeCopy,
+            0x3d => ReturnDataSize,
+            0x3e => ReturnDataCopy,
+            0x3f => ExtCodeHash,
+            0x40 => BlockHash,
+            0x41 => Coinbase,
+            0x42 => Timestamp,
+            0x43 => Number,
+            0x44 => Difficulty,
+            0x45 => GasLimit,
+            0x50 => Pop,
+            0x51 => MLoad,
+            0x52 => MStore,
+            0x53 => MStore8,
+            0x54 => SLoad,
+            0x55 => SStore,
+            0x56 => Jump,
+            0x57 => JumpI,
+            0x58 => Pc,
+            0x59 => MSize,
+            0x5a => Gas,
+            0x5b => JumpDest,
+            0x60..=0x7f => Push(b - 0x5f),
+            0x80..=0x8f => Dup(b - 0x7f),
+            0x90..=0x9f => Swap(b - 0x8f),
+            0xa0..=0xa4 => Log(b - 0xa0),
+            0xf0 => Create,
+            0xf1 => Call,
+            0xf2 => CallCode,
+            0xf3 => Return,
+            0xf4 => DelegateCall,
+            0xf5 => Create2,
+            0xfa => StaticCall,
+            0xfd => Revert,
+            0xfe => Invalid,
+            0xff => SelfDestruct,
+            other => Unknown(other),
+        }
+    }
+
+    /// Encodes back to the raw byte.
+    pub fn to_byte(self) -> u8 {
+        use Opcode::*;
+        match self {
+            Stop => 0x00,
+            Add => 0x01,
+            Mul => 0x02,
+            Sub => 0x03,
+            Div => 0x04,
+            SDiv => 0x05,
+            Mod => 0x06,
+            SMod => 0x07,
+            AddMod => 0x08,
+            MulMod => 0x09,
+            Exp => 0x0a,
+            SignExtend => 0x0b,
+            Lt => 0x10,
+            Gt => 0x11,
+            SLt => 0x12,
+            SGt => 0x13,
+            Eq => 0x14,
+            IsZero => 0x15,
+            And => 0x16,
+            Or => 0x17,
+            Xor => 0x18,
+            Not => 0x19,
+            Byte => 0x1a,
+            Shl => 0x1b,
+            Shr => 0x1c,
+            Sar => 0x1d,
+            Sha3 => 0x20,
+            Address => 0x30,
+            Balance => 0x31,
+            Origin => 0x32,
+            Caller => 0x33,
+            CallValue => 0x34,
+            CallDataLoad => 0x35,
+            CallDataSize => 0x36,
+            CallDataCopy => 0x37,
+            CodeSize => 0x38,
+            CodeCopy => 0x39,
+            GasPrice => 0x3a,
+            ExtCodeSize => 0x3b,
+            ExtCodeCopy => 0x3c,
+            ReturnDataSize => 0x3d,
+            ReturnDataCopy => 0x3e,
+            ExtCodeHash => 0x3f,
+            BlockHash => 0x40,
+            Coinbase => 0x41,
+            Timestamp => 0x42,
+            Number => 0x43,
+            Difficulty => 0x44,
+            GasLimit => 0x45,
+            Pop => 0x50,
+            MLoad => 0x51,
+            MStore => 0x52,
+            MStore8 => 0x53,
+            SLoad => 0x54,
+            SStore => 0x55,
+            Jump => 0x56,
+            JumpI => 0x57,
+            Pc => 0x58,
+            MSize => 0x59,
+            Gas => 0x5a,
+            JumpDest => 0x5b,
+            Push(n) => 0x5f + n,
+            Dup(n) => 0x7f + n,
+            Swap(n) => 0x8f + n,
+            Log(n) => 0xa0 + n,
+            Create => 0xf0,
+            Call => 0xf1,
+            CallCode => 0xf2,
+            Return => 0xf3,
+            DelegateCall => 0xf4,
+            Create2 => 0xf5,
+            StaticCall => 0xfa,
+            Revert => 0xfd,
+            Invalid => 0xfe,
+            SelfDestruct => 0xff,
+            Unknown(b) => b,
+        }
+    }
+
+    /// Number of immediate bytes following the opcode (nonzero only for PUSH).
+    pub fn immediate_len(self) -> usize {
+        match self {
+            Opcode::Push(n) => n as usize,
+            _ => 0,
+        }
+    }
+
+    /// Stack items consumed.
+    pub fn pops(self) -> usize {
+        use Opcode::*;
+        match self {
+            Stop | JumpDest | Pc | MSize | Gas | Address | Origin | Caller | CallValue
+            | CallDataSize | CodeSize | GasPrice | ReturnDataSize | Coinbase | Timestamp
+            | Number | Difficulty | GasLimit | Push(_) | Invalid | Unknown(_) => 0,
+            IsZero | Not | Balance | CallDataLoad | ExtCodeSize | ExtCodeHash | BlockHash
+            | Pop | MLoad | SLoad | Jump | SelfDestruct => 1,
+            Add | Mul | Sub | Div | SDiv | Mod | SMod | Exp | SignExtend | Lt | Gt | SLt
+            | SGt | Eq | And | Or | Xor | Byte | Shl | Shr | Sar | Sha3 | MStore | MStore8
+            | SStore | JumpI | Return | Revert => 2,
+            AddMod | MulMod | CallDataCopy | CodeCopy | ReturnDataCopy | Create => 3,
+            ExtCodeCopy | Create2 => 4,
+            Dup(n) => n as usize,
+            Swap(n) => n as usize + 1,
+            Log(n) => n as usize + 2,
+            DelegateCall | StaticCall => 6,
+            Call | CallCode => 7,
+        }
+    }
+
+    /// Stack items produced.
+    pub fn pushes(self) -> usize {
+        use Opcode::*;
+        match self {
+            Stop | CallDataCopy | CodeCopy | ExtCodeCopy | ReturnDataCopy | Pop | MStore
+            | MStore8 | SStore | Jump | JumpI | JumpDest | Log(_) | Return | Revert
+            | Invalid | SelfDestruct | Unknown(_) => 0,
+            Dup(n) => n as usize + 1,
+            Swap(n) => n as usize + 1,
+            _ => 1,
+        }
+    }
+
+    /// True when control flow never falls through to the next instruction.
+    pub fn is_terminator(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Stop | Jump | Return | Revert | Invalid | SelfDestruct | Unknown(_)
+        )
+    }
+
+    /// Canonical mnemonic.
+    pub fn mnemonic(self) -> String {
+        use Opcode::*;
+        match self {
+            Push(n) => format!("PUSH{n}"),
+            Dup(n) => format!("DUP{n}"),
+            Swap(n) => format!("SWAP{n}"),
+            Log(n) => format!("LOG{n}"),
+            Unknown(b) => format!("UNKNOWN(0x{b:02x})"),
+            other => format!("{other:?}").to_uppercase(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A decoded instruction: an opcode at a byte offset, with its PUSH
+/// immediate if any.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Byte offset of the opcode within the code.
+    pub offset: usize,
+    /// The opcode.
+    pub opcode: Opcode,
+    /// PUSH immediate (zero-extended to 256 bits), if the opcode is a PUSH.
+    pub immediate: Option<U256>,
+}
+
+impl Instruction {
+    /// Byte offset of the next instruction.
+    pub fn next_offset(&self) -> usize {
+        self.offset + 1 + self.opcode.immediate_len()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.immediate {
+            Some(v) => write!(f, "{:#06x}: {} 0x{}", self.offset, self.opcode, v.to_hex()),
+            None => write!(f, "{:#06x}: {}", self.offset, self.opcode),
+        }
+    }
+}
+
+/// Disassembles raw bytecode into instructions.
+///
+/// A PUSH whose immediate runs off the end of the code keeps the available
+/// bytes zero-extended on the right (EVM semantics: implicit zero code).
+///
+/// # Examples
+///
+/// ```
+/// use evm::opcode::{disassemble, Opcode};
+/// let insns = disassemble(&[0x60, 0x2a, 0x50]); // PUSH1 0x2a; POP
+/// assert_eq!(insns.len(), 2);
+/// assert_eq!(insns[0].opcode, Opcode::Push(1));
+/// ```
+pub fn disassemble(code: &[u8]) -> Vec<Instruction> {
+    let mut out = Vec::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let opcode = Opcode::from_byte(code[pc]);
+        let ilen = opcode.immediate_len();
+        let immediate = if ilen > 0 {
+            let end = (pc + 1 + ilen).min(code.len());
+            let avail = &code[pc + 1..end];
+            // Zero-extend on the right (missing code bytes read as zero).
+            let mut buf = vec![0u8; ilen];
+            buf[..avail.len()].copy_from_slice(avail);
+            Some(U256::from_be_slice(&buf))
+        } else {
+            None
+        };
+        out.push(Instruction { offset: pc, opcode, immediate });
+        pc += 1 + ilen;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_byte_round_trips() {
+        for b in 0u16..=255 {
+            let op = Opcode::from_byte(b as u8);
+            assert_eq!(op.to_byte(), b as u8, "byte 0x{b:02x}");
+        }
+    }
+
+    #[test]
+    fn push_family_decodes_width() {
+        assert_eq!(Opcode::from_byte(0x60), Opcode::Push(1));
+        assert_eq!(Opcode::from_byte(0x7f), Opcode::Push(32));
+        assert_eq!(Opcode::Push(32).immediate_len(), 32);
+    }
+
+    #[test]
+    fn dup_swap_log_indices() {
+        assert_eq!(Opcode::from_byte(0x80), Opcode::Dup(1));
+        assert_eq!(Opcode::from_byte(0x8f), Opcode::Dup(16));
+        assert_eq!(Opcode::from_byte(0x90), Opcode::Swap(1));
+        assert_eq!(Opcode::from_byte(0xa4), Opcode::Log(4));
+    }
+
+    #[test]
+    fn stack_arity_spot_checks() {
+        assert_eq!(Opcode::Call.pops(), 7);
+        assert_eq!(Opcode::Call.pushes(), 1);
+        assert_eq!(Opcode::Swap(2).pops(), 3);
+        assert_eq!(Opcode::Swap(2).pushes(), 3);
+        assert_eq!(Opcode::Dup(1).pops(), 1);
+        assert_eq!(Opcode::Dup(1).pushes(), 2);
+        assert_eq!(Opcode::SelfDestruct.pops(), 1);
+        assert_eq!(Opcode::Log(2).pops(), 4);
+    }
+
+    #[test]
+    fn disassemble_simple_sequence() {
+        // PUSH1 0x2a; PUSH2 0x0102; ADD; STOP
+        let code = [0x60, 0x2a, 0x61, 0x01, 0x02, 0x01, 0x00];
+        let insns = disassemble(&code);
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[0].immediate, Some(U256::from(0x2au64)));
+        assert_eq!(insns[1].immediate, Some(U256::from(0x0102u64)));
+        assert_eq!(insns[1].offset, 2);
+        assert_eq!(insns[2].opcode, Opcode::Add);
+        assert_eq!(insns[3].offset, 6);
+    }
+
+    #[test]
+    fn truncated_push_zero_extends() {
+        // PUSH4 with only 2 immediate bytes left.
+        let code = [0x63, 0xaa, 0xbb];
+        let insns = disassemble(&code);
+        assert_eq!(insns.len(), 1);
+        assert_eq!(insns[0].immediate, Some(U256::from(0xaabb0000u64)));
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Opcode::Push(3).mnemonic(), "PUSH3");
+        assert_eq!(Opcode::SelfDestruct.mnemonic(), "SELFDESTRUCT");
+        assert_eq!(Opcode::Unknown(0x21).mnemonic(), "UNKNOWN(0x21)");
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Opcode::Stop.is_terminator());
+        assert!(Opcode::Jump.is_terminator());
+        assert!(Opcode::Revert.is_terminator());
+        assert!(!Opcode::JumpI.is_terminator());
+        assert!(!Opcode::Call.is_terminator());
+    }
+}

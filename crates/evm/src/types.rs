@@ -1,0 +1,133 @@
+//! Fundamental Ethereum value types: addresses and 32-byte words.
+
+use crate::keccak::keccak256;
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 160-bit Ethereum account address.
+///
+/// # Examples
+///
+/// ```
+/// use evm::Address;
+/// let a = Address::from_low_u64(0xbeef);
+/// assert_eq!(format!("{a}"), "0x000000000000000000000000000000000000beef");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Builds an address whose low 8 bytes are `v` (testing convenience).
+    pub fn from_low_u64(v: u64) -> Address {
+        let mut out = [0u8; 20];
+        out[12..].copy_from_slice(&v.to_be_bytes());
+        Address(out)
+    }
+
+    /// Truncates a 256-bit word to its low 160 bits (EVM address cast).
+    pub fn from_u256(v: U256) -> Address {
+        let bytes = v.to_be_bytes();
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes[12..]);
+        Address(out)
+    }
+
+    /// Zero-extends to a 256-bit word.
+    pub fn to_u256(self) -> U256 {
+        let mut bytes = [0u8; 32];
+        bytes[12..].copy_from_slice(&self.0);
+        U256::from_be_bytes(bytes)
+    }
+
+    /// Deterministic pseudo-random address from a seed (testing / corpus).
+    pub fn from_seed(seed: u64) -> Address {
+        let digest = keccak256(&seed.to_be_bytes());
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&digest[..20]);
+        Address(out)
+    }
+
+    /// The contract address created by `sender` with nonce `nonce`
+    /// (simplified CREATE scheme: keccak(sender ++ nonce)[12..]).
+    pub fn create(sender: Address, nonce: u64) -> Address {
+        let mut buf = Vec::with_capacity(28);
+        buf.extend_from_slice(&sender.0);
+        buf.extend_from_slice(&nonce.to_be_bytes());
+        let digest = keccak256(&buf);
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&digest[12..]);
+        Address(out)
+    }
+
+    /// Returns true if this is the zero address.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 20]
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<U256> for Address {
+    fn from(v: U256) -> Address {
+        Address::from_u256(v)
+    }
+}
+
+impl From<Address> for U256 {
+    fn from(a: Address) -> U256 {
+        a.to_u256()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u256_round_trip_truncates_high_bits() {
+        let v = U256::from_hex("ffffffffffffffffffffffff00000000000000000000000000000000000000aa")
+            .unwrap();
+        let a = Address::from_u256(v);
+        assert_eq!(a.to_u256().low_u64(), 0xaa);
+        // High 96 bits dropped.
+        assert_eq!(a.to_u256().to_be_bytes()[..12], [0u8; 12]);
+    }
+
+    #[test]
+    fn create_is_deterministic_and_nonce_sensitive() {
+        let s = Address::from_low_u64(1);
+        assert_eq!(Address::create(s, 0), Address::create(s, 0));
+        assert_ne!(Address::create(s, 0), Address::create(s, 1));
+        assert_ne!(Address::create(s, 0), Address::create(Address::from_low_u64(2), 0));
+    }
+
+    #[test]
+    fn display_is_checks_zero() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_low_u64(5).is_zero());
+        assert_eq!(
+            Address::from_low_u64(0xbeef).to_string(),
+            "0x000000000000000000000000000000000000beef"
+        );
+    }
+}

@@ -1,0 +1,863 @@
+//! 256-bit unsigned integer arithmetic with EVM wrapping semantics.
+//!
+//! Implemented from scratch on four little-endian `u64` limbs. All
+//! arithmetic wraps modulo 2^256, matching the EVM's `ADD`/`MUL`/`SUB`
+//! semantics; division by zero yields zero (EVM `DIV`/`MOD` convention).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
+
+/// A 256-bit unsigned integer (four little-endian 64-bit limbs).
+///
+/// # Examples
+///
+/// ```
+/// use evm::U256;
+/// let a = U256::from(7u64);
+/// let b = U256::from(6u64);
+/// assert_eq!(a * b, U256::from(42u64));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value 1.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, 2^256 - 1.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Constructs from four little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Lowest 64 bits (truncating).
+    pub fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Lowest 128 bits (truncating).
+    pub fn low_u128(&self) -> u128 {
+        (self.0[1] as u128) << 64 | self.0[0] as u128
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `usize` if the value fits.
+    pub fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns bit `i` (little-endian bit order), false when `i >= 256`.
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Wrapping addition modulo 2^256, with carry-out flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Wrapping subtraction modulo 2^256, with borrow-out flag.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Wrapping addition modulo 2^256.
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction modulo 2^256.
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Wrapping multiplication modulo 2^256 (schoolbook, 64-bit limbs).
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if self.0[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..4 - i {
+                let cur = out[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        U256(out)
+    }
+
+    /// Division with remainder. Division by zero returns `(0, 0)`
+    /// (EVM convention).
+    pub fn div_rem(self, rhs: U256) -> (U256, U256) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        if rhs.bits() <= 64 && self.bits() <= 64 {
+            let d = rhs.low_u64();
+            return (U256::from(self.low_u64() / d), U256::from(self.low_u64() % d));
+        }
+        // Binary long division: correct and simple; operands are ≤256 bits.
+        // The remainder register is conceptually 257 bits wide: when its
+        // top bit would shift out (possible only when rhs > 2^255), the
+        // shifted value certainly exceeds rhs and one subtraction suffices.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let n = self.bits();
+        for i in (0..n).rev() {
+            let hi = remainder.bit(255);
+            remainder = remainder << 1u32;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if hi {
+                // true value = remainder + 2^256; subtract rhs once.
+                remainder = remainder.wrapping_add(rhs.neg());
+                quotient.0[(i / 64) as usize] |= 1 << (i % 64);
+            } else if remainder >= rhs {
+                remainder = remainder.wrapping_sub(rhs);
+                quotient.0[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// EVM `EXP`: wrapping exponentiation by squaring.
+    pub fn wrapping_pow(self, mut exp: U256) -> U256 {
+        let mut base = self;
+        let mut acc = U256::ONE;
+        while !exp.is_zero() {
+            if exp.bit(0) {
+                acc = acc.wrapping_mul(base);
+            }
+            base = base.wrapping_mul(base);
+            exp = exp >> 1;
+        }
+        acc
+    }
+
+    /// EVM `ADDMOD`: `(self + rhs) % m` without intermediate overflow.
+    pub fn add_mod(self, rhs: U256, m: U256) -> U256 {
+        if m.is_zero() {
+            return U256::ZERO;
+        }
+        let (sum, carry) = self.overflowing_add(rhs);
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&sum.0);
+        wide[4] = carry as u64;
+        rem_wide(&wide, m)
+    }
+
+    /// EVM `MULMOD`: `(self * rhs) % m` with a 512-bit intermediate.
+    pub fn mul_mod(self, rhs: U256, m: U256) -> U256 {
+        if m.is_zero() {
+            return U256::ZERO;
+        }
+        // 512-bit product in 8 limbs.
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = prod[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                prod[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            prod[i + 4] = carry as u64;
+        }
+        rem_wide(&prod, m)
+    }
+
+    /// Interprets as two's-complement; true if the sign bit is set.
+    pub fn is_negative(&self) -> bool {
+        self.bit(255)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> U256 {
+        (!self).wrapping_add(U256::ONE)
+    }
+
+    /// EVM `SDIV`: signed division (truncating), `MIN / -1 = MIN`.
+    pub fn sdiv(self, rhs: U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let (neg_a, abs_a) = if self.is_negative() { (true, self.neg()) } else { (false, self) };
+        let (neg_b, abs_b) = if rhs.is_negative() { (true, rhs.neg()) } else { (false, rhs) };
+        let q = abs_a.div_rem(abs_b).0;
+        if neg_a != neg_b {
+            q.neg()
+        } else {
+            q
+        }
+    }
+
+    /// EVM `SMOD`: signed remainder, sign follows the dividend.
+    pub fn smod(self, rhs: U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let (neg_a, abs_a) = if self.is_negative() { (true, self.neg()) } else { (false, self) };
+        let abs_b = if rhs.is_negative() { rhs.neg() } else { rhs };
+        let r = abs_a.div_rem(abs_b).1;
+        if neg_a {
+            r.neg()
+        } else {
+            r
+        }
+    }
+
+    /// EVM `SLT`: signed less-than.
+    pub fn slt(self, rhs: U256) -> bool {
+        match (self.is_negative(), rhs.is_negative()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self < rhs,
+        }
+    }
+
+    /// EVM `SGT`: signed greater-than.
+    pub fn sgt(self, rhs: U256) -> bool {
+        rhs.slt(self)
+    }
+
+    /// EVM `SAR`: arithmetic (sign-extending) right shift.
+    pub fn sar(self, shift: U256) -> U256 {
+        let neg = self.is_negative();
+        let sh = match shift.to_u64() {
+            Some(s) if s < 256 => s as u32,
+            _ => return if neg { U256::MAX } else { U256::ZERO },
+        };
+        let logical = self >> sh;
+        if !neg || sh == 0 {
+            return logical;
+        }
+        // Fill vacated high bits with ones.
+        logical | (U256::MAX << (256 - sh as usize) as u32)
+    }
+
+    /// EVM `SIGNEXTEND`: extend the sign of the byte at index `b`
+    /// (0 = least significant byte).
+    pub fn signextend(self, b: U256) -> U256 {
+        let byte_index = match b.to_u64() {
+            Some(i) if i < 31 => i as u32,
+            _ => return self,
+        };
+        let bit_index = byte_index * 8 + 7;
+        if self.bit(bit_index) {
+            self | (U256::MAX << (bit_index + 1))
+        } else {
+            self & !(U256::MAX << (bit_index + 1))
+        }
+    }
+
+    /// EVM `BYTE`: the `i`-th byte counted from the most significant end.
+    pub fn byte_msb(self, i: U256) -> U256 {
+        match i.to_u64() {
+            Some(idx) if idx < 32 => {
+                U256::from(self.to_be_bytes()[idx as usize] as u64)
+            }
+            _ => U256::ZERO,
+        }
+    }
+
+    /// Big-endian 32-byte representation.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian 32-byte representation.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            limbs[i] = u64::from_be_bytes(buf);
+        }
+        U256(limbs)
+    }
+
+    /// Parses a big-endian byte slice of at most 32 bytes
+    /// (shorter slices are zero-extended on the left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_slice(bytes: &[u8]) -> U256 {
+        assert!(bytes.len() <= 32, "U256::from_be_slice: more than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Parses a hexadecimal string, with or without a `0x` prefix.
+    pub fn from_hex(s: &str) -> Result<U256, ParseU256Error> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return Err(ParseU256Error);
+        }
+        let mut v = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseU256Error)? as u64;
+            v = (v << 4) | U256::from(d);
+        }
+        Ok(v)
+    }
+
+    /// Minimal hex representation (no leading zeros), without prefix.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let bytes = self.to_be_bytes();
+        let s: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        s.trim_start_matches('0').to_string()
+    }
+}
+
+/// Remainder of a little-endian 512-bit value modulo a nonzero `m`,
+/// by binary long division (keeping the remainder only).
+fn rem_wide(wide: &[u64; 8], m: U256) -> U256 {
+    let mut top = 0;
+    for i in (0..8).rev() {
+        if wide[i] != 0 {
+            top = 64 * i as u32 + (64 - wide[i].leading_zeros());
+            break;
+        }
+    }
+    let mut rem = U256::ZERO;
+    for i in (0..top).rev() {
+        let hi = rem.bit(255);
+        rem = rem << 1u32;
+        if (wide[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+            rem.0[0] |= 1;
+        }
+        if hi {
+            // true value = rem + 2^256 ≥ m; subtract m once (2r+b < 2m).
+            rem = rem.wrapping_add(m.neg());
+        } else if rem >= m {
+            rem = rem.wrapping_sub(m);
+        }
+    }
+    rem
+}
+
+/// Error parsing a [`U256`] from a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseU256Error;
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid 256-bit integer syntax")
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u8> for U256 {
+    fn from(v: u8) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<usize> for U256 {
+    fn from(v: usize) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+}
+
+impl From<bool> for U256 {
+    fn from(v: bool) -> Self {
+        if v {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: U256) -> U256 {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let word = (shift / 64) as usize;
+        let bit = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            if i >= word {
+                out[i] = self.0[i - word] << bit;
+                if bit > 0 && i > word {
+                    out[i] |= self.0[i - word - 1] >> (64 - bit);
+                }
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let word = (shift / 64) as usize;
+        let bit = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if i + word < 4 {
+                out[i] = self.0[i + word] >> bit;
+                if bit > 0 && i + word + 1 < 4 {
+                    out[i] |= self.0[i + word + 1] << (64 - bit);
+                }
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shl<U256> for U256 {
+    type Output = U256;
+    fn shl(self, shift: U256) -> U256 {
+        match shift.to_u64() {
+            Some(s) if s < 256 => self << s as u32,
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl Shr<U256> for U256 {
+    type Output = U256;
+    fn shr(self, shift: U256) -> U256 {
+        match shift.to_u64() {
+            Some(s) if s < 256 => self >> s as u32,
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decimal display via repeated division by 10^19 (fits in u64).
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut parts = Vec::new();
+        let mut v = *self;
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(U256::from(CHUNK));
+            parts.push(r.low_u64());
+            v = q;
+        }
+        let mut s = parts.pop().unwrap_or(0).to_string();
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{p:019}"));
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl std::str::FromStr for U256 {
+    type Err = ParseU256Error;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            return U256::from_hex(hex);
+        }
+        // Decimal.
+        if s.is_empty() {
+            return Err(ParseU256Error);
+        }
+        let mut v = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseU256Error)? as u64;
+            v = v.wrapping_mul(U256::from(10u64)).wrapping_add(U256::from(d));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn add_with_carry_propagation() {
+        let a = U256([u64::MAX, u64::MAX, 0, 0]);
+        let b = u(1);
+        assert_eq!(a.wrapping_add(b), U256([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn add_wraps_at_max() {
+        assert_eq!(U256::MAX.wrapping_add(U256::ONE), U256::ZERO);
+        assert!(U256::MAX.overflowing_add(U256::ONE).1);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = U256([0, 0, 1, 0]);
+        assert_eq!(a.wrapping_sub(u(1)), U256([u64::MAX, u64::MAX, 0, 0]));
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(U256::ZERO.wrapping_sub(U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn mul_small_and_cross_limb() {
+        assert_eq!(u(1 << 32).wrapping_mul(u(1 << 33)), U256([0, 2, 0, 0]));
+        assert_eq!(u(12345).wrapping_mul(u(6789)), u(12345 * 6789));
+    }
+
+    #[test]
+    fn mul_wraps_mod_2_256() {
+        // (2^255) * 2 == 0
+        let half = U256::ONE << 255u32;
+        assert_eq!(half.wrapping_mul(u(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_basic_and_by_zero() {
+        let (q, r) = u(100).div_rem(u(7));
+        assert_eq!((q, r), (u(14), u(2)));
+        assert_eq!(u(100).div_rem(U256::ZERO), (U256::ZERO, U256::ZERO));
+    }
+
+    #[test]
+    fn div_rem_wide_values() {
+        let a = U256::MAX;
+        let b = U256([0, 1, 0, 0]); // 2^64
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q, U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert_eq!(r, u(u64::MAX));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        assert_eq!(u(3).wrapping_pow(u(5)), u(243));
+        assert_eq!(u(2).wrapping_pow(u(256)), U256::ZERO);
+        assert_eq!(u(0).wrapping_pow(u(0)), U256::ONE);
+    }
+
+    #[test]
+    fn addmod_handles_carry_overflow() {
+        // (MAX + MAX) % 10: true sum = 2^257 - 2
+        let m = u(10);
+        let expect = {
+            // 2^257 mod 10 = (2^256 mod 10) * 2 mod 10; 2^256 mod 10 = 6 -> 12 mod 10 = 2; minus 2 = 0
+            u(0)
+        };
+        assert_eq!(U256::MAX.add_mod(U256::MAX, m), expect);
+        assert_eq!(u(7).add_mod(u(8), u(10)), u(5));
+        assert_eq!(u(7).add_mod(u(8), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn mulmod_uses_512_bit_intermediate() {
+        // (2^200 * 2^200) % (2^100 + 1) computed honestly.
+        let a = U256::ONE << 200u32;
+        let m = (U256::ONE << 100u32).wrapping_add(U256::ONE);
+        let got = a.mul_mod(a, m);
+        // 2^400 mod (2^100+1): 2^100 ≡ -1, so 2^400 = (2^100)^4 ≡ 1.
+        assert_eq!(got, U256::ONE);
+        assert_eq!(u(7).mul_mod(u(8), u(10)), u(6));
+    }
+
+    #[test]
+    fn signed_division_follows_evm() {
+        let neg1 = U256::MAX; // -1
+        assert_eq!(neg1.sdiv(u(1)), neg1);
+        assert_eq!(u(10).sdiv(neg1), u(10).neg());
+        assert_eq!(neg1.smod(u(3)), u(1).neg()); // -1 % 3 = -1
+        assert_eq!(u(10).smod(u(3)), u(1));
+        assert_eq!(u(1).sdiv(U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let neg1 = U256::MAX;
+        assert!(neg1.slt(U256::ZERO));
+        assert!(U256::ZERO.sgt(neg1));
+        assert!(u(1).slt(u(2)));
+        assert!(!u(2).slt(u(2)));
+    }
+
+    #[test]
+    fn sar_sign_extends() {
+        let neg2 = u(2).neg();
+        assert_eq!(neg2.sar(u(1)), u(1).neg());
+        assert_eq!(u(8).sar(u(2)), u(2));
+        assert_eq!(u(2).neg().sar(u(300)), U256::MAX);
+        assert_eq!(u(8).sar(u(300)), U256::ZERO);
+    }
+
+    #[test]
+    fn signextend_byte_boundary() {
+        // 0xff at byte 0, extend: -1
+        assert_eq!(u(0xff).signextend(u(0)), U256::MAX);
+        assert_eq!(u(0x7f).signextend(u(0)), u(0x7f));
+        // byte index >= 31: unchanged
+        assert_eq!(u(0xff).signextend(u(31)), u(0xff));
+    }
+
+    #[test]
+    fn byte_msb_indexing() {
+        let v = U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+            .unwrap();
+        assert_eq!(v.byte_msb(u(0)), u(0x01));
+        assert_eq!(v.byte_msb(u(31)), u(0x20));
+        assert_eq!(v.byte_msb(u(32)), U256::ZERO);
+    }
+
+    #[test]
+    fn shifts_across_limbs() {
+        let v = u(1);
+        assert_eq!((v << 64u32), U256([0, 1, 0, 0]));
+        assert_eq!((v << 255u32) >> 255u32, v);
+        assert_eq!(v << 256u32, U256::ZERO);
+        let x = U256([0, 0, 0, 1]);
+        assert_eq!(x >> 192u32, u(1));
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256::from_hex("deadbeef00000000000000000000000000000000000000000000000000000001")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn hex_and_decimal_parsing() {
+        assert_eq!(U256::from_hex("0xff").unwrap(), u(255));
+        assert_eq!("255".parse::<U256>().unwrap(), u(255));
+        assert_eq!("0x100".parse::<U256>().unwrap(), u(256));
+        assert!(U256::from_hex("xyz").is_err());
+        assert!("".parse::<U256>().is_err());
+    }
+
+    #[test]
+    fn display_decimal_large() {
+        let v = U256::from(123456789012345678901234567890u128);
+        assert_eq!(v.to_string(), "123456789012345678901234567890");
+        assert_eq!(U256::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(u(1).bits(), 1);
+        assert_eq!((U256::ONE << 255u32).bits(), 256);
+        assert!(!(u(4)).bit(0));
+        assert!(u(4).bit(2));
+        assert!(!u(4).bit(999));
+    }
+}

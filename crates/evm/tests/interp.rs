@@ -1,0 +1,562 @@
+//! Direct interpreter tests against a minimal in-memory world: opcode
+//! semantics, call/delegatecall/staticcall context rules, revert
+//! rollback via journaling, gas exhaustion, and failure injection.
+
+use evm::asm::Asm;
+use evm::interp::{execute, CallParams, Outcome, Trace, VmError};
+use evm::opcode::Opcode;
+use evm::{Address, U256, World};
+use std::collections::HashMap;
+
+/// A minimal journaled world for interpreter tests.
+#[derive(Default)]
+struct MiniWorld {
+    balances: HashMap<Address, U256>,
+    codes: HashMap<Address, Vec<u8>>,
+    storage: HashMap<(Address, U256), U256>,
+    nonces: HashMap<Address, u64>,
+    destroyed: Vec<Address>,
+    logs: Vec<(Address, Vec<U256>, Vec<u8>)>,
+    journal: Vec<Box<dyn Fn(&mut MiniWorldState)>>,
+    // For simplicity the journal stores full snapshots.
+    snapshots: Vec<MiniWorldState>,
+}
+
+#[derive(Clone, Default)]
+struct MiniWorldState {
+    balances: HashMap<Address, U256>,
+    storage: HashMap<(Address, U256), U256>,
+    destroyed: Vec<Address>,
+    logs_len: usize,
+}
+
+impl MiniWorld {
+    fn capture(&self) -> MiniWorldState {
+        MiniWorldState {
+            balances: self.balances.clone(),
+            storage: self.storage.clone(),
+            destroyed: self.destroyed.clone(),
+            logs_len: self.logs.len(),
+        }
+    }
+}
+
+impl World for MiniWorld {
+    fn balance(&self, a: Address) -> U256 {
+        self.balances.get(&a).copied().unwrap_or(U256::ZERO)
+    }
+    fn code(&self, a: Address) -> Vec<u8> {
+        if self.destroyed.contains(&a) {
+            return Vec::new();
+        }
+        self.codes.get(&a).cloned().unwrap_or_default()
+    }
+    fn storage_get(&self, a: Address, k: U256) -> U256 {
+        self.storage.get(&(a, k)).copied().unwrap_or(U256::ZERO)
+    }
+    fn storage_set(&mut self, a: Address, k: U256, v: U256) {
+        self.storage.insert((a, k), v);
+    }
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        let fb = self.balance(from);
+        if fb < value {
+            return false;
+        }
+        let tb = self.balance(to);
+        self.balances.insert(from, fb.wrapping_sub(value));
+        self.balances.insert(to, tb.wrapping_add(value));
+        true
+    }
+    fn selfdestruct(&mut self, a: Address, beneficiary: Address) {
+        let bal = self.balance(a);
+        self.transfer(a, beneficiary, bal);
+        self.destroyed.push(a);
+    }
+    fn set_code(&mut self, a: Address, code: Vec<u8>) {
+        self.codes.insert(a, code);
+    }
+    fn nonce(&self, a: Address) -> u64 {
+        self.nonces.get(&a).copied().unwrap_or(0)
+    }
+    fn increment_nonce(&mut self, a: Address) {
+        *self.nonces.entry(a).or_insert(0) += 1;
+    }
+    fn log(&mut self, a: Address, topics: Vec<U256>, data: Vec<u8>) {
+        self.logs.push((a, topics, data));
+    }
+    fn snapshot(&mut self) -> usize {
+        let s = self.capture();
+        self.snapshots.push(s);
+        let _ = &self.journal; // silence unused
+        self.snapshots.len() - 1
+    }
+    fn revert_to(&mut self, snapshot: usize) {
+        let s = self.snapshots[snapshot].clone();
+        self.snapshots.truncate(snapshot);
+        self.balances = s.balances;
+        self.storage = s.storage;
+        self.destroyed = s.destroyed;
+        self.logs.truncate(s.logs_len);
+    }
+}
+
+fn run_code(code: Vec<u8>, data: Vec<u8>) -> (Outcome, MiniWorld) {
+    let mut w = MiniWorld::default();
+    let me = Address::from_low_u64(0xc0de);
+    w.codes.insert(me, code);
+    let params = CallParams {
+        caller: Address::from_low_u64(0xca11),
+        address: me,
+        code_address: me,
+        origin: Address::from_low_u64(0xca11),
+        value: U256::ZERO,
+        data,
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    let exec = execute(&mut w, params, &mut trace);
+    (exec.outcome, w)
+}
+
+/// Builds code that computes `a OP b` and returns the 32-byte result.
+fn arith(op: Opcode, a: u64, b: u64) -> Vec<u8> {
+    let mut asm = Asm::new();
+    // Stack for binary op: push b first so a is on top (a OP b).
+    asm.push(U256::from(b))
+        .push(U256::from(a))
+        .op(op)
+        .push(U256::ZERO)
+        .op(Opcode::MStore)
+        .push(U256::from(32u64))
+        .push(U256::ZERO)
+        .op(Opcode::Return);
+    asm.assemble()
+}
+
+fn returned(outcome: &Outcome) -> U256 {
+    match outcome {
+        Outcome::Return(d) => U256::from_be_slice(&d[..32.min(d.len())]),
+        other => panic!("expected return, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_opcodes_match_reference() {
+    let cases: Vec<(Opcode, u64, u64, u64)> = vec![
+        (Opcode::Add, 2, 40, 42),
+        (Opcode::Sub, 50, 8, 42),
+        (Opcode::Mul, 6, 7, 42),
+        (Opcode::Div, 85, 2, 42),
+        (Opcode::Mod, 142, 50, 42),
+        (Opcode::Exp, 2, 5, 32),
+        (Opcode::Lt, 1, 2, 1),
+        (Opcode::Gt, 1, 2, 0),
+        (Opcode::Eq, 5, 5, 1),
+        (Opcode::And, 0b1100, 0b1010, 0b1000),
+        (Opcode::Or, 0b1100, 0b1010, 0b1110),
+        (Opcode::Xor, 0b1100, 0b1010, 0b0110),
+        (Opcode::Shl, 4, 1, 16), // 1 << 4
+        (Opcode::Shr, 4, 16, 1), // 16 >> 4
+    ];
+    for (op, a, b, want) in cases {
+        let (outcome, _) = run_code(arith(op, a, b), vec![]);
+        assert_eq!(returned(&outcome), U256::from(want), "{op}");
+    }
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    let (outcome, _) = run_code(arith(Opcode::Div, 7, 0), vec![]);
+    assert_eq!(returned(&outcome), U256::ZERO);
+    let (outcome, _) = run_code(arith(Opcode::Mod, 7, 0), vec![]);
+    assert_eq!(returned(&outcome), U256::ZERO);
+}
+
+#[test]
+fn stack_underflow_is_an_error() {
+    let code = vec![Opcode::Pop.to_byte()];
+    let (outcome, _) = run_code(code, vec![]);
+    assert!(matches!(outcome, Outcome::Error(VmError::StackUnderflow { .. })));
+}
+
+#[test]
+fn invalid_jump_is_an_error() {
+    let mut asm = Asm::new();
+    asm.push(U256::from(1u64)).op(Opcode::Jump); // offset 1 is not a JUMPDEST
+    let (outcome, _) = run_code(asm.assemble(), vec![]);
+    assert!(matches!(outcome, Outcome::Error(VmError::InvalidJump { .. })));
+}
+
+#[test]
+fn out_of_gas_on_infinite_loop() {
+    // JUMPDEST; PUSH 0; JUMP -> infinite loop at offset 0.
+    let mut asm = Asm::new();
+    let top = asm.label();
+    asm.bind(top);
+    asm.jump_to(top);
+    let (outcome, _) = run_code(asm.assemble(), vec![]);
+    assert_eq!(outcome, Outcome::Error(VmError::OutOfGas));
+}
+
+#[test]
+fn calldata_reads_zero_extend() {
+    // Return CALLDATALOAD(1) with 2 bytes of calldata [0xaa, 0xbb]:
+    // word = 0xbb000000...
+    let mut asm = Asm::new();
+    asm.push(U256::ONE)
+        .op(Opcode::CallDataLoad)
+        .push(U256::ZERO)
+        .op(Opcode::MStore)
+        .push(U256::from(32u64))
+        .push(U256::ZERO)
+        .op(Opcode::Return);
+    let (outcome, _) = run_code(asm.assemble(), vec![0xaa, 0xbb]);
+    let word = returned(&outcome);
+    assert_eq!(word.to_be_bytes()[0], 0xbb);
+    assert!(word.to_be_bytes()[1..].iter().all(|&b| b == 0));
+}
+
+#[test]
+fn sha3_hashes_memory() {
+    // keccak of 32 zero bytes.
+    let mut asm = Asm::new();
+    asm.push(U256::from(32u64))
+        .push(U256::ZERO)
+        .op(Opcode::Sha3)
+        .push(U256::ZERO)
+        .op(Opcode::MStore)
+        .push(U256::from(32u64))
+        .push(U256::ZERO)
+        .op(Opcode::Return);
+    let (outcome, _) = run_code(asm.assemble(), vec![]);
+    assert_eq!(returned(&outcome), evm::keccak256_u256(&[0u8; 32]));
+}
+
+#[test]
+fn revert_returns_payload_and_discards_state() {
+    // SSTORE(0, 7); MSTORE(0, 0xdead); REVERT(30, 2)
+    let mut asm = Asm::new();
+    asm.push(U256::from(7u64))
+        .push(U256::ZERO)
+        .op(Opcode::SStore)
+        .push(U256::from(0xdeadu64))
+        .push(U256::ZERO)
+        .op(Opcode::MStore)
+        .push(U256::from(2u64))
+        .push(U256::from(30u64))
+        .op(Opcode::Revert);
+    let (outcome, _w) = run_code(asm.assemble(), vec![]);
+    match outcome {
+        Outcome::Revert(data) => assert_eq!(data, vec![0xde, 0xad]),
+        other => panic!("expected revert, got {other:?}"),
+    }
+    // (State rollback on revert is the *caller's* job — covered by the
+    // chain crate's transaction tests and the nested-call test below.)
+}
+
+#[test]
+fn nested_call_revert_rolls_back_callee_state_only() {
+    let mut w = MiniWorld::default();
+    let parent = Address::from_low_u64(1);
+    let child = Address::from_low_u64(2);
+
+    // Child: SSTORE(0, 1); REVERT(0,0)
+    let mut casm = Asm::new();
+    casm.push(U256::ONE)
+        .push(U256::ZERO)
+        .op(Opcode::SStore)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .op(Opcode::Revert);
+    w.codes.insert(child, casm.assemble());
+
+    // Parent: SSTORE(0, 5); CALL(child); SSTORE(1, success); STOP
+    let mut pasm = Asm::new();
+    pasm.push(U256::from(5u64)).push(U256::ZERO).op(Opcode::SStore);
+    pasm.push(U256::ZERO) // out_len
+        .push(U256::ZERO) // out_off
+        .push(U256::ZERO) // in_len
+        .push(U256::ZERO) // in_off
+        .push(U256::ZERO) // value
+        .push(child.to_u256()) // target
+        .op(Opcode::Gas)
+        .op(Opcode::Call);
+    pasm.push(U256::ONE).op(Opcode::SStore); // SSTORE(1, success)
+    pasm.op(Opcode::Stop);
+    w.codes.insert(parent, pasm.assemble());
+
+    let params = CallParams {
+        caller: Address::from_low_u64(9),
+        address: parent,
+        code_address: parent,
+        origin: Address::from_low_u64(9),
+        value: U256::ZERO,
+        data: vec![],
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    let exec = execute(&mut w, params, &mut trace);
+    assert!(exec.outcome.is_success());
+    // Parent's first store survives, child's store rolled back, and the
+    // recorded CALL success flag is 0.
+    assert_eq!(w.storage_get(parent, U256::ZERO), U256::from(5u64));
+    assert_eq!(w.storage_get(child, U256::ZERO), U256::ZERO);
+    assert_eq!(w.storage_get(parent, U256::ONE), U256::ZERO);
+}
+
+#[test]
+fn delegatecall_keeps_storage_and_caller_context() {
+    let mut w = MiniWorld::default();
+    let proxy = Address::from_low_u64(1);
+    let lib = Address::from_low_u64(2);
+    let user = Address::from_low_u64(0xca11);
+
+    // Lib: SSTORE(0, CALLER); STOP — under delegatecall this writes the
+    // *proxy's* storage with the *original caller*.
+    let mut lasm = Asm::new();
+    lasm.op(Opcode::Caller).push(U256::ZERO).op(Opcode::SStore).op(Opcode::Stop);
+    w.codes.insert(lib, lasm.assemble());
+
+    // Proxy: DELEGATECALL(lib); STOP
+    let mut pasm = Asm::new();
+    pasm.push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(lib.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::DelegateCall)
+        .op(Opcode::Pop)
+        .op(Opcode::Stop);
+    w.codes.insert(proxy, pasm.assemble());
+
+    let params = CallParams {
+        caller: user,
+        address: proxy,
+        code_address: proxy,
+        origin: user,
+        value: U256::ZERO,
+        data: vec![],
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    execute(&mut w, params, &mut trace);
+    assert_eq!(w.storage_get(proxy, U256::ZERO), user.to_u256());
+    assert_eq!(w.storage_get(lib, U256::ZERO), U256::ZERO);
+}
+
+#[test]
+fn staticcall_blocks_state_mutation() {
+    let mut w = MiniWorld::default();
+    let caller_c = Address::from_low_u64(1);
+    let callee = Address::from_low_u64(2);
+
+    // Callee tries to SSTORE — must fail inside STATICCALL.
+    let mut casm = Asm::new();
+    casm.push(U256::ONE).push(U256::ZERO).op(Opcode::SStore).op(Opcode::Stop);
+    w.codes.insert(callee, casm.assemble());
+
+    // Caller: success := STATICCALL(callee); SSTORE(0, success)
+    let mut pasm = Asm::new();
+    pasm.push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(callee.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::StaticCall)
+        .push(U256::ZERO)
+        .op(Opcode::SStore)
+        .op(Opcode::Stop);
+    w.codes.insert(caller_c, pasm.assemble());
+
+    let params = CallParams {
+        caller: Address::from_low_u64(9),
+        address: caller_c,
+        code_address: caller_c,
+        origin: Address::from_low_u64(9),
+        value: U256::ZERO,
+        data: vec![],
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    execute(&mut w, params, &mut trace);
+    // The static callee errored: success flag 0, no storage written.
+    assert_eq!(w.storage_get(caller_c, U256::ZERO), U256::ZERO);
+    assert_eq!(w.storage_get(callee, U256::ZERO), U256::ZERO);
+}
+
+#[test]
+fn short_return_leaves_output_window_intact() {
+    // The §3.5 hazard at the VM level: caller writes 0x42 at memory 0,
+    // calls a callee that returns nothing, with the output window over
+    // the input — then returns MLOAD(0), which is still 0x42.
+    let mut w = MiniWorld::default();
+    let caller_c = Address::from_low_u64(1);
+    let callee = Address::from_low_u64(2);
+    w.codes.insert(callee, vec![Opcode::Stop.to_byte()]);
+
+    let mut pasm = Asm::new();
+    pasm.push(U256::from(0x42u64)).push(U256::ZERO).op(Opcode::MStore);
+    pasm.push(U256::from(32u64)) // out_len
+        .push(U256::ZERO) // out_off — over the input
+        .push(U256::from(32u64)) // in_len
+        .push(U256::ZERO) // in_off
+        .push(callee.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::StaticCall)
+        .op(Opcode::Pop);
+    pasm.push(U256::from(32u64)).push(U256::ZERO).op(Opcode::Return);
+    // Return window: [0..32) — wait, RETURN(off,len) pops off then len.
+    // (Asm above pushed len, then off.)
+    w.codes.insert(caller_c, pasm.assemble());
+
+    let params = CallParams {
+        caller: Address::from_low_u64(9),
+        address: caller_c,
+        code_address: caller_c,
+        origin: Address::from_low_u64(9),
+        value: U256::ZERO,
+        data: vec![],
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    let exec = execute(&mut w, params, &mut trace);
+    assert_eq!(returned(&exec.outcome), U256::from(0x42u64));
+}
+
+#[test]
+fn returndatacopy_out_of_bounds_errors() {
+    let mut w = MiniWorld::default();
+    let caller_c = Address::from_low_u64(1);
+    // RETURNDATACOPY(0, 0, 1) with empty return buffer.
+    let mut pasm = Asm::new();
+    pasm.push(U256::ONE) // len
+        .push(U256::ZERO) // src
+        .push(U256::ZERO) // dst
+        .op(Opcode::ReturnDataCopy);
+    w.codes.insert(caller_c, pasm.assemble());
+    let params = CallParams {
+        caller: Address::from_low_u64(9),
+        address: caller_c,
+        code_address: caller_c,
+        origin: Address::from_low_u64(9),
+        value: U256::ZERO,
+        data: vec![],
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    let exec = execute(&mut w, params, &mut trace);
+    assert!(matches!(
+        exec.outcome,
+        Outcome::Error(VmError::ReturnDataOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn logs_are_recorded_with_topics() {
+    // LOG2 with topics 7, 8 over memory [0..4).
+    let mut asm = Asm::new();
+    asm.push(U256::from(0xaabbccddu64)).push(U256::ZERO).op(Opcode::MStore);
+    asm.push(U256::from(8u64)) // topic2
+        .push(U256::from(7u64)) // topic1
+        .push(U256::from(4u64)) // len
+        .push(U256::from(28u64)) // off (last 4 bytes of the word)
+        .op(Opcode::Log(2))
+        .op(Opcode::Stop);
+    let (outcome, w) = run_code(asm.assemble(), vec![]);
+    assert!(outcome.is_success());
+    assert_eq!(w.logs.len(), 1);
+    let (_, topics, data) = &w.logs[0];
+    assert_eq!(topics, &vec![U256::from(7u64), U256::from(8u64)]);
+    assert_eq!(data, &vec![0xaa, 0xbb, 0xcc, 0xdd]);
+}
+
+#[test]
+fn signed_ops_and_sar() {
+    let neg8 = U256::from(8u64).neg();
+    // SDIV(-8, 2) = -4
+    let mut asm = Asm::new();
+    asm.push(U256::from(2u64))
+        .push(neg8)
+        .op(Opcode::SDiv)
+        .push(U256::ZERO)
+        .op(Opcode::MStore)
+        .push(U256::from(32u64))
+        .push(U256::ZERO)
+        .op(Opcode::Return);
+    let (outcome, _) = run_code(asm.assemble(), vec![]);
+    assert_eq!(returned(&outcome), U256::from(4u64).neg());
+}
+
+#[test]
+fn call_depth_guard_stops_recursion() {
+    // A contract that CALLs itself forever; must terminate via depth or
+    // gas, not stack overflow.
+    let me = Address::from_low_u64(0xc0de);
+    let mut asm = Asm::new();
+    asm.push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(me.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::Call)
+        .op(Opcode::Pop)
+        .op(Opcode::Stop);
+    let (outcome, _) = run_code(asm.assemble(), vec![]);
+    // Completes (inner frames fail at max depth / out of gas).
+    assert!(outcome.is_success() || outcome == Outcome::Error(VmError::OutOfGas));
+}
+
+#[test]
+fn log_in_static_context_fails() {
+    let mut w = MiniWorld::default();
+    let caller_c = Address::from_low_u64(1);
+    let callee = Address::from_low_u64(2);
+    let mut casm = Asm::new();
+    casm.push(U256::ZERO).push(U256::ZERO).op(Opcode::Log(0)).op(Opcode::Stop);
+    w.codes.insert(callee, casm.assemble());
+    let mut pasm = Asm::new();
+    pasm.push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(U256::ZERO)
+        .push(callee.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::StaticCall)
+        .push(U256::ZERO)
+        .op(Opcode::MStore)
+        .push(U256::from(32u64))
+        .push(U256::ZERO)
+        .op(Opcode::Return);
+    w.codes.insert(caller_c, pasm.assemble());
+    let params = CallParams {
+        caller: Address::from_low_u64(9),
+        address: caller_c,
+        code_address: caller_c,
+        origin: Address::from_low_u64(9),
+        value: U256::ZERO,
+        data: vec![],
+        gas: 1_000_000,
+        is_static: false,
+        depth: 0,
+    };
+    let mut trace = Trace::default();
+    let exec = execute(&mut w, params, &mut trace);
+    assert_eq!(returned(&exec.outcome), U256::ZERO, "LOG in static must fail");
+    assert!(w.logs.is_empty());
+}

@@ -1,0 +1,263 @@
+//! Property-based tests for the evm substrate: 256-bit arithmetic laws
+//! against a 128-bit oracle, keccak incremental/one-shot agreement, and
+//! disassembler totality.
+
+use evm::keccak::Keccak256;
+use evm::opcode::disassemble;
+use evm::{keccak256, U256};
+use proptest::prelude::*;
+
+fn u256_from_parts(hi: u128, lo: u128) -> U256 {
+    U256::from_limbs([lo as u64, (lo >> 64) as u64, hi as u64, (hi >> 64) as u64])
+}
+
+prop_compose! {
+    fn arb_u256()(hi in any::<u128>(), lo in any::<u128>()) -> U256 {
+        u256_from_parts(hi, lo)
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128_oracle(a in any::<u64>(), b in any::<u64>()) {
+        let sum = U256::from(a).wrapping_add(U256::from(b));
+        prop_assert_eq!(sum.low_u128(), a as u128 + b as u128);
+    }
+
+    #[test]
+    fn mul_matches_u128_oracle(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U256::from(a).wrapping_mul(U256::from(b));
+        prop_assert_eq!(prod.low_u128(), a as u128 * b as u128);
+    }
+
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        prop_assert_eq!(
+            a.wrapping_add(b).wrapping_add(c),
+            a.wrapping_add(b.wrapping_add(c))
+        );
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        prop_assert_eq!(
+            a.wrapping_mul(b.wrapping_add(c)),
+            a.wrapping_mul(b).wrapping_add(a.wrapping_mul(c))
+        );
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn div_rem_matches_u128_oracle(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = U256::from(a).div_rem(U256::from(b));
+        prop_assert_eq!(q.low_u128(), a / b);
+        prop_assert_eq!(r.low_u128(), a % b);
+    }
+
+    #[test]
+    fn div_rem_huge_divisor(a in arb_u256(), b in arb_u256()) {
+        // Exercise the >2^255 divisor path: set the top bit of b.
+        let b = b | (U256::ONE << 255u32);
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn addmod_matches_oracle(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let got = U256::from(a).add_mod(U256::from(b), U256::from(m));
+        prop_assert_eq!(got.low_u128(), (a as u128 + b as u128) % m as u128);
+    }
+
+    #[test]
+    fn addmod_huge_modulus(a in arb_u256(), b in arb_u256(), m in arb_u256()) {
+        let m = m | (U256::ONE << 255u32);
+        let got = U256::from(a).add_mod(b, m);
+        prop_assert!(got < m);
+    }
+
+    #[test]
+    fn mulmod_matches_oracle(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let got = U256::from(a).mul_mod(U256::from(b), U256::from(m));
+        prop_assert_eq!(got.low_u128(), (a as u128 * b as u128) % m as u128);
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in arb_u256(), s in 0u32..256) {
+        // Mask off the bits that fall out of the top, then round-trip.
+        let masked = (a << s) >> s;
+        let expect = if s == 0 { a } else { a & (U256::MAX >> s) };
+        prop_assert_eq!(masked, expect);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(a in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(a.neg()), U256::ZERO);
+    }
+
+    #[test]
+    fn be_bytes_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in arb_u256()) {
+        prop_assert_eq!(a.to_string().parse::<U256>().unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_sub(a in arb_u256(), b in arb_u256()) {
+        if a < b {
+            prop_assert!(b.overflowing_sub(a).1 == false);
+            prop_assert!(a.overflowing_sub(b).1 == true);
+        } else {
+            prop_assert!(a.overflowing_sub(b).1 == false);
+        }
+    }
+
+    #[test]
+    fn sdiv_smod_reconstruct(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        // a == sdiv(a,b)*b + smod(a,b)  (two's-complement identity)
+        let q = a.sdiv(b);
+        let r = a.smod(b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn keccak_incremental_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        split in 0usize..600,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Keccak256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn keccak_is_injective_on_samples(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if a != b {
+            prop_assert_ne!(keccak256(&a), keccak256(&b));
+        }
+    }
+
+    #[test]
+    fn disassemble_is_total_and_covers_code(code in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let insns = disassemble(&code);
+        // Offsets strictly increase and every instruction starts in-bounds.
+        let mut prev_end = 0usize;
+        for insn in &insns {
+            prop_assert_eq!(insn.offset, prev_end);
+            prop_assert!(insn.offset < code.len());
+            prev_end = insn.next_offset();
+        }
+        // The program is fully covered.
+        prop_assert!(prev_end >= code.len());
+    }
+}
+
+// ------------------------------------------------------------- assembler --
+
+use evm::asm::Asm;
+use evm::opcode::Opcode;
+
+/// Random (op | push | label-bind | jump-to-bound-label) programs must
+/// assemble, and disassembling the result must reproduce exactly the
+/// emitted opcode sequence.
+proptest! {
+    #[test]
+    fn assemble_disassemble_round_trip(
+        items in proptest::collection::vec((0u8..4, any::<u64>()), 0..40)
+    ) {
+        let mut asm = Asm::new();
+        let mut expected: Vec<Opcode> = Vec::new();
+        // Pre-allocate labels so jumps always target a bound label.
+        let mut labels = Vec::new();
+        for (kind, v) in &items {
+            match kind {
+                0 => {
+                    asm.push(U256::from(*v));
+                    let nbytes = ((U256::from(*v).bits() + 7) / 8).max(1) as u8;
+                    expected.push(Opcode::Push(nbytes));
+                }
+                1 => {
+                    asm.op(Opcode::Caller);
+                    expected.push(Opcode::Caller);
+                }
+                2 => {
+                    let l = asm.label();
+                    asm.bind(l);
+                    labels.push(l);
+                    expected.push(Opcode::JumpDest);
+                }
+                _ => {
+                    if let Some(&l) = labels.last() {
+                        asm.jump_to(l);
+                        expected.push(Opcode::Push(2));
+                        expected.push(Opcode::Jump);
+                    }
+                }
+            }
+        }
+        let code = asm.try_assemble().expect("assembles");
+        let got: Vec<Opcode> = disassemble(&code).into_iter().map(|i| i.opcode).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Jump targets always land on JUMPDESTs after assembly.
+    #[test]
+    fn assembled_jump_targets_are_jumpdests(n_blocks in 1usize..10) {
+        let mut asm = Asm::new();
+        let labels: Vec<_> = (0..n_blocks).map(|_| asm.label()).collect();
+        // Every block jumps to the next (wrapping), forming a ring.
+        for (i, &l) in labels.iter().enumerate() {
+            asm.bind(l);
+            asm.jump_to(labels[(i + 1) % n_blocks]);
+        }
+        let code = asm.try_assemble().expect("assembles");
+        let insns = disassemble(&code);
+        let dests: Vec<usize> = insns
+            .iter()
+            .filter(|i| i.opcode == Opcode::JumpDest)
+            .map(|i| i.offset)
+            .collect();
+        for w in insns.windows(2) {
+            if w[1].opcode == Opcode::Jump {
+                let target = w[0].immediate.expect("push before jump").low_u64() as usize;
+                prop_assert!(dests.contains(&target), "jump to non-dest {target}");
+            }
+        }
+    }
+}

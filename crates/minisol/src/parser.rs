@@ -1,0 +1,734 @@
+//! Recursive-descent parser for minisol.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Spanned, Token};
+use evm::U256;
+use std::fmt;
+
+/// Parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.message, self.line, self.col)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: format!("unexpected character {:?}", e.ch), line: e.line, col: e.col }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parses a single `contract` declaration from source text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// let src = "contract C { uint x; function get() public returns (uint) { return x; } }";
+/// let c = minisol::parse(src).unwrap();
+/// assert_eq!(c.name, "C");
+/// assert_eq!(c.functions.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Contract, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let contract = p.contract()?;
+    p.expect(Token::Eof)?;
+    Ok(contract)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let s = &self.tokens[self.pos];
+        (s.line, s.col)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError { message: message.into(), line, col })
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {want:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn contract(&mut self) -> Result<Contract, ParseError> {
+        self.expect(Token::Contract)?;
+        let name = self.ident()?;
+        self.expect(Token::LBrace)?;
+        let mut state_vars = Vec::new();
+        let mut modifiers = Vec::new();
+        let mut functions = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            match self.peek() {
+                Token::Function => functions.push(self.function()?),
+                Token::Modifier => modifiers.push(self.modifier()?),
+                Token::Mapping | Token::Uint | Token::Address | Token::Bool => {
+                    state_vars.push(self.state_var()?)
+                }
+                other => return self.err(format!("expected contract item, found {other:?}")),
+            }
+        }
+        Ok(Contract { name, state_vars, modifiers, functions })
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        match self.bump() {
+            Token::Uint => Ok(Type::Uint),
+            Token::Address => Ok(Type::Address),
+            Token::Bool => Ok(Type::Bool),
+            Token::Mapping => {
+                self.expect(Token::LParen)?;
+                let k = self.ty()?;
+                self.expect(Token::Arrow)?;
+                let v = self.ty()?;
+                self.expect(Token::RParen)?;
+                Ok(Type::Mapping(Box::new(k), Box::new(v)))
+            }
+            other => self.err(format!("expected type, found {other:?}")),
+        }
+    }
+
+    fn state_var(&mut self) -> Result<StateVar, ParseError> {
+        let ty = self.ty()?;
+        // Skip optional visibility on state vars (`address public owner`).
+        if matches!(self.peek(), Token::Public | Token::Private | Token::Internal) {
+            self.bump();
+        }
+        let name = self.ident()?;
+        let init = if self.eat(&Token::Assign) { Some(self.expr()?) } else { None };
+        self.expect(Token::Semi)?;
+        Ok(StateVar { name, ty, init })
+    }
+
+    fn modifier(&mut self) -> Result<ModifierDef, ParseError> {
+        self.expect(Token::Modifier)?;
+        let name = self.ident()?;
+        if self.eat(&Token::LParen) {
+            self.expect(Token::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(ModifierDef { name, body })
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.expect(Token::Function)?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let pname = self.ident()?;
+                params.push(Param { name: pname, ty });
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(Token::Comma)?;
+            }
+        }
+        let mut visibility = Visibility::Public;
+        let mut modifiers = Vec::new();
+        let mut returns = None;
+        let mut payable = false;
+        loop {
+            match self.peek().clone() {
+                Token::Public => {
+                    self.bump();
+                    visibility = Visibility::Public;
+                }
+                Token::External => {
+                    self.bump();
+                    visibility = Visibility::External;
+                }
+                Token::Internal => {
+                    self.bump();
+                    visibility = Visibility::Internal;
+                }
+                Token::Private => {
+                    self.bump();
+                    visibility = Visibility::Private;
+                }
+                Token::Payable => {
+                    self.bump();
+                    payable = true;
+                }
+                Token::View => {
+                    self.bump();
+                }
+                Token::Returns => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    returns = Some(self.ty()?);
+                    self.expect(Token::RParen)?;
+                }
+                Token::Ident(m) => {
+                    self.bump();
+                    // Allow `onlyOwner()` form too.
+                    if self.eat(&Token::LParen) {
+                        self.expect(Token::RParen)?;
+                    }
+                    modifiers.push(m);
+                }
+                Token::LBrace => break,
+                other => return self.err(format!("unexpected token in function header: {other:?}")),
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, visibility, modifiers, returns, payable, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Underscore => {
+                self.bump();
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Placeholder)
+            }
+            Token::Require => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Require(e))
+            }
+            Token::If => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Token::Else) {
+                    if *self.peek() == Token::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Token::While => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::Return => {
+                self.bump();
+                if self.eat(&Token::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Token::SelfDestruct => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::SelfDestruct(e))
+            }
+            Token::Uint | Token::Address | Token::Bool => {
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                self.expect(Token::Assign)?;
+                let init = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::VarDecl { name, ty, init })
+            }
+            Token::This if *self.peek2() == Token::Dot => {
+                // `this.x = ...` sugar: strip the `this.`.
+                self.bump();
+                self.bump();
+                self.lvalue_or_expr_stmt()
+            }
+            Token::Ident(_) => self.lvalue_or_expr_stmt(),
+            Token::DelegateCall => {
+                // delegatecall(addr); as a statement
+                let e = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+            Token::Emit => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Token::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(&Token::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(&Token::RParen) {
+                            break;
+                        }
+                        self.expect(Token::Comma)?;
+                    }
+                }
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Emit { name, args })
+            }
+            other => self.err(format!("expected statement, found {other:?}")),
+        }
+    }
+
+    /// Parses either an assignment (`x = e`, `m[k] = e`, `x += e`) or a
+    /// call expression statement, starting at an identifier.
+    fn lvalue_or_expr_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.ident()?;
+        // Call expression statement?
+        if *self.peek() == Token::LParen {
+            let e = self.call_tail(name)?;
+            self.expect(Token::Semi)?;
+            return Ok(Stmt::Expr(e));
+        }
+        let mut indices = Vec::new();
+        while self.eat(&Token::LBracket) {
+            indices.push(self.expr()?);
+            self.expect(Token::RBracket)?;
+        }
+        let op = match self.bump() {
+            Token::Assign => AssignOp::Set,
+            Token::PlusAssign => AssignOp::Add,
+            Token::MinusAssign => AssignOp::Sub,
+            other => return self.err(format!("expected assignment operator, found {other:?}")),
+        };
+        let value = self.expr()?;
+        self.expect(Token::Semi)?;
+        Ok(Stmt::Assign { target: LValue { name, indices }, op, value })
+    }
+
+    fn call_tail(&mut self, name: String) -> Result<Expr, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut sig = None;
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                if let Token::Str(s) = self.peek().clone() {
+                    self.bump();
+                    sig = Some(s);
+                } else {
+                    args.push(self.expr()?);
+                }
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(Token::Comma)?;
+            }
+        }
+        Ok(Expr::Call { name, sig, args })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.eq_expr()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.eq_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::EqEq => BinOp::Eq,
+                Token::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.rel_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Lt => BinOp::Lt,
+                Token::Gt => BinOp::Gt,
+                Token::Le => BinOp::Le,
+                Token::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Not) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e) });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = self.primary()?;
+        // Mapping indexing is only legal directly on an identifier.
+        if let Expr::Ident(name) = &base {
+            if *self.peek() == Token::LBracket {
+                let name = name.clone();
+                let mut indices = Vec::new();
+                while self.eat(&Token::LBracket) {
+                    indices.push(self.expr()?);
+                    self.expect(Token::RBracket)?;
+                }
+                return Ok(Expr::Index { name, indices });
+            }
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Number(s) => {
+                self.bump();
+                let v = if let Some(hex) = s.strip_prefix("0x") {
+                    U256::from_hex(hex).map_err(|_| {
+                        let (line, col) = self.here();
+                        ParseError { message: format!("bad hex literal {s}"), line, col }
+                    })?
+                } else {
+                    s.parse::<U256>().map_err(|_| {
+                        let (line, col) = self.here();
+                        ParseError { message: format!("bad number literal {s}"), line, col }
+                    })?
+                };
+                Ok(Expr::Number(v))
+            }
+            Token::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Token::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Token::Msg => {
+                self.bump();
+                self.expect(Token::Dot)?;
+                let field = self.ident()?;
+                match field.as_str() {
+                    "sender" => Ok(Expr::MsgSender),
+                    "value" => Ok(Expr::MsgValue),
+                    other => self.err(format!("unknown msg field `{other}`")),
+                }
+            }
+            Token::Block => {
+                self.bump();
+                self.expect(Token::Dot)?;
+                let field = self.ident()?;
+                match field.as_str() {
+                    "number" => Ok(Expr::BlockNumber),
+                    "timestamp" => Ok(Expr::BlockTimestamp),
+                    other => self.err(format!("unknown block field `{other}`")),
+                }
+            }
+            Token::This => {
+                self.bump();
+                if self.eat(&Token::Dot) {
+                    // `this.x` reads the state variable x.
+                    let name = self.ident()?;
+                    if *self.peek() == Token::LBracket {
+                        let mut indices = Vec::new();
+                        while self.eat(&Token::LBracket) {
+                            indices.push(self.expr()?);
+                            self.expect(Token::RBracket)?;
+                        }
+                        return Ok(Expr::Index { name, indices });
+                    }
+                    return Ok(Expr::Ident(name));
+                }
+                Ok(Expr::This)
+            }
+            Token::Address => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Cast { ty: Type::Address, expr: Box::new(e) })
+            }
+            Token::Uint => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Cast { ty: Type::Uint, expr: Box::new(e) })
+            }
+            Token::DelegateCall => {
+                self.bump();
+                self.call_tail("delegatecall".to_string())
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if *self.peek() == Token::LParen {
+                    self.call_tail(name)
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_victim_contract() {
+        let src = r#"
+        contract Victim {
+            mapping(address => bool) admins;
+            mapping(address => bool) users;
+            address owner;
+
+            modifier onlyAdmins() { require(admins[msg.sender]); _; }
+            modifier onlyUsers() { require(users[msg.sender]); _; }
+
+            function registerSelf() public { users[msg.sender] = true; }
+            function referUser(address user) public onlyUsers { users[user] = true; }
+            function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+            function changeOwner(address o) public onlyAdmins { owner = o; }
+            function kill() public onlyAdmins { selfdestruct(owner); }
+        }
+        "#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.name, "Victim");
+        assert_eq!(c.state_vars.len(), 3);
+        assert_eq!(c.modifiers.len(), 2);
+        assert_eq!(c.functions.len(), 5);
+        assert_eq!(c.functions[2].modifiers, vec!["onlyUsers".to_string()]);
+        assert_eq!(c.functions[4].name, "kill");
+    }
+
+    #[test]
+    fn signature_generation() {
+        let src = "contract C { function f(address a, uint b) public {} }";
+        let c = parse(src).unwrap();
+        assert_eq!(c.functions[0].signature(), "f(address,uint256)");
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let src = r#"contract C {
+            uint x;
+            function f(uint a) public {
+                if (a > 1) { x = 1; } else if (a > 0) { x = 2; } else { x = 3; }
+            }
+        }"#;
+        let c = parse(src).unwrap();
+        let Stmt::If { else_body, .. } = &c.functions[0].body[0] else {
+            panic!("expected if");
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_nested_mapping_access() {
+        let src = r#"contract C {
+            mapping(address => mapping(address => uint)) allowed;
+            function f(address a, address b) public returns (uint) {
+                return allowed[a][b];
+            }
+        }"#;
+        let c = parse(src).unwrap();
+        let Stmt::Return(Some(Expr::Index { indices, .. })) = &c.functions[0].body[0] else {
+            panic!("expected indexed return");
+        };
+        assert_eq!(indices.len(), 2);
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let src = "contract C { uint x; function f() public { x = 1 + 2 * 3; } }";
+        let c = parse(src).unwrap();
+        let Stmt::Assign { value, .. } = &c.functions[0].body[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else { panic!("expected add") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_builtin_call_with_signature() {
+        let src = r#"contract C { function f(address v) public { external_call(v, "kill()"); } }"#;
+        let c = parse(src).unwrap();
+        let Stmt::Expr(Expr::Call { name, sig, args }) = &c.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(name, "external_call");
+        assert_eq!(sig.as_deref(), Some("kill()"));
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parses_this_member_sugar() {
+        let src = "contract C { address owner; function f(address o) public { this.owner = o; } }";
+        let c = parse(src).unwrap();
+        let Stmt::Assign { target, .. } = &c.functions[0].body[0] else { panic!() };
+        assert_eq!(target.name, "owner");
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("contract C { uint x function f() public {} }").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_after_contract() {
+        assert!(parse("contract C { } trailing").is_err());
+    }
+
+    #[test]
+    fn parses_state_var_initializer_and_visibility() {
+        let src = "contract C { address public owner = 0x1234; }";
+        let c = parse(src).unwrap();
+        assert_eq!(c.state_vars[0].init, Some(Expr::Number(U256::from(0x1234u64))));
+    }
+
+    #[test]
+    fn parses_while_loop() {
+        let src = "contract C { uint x; function f() public { while (x < 10) { x += 1; } } }";
+        let c = parse(src).unwrap();
+        assert!(matches!(c.functions[0].body[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_payable_and_view() {
+        let src = "contract C { function f() public payable {} function g() public view returns (uint) { return 1; } }";
+        let c = parse(src).unwrap();
+        assert!(c.functions[0].payable);
+        assert_eq!(c.functions[1].returns, Some(Type::Uint));
+    }
+}

@@ -1,0 +1,271 @@
+//! Pretty-printer: AST → canonical minisol source.
+//!
+//! Used for corpus inspection and for the parse → print → parse
+//! round-trip property tests that pin the grammar down.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a contract as canonical source text.
+pub fn print_contract(c: &Contract) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "contract {} {{", c.name);
+    for sv in &c.state_vars {
+        match &sv.init {
+            Some(e) => {
+                let _ = writeln!(out, "    {} {} = {};", print_type(&sv.ty), sv.name, expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "    {} {};", print_type(&sv.ty), sv.name);
+            }
+        }
+    }
+    for m in &c.modifiers {
+        let _ = writeln!(out, "    modifier {}() {{", m.name);
+        stmts(&mut out, &m.body, 2);
+        let _ = writeln!(out, "    }}");
+    }
+    for f in &c.functions {
+        let params: Vec<String> =
+            f.params.iter().map(|p| format!("{} {}", print_type(&p.ty), p.name)).collect();
+        let vis = match f.visibility {
+            Visibility::Public => "public",
+            Visibility::External => "external",
+            Visibility::Internal => "internal",
+            Visibility::Private => "private",
+        };
+        let mut header = format!("    function {}({}) {vis}", f.name, params.join(", "));
+        if f.payable {
+            header.push_str(" payable");
+        }
+        for m in &f.modifiers {
+            header.push(' ');
+            header.push_str(m);
+        }
+        if let Some(r) = &f.returns {
+            let _ = write!(header, " returns ({})", print_type(r));
+        }
+        let _ = writeln!(out, "{header} {{");
+        stmts(&mut out, &f.body, 2);
+        let _ = writeln!(out, "    }}");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a type.
+pub fn print_type(t: &Type) -> String {
+    match t {
+        Type::Uint => "uint".to_string(),
+        Type::Address => "address".to_string(),
+        Type::Bool => "bool".to_string(),
+        Type::Mapping(k, v) => {
+            format!("mapping({} => {})", print_type(k), print_type(v))
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn stmts(out: &mut String, body: &[Stmt], depth: usize) {
+    for s in body {
+        stmt(out, s, depth);
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::VarDecl { name, ty, init } => {
+            let _ = writeln!(out, "{} {name} = {};", print_type(ty), expr(init));
+        }
+        Stmt::Assign { target, op, value } => {
+            let idx: String = target.indices.iter().map(|i| format!("[{}]", expr(i))).collect();
+            let opstr = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+            };
+            let _ = writeln!(out, "{}{idx} {opstr} {};", target.name, expr(value));
+        }
+        Stmt::Require(e) => {
+            let _ = writeln!(out, "require({});", expr(e));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            stmts(out, then_body, depth + 1);
+            if else_body.is_empty() {
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            } else {
+                indent(out, depth);
+                let _ = writeln!(out, "}} else {{");
+                stmts(out, else_body, depth + 1);
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            stmts(out, body, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "return;");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr(e));
+        }
+        Stmt::SelfDestruct(e) => {
+            let _ = writeln!(out, "selfdestruct({});", expr(e));
+        }
+        Stmt::Emit { name, args } => {
+            let rendered: Vec<String> = args.iter().map(expr).collect();
+            let _ = writeln!(out, "emit {name}({});", rendered.join(", "));
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", expr(e));
+        }
+        Stmt::Placeholder => {
+            let _ = writeln!(out, "_;");
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesized (so precedence round-trips
+/// without a precedence-aware printer).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Number(v) => format!("0x{}", v.to_hex()),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Ident(n) => n.clone(),
+        Expr::Index { name, indices } => {
+            let idx: String = indices.iter().map(|i| format!("[{}]", expr(i))).collect();
+            format!("{name}{idx}")
+        }
+        Expr::MsgSender => "msg.sender".to_string(),
+        Expr::MsgValue => "msg.value".to_string(),
+        Expr::BlockNumber => "block.number".to_string(),
+        Expr::BlockTimestamp => "block.timestamp".to_string(),
+        Expr::This => "this".to_string(),
+        Expr::Binary { op, lhs, rhs } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {o} {})", expr(lhs), expr(rhs))
+        }
+        Expr::Unary { op: UnOp::Not, expr: inner } => format!("(!{})", expr(inner)),
+        Expr::Cast { ty, expr: inner } => format!("{}({})", print_type(ty), expr(inner)),
+        Expr::Call { name, sig, args } => {
+            let mut parts: Vec<String> = Vec::new();
+            if let Some(first) = args.first() {
+                parts.push(expr(first));
+            }
+            if let Some(sig) = sig {
+                parts.push(format!("\"{sig}\""));
+            }
+            for a in args.iter().skip(1) {
+                parts.push(expr(a));
+            }
+            format!("{name}({})", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let ast1 = parse(src).unwrap();
+        let printed = print_contract(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let printed2 = print_contract(&ast2);
+        assert_eq!(printed, printed2, "printer not idempotent");
+    }
+
+    #[test]
+    fn round_trips_victim() {
+        round_trip(
+            r#"contract Victim {
+                mapping(address => bool) admins;
+                mapping(address => bool) users;
+                address owner;
+                modifier onlyAdmins() { require(admins[msg.sender]); _; }
+                modifier onlyUsers() { require(users[msg.sender]); _; }
+                function registerSelf() public { users[msg.sender] = true; }
+                function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+                function changeOwner(address o) public onlyAdmins { owner = o; }
+                function kill() public onlyAdmins { selfdestruct(owner); }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow_and_ops() {
+        round_trip(
+            r#"contract C {
+                uint x;
+                function f(uint a, uint b) public returns (uint) {
+                    uint acc = 0;
+                    if (a > 1 && b != 0) { acc = a * b; } else { acc = a + b; }
+                    while (acc > 10) { acc -= 3; }
+                    if (!(acc == 0)) { x = acc % 7; }
+                    return acc / 2;
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_builtins_and_casts() {
+        round_trip(
+            r#"contract C {
+                uint r;
+                function f(address w, uint v) public payable {
+                    r = staticcall_unchecked(w, v);
+                    send(w, msg.value);
+                    external_call(w, "ping(address)", address(v));
+                    delegatecall(w);
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn printed_source_compiles_identically() {
+        // The semantic check: printing then compiling yields the same
+        // bytecode as compiling the original.
+        let src = r#"contract C {
+            mapping(address => uint) balances;
+            uint supply = 777;
+            function transfer(address to, uint v) public {
+                require(balances[msg.sender] >= v);
+                balances[msg.sender] -= v;
+                balances[to] += v;
+            }
+        }"#;
+        let direct = crate::compile_source(src).unwrap();
+        let printed = print_contract(&parse(src).unwrap());
+        let reprinted = crate::compile_source(&printed).unwrap();
+        assert_eq!(direct.bytecode, reprinted.bytecode);
+    }
+}

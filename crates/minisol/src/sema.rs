@@ -1,0 +1,470 @@
+//! Semantic analysis: name resolution, storage-slot layout, light type
+//! and arity checking.
+
+use crate::ast::*;
+use evm::U256;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Semantic error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemaError(pub String);
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Storage layout: state variable → slot number (declaration order, one
+/// slot each — mappings occupy their slot as the hash base, like
+/// Solidity).
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    slots: HashMap<String, (u64, Type)>,
+}
+
+impl Layout {
+    /// Slot and type of a state variable.
+    pub fn slot(&self, name: &str) -> Option<(u64, &Type)> {
+        self.slots.get(name).map(|(s, t)| (*s, t))
+    }
+
+    /// Number of laid-out variables.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no state variables exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Builtin functions: name → (fixed value-arg count, takes a signature
+/// string, yields a value).
+fn builtin(name: &str) -> Option<(usize, bool, bool)> {
+    match name {
+        "balance" => Some((1, false, true)),
+        "delegatecall" => Some((1, false, true)),
+        "send" => Some((2, false, true)),
+        // external_call(addr, "sig(..)", args...) — variable arity.
+        "external_call" => Some((usize::MAX, true, true)),
+        "staticcall_unchecked" => Some((2, false, true)),
+        "staticcall_checked" => Some((2, false, true)),
+        // Raw storage access at a computed slot (inline-assembly
+        // analogue; deliberately opaque to static storage modeling).
+        "sstore_dyn" => Some((2, false, true)),
+        "sload_dyn" => Some((1, false, true)),
+        _ => None,
+    }
+}
+
+/// Result of semantic analysis, consumed by codegen.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The analyzed contract.
+    pub contract: Contract,
+    /// Storage layout.
+    pub layout: Layout,
+    /// Constant initial storage values (slot → value) from state-var
+    /// initializers; applied at deployment time by the harness.
+    pub initial_storage: Vec<(U256, U256)>,
+}
+
+/// Analyzes a parsed contract.
+///
+/// # Errors
+///
+/// Returns [`SemaError`] for duplicate names, unresolved identifiers,
+/// wrong mapping arity, bad builtin arity, misplaced `_;`, or non-constant
+/// state initializers.
+pub fn analyze(contract: Contract) -> Result<Analysis, SemaError> {
+    let mut layout = Layout::default();
+    let mut initial_storage = Vec::new();
+
+    for (i, sv) in contract.state_vars.iter().enumerate() {
+        if layout.slots.insert(sv.name.clone(), (i as u64, sv.ty.clone())).is_some() {
+            return Err(SemaError(format!("duplicate state variable `{}`", sv.name)));
+        }
+        if let Some(init) = &sv.init {
+            let Expr::Number(v) = init else {
+                return Err(SemaError(format!(
+                    "state variable `{}` initializer must be a constant",
+                    sv.name
+                )));
+            };
+            if !matches!(sv.ty, Type::Mapping(..)) {
+                initial_storage.push((U256::from(i as u64), *v));
+            }
+        }
+    }
+
+    let fn_arities: HashMap<String, usize> = contract
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.params.len()))
+        .collect();
+
+    let mut modifier_names = HashSet::new();
+    for m in &contract.modifiers {
+        if !modifier_names.insert(m.name.clone()) {
+            return Err(SemaError(format!("duplicate modifier `{}`", m.name)));
+        }
+        let placeholders = count_placeholders(&m.body);
+        if placeholders != 1 {
+            return Err(SemaError(format!(
+                "modifier `{}` must contain exactly one `_;` (found {placeholders})",
+                m.name
+            )));
+        }
+        // Modifier bodies see only state variables.
+        let scope = Scope { layout: &layout, locals: HashSet::new(), functions: &fn_arities };
+        check_stmts(&m.body, &scope, true)?;
+    }
+
+    let mut fn_names = HashSet::new();
+    for f in &contract.functions {
+        if !fn_names.insert(f.name.clone()) {
+            return Err(SemaError(format!("duplicate function `{}`", f.name)));
+        }
+        for p in &f.params {
+            if !p.ty.is_word() {
+                return Err(SemaError(format!(
+                    "parameter `{}` of `{}` must be word-sized",
+                    p.name, f.name
+                )));
+            }
+        }
+        for m in &f.modifiers {
+            if !modifier_names.contains(m) {
+                return Err(SemaError(format!(
+                    "function `{}` uses unknown modifier `{m}`",
+                    f.name
+                )));
+            }
+        }
+        let mut locals: HashSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
+        collect_locals(&f.body, &mut locals);
+        let scope = Scope { layout: &layout, locals, functions: &fn_arities };
+        check_stmts(&f.body, &scope, false)?;
+    }
+
+    Ok(Analysis { contract, layout, initial_storage })
+}
+
+fn count_placeholders(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Placeholder => 1,
+            Stmt::If { then_body, else_body, .. } => {
+                count_placeholders(then_body) + count_placeholders(else_body)
+            }
+            Stmt::While { body, .. } => count_placeholders(body),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn collect_locals(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                collect_locals(then_body, out);
+                collect_locals(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_locals(body, out),
+            _ => {}
+        }
+    }
+}
+
+struct Scope<'a> {
+    layout: &'a Layout,
+    locals: HashSet<String>,
+    /// Contract function name → parameter count (for internal calls).
+    functions: &'a HashMap<String, usize>,
+}
+
+impl Scope<'_> {
+    fn mapping_depth(&self, name: &str) -> Option<usize> {
+        let (_, mut ty) = self.layout.slot(name)?;
+        let mut depth = 0;
+        while let Type::Mapping(_, v) = ty {
+            depth += 1;
+            ty = v;
+        }
+        Some(depth)
+    }
+
+    fn resolves(&self, name: &str) -> bool {
+        self.locals.contains(name) || self.layout.slot(name).is_some()
+    }
+}
+
+fn check_stmts(stmts: &[Stmt], scope: &Scope<'_>, in_modifier: bool) -> Result<(), SemaError> {
+    for s in stmts {
+        match s {
+            Stmt::Placeholder => {
+                if !in_modifier {
+                    return Err(SemaError("`_;` is only allowed inside a modifier".into()));
+                }
+            }
+            Stmt::VarDecl { init, .. } => check_expr(init, scope)?,
+            Stmt::Assign { target, value, .. } => {
+                check_expr(value, scope)?;
+                for ix in &target.indices {
+                    check_expr(ix, scope)?;
+                }
+                if target.indices.is_empty() {
+                    if !scope.resolves(&target.name) {
+                        return Err(SemaError(format!("unknown variable `{}`", target.name)));
+                    }
+                    if scope.mapping_depth(&target.name).unwrap_or(0) > 0 {
+                        return Err(SemaError(format!(
+                            "cannot assign whole mapping `{}`",
+                            target.name
+                        )));
+                    }
+                } else {
+                    let Some(depth) = scope.mapping_depth(&target.name) else {
+                        return Err(SemaError(format!(
+                            "`{}` is not a mapping state variable",
+                            target.name
+                        )));
+                    };
+                    if target.indices.len() != depth {
+                        return Err(SemaError(format!(
+                            "`{}` expects {depth} index(es), got {}",
+                            target.name,
+                            target.indices.len()
+                        )));
+                    }
+                }
+            }
+            Stmt::Require(e) | Stmt::SelfDestruct(e) | Stmt::Expr(e) => check_expr(e, scope)?,
+            Stmt::Emit { args, .. } => {
+                for a in args {
+                    check_expr(a, scope)?;
+                }
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    check_expr(e, scope)?;
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                check_expr(cond, scope)?;
+                check_stmts(then_body, scope, in_modifier)?;
+                check_stmts(else_body, scope, in_modifier)?;
+            }
+            Stmt::While { cond, body } => {
+                check_expr(cond, scope)?;
+                check_stmts(body, scope, in_modifier)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_expr(e: &Expr, scope: &Scope<'_>) -> Result<(), SemaError> {
+    match e {
+        Expr::Number(_)
+        | Expr::Bool(_)
+        | Expr::MsgSender
+        | Expr::MsgValue
+        | Expr::BlockNumber
+        | Expr::BlockTimestamp
+        | Expr::This => Ok(()),
+        Expr::Ident(name) => {
+            if !scope.resolves(name) {
+                return Err(SemaError(format!("unknown variable `{name}`")));
+            }
+            if scope.mapping_depth(name).unwrap_or(0) > 0 {
+                return Err(SemaError(format!("mapping `{name}` must be indexed")));
+            }
+            Ok(())
+        }
+        Expr::Index { name, indices } => {
+            let Some(depth) = scope.mapping_depth(name) else {
+                return Err(SemaError(format!("`{name}` is not a mapping state variable")));
+            };
+            if indices.len() != depth {
+                return Err(SemaError(format!(
+                    "`{name}` expects {depth} index(es), got {}",
+                    indices.len()
+                )));
+            }
+            for ix in indices {
+                check_expr(ix, scope)?;
+            }
+            Ok(())
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            check_expr(lhs, scope)?;
+            check_expr(rhs, scope)
+        }
+        Expr::Unary { expr, .. } => check_expr(expr, scope),
+        Expr::Cast { expr, .. } => check_expr(expr, scope),
+        Expr::Call { name, sig, args } => {
+            let Some((arity, takes_sig, _)) = builtin(name) else {
+                // Internal call to another contract function.
+                let Some(&nparams) = scope.functions.get(name) else {
+                    return Err(SemaError(format!("unknown function or builtin `{name}`")));
+                };
+                if sig.is_some() {
+                    return Err(SemaError(format!(
+                        "function `{name}` takes no signature string"
+                    )));
+                }
+                if args.len() != nparams {
+                    return Err(SemaError(format!(
+                        "function `{name}` expects {nparams} argument(s), got {}",
+                        args.len()
+                    )));
+                }
+                for a in args {
+                    check_expr(a, scope)?;
+                }
+                return Ok(());
+            };
+            if takes_sig && sig.is_none() {
+                return Err(SemaError(format!("builtin `{name}` requires a signature string")));
+            }
+            if !takes_sig && sig.is_some() {
+                return Err(SemaError(format!("builtin `{name}` takes no signature string")));
+            }
+            if arity != usize::MAX && args.len() != arity {
+                return Err(SemaError(format!(
+                    "builtin `{name}` expects {arity} argument(s), got {}",
+                    args.len()
+                )));
+            }
+            if name == "external_call" && args.is_empty() {
+                return Err(SemaError("external_call needs a target address".into()));
+            }
+            for a in args {
+                check_expr(a, scope)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<Analysis, SemaError> {
+        analyze(parse(src).unwrap())
+    }
+
+    #[test]
+    fn layout_assigns_declaration_order_slots() {
+        let a = analyze_src(
+            "contract C { uint x; mapping(address => bool) m; address o; }",
+        )
+        .unwrap();
+        assert_eq!(a.layout.slot("x").unwrap().0, 0);
+        assert_eq!(a.layout.slot("m").unwrap().0, 1);
+        assert_eq!(a.layout.slot("o").unwrap().0, 2);
+    }
+
+    #[test]
+    fn initializers_become_initial_storage() {
+        let a = analyze_src("contract C { uint x = 5; address o = 0xbeef; }").unwrap();
+        assert_eq!(a.initial_storage.len(), 2);
+        assert_eq!(a.initial_storage[1], (U256::ONE, U256::from(0xbeefu64)));
+    }
+
+    #[test]
+    fn rejects_duplicate_state_vars() {
+        assert!(analyze_src("contract C { uint x; uint x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        assert!(analyze_src("contract C { function f() public { y = 1; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_modifier() {
+        assert!(
+            analyze_src("contract C { function f() public onlyOwner {} }").is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_mapping_arity() {
+        assert!(analyze_src(
+            "contract C { mapping(address => mapping(address => uint)) m; function f(address a) public { m[a] = 1; } }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_misplaced_placeholder() {
+        assert!(analyze_src("contract C { function f() public { _; } }").is_err());
+    }
+
+    #[test]
+    fn modifier_must_have_single_placeholder() {
+        assert!(analyze_src("contract C { modifier m() { require(true); } }").is_err());
+        assert!(analyze_src("contract C { modifier m() { _; _; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_builtin_arity() {
+        assert!(analyze_src("contract C { function f() public { balance(); } }").is_err());
+        assert!(
+            analyze_src(r#"contract C { function f(address a) public { external_call(a); } }"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn accepts_victim_contract() {
+        let src = r#"
+        contract Victim {
+            mapping(address => bool) admins;
+            mapping(address => bool) users;
+            address owner;
+            modifier onlyAdmins() { require(admins[msg.sender]); _; }
+            modifier onlyUsers() { require(users[msg.sender]); _; }
+            function registerSelf() public { users[msg.sender] = true; }
+            function referUser(address user) public onlyUsers { users[user] = true; }
+            function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+            function changeOwner(address o) public onlyAdmins { owner = o; }
+            function kill() public onlyAdmins { selfdestruct(owner); }
+        }"#;
+        assert!(analyze_src(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_locals_shadow_nothing_but_resolve() {
+        let a = analyze_src(
+            "contract C { uint x; function f(uint a) public { uint b = a + x; x = b; } }",
+        );
+        assert!(a.is_ok());
+    }
+
+    #[test]
+    fn rejects_nonconstant_initializer() {
+        assert!(analyze_src("contract C { uint x = 1 + 2; }").is_err());
+    }
+
+    #[test]
+    fn rejects_reading_bare_mapping() {
+        assert!(analyze_src(
+            "contract C { mapping(address => bool) m; uint x; function f() public { x = m; } }"
+        )
+        .is_err());
+    }
+}

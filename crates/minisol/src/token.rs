@@ -1,0 +1,454 @@
+//! Lexer for the minisol language.
+
+use std::fmt;
+
+/// Lexical token kinds.
+#[allow(missing_docs)] // mnemonic variants are self-documenting
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    // Literals and identifiers
+    /// Decimal or hex number literal.
+    Number(String),
+    /// Identifier.
+    Ident(String),
+    /// String literal (used by external-call signatures).
+    Str(String),
+
+    // Keywords
+    Contract,
+    Function,
+    Modifier,
+    Mapping,
+    Address,
+    Uint,
+    Bool,
+    Public,
+    Private,
+    Internal,
+    External,
+    Payable,
+    View,
+    Returns,
+    Return,
+    Require,
+    If,
+    Else,
+    While,
+    True,
+    False,
+    Msg,
+    Block,
+    This,
+    SelfDestruct,
+    DelegateCall,
+    Emit,
+
+    // Punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow, // =>
+    Underscore,
+
+    // Operators
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source position (for diagnostics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at {}:{}", self.ch, self.line, self.col)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes minisol source text.
+///
+/// Line comments (`//`) and block comments (`/* */`) are skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the language.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                bump!();
+                bump!();
+                while i < chars.len() {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '0'..='9' => {
+                let mut s = String::new();
+                if c == '0' && chars.get(i + 1) == Some(&'x') {
+                    s.push_str("0x");
+                    bump!();
+                    bump!();
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        s.push(chars[i]);
+                        bump!();
+                    }
+                } else {
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        s.push(chars[i]);
+                        bump!();
+                    }
+                }
+                out.push(Spanned { token: Token::Number(s), line: tl, col: tc });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                while i < chars.len() && chars[i] != '"' {
+                    s.push(chars[i]);
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!(); // closing quote
+                }
+                out.push(Spanned { token: Token::Str(s), line: tl, col: tc });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    bump!();
+                }
+                let token = match s.as_str() {
+                    "contract" => Token::Contract,
+                    "function" => Token::Function,
+                    "modifier" => Token::Modifier,
+                    "mapping" => Token::Mapping,
+                    "address" => Token::Address,
+                    "uint" | "uint256" => Token::Uint,
+                    "bool" => Token::Bool,
+                    "public" => Token::Public,
+                    "private" => Token::Private,
+                    "internal" => Token::Internal,
+                    "external" => Token::External,
+                    "payable" => Token::Payable,
+                    "view" => Token::View,
+                    "returns" => Token::Returns,
+                    "return" => Token::Return,
+                    "require" => Token::Require,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "msg" => Token::Msg,
+                    "block" => Token::Block,
+                    "this" => Token::This,
+                    "selfdestruct" => Token::SelfDestruct,
+                    "delegatecall" => Token::DelegateCall,
+                    "emit" => Token::Emit,
+                    "_" => Token::Underscore,
+                    _ => Token::Ident(s),
+                };
+                out.push(Spanned { token, line: tl, col: tc });
+            }
+            '{' => {
+                out.push(Spanned { token: Token::LBrace, line: tl, col: tc });
+                bump!();
+            }
+            '}' => {
+                out.push(Spanned { token: Token::RBrace, line: tl, col: tc });
+                bump!();
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, line: tl, col: tc });
+                bump!();
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, line: tl, col: tc });
+                bump!();
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, line: tl, col: tc });
+                bump!();
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, line: tl, col: tc });
+                bump!();
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, line: tl, col: tc });
+                bump!();
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, line: tl, col: tc });
+                bump!();
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, line: tl, col: tc });
+                bump!();
+            }
+            '=' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { token: Token::EqEq, line: tl, col: tc });
+                } else if i < chars.len() && chars[i] == '>' {
+                    bump!();
+                    out.push(Spanned { token: Token::Arrow, line: tl, col: tc });
+                } else {
+                    out.push(Spanned { token: Token::Assign, line: tl, col: tc });
+                }
+            }
+            '+' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { token: Token::PlusAssign, line: tl, col: tc });
+                } else {
+                    out.push(Spanned { token: Token::Plus, line: tl, col: tc });
+                }
+            }
+            '-' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { token: Token::MinusAssign, line: tl, col: tc });
+                } else {
+                    out.push(Spanned { token: Token::Minus, line: tl, col: tc });
+                }
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, line: tl, col: tc });
+                bump!();
+            }
+            '/' => {
+                out.push(Spanned { token: Token::Slash, line: tl, col: tc });
+                bump!();
+            }
+            '%' => {
+                out.push(Spanned { token: Token::Percent, line: tl, col: tc });
+                bump!();
+            }
+            '!' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { token: Token::NotEq, line: tl, col: tc });
+                } else {
+                    out.push(Spanned { token: Token::Not, line: tl, col: tc });
+                }
+            }
+            '<' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { token: Token::Le, line: tl, col: tc });
+                } else {
+                    out.push(Spanned { token: Token::Lt, line: tl, col: tc });
+                }
+            }
+            '>' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { token: Token::Ge, line: tl, col: tc });
+                } else {
+                    out.push(Spanned { token: Token::Gt, line: tl, col: tc });
+                }
+            }
+            '&' if chars.get(i + 1) == Some(&'&') => {
+                bump!();
+                bump!();
+                out.push(Spanned { token: Token::AndAnd, line: tl, col: tc });
+            }
+            '|' if chars.get(i + 1) == Some(&'|') => {
+                bump!();
+                bump!();
+                out.push(Spanned { token: Token::OrOr, line: tl, col: tc });
+            }
+            other => return Err(LexError { ch: other, line: tl, col: tc }),
+        }
+    }
+    out.push(Spanned { token: Token::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("contract Foo"),
+            vec![Token::Contract, Token::Ident("Foo".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_decimal_and_hex() {
+        assert_eq!(
+            kinds("42 0xdeadBEEF"),
+            vec![
+                Token::Number("42".into()),
+                Token::Number("0xdeadBEEF".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || => += -="),
+            vec![
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Arrow,
+                Token::PlusAssign,
+                Token::MinusAssign,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // comment\n /* block \n comment */ b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn underscore_is_a_token() {
+        assert_eq!(kinds("_;"), vec![Token::Underscore, Token::Semi, Token::Eof]);
+    }
+
+    #[test]
+    fn uint_aliases() {
+        assert_eq!(kinds("uint uint256"), vec![Token::Uint, Token::Uint, Token::Eof]);
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn lexes_string_literals() {
+        assert_eq!(
+            kinds(r#"call("kill()")"#),
+            vec![
+                Token::Ident("call".into()),
+                Token::LParen,
+                Token::Str("kill()".into()),
+                Token::RParen,
+                Token::Eof
+            ]
+        );
+    }
+}

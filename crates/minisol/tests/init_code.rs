@@ -1,0 +1,79 @@
+//! Init-code deployment tests: the real deployment path (execute init
+//! code, return runtime) must agree with direct runtime installation.
+
+use chain::TestNet;
+use evm::{U256, World};
+use minisol::compile_source;
+
+const WALLET: &str = r#"contract Wallet {
+    address owner = 0xbeef;
+    uint limit = 500;
+    mapping(address => uint) balances;
+    function ownerIs() public returns (address) { return owner; }
+    function limitIs() public returns (uint) { return limit; }
+}"#;
+
+#[test]
+fn init_code_applies_initializers_via_real_sstores() {
+    let compiled = compile_source(WALLET).unwrap();
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(1_000u64));
+    let addr = net.deploy_init(deployer, compiled.init_code()).expect("init code runs");
+    assert_eq!(net.state().code(addr), compiled.bytecode);
+    assert_eq!(net.state().storage_get(addr, U256::ZERO), U256::from(0xbeefu64));
+    assert_eq!(net.state().storage_get(addr, U256::ONE), U256::from(500u64));
+}
+
+#[test]
+fn init_deployment_matches_direct_staging() {
+    // Both deployment paths must yield behaviorally identical contracts.
+    let compiled = compile_source(WALLET).unwrap();
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(1_000u64));
+
+    let via_init = net.deploy_init(deployer, compiled.init_code()).unwrap();
+    let via_direct = net.deploy(deployer, compiled.bytecode.clone());
+    for (slot, value) in &compiled.initial_storage {
+        net.state_mut().storage_set(via_direct, *slot, *value);
+    }
+    net.state_mut().commit();
+
+    for sig in ["ownerIs()", "limitIs()"] {
+        let a = net.call(deployer, via_init, chain::abi::encode_call(sig, &[]), U256::ZERO);
+        let b = net.call(deployer, via_direct, chain::abi::encode_call(sig, &[]), U256::ZERO);
+        assert_eq!(a.output, b.output, "{sig}");
+    }
+}
+
+#[test]
+fn contract_with_no_initializers_deploys_too() {
+    let compiled = compile_source("contract C { uint x; function f() public { x = 1; } }").unwrap();
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(10u64));
+    let addr = net.deploy_init(deployer, compiled.init_code()).unwrap();
+    assert_eq!(net.state().code(addr), compiled.bytecode);
+}
+
+#[test]
+fn reverting_init_code_deploys_nothing() {
+    // Init code that reverts: PUSH0 PUSH0 REVERT.
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(10u64));
+    let bad_init = vec![0x60, 0x00, 0x60, 0x00, 0xfd];
+    assert!(net.deploy_init(deployer, bad_init).is_none());
+}
+
+#[test]
+fn analysis_of_deployed_code_matches_analysis_of_artifact() {
+    // The decompiler/analysis must see identical bytecode either way.
+    let src = r#"contract Bad {
+        address owner;
+        function initOwner(address o) public { owner = o; }
+        function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+    }"#;
+    let compiled = compile_source(src).unwrap();
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(10u64));
+    let addr = net.deploy_init(deployer, compiled.init_code()).unwrap();
+    assert_eq!(net.state().code(addr), compiled.bytecode);
+}

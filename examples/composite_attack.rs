@@ -1,0 +1,68 @@
+//! The paper's §2 illustration, end to end: the `Victim` contract is
+//! compiled, deployed on a test network, flagged by Ethainter, and then
+//! destroyed by Ethainter-Kill through the four-step composite chain
+//! (register → become admin → become owner → kill).
+//!
+//! ```text
+//! cargo run --example composite_attack
+//! ```
+
+use chain::TestNet;
+use ethainter::{analyze_bytecode, Config, Vuln};
+use evm::{U256, World};
+use kill::{exploit, KillConfig};
+
+const VICTIM: &str = r#"
+contract Victim {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    modifier onlyUsers() { require(users[msg.sender]); _; }
+
+    function registerSelf() public { users[msg.sender] = true; }
+    function referUser(address user) public onlyUsers { users[user] = true; }
+    function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+    function changeOwner(address o) public onlyAdmins { owner = o; }
+    function kill() public onlyAdmins { selfdestruct(owner); }
+}"#;
+
+fn main() {
+    // Deploy the victim with a balance worth stealing.
+    let compiled = minisol::compile_source(VICTIM).expect("compiles");
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(1_000u64));
+    let victim = net.deploy(deployer, compiled.bytecode.clone());
+    net.state_mut().set_balance(victim, U256::from(1_000_000u64));
+    net.state_mut().commit();
+    println!("deployed Victim at {victim} holding 1000000 wei");
+
+    // Ethainter flags the composite chain.
+    let report = analyze_bytecode(&compiled.bytecode, &Config::default());
+    println!("\nEthainter findings:");
+    for f in &report.findings {
+        println!("  - {}{}", f.vuln, if f.composite { "  ✰ composite" } else { "" });
+    }
+    assert!(report.has(Vuln::AccessibleSelfDestruct));
+    assert!(report.has(Vuln::TaintedSelfDestruct));
+
+    // Ethainter-Kill executes the exploit on a private fork.
+    let outcome = exploit(&net, victim, &report, &KillConfig::default());
+    println!("\nEthainter-Kill transcript ({} transactions):", outcome.steps.len());
+    for step in &outcome.steps {
+        println!(
+            "  call 0x{:08x}  success={}  destroyed={}",
+            step.selector, step.success, step.destroyed
+        );
+    }
+    assert!(outcome.destroyed, "the exploit must land");
+    assert_eq!(outcome.funds_recovered, U256::from(1_000_000u64));
+    println!(
+        "\ncontract destroyed; attacker recovered {} wei (the full balance)",
+        outcome.funds_recovered
+    );
+    // The original network was never touched — the kill ran on a fork.
+    assert!(!net.is_destroyed(victim));
+    println!("original network untouched (exploit ran on a private fork)");
+}

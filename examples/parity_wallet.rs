@@ -1,0 +1,77 @@
+//! A model of the Parity wallet hack — the paper's flagship real-world
+//! composite attack (§1: "$280M was stolen or frozen via two separate
+//! vulnerabilities. The attack involved reinitializing part of the
+//! contract that sets owner variables, via a vulnerable library
+//! function").
+//!
+//! The wallet below distills the bug: `initWallet` was meant to run once
+//! at construction, but is publicly dispatchable — so an attacker
+//! re-initializes the owner and then drains/destroys the wallet.
+//!
+//! ```text
+//! cargo run --example parity_wallet
+//! ```
+
+use chain::abi::encode_call_addr;
+use chain::TestNet;
+use ethainter::{analyze_bytecode, Config, Vuln};
+use evm::{U256, World};
+
+const WALLET: &str = r#"
+contract WalletLibrary {
+    address owner;
+    uint dailyLimit;
+
+    // The fatal flaw: a public (re)initializer.
+    function initWallet(address o) public {
+        owner = o;
+        dailyLimit = 100;
+    }
+
+    function execute(address to, uint value) public {
+        require(msg.sender == owner);
+        send(to, value);
+    }
+
+    function kill() public {
+        require(msg.sender == owner);
+        selfdestruct(owner);
+    }
+}"#;
+
+fn main() {
+    let compiled = minisol::compile_source(WALLET).expect("compiles");
+
+    // Ethainter flags the wallet before any attacker shows up.
+    let report = analyze_bytecode(&compiled.bytecode, &Config::default());
+    println!("Ethainter on the Parity-style wallet:");
+    for f in &report.findings {
+        println!("  - {}", f.vuln);
+    }
+    assert!(report.has(Vuln::TaintedOwnerVariable), "the re-init owner write");
+    assert!(report.has(Vuln::AccessibleSelfDestruct), "kill is reachable after re-init");
+    assert!(report.has(Vuln::TaintedSelfDestruct), "funds go to the tainted owner");
+
+    // Replay the historical attack shape on a test network.
+    let mut net = TestNet::new();
+    let deployer = net.funded_account(U256::from(10u64));
+    let wallet = net.deploy(deployer, compiled.bytecode);
+    net.state_mut().set_balance(wallet, U256::from(280_000_000u64)); // "the $280M"
+    net.state_mut().commit();
+
+    let attacker = net.funded_account(U256::from(1u64));
+    // Step 1: re-initialize ownership (the library-initializer bug).
+    let r = net.call(attacker, wallet, encode_call_addr("initWallet(address)", attacker), U256::ZERO);
+    assert!(r.success);
+    // Step 2: destroy (the "suicided" second phase of the real incident).
+    let r = net.call_traced(
+        attacker,
+        wallet,
+        chain::abi::encode_call("kill()", &[]),
+        U256::ZERO,
+    );
+    assert!(r.success);
+    assert!(net.is_destroyed(wallet));
+    assert_eq!(net.balance(attacker).low_u64(), 280_000_001);
+    println!("\nreplayed: re-init + kill drained {} wei to the attacker", 280_000_000u64);
+}

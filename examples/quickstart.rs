@@ -1,0 +1,47 @@
+//! Quickstart: compile a contract, run Ethainter, read the findings.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ethainter::{analyze_bytecode, Config};
+
+fn main() {
+    // §3.1 of the paper: a public setter leaves the owner variable — and
+    // everything it guards — attacker-controlled.
+    let source = r#"
+    contract Vulnerable {
+        address owner;
+
+        function initOwner(address o) public {
+            owner = o;
+        }
+
+        function kill() public {
+            require(msg.sender == owner);
+            selfdestruct(owner);
+        }
+    }"#;
+
+    // 1. Compile to EVM bytecode (any bytecode works; this example uses
+    //    the bundled minisol compiler so it is self-contained).
+    let compiled = minisol::compile_source(source).expect("compiles");
+    println!("compiled `{}`: {} bytes of bytecode", compiled.name, compiled.bytecode.len());
+
+    // 2. Analyze: decompilation + the composite information-flow analysis.
+    let report = analyze_bytecode(&compiled.bytecode, &Config::default());
+
+    // 3. Read the findings.
+    println!("\n{} finding(s):", report.findings.len());
+    for f in &report.findings {
+        let star = if f.composite { " (composite)" } else { "" };
+        println!("  - {} at pc 0x{:x}{star}", f.vuln, f.pc);
+        for sel in &f.selectors {
+            println!("      reachable via selector 0x{sel:08x}");
+        }
+    }
+
+    assert!(report.has(ethainter::Vuln::TaintedOwnerVariable));
+    assert!(report.has(ethainter::Vuln::AccessibleSelfDestruct));
+    println!("\nThe guard is defeatable: anyone can call initOwner and then kill.");
+}
