@@ -176,9 +176,9 @@ fn analyze_once(p: &Program) -> Option<SecurifyReport> {
             if p.block(succ).preds.len() != 1 {
                 continue;
             }
-            for b in 0..p.blocks.len() {
+            for (b, guarded) in sender_guarded.iter_mut().enumerate() {
                 if dom.dominates(succ, decompiler::BlockId(b as u32)) {
-                    sender_guarded[b] = true;
+                    *guarded = true;
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! cargo run --release -p bench --bin exp2_prevalence [population_size]
 //! ```
 
-use bench::{prevalence, print_table, scan, size_arg};
+use bench::{prevalence, print_table, scan_jobs, size_arg};
 use corpus::{Population, PopulationConfig};
 use ethainter::Config;
 
@@ -22,15 +22,17 @@ fn main() {
     let size = size_arg(30_000);
     eprintln!("generating {size} unique contracts…");
     let pop = Population::generate(&PopulationConfig { size, ..Default::default() });
-    eprintln!("scanning…");
-    let result = scan(&pop, &Config::default(), true);
+    eprintln!("scanning on the batch driver…");
+    let result = scan_jobs(&pop, &Config::default(), 0);
     let rows = prevalence(&pop, &result.reports);
 
     println!("\nExperiment T1 — vulnerability prevalence over {size} unique contracts");
     println!(
-        "(scan took {:.1?}, {:.2} ms/contract)\n",
+        "(scan took {:.1?} on {} worker(s), {:.2} ms/contract, {} cut off)\n",
         result.elapsed,
-        result.elapsed.as_secs_f64() * 1e3 / size as f64
+        result.jobs,
+        result.elapsed.as_secs_f64() * 1e3 / size as f64,
+        result.reports.iter().filter(|r| r.timed_out).count(),
     );
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -11,7 +11,7 @@
 //! ```
 
 use baselines::securify;
-use bench::{scan, size_arg};
+use bench::{scan_jobs, size_arg};
 use corpus::{Population, PopulationConfig};
 use ethainter::Config;
 use std::time::Instant;
@@ -26,10 +26,21 @@ fn main() {
         .map(|c| decompiler::decompile(&c.bytecode).stmts.len())
         .sum();
 
-    eprintln!("sequential Ethainter scan…");
-    let seq = scan(&pop, &Config::default(), false);
-    eprintln!("parallel Ethainter scan…");
-    let par = scan(&pop, &Config::default(), true);
+    // Driver-based scan at increasing worker counts: 1, 2, 4, … up to
+    // the machine's cores (the paper's concurrency-45 sweep, scaled).
+    let cores = driver::DriverConfig::default().effective_jobs();
+    let mut sweep = vec![1usize];
+    while *sweep.last().unwrap() * 2 < cores {
+        sweep.push(sweep.last().unwrap() * 2);
+    }
+    if cores > 1 {
+        sweep.push(cores);
+    }
+    eprintln!("driver scan sweep over {sweep:?} worker(s)…");
+    let runs: Vec<bench::ScanResult> =
+        sweep.iter().map(|&j| scan_jobs(&pop, &Config::default(), j)).collect();
+    let seq = &runs[0];
+    let _par = runs.last().unwrap();
 
     // Analysis-stage comparison on pre-decompiled programs (Securify did
     // not share Ethainter's decompiler, so the fair contrast is between
@@ -62,12 +73,14 @@ fn main() {
         seq.elapsed,
         ethainter_per * 1e3
     );
-    println!(
-        "  parallel scan ({} threads): {:.2?}  (speedup {:.2}×)",
-        rayon::current_num_threads(),
-        par.elapsed,
-        seq.elapsed.as_secs_f64() / par.elapsed.as_secs_f64().max(1e-9)
-    );
+    for run in &runs[1..] {
+        println!(
+            "  driver scan ({} workers):   {:.2?}  (speedup {:.2}×)",
+            run.jobs,
+            run.elapsed,
+            seq.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9)
+        );
+    }
     println!(
         "  end-to-end (decompile+analyze):  {:.3} ms/contract", ethainter_per * 1e3);
     println!(

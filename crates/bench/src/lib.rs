@@ -9,34 +9,58 @@
 #![warn(missing_docs)]
 
 use corpus::{CorpusContract, Population};
+use driver::{DriverConfig, Isolated};
 use ethainter::{analyze_bytecode, Config, Report, Vuln};
 use evm::U256;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// A scanned population: per-contract Ethainter reports.
 pub struct ScanResult {
     /// One report per contract (index-aligned).
     pub reports: Vec<Report>,
+    /// Worker threads used.
+    pub jobs: usize,
     /// Wall-clock duration of the scan.
     pub elapsed: Duration,
 }
 
-/// Scans every contract with Ethainter.
+/// Scans every contract with Ethainter on the batch driver with the
+/// given worker count (`0` = one per core), per-contract timeout and
+/// panic containment included. A contract the driver cuts off or
+/// catches panicking yields an empty report with `timed_out` set, so
+/// the result stays index-aligned with the population.
+pub fn scan_jobs(pop: &Population, cfg: &Config, jobs: usize) -> ScanResult {
+    let items: Vec<(String, Vec<u8>)> = pop
+        .contracts
+        .iter()
+        .map(|c| (format!("{}#{}", c.family, c.id), c.bytecode.clone()))
+        .collect();
+    let dcfg = DriverConfig { jobs, ..DriverConfig::default() };
+    let cfg = *cfg;
+    let timeout = dcfg.timeout;
+    let batch = driver::run_isolated(items, &dcfg, move |bytecode: Vec<u8>| {
+        ethainter::with_deadline(Instant::now() + timeout, || analyze_bytecode(&bytecode, &cfg))
+    });
+    let reports = batch
+        .results
+        .into_iter()
+        .map(|o| match o.result {
+            Isolated::Completed(report) => report,
+            Isolated::TimedOut | Isolated::Panicked { .. } => {
+                Report { timed_out: true, ..Report::default() }
+            }
+        })
+        .collect();
+    ScanResult { reports, jobs: batch.jobs, elapsed: batch.wall_time }
+}
+
+/// Scans every contract with Ethainter (compatibility wrapper:
+/// `parallel` maps to one worker per core, otherwise a single worker).
 pub fn scan(pop: &Population, cfg: &Config, parallel: bool) -> ScanResult {
-    let start = Instant::now();
-    let reports: Vec<Report> = if parallel {
-        pop.contracts
-            .par_iter()
-            .map(|c| analyze_bytecode(&c.bytecode, cfg))
-            .collect()
-    } else {
-        pop.contracts.iter().map(|c| analyze_bytecode(&c.bytecode, cfg)).collect()
-    };
-    ScanResult { reports, elapsed: start.elapsed() }
+    scan_jobs(pop, cfg, if parallel { 0 } else { 1 })
 }
 
 /// One row of the §6.2 prevalence table.

@@ -152,7 +152,7 @@ impl Population {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::templates::{weighted_templates, Profile};
+    use crate::templates::weighted_templates;
     use ethainter::{analyze_bytecode, Config, Vuln};
 
     #[test]

@@ -757,18 +757,21 @@ pub enum Profile {
     Ropsten,
 }
 
+/// A contract-family generator: draws one randomized [`Spec`].
+pub type TemplateFn = fn(&mut rand::rngs::StdRng) -> Spec;
+
 /// Vulnerable + decoy families with their default mainnet weights
 /// (calibrated so the flagged percentages land near the paper's §6.2
 /// table).
-pub fn weighted_templates() -> Vec<(f64, fn(&mut rand::rngs::StdRng) -> Spec)> {
+pub fn weighted_templates() -> Vec<(f64, TemplateFn)> {
     weighted_templates_for(Profile::Mainnet)
 }
 
 /// Template mixture for a given universe profile.
-pub fn weighted_templates_for(profile: Profile) -> Vec<(f64, fn(&mut rand::rngs::StdRng) -> Spec)> {
+pub fn weighted_templates_for(profile: Profile) -> Vec<(f64, TemplateFn)> {
     if profile == Profile::Ropsten {
         return vec![
-            (0.400, safe_token as fn(&mut rand::rngs::StdRng) -> Spec),
+            (0.400, safe_token as TemplateFn),
             (0.300, safe_wallet),
             (0.200, safe_registry),
             (0.094, safe_admin_system),
@@ -782,7 +785,7 @@ pub fn weighted_templates_for(profile: Profile) -> Vec<(f64, fn(&mut rand::rngs:
     }
     vec![
         // ~95.7% safe
-        (0.190, safe_token as fn(&mut rand::rngs::StdRng) -> Spec),
+        (0.190, safe_token as TemplateFn),
         (0.290, safe_wallet),
         (0.150, safe_registry),
         (0.170, safe_admin_system),

@@ -4,7 +4,7 @@
 
 use corpus::{Population, PopulationConfig, Profile};
 use ethainter::Vuln;
-use evm::{U256, World};
+use evm::U256;
 use proptest::prelude::*;
 
 proptest! {

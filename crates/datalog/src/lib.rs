@@ -48,6 +48,11 @@ impl<T: Ord> Relation<T> {
     }
 
     /// Builds from an iterator (sorts and dedups).
+    ///
+    /// An inherent method rather than `FromIterator` so call sites can
+    /// stay turbofish-free (`Relation::from_iter(..)`), matching the
+    /// datafrog API this engine is modeled on.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = T>) -> Self {
         let mut elements: Vec<T> = iter.into_iter().collect();
         elements.sort();
@@ -152,7 +157,7 @@ impl<T: Ord + Clone + 'static> VariableTrait for Variable<T> {
         let mut inner = self.inner.borrow_mut();
 
         // 1. Fold recent into stable (LSM-style batch merging).
-        let recent = std::mem::replace(&mut inner.recent, Relation::empty());
+        let recent = std::mem::take(&mut inner.recent);
         if !recent.is_empty() {
             inner.stable.push(recent);
             while inner.stable.len() > 1 {
@@ -589,9 +594,9 @@ mod tests {
                 break;
             }
         }
-        for i in 0..n {
-            for j in 0..n {
-                assert_eq!(m[i][j], tc.contains(&(i as u32, j as u32)), "({i},{j})");
+        for (i, row) in m.iter().enumerate() {
+            for (j, &reachable) in row.iter().enumerate() {
+                assert_eq!(reachable, tc.contains(&(i as u32, j as u32)), "({i},{j})");
             }
         }
     }

@@ -1,0 +1,581 @@
+//! # driver — parallel batch analysis with per-contract isolation
+//!
+//! Fans the decompile → Datalog-fixpoint → detect pipeline across cores
+//! and guarantees that **no input contract can take the batch down**: a
+//! contract that loops gets a wall-clock timeout, a contract that
+//! panics the analyzer gets contained, and every input produces exactly
+//! one [`Outcome`] — in input order, regardless of scheduling.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                        ┌────────────────────────────┐
+//!   contracts ────────▶  │  shared queue (atomic idx) │
+//!   (id, bytecode)       └──────────┬─────────────────┘
+//!                                   │ claim next index
+//!                 ┌─────────────────┼─────────────────┐
+//!                 ▼                 ▼                 ▼
+//!           ┌──────────┐     ┌──────────┐       ┌──────────┐
+//!           │ worker 0 │     │ worker 1 │  ...  │ worker N │   (scoped)
+//!           └────┬─────┘     └────┬─────┘       └────┬─────┘
+//!                │ per contract: spawn + watch        │
+//!                ▼                                    ▼
+//!         ┌──────────────┐                     ┌──────────────┐
+//!         │ sandbox      │  result ──▶ channel │ sandbox      │
+//!         │ thread       │  ◀── recv_timeout   │ thread       │
+//!         │ catch_unwind │      (watchdog)     │ catch_unwind │
+//!         └──────────────┘                     └──────────────┘
+//!                │                                    │
+//!                ▼                                    ▼
+//!        outcome slot [i]  ──── ordered by input index ────▶  Vec<Outcome>
+//! ```
+//!
+//! Two thread layers, each for one isolation property:
+//!
+//! - **Workers** (one per `--jobs`) pull contract *indices* from an
+//!   atomic counter — dynamic load balancing, so one slow contract
+//!   doesn't idle the other cores behind a static partition.
+//! - Each worker runs each contract on a fresh disposable **sandbox
+//!   thread** and waits on a channel with [`mpsc::Receiver::recv_timeout`].
+//!   On timeout the sandbox thread is *abandoned* (not killed — Rust has
+//!   no safe thread kill): the worker records [`Status::TimedOut`] and
+//!   moves on. Abandonment is safe because the sandbox owns all its
+//!   state — and it is cheap because the analysis honors the cooperative
+//!   deadline installed via [`ethainter::with_deadline`], so the
+//!   abandoned thread exits at its next fixpoint-pass boundary instead
+//!   of running to the round cap.
+//!
+//! Panics inside the sandbox are caught with
+//! [`std::panic::catch_unwind`] and surface as [`Status::Panicked`]
+//! with the panic message; the batch keeps going.
+//!
+//! The `datalog` engine's `Variable<T>` is `Rc<RefCell<..>>`-based and
+//! deliberately `!Send`: fixpoint state can never leak across contract
+//! boundaries, because each sandbox thread *must* construct its own
+//! `Iteration` from scratch (see DESIGN.md §“Batch pipeline”).
+//!
+//! ## Example
+//!
+//! ```
+//! use driver::{analyze_batch, DriverConfig};
+//!
+//! let src = "contract C { uint v; function set(uint a) public { v = a; } }";
+//! let bytecode = minisol::compile_source(src).unwrap().bytecode;
+//! let report = driver::analyze_batch(
+//!     vec![("c".to_string(), bytecode)],
+//!     &DriverConfig::default(),
+//!     &ethainter::Config::default(),
+//! );
+//! assert_eq!(report.outcomes.len(), 1);
+//! assert!(report.outcomes[0].status.is_analyzed());
+//! ```
+
+#![warn(missing_docs)]
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batch execution settings (parallelism + isolation budget).
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Wall-clock budget per contract before it is recorded as
+    /// [`Status::TimedOut`] and its sandbox thread abandoned.
+    pub timeout: Duration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig { jobs: 0, timeout: Duration::from_secs(120) }
+    }
+}
+
+impl DriverConfig {
+    /// The worker count this config resolves to on this machine.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// What happened to one contract.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// The pipeline completed; counts summarize the produced facts.
+    Analyzed {
+        /// Total findings reported.
+        findings: usize,
+        /// Findings whose taint path required a defeated guard
+        /// (Ethainter's composite vulnerabilities).
+        composite: usize,
+        /// TAC blocks in the decompiled program.
+        blocks: usize,
+        /// TAC statements (the analysis' fact universe).
+        stmts: usize,
+        /// Outer fixpoint rounds to convergence.
+        rounds: usize,
+    },
+    /// The wall-clock budget elapsed (or the analysis hit its internal
+    /// deadline) before a fixpoint was reached.
+    TimedOut,
+    /// The analysis panicked; the message is the panic payload.
+    Panicked {
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// Decompilation gave up (budget exhausted / unresolved control
+    /// flow), so no analysis was attempted.
+    DecompileFailed {
+        /// First decompiler warning, or a generic reason.
+        reason: String,
+    },
+}
+
+impl Status {
+    /// True for [`Status::Analyzed`].
+    pub fn is_analyzed(&self) -> bool {
+        matches!(self, Status::Analyzed { .. })
+    }
+
+    /// Short machine-friendly tag, e.g. for summaries and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Status::Analyzed { .. } => "analyzed",
+            Status::TimedOut => "timed_out",
+            Status::Panicked { .. } => "panicked",
+            Status::DecompileFailed { .. } => "decompile_failed",
+        }
+    }
+}
+
+/// Per-contract result record; one per input, in input order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Position of the contract in the input batch.
+    pub index: usize,
+    /// Caller-provided contract identifier (path, address, family…).
+    pub id: String,
+    /// What happened.
+    pub status: Status,
+    /// Wall-clock time spent on this contract, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// Result of a whole batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per input contract, in input order.
+    pub outcomes: Vec<Outcome>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// End-to-end wall-clock time for the batch.
+    pub wall_time: Duration,
+}
+
+/// Aggregate counts for a [`BatchReport`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Contracts in the batch.
+    pub total: usize,
+    /// Completed analyses.
+    pub analyzed: usize,
+    /// Contracts cut off by the timeout.
+    pub timed_out: usize,
+    /// Contracts whose analysis panicked.
+    pub panicked: usize,
+    /// Contracts the decompiler gave up on.
+    pub decompile_failed: usize,
+    /// Total findings across completed analyses.
+    pub findings: usize,
+    /// Composite findings across completed analyses.
+    pub composite: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Batch wall-clock time in milliseconds.
+    pub wall_ms: u64,
+    /// Contracts per second of wall-clock time (×1000, to stay
+    /// integer-typed for the JSON shim).
+    pub contracts_per_sec_x1000: u64,
+}
+
+impl BatchReport {
+    /// Aggregates the outcomes into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary {
+            total: self.outcomes.len(),
+            analyzed: 0,
+            timed_out: 0,
+            panicked: 0,
+            decompile_failed: 0,
+            findings: 0,
+            composite: 0,
+            jobs: self.jobs,
+            wall_ms: self.wall_time.as_millis() as u64,
+            contracts_per_sec_x1000: 0,
+        };
+        for o in &self.outcomes {
+            match &o.status {
+                Status::Analyzed { findings, composite, .. } => {
+                    s.analyzed += 1;
+                    s.findings += findings;
+                    s.composite += composite;
+                }
+                Status::TimedOut => s.timed_out += 1,
+                Status::Panicked { .. } => s.panicked += 1,
+                Status::DecompileFailed { .. } => s.decompile_failed += 1,
+            }
+        }
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            s.contracts_per_sec_x1000 = (s.total as f64 / secs * 1000.0) as u64;
+        }
+        s
+    }
+
+    /// Serializes the outcomes as JSON Lines (one object per contract).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&serde_json::to_string(o).expect("outcome serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Result of one isolated run of caller-supplied work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Isolated<R> {
+    /// The work finished within the budget and returned `R`.
+    Completed(R),
+    /// The wall-clock budget elapsed; the sandbox thread was abandoned.
+    TimedOut,
+    /// The work panicked; the message is the panic payload.
+    Panicked {
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+/// One isolated result with identity and timing, at its input index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IsolatedOutcome<R> {
+    /// Position of the item in the input batch.
+    pub index: usize,
+    /// Caller-provided item identifier.
+    pub id: String,
+    /// What the sandbox produced.
+    pub result: Isolated<R>,
+    /// Wall-clock time spent on this item, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// All results of a generic isolated batch, in input order.
+#[derive(Clone, Debug)]
+pub struct IsolatedBatch<R> {
+    /// One outcome per input item, in input order.
+    pub results: Vec<IsolatedOutcome<R>>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// End-to-end wall-clock time for the batch.
+    pub wall_time: Duration,
+}
+
+/// Runs `work` over every `(id, item)` pair with `cfg.jobs` workers,
+/// a per-item wall-clock timeout, and panic containment — the generic
+/// engine under [`analyze_batch`] and `bench`'s population scans.
+///
+/// The worker pool is a rayon thread pool sized to `cfg.jobs`; workers
+/// claim items dynamically (work stealing), so one slow contract does
+/// not idle the other cores behind a static partition. Each claimed
+/// item then runs on a disposable sandbox thread under a
+/// `recv_timeout` watchdog (see the crate docs for the two-layer
+/// rationale).
+///
+/// Guarantees:
+///
+/// - exactly one [`IsolatedOutcome`] per input, at the input's index;
+/// - a panicking item yields [`Isolated::Panicked`], others unaffected;
+/// - an item exceeding `cfg.timeout` yields [`Isolated::TimedOut`] and
+///   its sandbox thread is abandoned (cooperative deadlines inside
+///   `work` make abandonment cheap — see [`ethainter::with_deadline`]).
+pub fn run_isolated<T, R, F>(items: Vec<(String, T)>, cfg: &DriverConfig, work: F) -> IsolatedBatch<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    let jobs = cfg.effective_jobs().min(n.max(1));
+    let timeout = cfg.timeout;
+    let work = Arc::new(work);
+    // Each item is claimed exactly once by whichever worker reaches its
+    // index, then *moved* into that item's sandbox thread (the sandbox
+    // must own it: on timeout the thread is abandoned together with the
+    // item). The pool's map is order-preserving, so results come back
+    // at their input index whatever the scheduling.
+    let indexed: Vec<(usize, String, Mutex<Option<T>>)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, (id, item))| (i, id, Mutex::new(Some(item))))
+        .collect();
+    let started = Instant::now();
+
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("worker pool");
+    let results: Vec<IsolatedOutcome<R>> = pool.install(|| {
+        indexed
+            .par_iter()
+            .map(|(i, id, cell)| {
+                let item = cell.lock().unwrap().take().expect("index claimed exactly once");
+                run_one(*i, id.clone(), item, timeout, &work)
+            })
+            .collect()
+    });
+
+    IsolatedBatch { results, jobs, wall_time: started.elapsed() }
+}
+
+/// Like [`run_isolated`], for work that classifies itself into a
+/// [`Status`]: timeout/panic isolation results are folded into the same
+/// enum, giving the flat per-contract records the JSONL output wants.
+pub fn run_batch_with<T, F>(items: Vec<(String, T)>, cfg: &DriverConfig, work: F) -> BatchReport
+where
+    T: Send + 'static,
+    F: Fn(T) -> Status + Send + Sync + 'static,
+{
+    let batch = run_isolated(items, cfg, work);
+    BatchReport {
+        outcomes: batch
+            .results
+            .into_iter()
+            .map(|o| Outcome {
+                index: o.index,
+                id: o.id,
+                status: match o.result {
+                    Isolated::Completed(status) => status,
+                    Isolated::TimedOut => Status::TimedOut,
+                    Isolated::Panicked { message } => Status::Panicked { message },
+                },
+                elapsed_ms: o.elapsed_ms,
+            })
+            .collect(),
+        jobs: batch.jobs,
+        wall_time: batch.wall_time,
+    }
+}
+
+/// Runs one item on a disposable sandbox thread under a watchdog.
+fn run_one<T, R, F>(
+    index: usize,
+    id: String,
+    item: T,
+    timeout: Duration,
+    work: &Arc<F>,
+) -> IsolatedOutcome<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let work = Arc::clone(work);
+    let spawned = std::thread::Builder::new()
+        .name(format!("sandbox-{index}"))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| work(item)));
+            // The watchdog may have given up on us; a dead receiver is fine.
+            let _ = tx.send(result);
+        });
+
+    let result = match spawned {
+        Err(e) => Isolated::Panicked { message: format!("sandbox spawn failed: {e}") },
+        Ok(handle) => match rx.recv_timeout(timeout) {
+            Ok(Ok(value)) => {
+                let _ = handle.join();
+                Isolated::Completed(value)
+            }
+            Ok(Err(payload)) => {
+                let _ = handle.join();
+                Isolated::Panicked { message: panic_message(payload.as_ref()) }
+            }
+            // Timed out: abandon the sandbox thread. It owns all its
+            // state and exits at the analysis' next deadline check.
+            Err(_) => Isolated::TimedOut,
+        },
+    };
+
+    IsolatedOutcome { index, id, result, elapsed_ms: started.elapsed().as_millis() as u64 }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Analyzes one bytecode blob into a [`Status`], honoring any
+/// cooperative deadline installed on the current thread.
+///
+/// This is the per-contract unit [`analyze_batch`] runs inside each
+/// sandbox; exposed so callers can reuse the exact same classification
+/// (decompile-failed vs. timed-out vs. analyzed) without the pool.
+pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
+    let program = decompiler::decompile(bytecode);
+    if program.incomplete {
+        let reason = program
+            .warnings
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "decompile budget exhausted".to_string());
+        return Status::DecompileFailed { reason };
+    }
+    let report = ethainter::analyze(&program, config);
+    if report.timed_out {
+        return Status::TimedOut;
+    }
+    Status::Analyzed {
+        findings: report.findings.len(),
+        composite: report.findings.iter().filter(|f| f.composite).count(),
+        blocks: report.stats.blocks,
+        stmts: report.stats.stmts,
+        rounds: report.stats.rounds,
+    }
+}
+
+/// Analyzes a batch of `(id, bytecode)` contracts in parallel with
+/// per-contract isolation — the production entry point.
+///
+/// Each sandbox thread installs a cooperative deadline equal to the
+/// watchdog timeout, constructs its own decompiler and fixpoint state
+/// (the engine's `Rc`-based internals are `!Send`, so sharing is
+/// impossible by construction), and reports one [`Outcome`].
+pub fn analyze_batch(
+    contracts: Vec<(String, Vec<u8>)>,
+    cfg: &DriverConfig,
+    analysis: &ethainter::Config,
+) -> BatchReport {
+    let analysis = *analysis;
+    let timeout = cfg.timeout;
+    run_batch_with(contracts, cfg, move |bytecode: Vec<u8>| {
+        let deadline = Instant::now() + timeout;
+        ethainter::with_deadline(deadline, || analyze_one(&bytecode, &analysis))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(jobs: usize, timeout_ms: u64) -> DriverConfig {
+        DriverConfig { jobs, timeout: Duration::from_millis(timeout_ms) }
+    }
+
+    fn ids(n: usize) -> Vec<(String, usize)> {
+        (0..n).map(|i| (format!("c{i}"), i)).collect()
+    }
+
+    #[test]
+    fn every_input_gets_one_outcome_in_order() {
+        let report = run_batch_with(ids(64), &cfg(4, 10_000), |i| Status::Analyzed {
+            findings: i,
+            composite: 0,
+            blocks: 0,
+            stmts: 0,
+            rounds: 0,
+        });
+        assert_eq!(report.outcomes.len(), 64);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.id, format!("c{i}"));
+            assert_eq!(o.status, Status::Analyzed {
+                findings: i,
+                composite: 0,
+                blocks: 0,
+                stmts: 0,
+                rounds: 0,
+            });
+        }
+    }
+
+    #[test]
+    fn panics_are_contained() {
+        let report = run_batch_with(ids(8), &cfg(2, 10_000), |i| {
+            if i == 3 {
+                panic!("boom on {i}");
+            }
+            Status::TimedOut // arbitrary non-panicking status
+        });
+        assert_eq!(report.outcomes.len(), 8);
+        match &report.outcomes[3].status {
+            Status::Panicked { message } => assert!(message.contains("boom on 3")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(report.outcomes.iter().filter(|o| o.status.tag() == "panicked").count() == 1);
+    }
+
+    #[test]
+    fn slow_items_time_out_without_stalling_the_batch() {
+        let report = run_batch_with(ids(4), &cfg(2, 100), |i| {
+            if i == 1 {
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            Status::Analyzed { findings: 0, composite: 0, blocks: 0, stmts: 0, rounds: 0 }
+        });
+        assert_eq!(report.outcomes[1].status, Status::TimedOut);
+        assert_eq!(report.outcomes.iter().filter(|o| o.status.is_analyzed()).count(), 3);
+        // The batch must not have waited for the 30 s sleeper.
+        assert!(report.wall_time < Duration::from_secs(10), "{:?}", report.wall_time);
+    }
+
+    #[test]
+    fn jsonl_round_trips_outcomes() {
+        let report = run_batch_with(ids(3), &cfg(1, 10_000), |i| {
+            if i == 0 {
+                Status::Panicked { message: "m".into() }
+            } else {
+                Status::DecompileFailed { reason: "r".into() }
+            }
+        });
+        let jsonl = report.to_jsonl();
+        let parsed: Vec<Outcome> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid outcome json"))
+            .collect();
+        assert_eq!(parsed, report.outcomes);
+    }
+
+    #[test]
+    fn summary_counts_every_status_once() {
+        let report = run_batch_with(ids(10), &cfg(3, 10_000), |i| match i % 3 {
+            0 => Status::Analyzed { findings: 2, composite: 1, blocks: 1, stmts: 1, rounds: 1 },
+            1 => Status::Panicked { message: "p".into() },
+            _ => Status::DecompileFailed { reason: "d".into() },
+        });
+        let s = report.summary();
+        assert_eq!(s.total, 10);
+        assert_eq!(s.analyzed + s.timed_out + s.panicked + s.decompile_failed, 10);
+        assert_eq!(s.analyzed, 4);
+        assert_eq!(s.findings, 8);
+        assert_eq!(s.composite, 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report =
+            run_batch_with(Vec::<(String, u8)>::new(), &cfg(0, 1_000), |_| Status::TimedOut);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.summary().total, 0);
+    }
+}

@@ -9,7 +9,10 @@
 //! ethainter compile <file>          # print bytecode hex + selectors
 //! ethainter kill <file>             # analyze, deploy on a sandbox, exploit
 //! ethainter scan <n>                # generate a population and scan it
+//! ethainter batch [files] [--corpus n] [--jobs n] [--timeout-ms t] [--out f]
 //! ```
+
+#![warn(missing_docs)]
 
 use ethainter::{Config, Vuln};
 use std::process::ExitCode;
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(rest),
         "kill" => cmd_kill(rest),
         "scan" => cmd_scan(rest),
+        "batch" => cmd_batch(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -66,9 +70,18 @@ USAGE:
     ethainter compile <file>
     ethainter kill <file>
     ethainter scan [n]
+    ethainter batch [<file>...] [--corpus n] [--seed s] [--jobs n]
+                    [--timeout-ms t] [--out f.jsonl] [config flags]
 
 <file> is minisol source (.sol/.msol/anything parseable) or hex bytecode
-(.hex/.bin, with or without a 0x prefix).";
+(.hex/.bin, with or without a 0x prefix).
+
+batch analyzes every input in parallel with per-contract isolation:
+a contract that loops is cut off after --timeout-ms (default 120000),
+a contract that panics the analyzer is contained, and every input
+yields exactly one JSONL outcome record (--out, `-` for stdout).
+--corpus n adds n generated corpus contracts to the inputs;
+--jobs 0 (default) uses one worker per core.";
 
 /// Loads bytecode from a source or hex file.
 fn load_bytecode(path: &str) -> Result<Vec<u8>, String> {
@@ -232,6 +245,84 @@ fn cmd_kill(args: &[String]) -> Result<(), String> {
     } else {
         out!("contract survived");
     }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut corpus_n = 0usize;
+    let mut seed = 7u64;
+    let mut jobs = 0usize;
+    let mut timeout_ms = 120_000u64;
+    let mut out_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("batch: {name} needs a value"))
+        };
+        match a.as_str() {
+            "--corpus" => corpus_n = take("--corpus")?.parse().map_err(|e| format!("bad --corpus: {e}"))?,
+            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--jobs" => jobs = take("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?,
+            "--timeout-ms" => {
+                timeout_ms = take("--timeout-ms")?.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?
+            }
+            "--out" => out_path = Some(take("--out")?),
+            "--no-guards" | "--no-storage" | "--conservative" => {} // parse_config reads these
+            other if other.starts_with("--") => {
+                return Err(format!("batch: unknown flag `{other}`"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let mut contracts: Vec<(String, Vec<u8>)> = Vec::with_capacity(files.len() + corpus_n);
+    for f in &files {
+        contracts.push((f.clone(), load_bytecode(f)?));
+    }
+    if corpus_n > 0 {
+        let pop = corpus::Population::generate(&corpus::PopulationConfig {
+            size: corpus_n,
+            seed,
+            ..Default::default()
+        });
+        for (i, c) in pop.contracts.into_iter().enumerate() {
+            contracts.push((format!("{}#{i}", c.family), c.bytecode));
+        }
+    }
+    if contracts.is_empty() {
+        return Err("batch: no inputs (pass files and/or --corpus n)".into());
+    }
+
+    let cfg = driver::DriverConfig {
+        jobs,
+        timeout: std::time::Duration::from_millis(timeout_ms),
+    };
+    let total = contracts.len();
+    let report = driver::analyze_batch(contracts, &cfg, &parse_config(args));
+    let s = report.summary();
+    assert_eq!(s.total, total, "driver lost contracts");
+
+    match out_path.as_deref() {
+        Some("-") => out!("{}", report.to_jsonl().trim_end()),
+        Some(path) => std::fs::write(path, report.to_jsonl())
+            .map_err(|e| format!("writing {path}: {e}"))?,
+        None => {}
+    }
+
+    out!(
+        "batch: {} contracts, {} jobs, {:.1?} ({:.1}/s)",
+        s.total,
+        s.jobs,
+        report.wall_time,
+        s.contracts_per_sec_x1000 as f64 / 1000.0
+    );
+    out!(
+        "  analyzed {}, timed_out {}, panicked {}, decompile_failed {}",
+        s.analyzed, s.timed_out, s.panicked, s.decompile_failed
+    );
+    out!("  findings {} ({} composite)", s.findings, s.composite);
     Ok(())
 }
 

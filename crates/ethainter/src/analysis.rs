@@ -25,7 +25,40 @@ use crate::report::{Finding, Report, Stats, Vuln};
 use decompiler::{BlockId, Dominators, Op, Program, Stmt, StmtId, Var};
 use evm::opcode::Opcode;
 use evm::U256;
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+thread_local! {
+    /// Cooperative wall-clock deadline for the *current thread's*
+    /// analysis, installed by [`with_deadline`]. Checked between fixpoint
+    /// passes so a batch driver that abandons a timed-out worker thread
+    /// can rely on that thread unwinding its work soon after, instead of
+    /// spinning to the 64-round cap on a pathological contract.
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with a cooperative deadline installed for this thread.
+///
+/// Any [`analyze`] call made inside `f` (on the same thread) checks the
+/// deadline between fixpoint passes and, once it has passed, stops
+/// early with [`Report::timed_out`] set. The previous deadline (if any)
+/// is restored on exit, including on unwind.
+pub fn with_deadline<R>(deadline: Instant, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEADLINE.with(|d| d.set(self.0));
+        }
+    }
+    let _restore = Restore(DEADLINE.with(|d| d.replace(Some(deadline))));
+    f()
+}
+
+/// True once the thread's installed deadline (if any) has passed.
+fn deadline_exceeded() -> bool {
+    DEADLINE.with(|d| d.get()).is_some_and(|t| Instant::now() >= t)
+}
 
 /// How a guard scrutinizes the caller.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -175,6 +208,10 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     loop {
         rounds += 1;
         let mut changed = false;
+        if deadline_exceeded() {
+            report.timed_out = true;
+            break;
+        }
 
         // Taint propagation (inner pass repeated within the round until
         // stable — statement order is arbitrary).
@@ -187,14 +224,13 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 };
                 let di = d.0 as usize;
                 match &s.op {
-                    Op::CallDataLoad => {
+                    Op::CallDataLoad
                         // TaintedFlow(x,x) :- ReachableByAttacker(s),
                         //                     CALLDATALOAD(s, x).
-                        if stmt_rba && !input_tainted[di] {
+                        if stmt_rba && !input_tainted[di] => {
                             input_tainted[di] = true;
                             inner_changed = true;
                         }
-                    }
                     Op::Copy
                     | Op::Bin(_)
                     | Op::Un(_)
@@ -259,7 +295,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                     _ => {}
                 }
             }
-            if !inner_changed {
+            if !inner_changed || deadline_exceeded() {
                 break;
             }
             changed = true;
@@ -427,9 +463,9 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                     });
                 }
             }
-            Op::Call { kind: Opcode::DelegateCall } => {
+            Op::Call { kind: Opcode::DelegateCall }
                 // uses: [gas, target, in_off, in_len, out_off, out_len]
-                if tainted(s.uses[1]) {
+                if tainted(s.uses[1]) => {
                     report.findings.push(Finding {
                         vuln: Vuln::TaintedDelegateCall,
                         stmt: s.id.0,
@@ -438,7 +474,6 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                         composite: any_defeat,
                     });
                 }
-            }
             Op::Call { kind: Opcode::StaticCall } => {
                 if let Some(f) = detect_unchecked_staticcall(
                     &ctx, s, &rba, &input_tainted, &storage_tainted, &mem_stores,
@@ -515,10 +550,6 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 .iter()
                 .any(|g| g.vuln == f.vuln && g.stmt == f.stmt);
             f.composite = !direct;
-        }
-    } else if cfg.freeze_guards {
-        for f in &mut report.findings {
-            f.composite = false;
         }
     } else {
         for f in &mut report.findings {
@@ -643,12 +674,11 @@ impl Ctx<'_> {
                 let di = d.0 as usize;
                 match &s.op {
                     // DS-SenderKey
-                    Op::Env(Opcode::Caller) => {
-                        if !self.ds[di] {
+                    Op::Env(Opcode::Caller)
+                        if !self.ds[di] => {
                             self.ds[di] = true;
                             changed = true;
                         }
-                    }
                     // DS-Lookup / DSA-Lookup: the mapping hash of a
                     // sender-derived key (or of a structure address) is a
                     // structure address.
@@ -661,20 +691,18 @@ impl Ctx<'_> {
                         }
                     }
                     // DS-AddrOp: arithmetic on structure addresses.
-                    Op::Bin(_) => {
-                        if s.uses.iter().any(|u| self.dsa[u.0 as usize]) && !self.dsa[di] {
+                    Op::Bin(_)
+                        if s.uses.iter().any(|u| self.dsa[u.0 as usize]) && !self.dsa[di] => {
                             self.dsa[di] = true;
                             changed = true;
                         }
-                    }
                     // DSA-Load: dereferencing a structure address yields
                     // caller-pertinent data.
-                    Op::SLoad => {
-                        if self.dsa[s.uses[0].0 as usize] && !self.ds[di] {
+                    Op::SLoad
+                        if self.dsa[s.uses[0].0 as usize] && !self.ds[di] => {
                             self.ds[di] = true;
                             changed = true;
                         }
-                    }
                     Op::Copy => {
                         let u = s.uses[0].0 as usize;
                         if self.ds[u] && !self.ds[di] {

@@ -36,7 +36,7 @@ pub mod config;
 pub mod formalism;
 pub mod report;
 
-pub use analysis::analyze;
+pub use analysis::{analyze, with_deadline};
 pub use config::{Config, StorageModel};
 pub use report::{Finding, Report, Stats, Vuln};
 

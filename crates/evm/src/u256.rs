@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Neg, Not, Rem, Shl, Shr, Sub};
 
 /// A 256-bit unsigned integer (four little-endian 64-bit limbs).
 ///
@@ -86,10 +86,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256(out), carry != 0)
@@ -99,10 +99,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256(out), borrow != 0)
@@ -241,11 +241,6 @@ impl U256 {
     /// Interprets as two's-complement; true if the sign bit is set.
     pub fn is_negative(&self) -> bool {
         self.bit(255)
-    }
-
-    /// Two's-complement negation.
-    pub fn neg(self) -> U256 {
-        (!self).wrapping_add(U256::ONE)
     }
 
     /// EVM `SDIV`: signed division (truncating), `MIN / -1 = MIN`.
@@ -529,6 +524,14 @@ impl Not for U256 {
     }
 }
 
+/// Two's-complement negation.
+impl Neg for U256 {
+    type Output = U256;
+    fn neg(self) -> U256 {
+        (!self).wrapping_add(U256::ONE)
+    }
+}
+
 impl BitAnd for U256 {
     type Output = U256;
     fn bitand(self, rhs: U256) -> U256 {
@@ -595,11 +598,11 @@ impl Shr<u32> for U256 {
         let word = (shift / 64) as usize;
         let bit = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             if i + word < 4 {
-                out[i] = self.0[i + word] >> bit;
+                *o = self.0[i + word] >> bit;
                 if bit > 0 && i + word + 1 < 4 {
-                    out[i] |= self.0[i + word + 1] << (64 - bit);
+                    *o |= self.0[i + word + 1] << (64 - bit);
                 }
             }
         }

@@ -8,6 +8,8 @@ use evm::opcode::Opcode;
 use evm::{Address, U256, World};
 use std::collections::HashMap;
 
+type JournalFn = Box<dyn Fn(&mut MiniWorldState)>;
+
 /// A minimal journaled world for interpreter tests.
 #[derive(Default)]
 struct MiniWorld {
@@ -17,7 +19,7 @@ struct MiniWorld {
     nonces: HashMap<Address, u64>,
     destroyed: Vec<Address>,
     logs: Vec<(Address, Vec<U256>, Vec<u8>)>,
-    journal: Vec<Box<dyn Fn(&mut MiniWorldState)>>,
+    journal: Vec<JournalFn>,
     // For simplicity the journal stores full snapshots.
     snapshots: Vec<MiniWorldState>,
 }
@@ -486,7 +488,7 @@ fn logs_are_recorded_with_topics() {
 
 #[test]
 fn signed_ops_and_sar() {
-    let neg8 = U256::from(8u64).neg();
+    let neg8 = -U256::from(8u64);
     // SDIV(-8, 2) = -4
     let mut asm = Asm::new();
     asm.push(U256::from(2u64))
@@ -498,7 +500,7 @@ fn signed_ops_and_sar() {
         .push(U256::ZERO)
         .op(Opcode::Return);
     let (outcome, _) = run_code(asm.assemble(), vec![]);
-    assert_eq!(returned(&outcome), U256::from(4u64).neg());
+    assert_eq!(returned(&outcome), -U256::from(4u64));
 }
 
 #[test]

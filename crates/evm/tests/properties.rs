@@ -94,7 +94,7 @@ proptest! {
     #[test]
     fn addmod_huge_modulus(a in arb_u256(), b in arb_u256(), m in arb_u256()) {
         let m = m | (U256::ONE << 255u32);
-        let got = U256::from(a).add_mod(b, m);
+        let got = a.add_mod(b, m);
         prop_assert!(got < m);
     }
 
@@ -114,7 +114,7 @@ proptest! {
 
     #[test]
     fn neg_is_additive_inverse(a in arb_u256()) {
-        prop_assert_eq!(a.wrapping_add(a.neg()), U256::ZERO);
+        prop_assert_eq!(a.wrapping_add(-a), U256::ZERO);
     }
 
     #[test]
@@ -135,10 +135,10 @@ proptest! {
     #[test]
     fn ordering_is_total_and_consistent_with_sub(a in arb_u256(), b in arb_u256()) {
         if a < b {
-            prop_assert!(b.overflowing_sub(a).1 == false);
-            prop_assert!(a.overflowing_sub(b).1 == true);
+            prop_assert!(!b.overflowing_sub(a).1);
+            prop_assert!(a.overflowing_sub(b).1);
         } else {
-            prop_assert!(a.overflowing_sub(b).1 == false);
+            prop_assert!(!a.overflowing_sub(b).1);
         }
     }
 
@@ -193,9 +193,9 @@ proptest! {
 use evm::asm::Asm;
 use evm::opcode::Opcode;
 
-/// Random (op | push | label-bind | jump-to-bound-label) programs must
-/// assemble, and disassembling the result must reproduce exactly the
-/// emitted opcode sequence.
+// Random (op | push | label-bind | jump-to-bound-label) programs must
+// assemble, and disassembling the result must reproduce exactly the
+// emitted opcode sequence.
 proptest! {
     #[test]
     fn assemble_disassemble_round_trip(
@@ -209,7 +209,7 @@ proptest! {
             match kind {
                 0 => {
                     asm.push(U256::from(*v));
-                    let nbytes = ((U256::from(*v).bits() + 7) / 8).max(1) as u8;
+                    let nbytes = U256::from(*v).bits().div_ceil(8).max(1) as u8;
                     expected.push(Opcode::Push(nbytes));
                 }
                 1 => {

@@ -140,8 +140,8 @@ pub fn compile(analysis: &Analysis) -> Result<CompiledContract, CodegenError> {
             }
         }
         for n in names {
-            if !map.contains_key(&n) {
-                map.insert(n, next);
+            if let std::collections::hash_map::Entry::Vacant(e) = map.entry(n) {
+                e.insert(next);
                 next += 32;
             }
         }

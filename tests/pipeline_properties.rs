@@ -6,7 +6,7 @@ use chain::TestNet;
 use corpus::{Population, PopulationConfig};
 use decompiler::{decompile, Op};
 use ethainter::{analyze, analyze_bytecode, Config, Vuln};
-use evm::{U256, World};
+use evm::U256;
 use proptest::prelude::*;
 
 /// A tiny random-contract generator: state vars + arithmetic functions.
