@@ -117,7 +117,20 @@ pub fn decompile_with_limits(code: &[u8], limits: Limits) -> Program {
         }
     }
 
-    b.finish()
+    let program = b.finish();
+    // Clean decompilations must satisfy every IR invariant; programs
+    // with warnings (stack underflow, unresolved jumps) or a blown
+    // budget legitimately violate them (unterminated blocks) and are
+    // already flagged for the analysis to handle.
+    #[cfg(debug_assertions)]
+    if !program.incomplete && program.warnings.is_empty() {
+        let violations = crate::passes::validate::validate(&program);
+        debug_assert!(
+            violations.is_empty(),
+            "decompiler emitted ill-formed IR: {violations:?}"
+        );
+    }
+    program
 }
 
 impl Builder {

@@ -8,6 +8,12 @@
 //! idiom as first-class [`tac::Op::Hash2`] statements, and computes
 //! dominators for guard inference.
 //!
+//! The [`passes`] module adds a static-analysis layer over the emitted
+//! TAC: a generic worklist dataflow engine, constant propagation and
+//! dead-code elimination (run by the analysis before its fixpoint),
+//! interval analysis for branch pruning, per-function storage summaries,
+//! and an IR well-formedness validator.
+//!
 //! # Examples
 //!
 //! ```
@@ -21,8 +27,10 @@
 
 pub mod builder;
 pub mod dom;
+pub mod passes;
 pub mod tac;
 
 pub use builder::{decompile, decompile_with_limits, Limits};
 pub use dom::Dominators;
+pub use passes::{optimize, validate::validate, PassConfig, PassStats};
 pub use tac::{Block, BlockId, Op, Program, PublicFunction, Stmt, StmtId, Var};

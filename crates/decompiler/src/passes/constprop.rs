@@ -1,0 +1,127 @@
+//! Sparse conditional-free constant propagation over the TAC program.
+//!
+//! The builder already folds constants it can see on the abstract stack;
+//! this pass catches what survives block boundaries: values that become
+//! constant only once block parameters are considered (every predecessor
+//! binds the same constant) and operators the builder's fold table skips
+//! (`MOD`, `SDIV`, `SLT`, `BYTE`, `SAR`, …). A statement whose operands
+//! are all transitively constant is rewritten in place to `Op::Const`,
+//! leaving its operand uses to die in the following DCE sweep.
+//!
+//! Verdict safety: taint sources (`CALLDATALOAD`, `CALLER`, `SLOAD`, …)
+//! never produce constants, so any value this pass folds is provably
+//! untainted — rewriting it to `Const` cannot erase a taint fact the
+//! downstream analysis would have derived.
+
+use crate::tac::{Op, Program, Var};
+use evm::opcode::Opcode;
+use evm::U256;
+
+/// The per-variable constant value, if the variable is provably the same
+/// constant on every path (`None` = unknown / not constant).
+pub fn constants(p: &Program) -> Vec<Option<U256>> {
+    let n = p.n_vars as usize;
+    let mut consts: Vec<Option<U256>> = vec![None; n];
+    // Def index: params have one defining Copy per incoming edge, other
+    // vars exactly one def.
+    let mut defs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in p.iter_stmts() {
+        if let Some(d) = s.def {
+            defs[d.0 as usize].push(s.id.0);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if consts[v].is_some() || defs[v].is_empty() {
+                continue;
+            }
+            let mut val: Option<U256> = None;
+            let mut ok = true;
+            for &d in &defs[v] {
+                let s = &p.stmts[d as usize];
+                let this = eval(s.op.clone(), &s.uses, &consts);
+                match (this, val) {
+                    (Some(a), None) => val = Some(a),
+                    (Some(a), Some(b)) if a == b => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                if let Some(c) = val {
+                    consts[v] = Some(c);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    consts
+}
+
+/// Evaluates a statement's op over known operand constants.
+fn eval(op: Op, uses: &[Var], consts: &[Option<U256>]) -> Option<U256> {
+    let c = |i: usize| -> Option<U256> { consts[uses[i].0 as usize] };
+    match op {
+        Op::Const(v) => Some(v),
+        Op::Copy => c(0),
+        Op::Bin(o) => fold_bin(o, c(0)?, c(1)?),
+        Op::Un(Opcode::IsZero) => Some(U256::from(c(0)?.is_zero())),
+        Op::Un(Opcode::Not) => Some(!c(0)?),
+        _ => None,
+    }
+}
+
+/// EVM semantics for every binary operator, with the builder's operand
+/// convention: `a` = `uses[0]` (first pop), `b` = `uses[1]`.
+pub(super) fn fold_bin(op: Opcode, a: U256, b: U256) -> Option<U256> {
+    use Opcode::*;
+    Some(match op {
+        Add => a.wrapping_add(b),
+        Mul => a.wrapping_mul(b),
+        Sub => a.wrapping_sub(b),
+        Div => a / b,
+        SDiv => a.sdiv(b),
+        Mod => a % b,
+        SMod => a.smod(b),
+        Exp => a.wrapping_pow(b),
+        SignExtend => b.signextend(a),
+        Lt => U256::from(a < b),
+        Gt => U256::from(a > b),
+        SLt => U256::from(a.slt(b)),
+        SGt => U256::from(a.sgt(b)),
+        Eq => U256::from(a == b),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Byte => b.byte_msb(a),
+        Shl => b << a,
+        Shr => b >> a,
+        Sar => b.sar(a),
+        _ => return None,
+    })
+}
+
+/// Rewrites every `Bin`/`Un` statement with all-constant operands to the
+/// folded `Op::Const`. Returns the number of statements folded.
+pub fn propagate(p: &mut Program) -> usize {
+    let consts = constants(p);
+    let mut folded = 0usize;
+    for s in &mut p.stmts {
+        let foldable = matches!(s.op, Op::Bin(_) | Op::Un(Opcode::IsZero) | Op::Un(Opcode::Not));
+        if !foldable || s.def.is_none() {
+            continue;
+        }
+        if let Some(v) = eval(s.op.clone(), &s.uses, &consts) {
+            s.op = Op::Const(v);
+            s.uses.clear();
+            folded += 1;
+        }
+    }
+    folded
+}

@@ -1,0 +1,245 @@
+//! A generic worklist dataflow engine over the TAC CFG.
+//!
+//! Analyses plug in as a [`Lattice`] of per-block facts plus a transfer
+//! function; the engine iterates blocks to fixpoint in a direction-aware
+//! order (reverse postorder forward, postorder backward) and hands back
+//! the converged fact at every block boundary. Liveness
+//! ([`super::liveness`]) runs on it backward; the engine is equally
+//! usable forward (see the crate tests for a reaching-definitions-style
+//! example).
+
+use crate::tac::{BlockId, Program};
+
+/// A join-semilattice of dataflow facts.
+///
+/// `join` merges a fact flowing in from a neighbouring block and
+/// reports whether anything changed — the engine's convergence test.
+/// The least element is supplied per-program by [`Analysis::bottom`]
+/// (fact sizes usually depend on the program, e.g. bitsets over its
+/// variables).
+pub trait Lattice: Clone {
+    /// Merges `other` into `self`; returns true when `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Direction a dataflow analysis propagates facts in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow along control-flow edges (predecessors → block).
+    Forward,
+    /// Facts flow against control-flow edges (successors → block).
+    Backward,
+}
+
+/// A dataflow analysis: fact type, direction, boundary fact, and the
+/// per-block transfer function.
+pub trait Analysis {
+    /// The per-block fact.
+    type Fact: Lattice;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The starting fact ("no information"). Must be the identity of
+    /// [`Lattice::join`].
+    fn bottom(&self, p: &Program) -> Self::Fact;
+
+    /// The fact at the boundary: the entry block's input (forward) or
+    /// every exit block's output (backward).
+    fn boundary(&self, p: &Program) -> Self::Fact;
+
+    /// Applies the block's statements to `fact` (in statement order for
+    /// forward analyses, reverse order for backward ones — the analysis
+    /// chooses; the engine only hands over the block).
+    fn transfer(&self, p: &Program, block: BlockId, fact: &mut Self::Fact);
+}
+
+/// The converged facts at both edges of every block.
+///
+/// For a forward analysis `input[b]` is the fact flowing into `b` and
+/// `output[b]` the fact after `b`'s transfer; for a backward analysis
+/// `input[b]` is the fact at the block's *end* (joined from successors)
+/// and `output[b]` the fact at its start.
+#[derive(Clone, Debug)]
+pub struct Solution<F> {
+    /// Fact at each block's upstream edge (direction-relative).
+    pub input: Vec<F>,
+    /// Fact at each block's downstream edge (direction-relative).
+    pub output: Vec<F>,
+}
+
+/// Runs `analysis` to fixpoint over `p`'s CFG with a worklist seeded in
+/// direction-aware order.
+pub fn solve<A: Analysis>(p: &Program, analysis: &A) -> Solution<A::Fact> {
+    let n = p.blocks.len();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.bottom(p)).collect();
+    let mut output: Vec<A::Fact> = (0..n).map(|_| analysis.bottom(p)).collect();
+    if n == 0 {
+        return Solution { input, output };
+    }
+
+    let forward = analysis.direction() == Direction::Forward;
+    // Reverse postorder from the entry; backward analyses iterate it
+    // reversed (≈ postorder), which converges in O(loop-depth) passes.
+    let mut order = reverse_postorder(p);
+    if !forward {
+        order.reverse();
+    }
+    // Blocks unreachable from the entry still get processed (appended
+    // last) so their facts are defined; they simply never join into
+    // reachable ones in a forward analysis.
+    let mut seen = vec![false; n];
+    for &b in &order {
+        seen[b.0 as usize] = true;
+    }
+    for (b, &s) in seen.iter().enumerate() {
+        if !s {
+            order.push(BlockId(b as u32));
+        }
+    }
+
+    let boundary = analysis.boundary(p);
+    if forward {
+        input[0] = boundary.clone();
+    } else {
+        // Every block without successors is an exit.
+        for (b, blk) in p.blocks.iter().enumerate() {
+            if blk.succs.is_empty() {
+                input[b] = boundary.clone();
+            }
+        }
+    }
+
+    let mut on_list = vec![true; n];
+    let mut worklist: Vec<BlockId> = order.clone();
+    let mut position = 0usize;
+    while position < worklist.len() {
+        let b = worklist[position];
+        position += 1;
+        on_list[b.0 as usize] = false;
+
+        let bi = b.0 as usize;
+        // Join upstream neighbours into the block's input fact.
+        let upstream: &[BlockId] =
+            if forward { &p.blocks[bi].preds } else { &p.blocks[bi].succs };
+        for &u in upstream {
+            let from = output[u.0 as usize].clone();
+            input[bi].join(&from);
+        }
+
+        let mut fact = input[bi].clone();
+        analysis.transfer(p, b, &mut fact);
+        let changed = output[bi].join(&fact);
+        if changed {
+            let downstream: Vec<BlockId> =
+                if forward { p.blocks[bi].succs.clone() } else { p.blocks[bi].preds.clone() };
+            for d in downstream {
+                if !on_list[d.0 as usize] {
+                    on_list[d.0 as usize] = true;
+                    worklist.push(d);
+                }
+            }
+        }
+    }
+
+    Solution { input, output }
+}
+
+/// Reverse postorder over the blocks reachable from the entry.
+pub fn reverse_postorder(p: &Program) -> Vec<BlockId> {
+    let n = p.blocks.len();
+    let mut post: Vec<BlockId> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return post;
+    }
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    seen[0] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = &p.blocks[b.0 as usize].succs;
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// A dense bitset over TAC variables — the fact type of set-based
+/// analyses (liveness uses it for live-variable sets).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct VarSet {
+    words: Vec<u64>,
+}
+
+impl VarSet {
+    /// An empty set sized for `n_vars` variables.
+    pub fn empty(n_vars: u32) -> VarSet {
+        VarSet { words: vec![0; (n_vars as usize).div_ceil(64)] }
+    }
+
+    /// Inserts `v`; returns true if it was not present.
+    pub fn insert(&mut self, v: crate::tac::Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `v`.
+    pub fn remove(&mut self, v: crate::tac::Var) {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// True when `v` is in the set.
+    pub fn contains(&self, v: crate::tac::Var) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Unions `other` in; returns true when the set grew.
+    pub fn union_with(&mut self, other: &VarSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            if merged != *a {
+                *a = merged;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no variable is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl Lattice for VarSet {
+    fn join(&mut self, other: &VarSet) -> bool {
+        self.union_with(other)
+    }
+}

@@ -1,0 +1,175 @@
+//! Backward live-variable analysis and dead-code elimination.
+//!
+//! Liveness runs on the generic engine ([`super::dataflow`]); DCE sweeps
+//! each block backward with the converged live-out set, deleting pure
+//! definitions whose value is never consumed, plus block parameters
+//! (and their predecessor-side binding `Copy`s) that no statement reads.
+//! The CFG itself — blocks, successors, predecessors — is never touched,
+//! so every control-flow fact the analysis derives is unchanged.
+
+use crate::tac::{BlockId, Op, Program, Stmt, StmtId, Var};
+
+use super::dataflow::{solve, Analysis, Direction, Solution, VarSet};
+
+/// Live-variable analysis: a variable is live at a point when some path
+/// from that point reads it before (and without) redefining it.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = VarSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, p: &Program) -> VarSet {
+        VarSet::empty(p.n_vars)
+    }
+
+    fn boundary(&self, p: &Program) -> VarSet {
+        VarSet::empty(p.n_vars)
+    }
+
+    fn transfer(&self, p: &Program, block: BlockId, fact: &mut VarSet) {
+        for &sid in p.block(block).stmts.iter().rev() {
+            let s = p.stmt(sid);
+            if let Some(d) = s.def {
+                fact.remove(d);
+            }
+            for &u in &s.uses {
+                fact.insert(u);
+            }
+        }
+    }
+}
+
+/// Computes per-block live sets: `input[b]` is live-out, `output[b]`
+/// live-in (backward direction-relative naming; see [`Solution`]).
+pub fn live_sets(p: &Program) -> Solution<VarSet> {
+    solve(p, &Liveness)
+}
+
+/// True when deleting the statement cannot change any behaviour the
+/// downstream analysis observes: no storage/memory/log/control effect,
+/// and no detector keys off the statement's mere presence.
+fn is_pure(op: &Op) -> bool {
+    match op {
+        Op::Const(_)
+        | Op::Copy
+        | Op::Bin(_)
+        | Op::Un(_)
+        | Op::CallDataLoad
+        | Op::Sha3
+        | Op::Hash2
+        | Op::SLoad
+        | Op::MLoad => true,
+        // RETURNDATASIZE's presence is the "return value checked" marker
+        // for the unchecked-staticcall detector — deleting an unused one
+        // would flip that verdict, so it stays.
+        Op::Env(o) => *o != evm::opcode::Opcode::ReturnDataSize,
+        Op::SStore
+        | Op::MStore
+        | Op::Call { .. }
+        | Op::SelfDestruct
+        | Op::Jump
+        | Op::JumpI
+        | Op::Return
+        | Op::Revert
+        | Op::Stop
+        | Op::Log(_)
+        | Op::CallDataCopy
+        | Op::Other(_) => false,
+    }
+}
+
+/// Deletes dead pure statements and unused block parameters, iterating
+/// liveness + sweep to a fixpoint. Returns the number of statements
+/// removed. Statement ids are renumbered densely afterwards; pcs and the
+/// CFG are preserved.
+pub fn eliminate_dead_code(p: &mut Program) -> usize {
+    let before = p.stmts.len();
+    loop {
+        let live = live_sets(p);
+        let mut dead = vec![false; p.stmts.len()];
+        let mut any = false;
+
+        for (bi, block) in p.blocks.iter().enumerate() {
+            // input[b] of a backward analysis is the block's live-out.
+            let mut live_now = live.input[bi].clone();
+            for &sid in block.stmts.iter().rev() {
+                let s = &p.stmts[sid.0 as usize];
+                let def_dead = s.def.map(|d| !live_now.contains(d)).unwrap_or(false);
+                if def_dead && is_pure(&s.op) {
+                    dead[sid.0 as usize] = true;
+                    any = true;
+                    continue;
+                }
+                if let Some(d) = s.def {
+                    live_now.remove(d);
+                }
+                for &u in &s.uses {
+                    live_now.insert(u);
+                }
+            }
+        }
+
+        // A parameter nothing reads (output[b] = live-in) can go; its
+        // binding Copys in the predecessors are dead by the same liveness
+        // facts and were marked above.
+        for (bi, block) in p.blocks.iter_mut().enumerate() {
+            let live_in = &live.output[bi];
+            let n0 = block.params.len();
+            block.params.retain(|&v| live_in.contains(v));
+            if block.params.len() != n0 {
+                any = true;
+            }
+        }
+
+        if !any {
+            break;
+        }
+        compact(p, &dead);
+    }
+    before - p.stmts.len()
+}
+
+/// Rebuilds `p.stmts` without the statements marked `dead`, renumbering
+/// ids densely and rewriting each block's statement list.
+fn compact(p: &mut Program, dead: &[bool]) {
+    let mut remap: Vec<Option<StmtId>> = vec![None; p.stmts.len()];
+    let mut kept: Vec<Stmt> = Vec::with_capacity(p.stmts.len());
+    for (i, s) in p.stmts.drain(..).enumerate() {
+        if !dead[i] {
+            let new_id = StmtId(kept.len() as u32);
+            remap[i] = Some(new_id);
+            let mut s = s;
+            s.id = new_id;
+            kept.push(s);
+        }
+    }
+    p.stmts = kept;
+    for block in &mut p.blocks {
+        block.stmts = block
+            .stmts
+            .iter()
+            .filter_map(|sid| remap[sid.0 as usize])
+            .collect();
+    }
+}
+
+/// Convenience: the set of variables used anywhere in the program —
+/// handy for tests asserting DCE left no unused pure defs behind.
+pub fn used_vars(p: &Program) -> VarSet {
+    let mut used = VarSet::empty(p.n_vars);
+    for s in p.iter_stmts() {
+        for &u in &s.uses {
+            used.insert(u);
+        }
+    }
+    used
+}
+
+/// Returns true when `v` is a parameter of some block.
+pub fn is_param(p: &Program, v: Var) -> bool {
+    p.blocks.iter().any(|b| b.params.contains(&v))
+}

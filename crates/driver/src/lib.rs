@@ -116,10 +116,18 @@ pub enum Status {
         composite: usize,
         /// TAC blocks in the decompiled program.
         blocks: usize,
-        /// TAC statements (the analysis' fact universe).
+        /// TAC statements (the analysis' fact universe, after the IR
+        /// passes when they are enabled).
         stmts: usize,
         /// Outer fixpoint rounds to convergence.
         rounds: usize,
+        /// Per-relation Datalog fact counts at the fixpoint.
+        facts: ethainter::FactCounts,
+        /// IR-validator violations on the *raw* decompiler output
+        /// (before any optimization pass). Empty for well-formed IR;
+        /// non-empty entries are decompiler bugs surfaced per contract
+        /// so batch runs can triage them without re-running.
+        lint: Vec<String>,
     },
     /// The wall-clock budget elapsed (or the analysis hit its internal
     /// deadline) before a fixpoint was reached.
@@ -432,7 +440,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// sandbox; exposed so callers can reuse the exact same classification
 /// (decompile-failed vs. timed-out vs. analyzed) without the pool.
 pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
-    let program = decompiler::decompile(bytecode);
+    let mut program = decompiler::decompile(bytecode);
     if program.incomplete {
         let reason = program
             .warnings
@@ -440,6 +448,12 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
             .cloned()
             .unwrap_or_else(|| "decompile budget exhausted".to_string());
         return Status::DecompileFailed { reason };
+    }
+    // Lint the raw decompiler output (the passes assume and preserve the
+    // invariants, so violations always originate in the decompiler).
+    let lint = decompiler::validate(&program);
+    if config.optimize_ir {
+        decompiler::optimize(&mut program, &decompiler::PassConfig::default());
     }
     let report = ethainter::analyze(&program, config);
     if report.timed_out {
@@ -451,6 +465,8 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
         blocks: report.stats.blocks,
         stmts: report.stats.stmts,
         rounds: report.stats.rounds,
+        facts: report.stats.facts,
+        lint,
     }
 }
 
@@ -486,26 +502,26 @@ mod tests {
         (0..n).map(|i| (format!("c{i}"), i)).collect()
     }
 
+    fn analyzed(findings: usize, composite: usize) -> Status {
+        Status::Analyzed {
+            findings,
+            composite,
+            blocks: 1,
+            stmts: 1,
+            rounds: 1,
+            facts: ethainter::FactCounts::default(),
+            lint: Vec::new(),
+        }
+    }
+
     #[test]
     fn every_input_gets_one_outcome_in_order() {
-        let report = run_batch_with(ids(64), &cfg(4, 10_000), |i| Status::Analyzed {
-            findings: i,
-            composite: 0,
-            blocks: 0,
-            stmts: 0,
-            rounds: 0,
-        });
+        let report = run_batch_with(ids(64), &cfg(4, 10_000), |i| analyzed(i, 0));
         assert_eq!(report.outcomes.len(), 64);
         for (i, o) in report.outcomes.iter().enumerate() {
             assert_eq!(o.index, i);
             assert_eq!(o.id, format!("c{i}"));
-            assert_eq!(o.status, Status::Analyzed {
-                findings: i,
-                composite: 0,
-                blocks: 0,
-                stmts: 0,
-                rounds: 0,
-            });
+            assert_eq!(o.status, analyzed(i, 0));
         }
     }
 
@@ -531,7 +547,7 @@ mod tests {
             if i == 1 {
                 std::thread::sleep(Duration::from_secs(30));
             }
-            Status::Analyzed { findings: 0, composite: 0, blocks: 0, stmts: 0, rounds: 0 }
+            analyzed(0, 0)
         });
         assert_eq!(report.outcomes[1].status, Status::TimedOut);
         assert_eq!(report.outcomes.iter().filter(|o| o.status.is_analyzed()).count(), 3);
@@ -541,12 +557,18 @@ mod tests {
 
     #[test]
     fn jsonl_round_trips_outcomes() {
-        let report = run_batch_with(ids(3), &cfg(1, 10_000), |i| {
-            if i == 0 {
-                Status::Panicked { message: "m".into() }
-            } else {
-                Status::DecompileFailed { reason: "r".into() }
-            }
+        let report = run_batch_with(ids(3), &cfg(1, 10_000), |i| match i {
+            0 => Status::Panicked { message: "m".into() },
+            1 => Status::Analyzed {
+                findings: 2,
+                composite: 1,
+                blocks: 3,
+                stmts: 9,
+                rounds: 2,
+                facts: ethainter::FactCounts { input_tainted: 4, rba_blocks: 3, ..Default::default() },
+                lint: vec!["B0 is empty (no terminator)".into()],
+            },
+            _ => Status::DecompileFailed { reason: "r".into() },
         });
         let jsonl = report.to_jsonl();
         let parsed: Vec<Outcome> = jsonl
@@ -559,7 +581,7 @@ mod tests {
     #[test]
     fn summary_counts_every_status_once() {
         let report = run_batch_with(ids(10), &cfg(3, 10_000), |i| match i % 3 {
-            0 => Status::Analyzed { findings: 2, composite: 1, blocks: 1, stmts: 1, rounds: 1 },
+            0 => analyzed(2, 1),
             1 => Status::Panicked { message: "p".into() },
             _ => Status::DecompileFailed { reason: "d".into() },
         });

@@ -36,9 +36,13 @@ fn fifty_contract_corpus_batch_loses_nothing() {
         // Corpus contracts are well-formed by construction: each must
         // complete, and a completed analysis reports non-empty code.
         match &o.status {
-            Status::Analyzed { blocks, stmts, .. } => {
+            Status::Analyzed { blocks, stmts, facts, lint, .. } => {
                 assert!(*blocks > 0, "{}: empty program", o.id);
                 assert!(*stmts > 0, "{}: no statements", o.id);
+                assert!(lint.is_empty(), "{}: IR violations {lint:?}", o.id);
+                // The dispatcher always makes at least one block
+                // attacker-reachable in a completed analysis.
+                assert!(facts.rba_blocks > 0, "{}: no reachable blocks", o.id);
             }
             other => panic!("{}: expected Analyzed, got {other:?}", o.id),
         }
@@ -84,7 +88,15 @@ fn hostile_work_is_contained_in_a_large_batch() {
                 23 => std::thread::sleep(Duration::from_secs(120)), // "infinite" loop
                 _ => {}
             }
-            Status::Analyzed { findings: 0, composite: 0, blocks: 1, stmts: 1, rounds: 1 }
+            Status::Analyzed {
+                findings: 0,
+                composite: 0,
+                blocks: 1,
+                stmts: 1,
+                rounds: 1,
+                facts: ethainter::FactCounts::default(),
+                lint: Vec::new(),
+            }
         },
     );
 

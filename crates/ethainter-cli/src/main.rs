@@ -10,6 +10,7 @@
 //! ethainter kill <file>             # analyze, deploy on a sandbox, exploit
 //! ethainter scan <n>                # generate a population and scan it
 //! ethainter batch [files] [--corpus n] [--jobs n] [--timeout-ms t] [--out f]
+//! ethainter lint [files] [--corpus n]  # IR well-formedness check, fails on violations
 //! ```
 
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "kill" => cmd_kill(rest),
         "scan" => cmd_scan(rest),
         "batch" => cmd_batch(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -72,16 +74,26 @@ USAGE:
     ethainter scan [n]
     ethainter batch [<file>...] [--corpus n] [--seed s] [--jobs n]
                     [--timeout-ms t] [--out f.jsonl] [config flags]
+    ethainter lint [<file>...] [--corpus n] [--seed s]
 
 <file> is minisol source (.sol/.msol/anything parseable) or hex bytecode
 (.hex/.bin, with or without a 0x prefix).
+
+Config flags (analyze and batch): --no-guards, --no-storage,
+--conservative (the paper's Figure 8 ablations); --no-passes disables
+the IR optimization pipeline and branch pruning, --no-range-guards
+disables only the interval-analysis branch pruning.
 
 batch analyzes every input in parallel with per-contract isolation:
 a contract that loops is cut off after --timeout-ms (default 120000),
 a contract that panics the analyzer is contained, and every input
 yields exactly one JSONL outcome record (--out, `-` for stdout).
 --corpus n adds n generated corpus contracts to the inputs;
---jobs 0 (default) uses one worker per core.";
+--jobs 0 (default) uses one worker per core.
+
+lint runs the IR well-formedness validator over each input's raw
+decompiler output and exits non-zero if any violation is found —
+the CI gate that the decompiler only ever emits well-formed TAC.";
 
 /// Loads bytecode from a source or hex file.
 fn load_bytecode(path: &str) -> Result<Vec<u8>, String> {
@@ -105,9 +117,14 @@ fn parse_config(flags: &[String]) -> Config {
     let mut cfg = Config::default();
     for f in flags {
         match f.as_str() {
-            "--no-guards" => cfg = Config::no_guard_model(),
-            "--no-storage" => cfg = Config::no_storage_taint(),
-            "--conservative" => cfg = Config::conservative_storage(),
+            "--no-guards" => cfg.guard_modeling = false,
+            "--no-storage" => cfg.storage_taint = false,
+            "--conservative" => cfg.storage_model = ethainter::StorageModel::Conservative,
+            "--no-passes" => {
+                cfg.optimize_ir = false;
+                cfg.range_guards = false;
+            }
+            "--no-range-guards" => cfg.range_guards = false,
             _ => {}
         }
     }
@@ -269,7 +286,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 timeout_ms = take("--timeout-ms")?.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?
             }
             "--out" => out_path = Some(take("--out")?),
-            "--no-guards" | "--no-storage" | "--conservative" => {} // parse_config reads these
+            "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
+            | "--no-range-guards" => {} // parse_config reads these
             other if other.starts_with("--") => {
                 return Err(format!("batch: unknown flag `{other}`"));
             }
@@ -323,6 +341,72 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         s.analyzed, s.timed_out, s.panicked, s.decompile_failed
     );
     out!("  findings {} ({} composite)", s.findings, s.composite);
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut corpus_n = 0usize;
+    let mut seed = 7u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("lint: {name} needs a value"))
+        };
+        match a.as_str() {
+            "--corpus" => {
+                corpus_n = take("--corpus")?.parse().map_err(|e| format!("bad --corpus: {e}"))?
+            }
+            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            other if other.starts_with("--") => {
+                return Err(format!("lint: unknown flag `{other}`"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let mut contracts: Vec<(String, Vec<u8>)> = Vec::with_capacity(files.len() + corpus_n);
+    for f in &files {
+        contracts.push((f.clone(), load_bytecode(f)?));
+    }
+    if corpus_n > 0 {
+        let pop = corpus::Population::generate(&corpus::PopulationConfig {
+            size: corpus_n,
+            seed,
+            ..Default::default()
+        });
+        for (i, c) in pop.contracts.into_iter().enumerate() {
+            contracts.push((format!("{}#{i}", c.family), c.bytecode));
+        }
+    }
+    if contracts.is_empty() {
+        return Err("lint: no inputs (pass files and/or --corpus n)".into());
+    }
+
+    let total = contracts.len();
+    let mut violations = 0usize;
+    let mut skipped = 0usize;
+    for (id, code) in &contracts {
+        let program = decompiler::decompile(code);
+        // Incomplete decompilations legitimately break the invariants
+        // (budget cutoffs leave blocks unterminated) — the validator
+        // only judges programs the decompiler claims are clean.
+        if program.incomplete || !program.warnings.is_empty() {
+            skipped += 1;
+            out!("{id}: skipped (incomplete or warned decompilation)");
+            continue;
+        }
+        let bad = decompiler::validate(&program);
+        for m in &bad {
+            out!("{id}: {m}");
+        }
+        violations += bad.len();
+    }
+    out!("linted {total} program(s): {violations} violation(s), {skipped} skipped");
+    if violations > 0 {
+        return Err(format!("{violations} IR violation(s)"));
+    }
     Ok(())
 }
 

@@ -88,6 +88,49 @@ fn compile_prints_selectors() {
 }
 
 #[test]
+fn lint_passes_clean_corpus_and_file() {
+    let path = write_temp("cli_lint.msol", VULN);
+    let out = Command::new(bin())
+        .args(["lint", path.to_str().unwrap(), "--corpus", "25"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("linted 26 program(s): 0 violation(s)"), "{text}");
+}
+
+#[test]
+fn lint_without_inputs_is_an_error() {
+    let out = Command::new(bin()).args(["lint"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no inputs"));
+}
+
+#[test]
+fn no_passes_flag_preserves_verdicts() {
+    let path = write_temp("cli_vuln5.msol", VULN);
+    let optimized = Command::new(bin())
+        .args(["analyze", path.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    let raw = Command::new(bin())
+        .args(["analyze", path.to_str().unwrap(), "--json", "--no-passes"])
+        .output()
+        .unwrap();
+    let opt: ethainter::Report = serde_json::from_slice(&optimized.stdout).unwrap();
+    let raw: ethainter::Report = serde_json::from_slice(&raw.stdout).unwrap();
+    let verdicts = |r: &ethainter::Report| {
+        let mut v: Vec<(ethainter::Vuln, usize, bool)> =
+            r.findings.iter().map(|f| (f.vuln, f.pc, f.composite)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(verdicts(&opt), verdicts(&raw));
+    // The pipeline must actually shrink the fact universe on this input.
+    assert!(opt.stats.stmts < raw.stats.stmts, "{} !< {}", opt.stats.stmts, raw.stats.stmts);
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = Command::new(bin()).args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

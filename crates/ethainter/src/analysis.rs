@@ -21,7 +21,7 @@
 //!   guards — evaluated to mutual fixpoint.
 
 use crate::config::{Config, StorageModel};
-use crate::report::{Finding, Report, Stats, Vuln};
+use crate::report::{FactCounts, Finding, Report, Stats, Vuln};
 use decompiler::{BlockId, Dominators, Op, Program, Stmt, StmtId, Var};
 use evm::opcode::Opcode;
 use evm::U256;
@@ -127,7 +127,12 @@ struct Ctx<'a> {
 pub fn analyze(p: &Program, cfg: &Config) -> Report {
     let mut report = Report {
         timed_out: p.incomplete,
-        stats: Stats { blocks: p.blocks.len(), stmts: p.stmts.len(), rounds: 0 },
+        stats: Stats {
+            blocks: p.blocks.len(),
+            stmts: p.stmts.len(),
+            rounds: 0,
+            facts: FactCounts::default(),
+        },
         ..Report::default()
     };
     if p.incomplete || p.blocks.is_empty() {
@@ -135,6 +140,34 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     }
 
     let dom = Dominators::compute(p);
+
+    // ---- Range-proven branch pruning ------------------------------------
+    // Interval analysis proves some JumpI edges never taken; blocks only
+    // reachable through dead edges can never execute, so they are not
+    // attacker-reachable. This monotonically refines ReachableByAttacker
+    // (strictly fewer findings behind statically-decided branches).
+    let (live_block, n_dead_edges) = if cfg.range_guards {
+        let iv = decompiler::passes::intervals::analyze(p);
+        let dead: HashSet<(u32, usize)> =
+            iv.dead_edges.iter().map(|&(b, i)| (b.0, i)).collect();
+        let mut live = vec![false; p.blocks.len()];
+        let mut stack = vec![BlockId(0)];
+        while let Some(b) = stack.pop() {
+            let bi = b.0 as usize;
+            if live[bi] {
+                continue;
+            }
+            live[bi] = true;
+            for (i, &s) in p.blocks[bi].succs.iter().enumerate() {
+                if !dead.contains(&(b.0, i)) {
+                    stack.push(s);
+                }
+            }
+        }
+        (live, dead.len())
+    } else {
+        (vec![true; p.blocks.len()], 0)
+    };
 
     // ---- Static indexes -------------------------------------------------
     let mut defs: Vec<Vec<StmtId>> = vec![Vec::new(); p.n_vars as usize];
@@ -195,9 +228,11 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 }
             }
         }
-        // Unreachable blocks are not attacker-reachable either.
+        // Unreachable blocks are not attacker-reachable either — whether
+        // structurally (no CFG path) or because every path crosses a
+        // branch the interval analysis decided statically.
         for (i, b) in rba.iter_mut().enumerate() {
-            if !dom.is_reachable(BlockId(i as u32)) {
+            if !dom.is_reachable(BlockId(i as u32)) || !live_block[i] {
                 *b = false;
             }
         }
@@ -426,6 +461,20 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         }
     }
     report.stats.rounds = rounds;
+    report.stats.facts = FactCounts {
+        input_tainted: input_tainted.iter().filter(|&&t| t).count(),
+        storage_tainted: storage_tainted.iter().filter(|&&t| t).count(),
+        tainted_slots: tainted_slots.len(),
+        tainted_mappings: tainted_mappings.len(),
+        writable_mappings: writable_mappings.len(),
+        guards: guards.len(),
+        defeated_guards: defeated.iter().filter(|&&d| d).count(),
+        consts: ctx.consts.iter().filter(|c| c.is_some()).count(),
+        ds: ctx.ds.iter().filter(|&&t| t).count(),
+        dsa: ctx.dsa.iter().filter(|&&t| t).count(),
+        rba_blocks: rba.iter().filter(|&&t| t).count(),
+        dead_edges: n_dead_edges,
+    };
     report.defeated_guards = guards
         .iter()
         .zip(&defeated)
@@ -505,7 +554,23 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             })
         })
         .collect();
-    {
+    // Pre-filter via per-function storage write summaries: when no
+    // dispatched function can possibly write a guard slot, the
+    // per-statement sink scan below cannot fire and is skipped outright.
+    // (Summaries attribute statements in unowned blocks to every
+    // function and widen on unresolved keys, so skipping is sound.)
+    let sink_scan_needed = if !cfg.guard_modeling {
+        true
+    } else if guard_slots.is_empty() {
+        false
+    } else {
+        let summaries = decompiler::passes::storage::summarize(p);
+        summaries.is_empty()
+            || summaries
+                .iter()
+                .any(|f| guard_slots.iter().any(|&slot| f.may_write(slot)))
+    };
+    if sink_scan_needed {
         for s in p.iter_stmts() {
             if s.op != Op::SStore || !rba[s.block.0 as usize] {
                 continue;

@@ -35,6 +35,16 @@ pub struct Config {
     /// a finding is *composite* iff it vanishes under this restriction.
     #[serde(default)]
     pub freeze_guards: bool,
+    /// Run the IR optimization pipeline (constant propagation + dead
+    /// code elimination) on the decompiled program before analysis.
+    /// Verdict-preserving by construction; `false` is the ablation /
+    /// differential-testing switch.
+    pub optimize_ir: bool,
+    /// Use interval-analysis branch pruning: blocks only reachable
+    /// through `JumpI` edges proven dead are not attacker-reachable.
+    /// Refines `ReachableByAttacker` monotonically (strictly fewer
+    /// false positives behind statically-decided branches).
+    pub range_guards: bool,
 }
 
 impl Default for Config {
@@ -44,6 +54,8 @@ impl Default for Config {
             storage_taint: true,
             storage_model: StorageModel::Precise,
             freeze_guards: false,
+            optimize_ir: true,
+            range_guards: true,
         }
     }
 }
@@ -62,5 +74,11 @@ impl Config {
     /// Figure 8c: conservative storage modeling (precision ablation).
     pub fn conservative_storage() -> Self {
         Config { storage_model: StorageModel::Conservative, ..Config::default() }
+    }
+
+    /// IR passes off: raw decompiler output, no branch pruning — the
+    /// baseline side of the pass-pipeline differential test.
+    pub fn no_passes() -> Self {
+        Config { optimize_ir: false, range_guards: false, ..Config::default() }
     }
 }

@@ -38,13 +38,16 @@ pub mod report;
 
 pub use analysis::{analyze, with_deadline};
 pub use config::{Config, StorageModel};
-pub use report::{Finding, Report, Stats, Vuln};
+pub use report::{FactCounts, Finding, Report, Stats, Vuln};
 
 /// Decompiles `bytecode` and runs the analysis — the end-to-end entry
-/// point used by the CLI, the scanner, and Ethainter-Kill.
+/// point used by the CLI, the scanner, and Ethainter-Kill. With the
+/// default config the decompiler's optimization passes (constant
+/// propagation + dead-code elimination) shrink the TAC before the
+/// fixpoint ever sees it; `config.optimize_ir = false` analyzes the raw
+/// decompiler output instead.
 pub fn analyze_bytecode(bytecode: &[u8], config: &Config) -> Report {
-    let program = decompiler::decompile(bytecode);
-    analyze(&program, config)
+    analyze_bytecode_with_limits(bytecode, config, decompiler::Limits::default())
 }
 
 /// Like [`analyze_bytecode`], with an explicit decompilation budget
@@ -54,6 +57,9 @@ pub fn analyze_bytecode_with_limits(
     config: &Config,
     limits: decompiler::Limits,
 ) -> Report {
-    let program = decompiler::decompile_with_limits(bytecode, limits);
+    let mut program = decompiler::decompile_with_limits(bytecode, limits);
+    if config.optimize_ir {
+        decompiler::optimize(&mut program, &decompiler::PassConfig::default());
+    }
     analyze(&program, config)
 }

@@ -66,15 +66,49 @@ pub struct Finding {
     pub composite: bool,
 }
 
+/// Per-relation fact counts at the analysis fixpoint — the sizes of the
+/// Datalog-style relations of Figure 5, surfaced for perf triage of
+/// batch runs (a contract with a pathological round count usually shows
+/// an exploded relation here).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactCounts {
+    /// Variables carrying input taint (`TaintedFlow`).
+    pub input_tainted: usize,
+    /// Variables carrying storage taint (`AttackerModelInfoflow`).
+    pub storage_tainted: usize,
+    /// Constant storage slots holding tainted data.
+    pub tainted_slots: usize,
+    /// Mapping base slots holding tainted data.
+    pub tainted_mappings: usize,
+    /// Mapping base slots the attacker can enroll into.
+    pub writable_mappings: usize,
+    /// Sanitizing guards discovered (`StaticallyGuardedStatement`).
+    pub guards: usize,
+    /// Guards the fixpoint defeated.
+    pub defeated_guards: usize,
+    /// Variables with a unique constant value (`ConstValue`).
+    pub consts: usize,
+    /// Caller-identity variables (Figure 4's `DS`).
+    pub ds: usize,
+    /// Caller-keyed structure addresses (Figure 4's `DSA`).
+    pub dsa: usize,
+    /// Blocks attacker-reachable at the fixpoint (`ReachableByAttacker`).
+    pub rba_blocks: usize,
+    /// `JumpI` edges interval analysis proved never taken.
+    pub dead_edges: usize,
+}
+
 /// Analysis statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stats {
     /// TAC blocks analyzed.
     pub blocks: usize,
-    /// TAC statements analyzed.
+    /// TAC statements analyzed (after IR passes, when enabled).
     pub stmts: usize,
     /// Outer fixpoint rounds.
     pub rounds: usize,
+    /// Per-relation fact counts at the fixpoint.
+    pub facts: FactCounts,
 }
 
 /// Full per-contract output.
