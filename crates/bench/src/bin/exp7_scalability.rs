@@ -15,11 +15,13 @@ use bench::{scan_jobs, size_arg};
 use corpus::{Population, PopulationConfig};
 use ethainter::Config;
 use std::time::Instant;
+use store::ContractSource as _;
 
 fn main() {
     let size = size_arg(20_000);
     eprintln!("generating {size} contracts…");
-    let pop = Population::generate(&PopulationConfig { size, ..Default::default() });
+    let pop_cfg = PopulationConfig { size, ..Default::default() };
+    let pop = Population::generate(&pop_cfg);
     let tac_stmts: usize = pop
         .contracts
         .iter()
@@ -87,8 +89,42 @@ fn main() {
     }
     let eth_opt_per = t0.elapsed().as_secs_f64() / sub as f64;
 
+    // Result store: the same scan cold (empty cache) and warm (cache
+    // populated by the cold run). The warm pass is what an unchanged
+    // re-scan of the chain costs: pure content-addressed lookups.
+    eprintln!("warm-vs-cold result-store scan…");
+    let scan_once = |cache: &mut store::ResultStore, tag: &str| {
+        let dir = std::env::temp_dir()
+            .join(format!("ethainter-exp7-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let source = store::CorpusSource::new(pop_cfg);
+        let manifest = store::Manifest::new(&Config::default(), source.descriptor());
+        let mut cp = store::Checkpoint::create(&dir, manifest).expect("checkpoint creates");
+        let t0 = Instant::now();
+        let summary = store::Scanner { cache: Some(cache), ..store::Scanner::default() }
+            .scan(source, &mut cp, |_| {}, |_| {})
+            .expect("scan runs");
+        let elapsed = t0.elapsed();
+        let _ = std::fs::remove_dir_all(&dir);
+        (summary, elapsed)
+    };
+    let cache_dir = std::env::temp_dir()
+        .join(format!("ethainter-exp7-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut cache = store::ResultStore::open(&cache_dir).expect("cache opens");
+    let (cold, cold_elapsed) = scan_once(&mut cache, "cold");
+    let (warm, warm_elapsed) = scan_once(&mut cache, "warm");
+    assert_eq!(warm.fresh, 0, "warm re-scan must be pure cache hits");
+    let cache_entries = cache.len();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     println!("\nExperiment P1 — analysis efficiency (paper §6.3)");
     println!("  population:                {size} unique contracts");
+    println!(
+        "  generator dedup:           {} identical-bytecode candidates rejected ({:.2}% duplicate rate)",
+        pop.duplicates_rejected,
+        100.0 * pop.duplicate_rate()
+    );
     println!("  three-address code:        {tac_stmts} statements");
     println!(
         "  sequential scan:           {:.2?}  ({:.3} ms/contract)",
@@ -156,6 +192,19 @@ fn main() {
         eth_big * 1e3,
         sec_big * 1e3,
         sec_big / eth_big.max(1e-12)
+    );
+
+    println!("\n  result store (content-addressed cache, {size}-contract scan):");
+    println!(
+        "    cold scan:   {:.2?}  ({} fresh analyses → {} cache entries)",
+        cold_elapsed, cold.fresh, cache_entries
+    );
+    println!(
+        "    warm rescan: {:.2?}  ({} cache hits, {} fresh) → {:.1}× faster",
+        warm_elapsed,
+        warm.cache_hits,
+        warm.fresh,
+        cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
     );
 
     println!(

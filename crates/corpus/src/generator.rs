@@ -1,8 +1,16 @@
 //! Population generation: weighted sampling of templates, compilation,
 //! deduplication by bytecode, balance assignment, and deployment onto a
 //! test network.
+//!
+//! Two entry points share one engine: [`Population::generate`]
+//! materializes a whole population in memory, while [`stream`] yields
+//! the *same* contracts lazily (identical RNG sequence, identical
+//! dedup) so populations larger than RAM can flow through the batch
+//! driver one contract at a time. The dedup set keeps only Keccak-256
+//! bytecode hashes, so streaming memory stays bounded by 32 bytes per
+//! unique contract, not by the bytecodes themselves.
 
-use crate::templates::{weighted_templates_for, GroundTruth, Profile, Spec};
+use crate::templates::{weighted_templates_for, GroundTruth, Profile, Spec, TemplateFn};
 use chain::TestNet;
 use evm::{Address, U256, World};
 use rand::rngs::StdRng;
@@ -64,6 +72,111 @@ impl Default for PopulationConfig {
 pub struct Population {
     /// The contracts.
     pub contracts: Vec<CorpusContract>,
+    /// Compiled candidates rejected because their runtime bytecode
+    /// duplicated an earlier contract's — the dedup the paper applies to
+    /// the mainnet snapshot (38M accounts → 240K unique codes). Surfaced
+    /// so cache hit-rate numbers over generated populations are known to
+    /// measure the *cache*, not intra-population duplication.
+    pub duplicates_rejected: usize,
+}
+
+/// Lazily yields the contracts of a population, in the exact order (and
+/// from the exact RNG sequence) [`Population::generate`] would produce
+/// them — the streaming corpus adapter for the batch driver. Infinite:
+/// callers bound it with [`Iterator::take`] or by count.
+pub struct PopulationStream {
+    rng: StdRng,
+    templates: Vec<(f64, TemplateFn)>,
+    total_weight: f64,
+    /// Keccak-256 hashes of bytecodes already emitted (bounded memory).
+    seen: std::collections::HashSet<[u8; 32]>,
+    source_fraction: f64,
+    modern_fraction: f64,
+    next_id: usize,
+    duplicates_rejected: usize,
+}
+
+/// Streams the population [`Population::generate`] would build for
+/// `cfg`, one contract at a time. `cfg.size` is ignored — take as many
+/// contracts as needed; memory stays bounded by the dedup hash set.
+pub fn stream(cfg: &PopulationConfig) -> PopulationStream {
+    let templates = weighted_templates_for(cfg.profile);
+    let total_weight: f64 = templates.iter().map(|(w, _)| w).sum();
+    PopulationStream {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        templates,
+        total_weight,
+        seen: std::collections::HashSet::new(),
+        source_fraction: cfg.source_fraction,
+        modern_fraction: cfg.modern_fraction,
+        next_id: 0,
+        duplicates_rejected: 0,
+    }
+}
+
+impl PopulationStream {
+    /// Candidates rejected so far because their bytecode duplicated an
+    /// earlier contract's.
+    pub fn duplicates_rejected(&self) -> usize {
+        self.duplicates_rejected
+    }
+}
+
+impl Iterator for PopulationStream {
+    type Item = CorpusContract;
+
+    fn next(&mut self) -> Option<CorpusContract> {
+        loop {
+            // Weighted template choice.
+            let mut pick = self.rng.gen_range(0.0..self.total_weight);
+            let mut spec: Option<Spec> = None;
+            for (w, f) in &self.templates {
+                if pick < *w {
+                    spec = Some(f(&mut self.rng));
+                    break;
+                }
+                pick -= w;
+            }
+            let spec = spec
+                .unwrap_or_else(|| self.templates.last().expect("nonempty").1(&mut self.rng));
+            let compiled = minisol::compile_source(&spec.source)
+                .unwrap_or_else(|e| panic!("template {} failed to compile: {e}", spec.family));
+            // Unique bytecodes only (the paper's dedup).
+            if !self.seen.insert(evm::keccak256(&compiled.bytecode)) {
+                self.duplicates_rejected += 1;
+                continue;
+            }
+            // Heavy-tailed balance: most contracts hold dust; a few hold a
+            // lot. Exploitable contracts skew poor (§6.2's observation that
+            // value concentrates in non-exploitable contracts).
+            let rich_cap: u64 =
+                if spec.truth.exploitable.is_empty() { 10_000_000_000 } else { 50_000_000 };
+            let balance = if self.rng.gen_bool(0.15) {
+                U256::from(self.rng.gen_range(0..rich_cap))
+            } else {
+                U256::from(self.rng.gen_range(0..1_000u64))
+            };
+            let has_source = self.rng.gen_bool(self.source_fraction);
+            let modern_bias = if crate::templates::is_old_style(spec.family) {
+                self.modern_fraction * 0.25
+            } else {
+                self.modern_fraction
+            };
+            let modern_solidity = has_source && self.rng.gen_bool(modern_bias);
+            let id = self.next_id;
+            self.next_id += 1;
+            return Some(CorpusContract {
+                id,
+                family: spec.family,
+                source: has_source.then(|| spec.source.clone()),
+                bytecode: compiled.bytecode,
+                initial_storage: compiled.initial_storage,
+                truth: spec.truth,
+                balance,
+                modern_solidity,
+            });
+        }
+    }
 }
 
 impl Population {
@@ -74,61 +187,21 @@ impl Population {
     /// Panics if a template produces source that fails to compile — a
     /// template bug, covered by tests.
     pub fn generate(cfg: &PopulationConfig) -> Population {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let templates = weighted_templates_for(cfg.profile);
-        let total_weight: f64 = templates.iter().map(|(w, _)| w).sum();
+        let mut s = stream(cfg);
+        let contracts: Vec<CorpusContract> = s.by_ref().take(cfg.size).collect();
+        Population { contracts, duplicates_rejected: s.duplicates_rejected }
+    }
 
-        let mut contracts = Vec::with_capacity(cfg.size);
-        let mut seen = std::collections::HashSet::new();
-        let mut id = 0usize;
-        while contracts.len() < cfg.size {
-            // Weighted template choice.
-            let mut pick = rng.gen_range(0.0..total_weight);
-            let mut spec: Option<Spec> = None;
-            for (w, f) in &templates {
-                if pick < *w {
-                    spec = Some(f(&mut rng));
-                    break;
-                }
-                pick -= w;
-            }
-            let spec = spec.unwrap_or_else(|| templates.last().expect("nonempty").1(&mut rng));
-            let compiled = minisol::compile_source(&spec.source)
-                .unwrap_or_else(|e| panic!("template {} failed to compile: {e}", spec.family));
-            // Unique bytecodes only (the paper's dedup).
-            if !seen.insert(compiled.bytecode.clone()) {
-                continue;
-            }
-            // Heavy-tailed balance: most contracts hold dust; a few hold a
-            // lot. Exploitable contracts skew poor (§6.2's observation that
-            // value concentrates in non-exploitable contracts).
-            let rich_cap: u64 =
-                if spec.truth.exploitable.is_empty() { 10_000_000_000 } else { 50_000_000 };
-            let balance = if rng.gen_bool(0.15) {
-                U256::from(rng.gen_range(0..rich_cap))
-            } else {
-                U256::from(rng.gen_range(0..1_000u64))
-            };
-            let has_source = rng.gen_bool(cfg.source_fraction);
-            let modern_bias = if crate::templates::is_old_style(spec.family) {
-                cfg.modern_fraction * 0.25
-            } else {
-                cfg.modern_fraction
-            };
-            let modern_solidity = has_source && rng.gen_bool(modern_bias);
-            contracts.push(CorpusContract {
-                id,
-                family: spec.family,
-                source: has_source.then(|| spec.source.clone()),
-                bytecode: compiled.bytecode,
-                initial_storage: compiled.initial_storage,
-                truth: spec.truth,
-                balance,
-                modern_solidity,
-            });
-            id += 1;
+    /// Fraction of compiled candidates the bytecode dedup rejected:
+    /// `duplicates / (unique + duplicates)`. `0.0` for an empty
+    /// population.
+    pub fn duplicate_rate(&self) -> f64 {
+        let total = self.contracts.len() + self.duplicates_rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.duplicates_rejected as f64 / total as f64
         }
-        Population { contracts }
     }
 
     /// Deploys every contract onto `net`, returning their addresses
@@ -253,6 +326,32 @@ mod tests {
         let conservative = analyze_bytecode(&compiled.bytecode, &Config::conservative_storage());
         assert!(conservative.has(Vuln::AccessibleSelfDestruct), "{:?}", conservative.findings);
         assert!(conservative.has(Vuln::TaintedSelfDestruct), "{:?}", conservative.findings);
+    }
+
+    #[test]
+    fn stream_matches_generate_and_counts_duplicates() {
+        let cfg = PopulationConfig { size: 60, seed: 21, ..Default::default() };
+        let pop = Population::generate(&cfg);
+        let mut s = stream(&cfg);
+        let streamed: Vec<_> = s.by_ref().take(60).collect();
+        assert_eq!(streamed.len(), pop.contracts.len());
+        for (a, b) in streamed.iter().zip(&pop.contracts) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.bytecode, b.bytecode);
+            assert_eq!(a.balance, b.balance);
+            assert_eq!(a.source, b.source);
+        }
+        assert_eq!(s.duplicates_rejected(), pop.duplicates_rejected);
+        // The template space is small enough that 60 unique contracts
+        // require rejecting at least some duplicate compilations.
+        let rate = pop.duplicate_rate();
+        assert!((0.0..1.0).contains(&rate), "rate {rate}");
+        assert_eq!(
+            rate == 0.0,
+            pop.duplicates_rejected == 0,
+            "rate and counter must agree"
+        );
     }
 
     #[test]

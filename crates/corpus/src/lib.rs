@@ -24,5 +24,5 @@
 pub mod generator;
 pub mod templates;
 
-pub use generator::{CorpusContract, Population, PopulationConfig};
+pub use generator::{stream, CorpusContract, Population, PopulationConfig, PopulationStream};
 pub use templates::{GroundTruth, Profile, Spec};

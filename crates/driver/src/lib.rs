@@ -212,37 +212,58 @@ pub struct Summary {
     pub contracts_per_sec_x1000: u64,
 }
 
-impl BatchReport {
-    /// Aggregates the outcomes into a [`Summary`].
-    pub fn summary(&self) -> Summary {
-        let mut s = Summary {
-            total: self.outcomes.len(),
+impl Summary {
+    /// Starts an empty summary for `jobs` workers (the incremental
+    /// counterpart of [`BatchReport::summary`], used by streaming scans
+    /// that never hold all outcomes in memory).
+    pub fn empty(jobs: usize) -> Summary {
+        Summary {
+            total: 0,
             analyzed: 0,
             timed_out: 0,
             panicked: 0,
             decompile_failed: 0,
             findings: 0,
             composite: 0,
-            jobs: self.jobs,
-            wall_ms: self.wall_time.as_millis() as u64,
+            jobs,
+            wall_ms: 0,
             contracts_per_sec_x1000: 0,
-        };
-        for o in &self.outcomes {
-            match &o.status {
-                Status::Analyzed { findings, composite, .. } => {
-                    s.analyzed += 1;
-                    s.findings += findings;
-                    s.composite += composite;
-                }
-                Status::TimedOut => s.timed_out += 1,
-                Status::Panicked { .. } => s.panicked += 1,
-                Status::DecompileFailed { .. } => s.decompile_failed += 1,
+        }
+    }
+
+    /// Folds one outcome's status into the counts.
+    pub fn record(&mut self, status: &Status) {
+        self.total += 1;
+        match status {
+            Status::Analyzed { findings, composite, .. } => {
+                self.analyzed += 1;
+                self.findings += findings;
+                self.composite += composite;
             }
+            Status::TimedOut => self.timed_out += 1,
+            Status::Panicked { .. } => self.panicked += 1,
+            Status::DecompileFailed { .. } => self.decompile_failed += 1,
         }
-        let secs = self.wall_time.as_secs_f64();
+    }
+
+    /// Stamps the batch wall-clock time and the derived throughput.
+    pub fn finish(&mut self, wall_time: Duration) {
+        self.wall_ms = wall_time.as_millis() as u64;
+        let secs = wall_time.as_secs_f64();
         if secs > 0.0 {
-            s.contracts_per_sec_x1000 = (s.total as f64 / secs * 1000.0) as u64;
+            self.contracts_per_sec_x1000 = (self.total as f64 / secs * 1000.0) as u64;
         }
+    }
+}
+
+impl BatchReport {
+    /// Aggregates the outcomes into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::empty(self.jobs);
+        for o in &self.outcomes {
+            s.record(&o.status);
+        }
+        s.finish(self.wall_time);
         s
     }
 
@@ -490,6 +511,60 @@ pub fn analyze_batch(
     })
 }
 
+/// Analyzes an unbounded stream of `(id, bytecode)` contracts with
+/// bounded memory: contracts are pulled from the iterator `chunk` at a
+/// time, each chunk runs through [`analyze_batch`] (same parallelism,
+/// timeout, and panic isolation), and every [`Outcome`] is handed to
+/// `sink` in input order — with its **global** stream index — as soon as
+/// its chunk completes. At no point are more than `chunk` contracts (or
+/// outcomes) resident.
+///
+/// This is the driver half of the ROADMAP's streaming-corpus item: a
+/// population larger than RAM flows through as long as the source
+/// iterator itself is lazy (see `corpus::stream` and the
+/// `store::ContractSource` adapters). The returned [`Summary`] is
+/// aggregated incrementally.
+pub fn analyze_stream<I, F>(
+    contracts: I,
+    cfg: &DriverConfig,
+    analysis: &ethainter::Config,
+    chunk: usize,
+    mut sink: F,
+) -> Summary
+where
+    I: IntoIterator<Item = (String, Vec<u8>)>,
+    F: FnMut(Outcome),
+{
+    let chunk = chunk.max(1);
+    let started = Instant::now();
+    let mut summary = Summary::empty(cfg.effective_jobs());
+    let mut next_index = 0usize;
+    let mut pending: Vec<(String, Vec<u8>)> = Vec::with_capacity(chunk);
+    let mut flush = |pending: &mut Vec<(String, Vec<u8>)>, base: usize| {
+        let report = analyze_batch(std::mem::take(pending), cfg, analysis);
+        for mut o in report.outcomes {
+            o.index += base;
+            summary.record(&o.status);
+            sink(o);
+        }
+    };
+    for item in contracts {
+        pending.push(item);
+        if pending.len() == chunk {
+            flush(&mut pending, next_index);
+            next_index += chunk;
+        }
+    }
+    if !pending.is_empty() {
+        let n = pending.len();
+        flush(&mut pending, next_index);
+        next_index += n;
+    }
+    debug_assert_eq!(summary.total, next_index);
+    summary.finish(started.elapsed());
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +666,52 @@ mod tests {
         assert_eq!(s.analyzed, 4);
         assert_eq!(s.findings, 8);
         assert_eq!(s.composite, 4);
+    }
+
+    #[test]
+    fn stream_emits_global_indices_in_order_across_chunks() {
+        // 11 trivial contracts (a lone STOP) through chunk size 4: the
+        // sink must observe global indices 0..11 in order, with the tail
+        // chunk shorter than the rest.
+        let items: Vec<(String, Vec<u8>)> =
+            (0..11).map(|i| (format!("s{i}"), vec![0x00])).collect();
+        let mut seen: Vec<(usize, String)> = Vec::new();
+        let summary = analyze_stream(
+            items,
+            &cfg(2, 10_000),
+            &ethainter::Config::default(),
+            4,
+            |o| seen.push((o.index, o.id.clone())),
+        );
+        assert_eq!(summary.total, 11);
+        assert_eq!(seen.len(), 11);
+        for (i, (idx, id)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(id, &format!("s{i}"));
+        }
+    }
+
+    #[test]
+    fn stream_summary_matches_batch_summary() {
+        let items: Vec<(String, Vec<u8>)> =
+            (0..6).map(|i| (format!("s{i}"), vec![0x00])).collect();
+        let batch = analyze_batch(items.clone(), &cfg(1, 10_000), &ethainter::Config::default());
+        let mut streamed: Vec<Outcome> = Vec::new();
+        let summary =
+            analyze_stream(items, &cfg(1, 10_000), &ethainter::Config::default(), 2, |o| {
+                streamed.push(o)
+            });
+        // elapsed_ms legitimately differs between runs; everything else
+        // must be identical.
+        assert_eq!(streamed.len(), batch.outcomes.len());
+        for (s, b) in streamed.iter().zip(&batch.outcomes) {
+            assert_eq!((s.index, &s.id, &s.status), (b.index, &b.id, &b.status));
+        }
+        let b = batch.summary();
+        assert_eq!(
+            (summary.total, summary.analyzed, summary.findings),
+            (b.total, b.analyzed, b.findings)
+        );
     }
 
     #[test]

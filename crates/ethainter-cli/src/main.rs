@@ -10,6 +10,8 @@
 //! ethainter kill <file>             # analyze, deploy on a sandbox, exploit
 //! ethainter scan <n>                # generate a population and scan it
 //! ethainter batch [files] [--corpus n] [--jobs n] [--timeout-ms t] [--out f]
+//!                 [--cache-dir d] [--checkpoint d | --resume d] [--limit n]
+//! ethainter cache stats --cache-dir d  # result-store report
 //! ethainter lint [files] [--corpus n]  # IR well-formedness check, fails on violations
 //! ```
 
@@ -17,6 +19,7 @@
 
 use ethainter::{Config, Vuln};
 use std::process::ExitCode;
+use store::ContractSource as _;
 
 /// Like `println!`, but ignores broken pipes (`ethainter ... | head`
 /// must not panic when the reader goes away).
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         "kill" => cmd_kill(rest),
         "scan" => cmd_scan(rest),
         "batch" => cmd_batch(rest),
+        "cache" => cmd_cache(rest),
         "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
@@ -73,7 +77,9 @@ USAGE:
     ethainter kill <file>
     ethainter scan [n]
     ethainter batch [<file>...] [--corpus n] [--seed s] [--jobs n]
-                    [--timeout-ms t] [--out f.jsonl] [config flags]
+                    [--timeout-ms t] [--out f.jsonl] [--chunk n] [config flags]
+                    [--cache-dir d] [--checkpoint d | --resume d] [--limit n]
+    ethainter cache stats --cache-dir d
     ethainter lint [<file>...] [--corpus n] [--seed s]
 
 <file> is minisol source (.sol/.msol/anything parseable) or hex bytecode
@@ -89,7 +95,17 @@ a contract that loops is cut off after --timeout-ms (default 120000),
 a contract that panics the analyzer is contained, and every input
 yields exactly one JSONL outcome record (--out, `-` for stdout).
 --corpus n adds n generated corpus contracts to the inputs;
---jobs 0 (default) uses one worker per core.
+--jobs 0 (default) uses one worker per core. Inputs stream through the
+driver in --chunk-sized windows (default 64), and each outcome line is
+flushed as it is produced — a killed run leaves a valid JSONL prefix.
+
+--cache-dir d keeps a content-addressed result store at d: a re-run of
+an unchanged scan answers from the cache instead of re-analyzing
+(`cache stats` reports entries and hit rates). --checkpoint d logs
+every outcome to d so a killed scan can continue with --resume d,
+which skips completed contracts and writes d/merged.jsonl — verdicts
+byte-identical to an uninterrupted run. --limit n stops after
+recording n outcomes (a deterministic interrupt, used by CI).
 
 lint runs the IR well-formedness validator over each input's raw
 decompiler output and exits non-zero if any violation is found —
@@ -265,82 +281,355 @@ fn cmd_kill(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), String> {
-    let mut files: Vec<String> = Vec::new();
-    let mut corpus_n = 0usize;
-    let mut seed = 7u64;
-    let mut jobs = 0usize;
-    let mut timeout_ms = 120_000u64;
-    let mut out_path: Option<String> = None;
+/// Parsed `batch` flags.
+struct BatchArgs {
+    files: Vec<String>,
+    corpus_n: usize,
+    seed: u64,
+    jobs: usize,
+    timeout_ms: u64,
+    out_path: Option<String>,
+    cache_dir: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume_dir: Option<String>,
+    limit: Option<usize>,
+    chunk: usize,
+}
 
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let mut take = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("batch: {name} needs a value"))
+impl BatchArgs {
+    fn parse(args: &[String]) -> Result<BatchArgs, String> {
+        let mut p = BatchArgs {
+            files: Vec::new(),
+            corpus_n: 0,
+            seed: 7,
+            jobs: 0,
+            timeout_ms: 120_000,
+            out_path: None,
+            cache_dir: None,
+            checkpoint_dir: None,
+            resume_dir: None,
+            limit: None,
+            chunk: 64,
         };
-        match a.as_str() {
-            "--corpus" => corpus_n = take("--corpus")?.parse().map_err(|e| format!("bad --corpus: {e}"))?,
-            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-            "--jobs" => jobs = take("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?,
-            "--timeout-ms" => {
-                timeout_ms = take("--timeout-ms")?.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().cloned().ok_or_else(|| format!("batch: {name} needs a value"))
+            };
+            match a.as_str() {
+                "--corpus" => {
+                    p.corpus_n =
+                        take("--corpus")?.parse().map_err(|e| format!("bad --corpus: {e}"))?
+                }
+                "--seed" => {
+                    p.seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--jobs" => {
+                    p.jobs = take("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
+                }
+                "--timeout-ms" => {
+                    p.timeout_ms = take("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?
+                }
+                "--out" => p.out_path = Some(take("--out")?),
+                "--cache-dir" => p.cache_dir = Some(take("--cache-dir")?),
+                "--checkpoint" => p.checkpoint_dir = Some(take("--checkpoint")?),
+                "--resume" => p.resume_dir = Some(take("--resume")?),
+                "--limit" => {
+                    p.limit =
+                        Some(take("--limit")?.parse().map_err(|e| format!("bad --limit: {e}"))?)
+                }
+                "--chunk" => {
+                    p.chunk = take("--chunk")?.parse().map_err(|e| format!("bad --chunk: {e}"))?
+                }
+                "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
+                | "--no-range-guards" => {} // parse_config reads these
+                other if other.starts_with("--") => {
+                    return Err(format!("batch: unknown flag `{other}`"));
+                }
+                file => p.files.push(file.to_string()),
             }
-            "--out" => out_path = Some(take("--out")?),
-            "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
-            | "--no-range-guards" => {} // parse_config reads these
-            other if other.starts_with("--") => {
-                return Err(format!("batch: unknown flag `{other}`"));
-            }
-            file => files.push(file.to_string()),
+        }
+        if p.checkpoint_dir.is_some() && p.resume_dir.is_some() {
+            return Err("batch: --checkpoint and --resume are mutually exclusive".into());
+        }
+        if p.files.is_empty() && p.corpus_n == 0 {
+            return Err("batch: no inputs (pass files and/or --corpus n)".into());
+        }
+        Ok(p)
+    }
+
+    fn driver_config(&self) -> driver::DriverConfig {
+        driver::DriverConfig {
+            jobs: self.jobs,
+            timeout: std::time::Duration::from_millis(self.timeout_ms),
         }
     }
 
-    let mut contracts: Vec<(String, Vec<u8>)> = Vec::with_capacity(files.len() + corpus_n);
-    for f in &files {
-        contracts.push((f.clone(), load_bytecode(f)?));
+    /// The streaming source over file inputs followed by the generated
+    /// corpus; its descriptor is stable across invocations, which is
+    /// what lets a resume validate it is scanning the same inputs.
+    fn source(&self) -> Result<store::ChainedSource, String> {
+        let mut sources: Vec<Box<dyn store::ContractSource>> = Vec::new();
+        if !self.files.is_empty() {
+            let mut loaded = Vec::with_capacity(self.files.len());
+            for f in &self.files {
+                loaded.push((f.clone(), load_bytecode(f)?));
+            }
+            sources.push(Box::new(store::MemorySource::new(loaded)));
+        }
+        if self.corpus_n > 0 {
+            sources.push(Box::new(store::CorpusSource::new(corpus::PopulationConfig {
+                size: self.corpus_n,
+                seed: self.seed,
+                ..Default::default()
+            })));
+        }
+        Ok(store::ChainedSource::new(sources))
     }
-    if corpus_n > 0 {
-        let pop = corpus::Population::generate(&corpus::PopulationConfig {
-            size: corpus_n,
-            seed,
-            ..Default::default()
-        });
-        for (i, c) in pop.contracts.into_iter().enumerate() {
-            contracts.push((format!("{}#{i}", c.family), c.bytecode));
+}
+
+/// A JSONL sink that flushes after every record, so a kill at any
+/// point leaves a valid, parseable prefix on disk instead of an empty
+/// (or torn) file.
+enum JsonlSink {
+    None,
+    Stdout,
+    File(std::io::BufWriter<std::fs::File>, String),
+}
+
+impl JsonlSink {
+    fn open(out_path: Option<&str>) -> Result<JsonlSink, String> {
+        match out_path {
+            None => Ok(JsonlSink::None),
+            Some("-") => Ok(JsonlSink::Stdout),
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("creating {path}: {e}"))?;
+                Ok(JsonlSink::File(std::io::BufWriter::new(file), path.to_string()))
+            }
         }
     }
-    if contracts.is_empty() {
-        return Err("batch: no inputs (pass files and/or --corpus n)".into());
+
+    fn write(&mut self, outcome: &driver::Outcome) -> Result<(), String> {
+        let line = serde_json::to_string(outcome).map_err(|e| e.to_string())?;
+        match self {
+            JsonlSink::None => Ok(()),
+            JsonlSink::Stdout => {
+                out!("{line}");
+                Ok(())
+            }
+            JsonlSink::File(w, path) => {
+                use std::io::Write as _;
+                w.write_all(line.as_bytes())
+                    .and_then(|_| w.write_all(b"\n"))
+                    .and_then(|_| w.flush())
+                    .map_err(|e| format!("writing {path}: {e}"))
+            }
+        }
     }
+}
 
-    let cfg = driver::DriverConfig {
-        jobs,
-        timeout: std::time::Duration::from_millis(timeout_ms),
-    };
-    let total = contracts.len();
-    let report = driver::analyze_batch(contracts, &cfg, &parse_config(args));
-    let s = report.summary();
-    assert_eq!(s.total, total, "driver lost contracts");
-
-    match out_path.as_deref() {
-        Some("-") => out!("{}", report.to_jsonl().trim_end()),
-        Some(path) => std::fs::write(path, report.to_jsonl())
-            .map_err(|e| format!("writing {path}: {e}"))?,
-        None => {}
-    }
-
+fn print_summary(s: &driver::Summary, skipped: usize, cache_hits: usize) {
     out!(
-        "batch: {} contracts, {} jobs, {:.1?} ({:.1}/s)",
+        "batch: {} contracts, {} jobs, {:.1}s ({:.1}/s)",
         s.total,
         s.jobs,
-        report.wall_time,
+        s.wall_ms as f64 / 1000.0,
         s.contracts_per_sec_x1000 as f64 / 1000.0
     );
+    if skipped > 0 || cache_hits > 0 {
+        out!("  resumed past {skipped}, cache hits {cache_hits}, fresh {}", s.total - cache_hits);
+    }
     out!(
         "  analyzed {}, timed_out {}, panicked {}, decompile_failed {}",
         s.analyzed, s.timed_out, s.panicked, s.decompile_failed
     );
     out!("  findings {} ({} composite)", s.findings, s.composite);
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let parsed = BatchArgs::parse(args)?;
+    let analysis = parse_config(args);
+    let cfg = parsed.driver_config();
+
+    if parsed.cache_dir.is_some()
+        || parsed.checkpoint_dir.is_some()
+        || parsed.resume_dir.is_some()
+        || parsed.limit.is_some()
+    {
+        return batch_with_store(&parsed, &cfg, &analysis);
+    }
+
+    // Plain path: stream files + generated corpus through the driver in
+    // bounded chunks, flushing each outcome line as it is produced.
+    let mut contracts: Vec<(String, Vec<u8>)> = Vec::with_capacity(parsed.files.len());
+    for f in &parsed.files {
+        contracts.push((f.clone(), load_bytecode(f)?));
+    }
+    let generated = corpus::stream(&corpus::PopulationConfig {
+        size: parsed.corpus_n,
+        seed: parsed.seed,
+        ..Default::default()
+    })
+    .take(parsed.corpus_n)
+    .map(|c| (format!("{}#{}", c.family, c.id), c.bytecode));
+
+    let mut sink = JsonlSink::open(parsed.out_path.as_deref())?;
+    let mut io_error: Option<String> = None;
+    let summary = driver::analyze_stream(
+        contracts.into_iter().chain(generated),
+        &cfg,
+        &analysis,
+        parsed.chunk,
+        |o| {
+            if io_error.is_none() {
+                io_error = sink.write(&o).err();
+            }
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    print_summary(&summary, 0, 0);
+    Ok(())
+}
+
+/// The checkpointed/cached batch path: a [`store::Scanner`] run with a
+/// per-scan manifest, per-record-flushed outcome log, optional
+/// content-addressed cache, and a deterministic merged verdict file.
+fn batch_with_store(
+    parsed: &BatchArgs,
+    cfg: &driver::DriverConfig,
+    analysis: &Config,
+) -> Result<(), String> {
+    let source = parsed.source()?;
+    let manifest = store::Manifest::new(analysis, source.descriptor());
+
+    // A scan without an explicit checkpoint dir (cache-only or limited
+    // runs) still goes through a checkpoint — in a throwaway directory.
+    let (cp_dir, ephemeral) = match (&parsed.checkpoint_dir, &parsed.resume_dir) {
+        (Some(d), _) | (_, Some(d)) => (std::path::PathBuf::from(d), false),
+        (None, None) => {
+            let dir = std::env::temp_dir()
+                .join(format!("ethainter-batch-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            (dir, true)
+        }
+    };
+    let mut checkpoint = if let Some(d) = &parsed.resume_dir {
+        if !std::path::Path::new(d).is_dir() {
+            return Err(format!("batch: --resume {d}: no such checkpoint directory"));
+        }
+        store::Checkpoint::resume(&cp_dir, &manifest)?
+    } else {
+        store::Checkpoint::create(&cp_dir, manifest)?
+    };
+    let preloaded = checkpoint.preloaded();
+    if preloaded > 0 {
+        out!("resuming {}: {preloaded} outcome(s) already recorded", cp_dir.display());
+    }
+
+    let mut cache = match &parsed.cache_dir {
+        Some(d) => Some(store::ResultStore::open(d)?),
+        None => None,
+    };
+
+    let mut sink = JsonlSink::open(parsed.out_path.as_deref())?;
+    let mut io_error: Option<String> = None;
+    let mut summary = driver::Summary::empty(cfg.effective_jobs());
+    let scan = {
+        let mut scanner = store::Scanner {
+            driver: cfg.clone(),
+            analysis: *analysis,
+            chunk: parsed.chunk.max(1),
+            limit: parsed.limit,
+            cache: cache.as_mut(),
+        };
+        scanner.scan(
+            source,
+            &mut checkpoint,
+            |o| {
+                summary.record(&o.status);
+                if io_error.is_none() {
+                    io_error = sink.write(o).err();
+                }
+            },
+            |e| eprintln!("warning: skipping unreadable input: {e}"),
+        )?
+    };
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    summary.finish(std::time::Duration::from_millis(scan.wall_ms));
+
+    print_summary(&summary, scan.skipped_completed, scan.cache_hits);
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        out!(
+            "  cache: {} entr{}, {} hit(s) / {} miss(es) this scan",
+            s.entries,
+            if s.entries == 1 { "y" } else { "ies" },
+            scan.cache_hits,
+            scan.fresh
+        );
+    }
+    if scan.interrupted {
+        out!(
+            "  interrupted at --limit {}: {} of {} recorded — continue with --resume {}",
+            parsed.limit.unwrap_or(0),
+            checkpoint.completed_count(),
+            scan.seen,
+            cp_dir.display()
+        );
+    } else if !ephemeral {
+        let merged = checkpoint.write_merged()?;
+        out!("  merged verdicts: {}", merged.display());
+    }
+    if !ephemeral {
+        out!("  checkpoint: {}", cp_dir.display());
+    }
+    drop(checkpoint);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&cp_dir);
+    }
+    Ok(())
+}
+
+/// `ethainter cache stats --cache-dir <dir>` — report on a result
+/// store without running anything.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str);
+    if sub != Some("stats") {
+        return Err("cache: expected subcommand `stats`".into());
+    }
+    let mut cache_dir: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => {
+                cache_dir =
+                    Some(it.next().cloned().ok_or("cache stats: --cache-dir needs a value")?)
+            }
+            other => return Err(format!("cache stats: unknown argument `{other}`")),
+        }
+    }
+    let dir = cache_dir.ok_or("cache stats: --cache-dir is required")?;
+    if !std::path::Path::new(&dir).is_dir() {
+        return Err(format!("cache stats: {dir}: no such cache directory"));
+    }
+    let store = store::ResultStore::open(&dir)?;
+    let s = store.stats();
+    let (analyzed, failed) = store.status_breakdown();
+    out!("cache {dir}");
+    out!("  entries:       {} ({analyzed} analyzed, {failed} decompile_failed)", s.entries);
+    out!("  segment bytes: {}", s.segment_bytes);
+    out!("  lifetime:      {} hit(s), {} miss(es)", s.total_hits, s.total_misses);
+    let total = s.total_hits + s.total_misses;
+    if total > 0 {
+        out!("  hit rate:      {:.1}%", 100.0 * s.total_hits as f64 / total as f64);
+    }
     Ok(())
 }
 

@@ -60,7 +60,49 @@ impl Default for Config {
     }
 }
 
+/// Version tag for the canonical [`Config::fingerprint`] encoding. Bump
+/// whenever a field is added, removed, or its meaning changes, so stale
+/// cache entries keyed on the old encoding can never be mistaken for
+/// results of the new analysis.
+const FINGERPRINT_DOMAIN: &str = "ethainter-config-v1";
+
 impl Config {
+    /// Stable 256-bit fingerprint of the *effective* analysis
+    /// configuration — the config half of `crates/store`'s
+    /// content-addressed cache key.
+    ///
+    /// The fingerprint is the Keccak-256 of a canonical textual encoding
+    /// that names every field explicitly (`guard_modeling=true;…`), so:
+    ///
+    /// - equal configs always fingerprint equally, across processes and
+    ///   runs (no dependence on struct layout or hasher seeds);
+    /// - flipping any single switch — including the ablations and the
+    ///   IR-pass toggles — produces a different fingerprint;
+    /// - adding a field later forces a new encoding (the field list is
+    ///   spelled out here), and the `ethainter-config-v1` domain tag
+    ///   versions the scheme itself.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let canonical = format!(
+            "{FINGERPRINT_DOMAIN};guard_modeling={};storage_taint={};storage_model={};\
+             freeze_guards={};optimize_ir={};range_guards={}",
+            self.guard_modeling,
+            self.storage_taint,
+            match self.storage_model {
+                StorageModel::Precise => "precise",
+                StorageModel::Conservative => "conservative",
+            },
+            self.freeze_guards,
+            self.optimize_ir,
+            self.range_guards,
+        );
+        evm::keccak256(canonical.as_bytes())
+    }
+
+    /// [`Config::fingerprint`] as lowercase hex (manifest / display form).
+    pub fn fingerprint_hex(&self) -> String {
+        self.fingerprint().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
     /// Figure 8a: no storage modeling (completeness ablation).
     pub fn no_storage_taint() -> Self {
         Config { storage_taint: false, ..Config::default() }

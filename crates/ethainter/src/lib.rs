@@ -40,6 +40,14 @@ pub use analysis::{analyze, with_deadline};
 pub use config::{Config, StorageModel};
 pub use report::{FactCounts, Finding, Report, Stats, Vuln};
 
+/// Version tag of the analysis *algorithm*, the third ingredient of
+/// `crates/store`'s content-addressed cache key (alongside the bytecode
+/// hash and [`Config::fingerprint`]). Bump the `+aN` suffix whenever a
+/// change makes the analysis produce different reports for the same
+/// (bytecode, config) pair — decompiler limits, new rules, fixed rules —
+/// so previously cached results are invalidated instead of replayed.
+pub const ANALYZER_VERSION: &str = concat!("ethainter-rs/", env!("CARGO_PKG_VERSION"), "+a1");
+
 /// Decompiles `bytecode` and runs the analysis — the end-to-end entry
 /// point used by the CLI, the scanner, and Ethainter-Kill. With the
 /// default config the decompiler's optimization passes (constant

@@ -1,0 +1,341 @@
+//! Checkpointed scans: a per-scan directory holding a manifest (what is
+//! being scanned, with which config, by which analyzer) and an
+//! incrementally flushed outcome log, so a batch scan killed at any
+//! point leaves a valid prefix that `--resume` continues from.
+//!
+//! Layout of a scan directory:
+//!
+//! ```text
+//! <dir>/manifest.json    what was scanned (validated on resume)
+//! <dir>/outcomes.jsonl   one Outcome per line, flushed per record
+//! <dir>/merged.jsonl     deterministic verdict lines, written at the end
+//! ```
+//!
+//! `outcomes.jsonl` records carry wall-clock timings and arrive in
+//! completion order across runs, so they are bookkeeping, not the
+//! deliverable. The deliverable is `merged.jsonl`: index-sorted
+//! [`VerdictRecord`] lines containing only deterministic fields — an
+//! interrupted-then-resumed scan produces a `merged.jsonl` byte-identical
+//! to an uninterrupted one (asserted by `tests/resume.rs` and the CI
+//! smoke job).
+
+use crate::cache::parse_jsonl_prefix;
+use driver::{Outcome, Status};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// File names inside a scan directory.
+const MANIFEST_FILE: &str = "manifest.json";
+const OUTCOMES_FILE: &str = "outcomes.jsonl";
+const MERGED_FILE: &str = "merged.jsonl";
+
+/// What a scan is over — recorded at creation, validated on resume.
+/// A resume with a different analyzer, config, or input stream would
+/// silently merge incomparable verdicts; the manifest turns that into
+/// an error instead.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// [`ethainter::ANALYZER_VERSION`] at scan creation.
+    pub analyzer_version: String,
+    /// [`ethainter::Config::fingerprint_hex`] of the effective config.
+    pub config_fingerprint: String,
+    /// The contract source's stable descriptor.
+    pub source: String,
+}
+
+impl Manifest {
+    /// Builds the manifest for `config` over a source descriptor.
+    pub fn new(config: &ethainter::Config, source_descriptor: String) -> Manifest {
+        Manifest {
+            analyzer_version: ethainter::ANALYZER_VERSION.to_string(),
+            config_fingerprint: config.fingerprint_hex(),
+            source: source_descriptor,
+        }
+    }
+}
+
+/// The deterministic slice of an [`Outcome`] — what `merged.jsonl`
+/// holds. Timing is deliberately excluded so merged outputs are
+/// byte-comparable across runs and machines.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictRecord {
+    /// Global index of the contract in the scan's input stream.
+    pub index: usize,
+    /// Contract identifier.
+    pub id: String,
+    /// What the analysis concluded.
+    pub status: Status,
+}
+
+impl VerdictRecord {
+    /// Projects an outcome onto its deterministic fields.
+    pub fn from_outcome(o: &Outcome) -> VerdictRecord {
+        VerdictRecord { index: o.index, id: o.id.clone(), status: o.status.clone() }
+    }
+}
+
+/// An open checkpointed scan.
+pub struct Checkpoint {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// Every completed outcome, keyed by global index (prior runs +
+    /// this one).
+    completed: BTreeMap<usize, Outcome>,
+    /// How many of `completed` were loaded from disk rather than
+    /// recorded this run.
+    preloaded: usize,
+    writer: BufWriter<File>,
+}
+
+impl Checkpoint {
+    /// Creates a scan directory with `manifest`, or — when the directory
+    /// already holds a manifest — validates it and resumes. This makes
+    /// checkpointed scans idempotent: re-running the same command after
+    /// a crash always continues rather than starting over.
+    pub fn create(dir: impl AsRef<Path>, manifest: Manifest) -> Result<Checkpoint, String> {
+        let dir = dir.as_ref().to_path_buf();
+        if dir.join(MANIFEST_FILE).exists() {
+            return Checkpoint::resume_with(dir, Some(manifest));
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("creating scan dir {}: {e}", dir.display()))?;
+        let text = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join(MANIFEST_FILE), text)
+            .map_err(|e| format!("writing manifest: {e}"))?;
+        let writer = open_outcomes_append(&dir, 0)?;
+        Ok(Checkpoint { dir, manifest, completed: BTreeMap::new(), preloaded: 0, writer })
+    }
+
+    /// Resumes the scan at `dir`, requiring that `expected` (when given)
+    /// matches the stored manifest — same analyzer version, same config
+    /// fingerprint, same source stream.
+    pub fn resume(dir: impl AsRef<Path>, expected: &Manifest) -> Result<Checkpoint, String> {
+        Checkpoint::resume_with(dir.as_ref().to_path_buf(), Some(expected.clone()))
+    }
+
+    /// Resumes without manifest validation (inspection tools).
+    pub fn open_unchecked(dir: impl AsRef<Path>) -> Result<Checkpoint, String> {
+        Checkpoint::resume_with(dir.as_ref().to_path_buf(), None)
+    }
+
+    fn resume_with(dir: PathBuf, expected: Option<Manifest>) -> Result<Checkpoint, String> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("reading {}: {e}", manifest_path.display()))?;
+        let manifest: Manifest = serde_json::from_str(&text)
+            .map_err(|e| format!("corrupt manifest {}: {e}", manifest_path.display()))?;
+        if let Some(expected) = expected {
+            if manifest != expected {
+                return Err(format!(
+                    "scan dir {} does not match this invocation:\n  recorded: {:?}\n  requested: {:?}\n\
+                     (same inputs, config, and analyzer version are required to resume)",
+                    dir.display(),
+                    manifest,
+                    expected
+                ));
+            }
+        }
+        // Load the completed prefix, tolerating (and repairing) a
+        // crash-truncated final line.
+        let outcomes_path = dir.join(OUTCOMES_FILE);
+        let mut completed = BTreeMap::new();
+        let mut valid_bytes = 0u64;
+        if outcomes_path.exists() {
+            let text = std::fs::read_to_string(&outcomes_path)
+                .map_err(|e| format!("reading {}: {e}", outcomes_path.display()))?;
+            let (records, valid) = parse_jsonl_prefix::<Outcome>(&text)
+                .map_err(|e| format!("corrupt outcome log {}: {e}", outcomes_path.display()))?;
+            valid_bytes = valid as u64;
+            for o in records {
+                completed.insert(o.index, o);
+            }
+        }
+        let preloaded = completed.len();
+        let writer = open_outcomes_append(&dir, valid_bytes)?;
+        Ok(Checkpoint { dir, manifest, completed, preloaded, writer })
+    }
+
+    /// The scan directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stored manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// True when the contract at `index` already has a recorded outcome.
+    pub fn is_completed(&self, index: usize) -> bool {
+        self.completed.contains_key(&index)
+    }
+
+    /// Outcomes inherited from previous runs of this scan.
+    pub fn preloaded(&self) -> usize {
+        self.preloaded
+    }
+
+    /// Total recorded outcomes (previous runs + this one).
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Records one outcome: appends a JSONL line and flushes it before
+    /// updating the in-memory set, so a crash between the two leaves the
+    /// durable log ahead of (never behind) the resume logic.
+    pub fn record(&mut self, outcome: &Outcome) -> Result<(), String> {
+        let line = serde_json::to_string(outcome).map_err(|e| e.to_string())?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("appending outcome log: {e}"))?;
+        self.completed.insert(outcome.index, outcome.clone());
+        Ok(())
+    }
+
+    /// All completed outcomes, index-sorted.
+    pub fn merged(&self) -> impl Iterator<Item = &Outcome> {
+        self.completed.values()
+    }
+
+    /// The deterministic merged output: index-sorted [`VerdictRecord`]
+    /// JSON lines. Byte-identical across cold, warm, and
+    /// interrupted+resumed runs of the same scan.
+    pub fn merged_verdicts_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in self.completed.values() {
+            let v = VerdictRecord::from_outcome(o);
+            out.push_str(&serde_json::to_string(&v).expect("verdict serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `merged.jsonl` into the scan directory and returns its
+    /// path.
+    pub fn write_merged(&self) -> Result<PathBuf, String> {
+        let path = self.dir.join(MERGED_FILE);
+        std::fs::write(&path, self.merged_verdicts_jsonl())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+/// Opens the outcome log for appending, first truncating it to
+/// `valid_bytes` (cutting off a crash-torn tail).
+fn open_outcomes_append(dir: &Path, valid_bytes: u64) -> Result<BufWriter<File>, String> {
+    let path = dir.join(OUTCOMES_FILE);
+    if path.exists() {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("opening {}: {e}", path.display()))?;
+        file.set_len(valid_bytes)
+            .map_err(|e| format!("truncating {}: {e}", path.display()))?;
+    }
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("opening {}: {e}", path.display()))?;
+    Ok(BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(index: usize) -> Outcome {
+        Outcome {
+            index,
+            id: format!("c{index}"),
+            status: Status::DecompileFailed { reason: "r".into() },
+            elapsed_ms: index as u64,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ethainter-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> Manifest {
+        Manifest::new(&ethainter::Config::default(), "mem:test".into())
+    }
+
+    #[test]
+    fn create_record_resume_skips_completed() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let mut cp = Checkpoint::create(&dir, manifest()).unwrap();
+            cp.record(&outcome(0)).unwrap();
+            cp.record(&outcome(2)).unwrap();
+        }
+        let cp = Checkpoint::resume(&dir, &manifest()).unwrap();
+        assert_eq!(cp.preloaded(), 2);
+        assert!(cp.is_completed(0));
+        assert!(!cp.is_completed(1));
+        assert!(cp.is_completed(2));
+        let merged: Vec<usize> = cp.merged().map(|o| o.index).collect();
+        assert_eq!(merged, vec![0, 2], "merged output is index-sorted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_manifest() {
+        let dir = tmp_dir("mismatch");
+        drop(Checkpoint::create(&dir, manifest()).unwrap());
+        let other = Manifest::new(&ethainter::Config::no_passes(), "mem:test".into());
+        assert!(Checkpoint::resume(&dir, &other).is_err());
+        let other_src = Manifest::new(&ethainter::Config::default(), "mem:other".into());
+        assert!(Checkpoint::resume(&dir, &other_src).is_err());
+        assert!(Checkpoint::resume(&dir, &manifest()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_rewritten() {
+        let dir = tmp_dir("torn");
+        {
+            let mut cp = Checkpoint::create(&dir, manifest()).unwrap();
+            cp.record(&outcome(0)).unwrap();
+            cp.record(&outcome(1)).unwrap();
+        }
+        let log = dir.join(OUTCOMES_FILE);
+        let text = std::fs::read_to_string(&log).unwrap();
+        std::fs::write(&log, &text[..text.len() - 7]).unwrap();
+
+        let mut cp = Checkpoint::resume(&dir, &manifest()).unwrap();
+        assert_eq!(cp.preloaded(), 1, "torn record does not count as completed");
+        assert!(!cp.is_completed(1));
+        cp.record(&outcome(1)).unwrap();
+        drop(cp);
+        // The log parses cleanly end to end after the repair.
+        let text = std::fs::read_to_string(&log).unwrap();
+        for line in text.lines() {
+            let _: Outcome = serde_json::from_str(line).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merged_verdicts_are_deterministic_and_timing_free() {
+        let dir = tmp_dir("verdicts");
+        let mut cp = Checkpoint::create(&dir, manifest()).unwrap();
+        cp.record(&outcome(1)).unwrap();
+        cp.record(&outcome(0)).unwrap();
+        let merged = cp.merged_verdicts_jsonl();
+        assert!(!merged.contains("elapsed_ms"));
+        let first: VerdictRecord = serde_json::from_str(merged.lines().next().unwrap()).unwrap();
+        assert_eq!(first.index, 0, "sorted by index regardless of record order");
+        let path = cp.write_merged().unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), merged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

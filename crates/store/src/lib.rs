@@ -1,0 +1,64 @@
+//! # store — content-addressed results, streaming corpora, resume
+//!
+//! The persistence layer under the batch driver, closing the gap
+//! between "analyze a population in memory" and the paper's
+//! whole-chain-scale scans: work already done is never redone, inputs
+//! never need to fit in RAM, and a killed scan continues where it
+//! stopped.
+//!
+//! Three pieces, composable but independently usable:
+//!
+//! - [`cache`] — a **content-addressed analysis cache**. The key is
+//!   Keccak-256 over (bytecode hash ‖ [`ethainter::Config::fingerprint`]
+//!   ‖ [`ethainter::ANALYZER_VERSION`]); the value is the contract's
+//!   [`driver::Status`]. Persisted as an append-only JSONL segment with
+//!   an in-memory index: a re-run of an unchanged scan is pure O(1)
+//!   lookups, and any config or analyzer change silently keys into
+//!   fresh territory instead of replaying stale verdicts.
+//! - [`source`] — the [`ContractSource`] streaming trait with adapters
+//!   for in-memory lists, the [`corpus`] generator (one contract
+//!   resident at a time), directories of hex files, JSONL manifests,
+//!   and concatenations thereof. Each source carries a stable
+//!   *descriptor* naming its stream.
+//! - [`checkpoint`] — per-scan directories: a [`Manifest`] (analyzer
+//!   version + config fingerprint + source descriptor, validated on
+//!   resume), a line-flushed outcome log whose crash-torn tail is
+//!   detected and repaired, and a deterministic index-sorted
+//!   `merged.jsonl` of [`VerdictRecord`]s that is byte-identical
+//!   whether a scan ran cold, warm, or interrupted-then-resumed.
+//!
+//! [`scan::Scanner`] wires them together over [`driver::analyze_batch`]
+//! with bounded memory (resume filter → cache lookup → chunked fresh
+//! analysis).
+//!
+//! ## Example
+//!
+//! ```
+//! use store::{Checkpoint, ContractSource, Manifest, MemorySource, Scanner};
+//!
+//! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let config = ethainter::Config::default();
+//! let source = MemorySource::new(vec![("stop".into(), vec![0x00])]);
+//! let manifest = Manifest::new(&config, source.descriptor());
+//! let mut cp = Checkpoint::create(&dir, manifest).unwrap();
+//! let summary = Scanner::default().scan(source, &mut cp, |_| {}, |_| {}).unwrap();
+//! assert_eq!(summary.recorded(), 1);
+//! assert!(cp.is_completed(0));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod checkpoint;
+pub mod scan;
+pub mod source;
+
+pub use cache::{cache_key, CacheKey, CacheStats, CachedResult, ResultStore};
+pub use checkpoint::{Checkpoint, Manifest, VerdictRecord};
+pub use scan::{ScanSummary, Scanner};
+pub use source::{
+    parse_hex, ChainedSource, ContractSource, CorpusSource, HexDirSource, JsonlManifestSource,
+    MemorySource, SourceContract,
+};

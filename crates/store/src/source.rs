@@ -1,0 +1,374 @@
+//! Streaming corpus sources: iterators of `(id, bytecode)` contracts
+//! with a stable textual descriptor, so the driver can scan populations
+//! larger than RAM and a scan manifest can name its input precisely
+//! enough for `--resume` to refuse a mismatched one.
+//!
+//! Adapters:
+//!
+//! - [`MemorySource`] — an in-memory list (CLI file arguments, tests);
+//! - [`CorpusSource`] — the generator, streamed via [`corpus::stream`]
+//!   (one contract resident at a time);
+//! - [`HexDirSource`] — a directory of `.hex`/`.bin` files, read lazily
+//!   in sorted order;
+//! - [`JsonlManifestSource`] — a JSONL manifest of
+//!   `{"id": …, "bytecode": "0x…"}` records, read line by line;
+//! - [`ChainedSource`] — concatenation of the above (files + corpus in
+//!   one scan).
+
+use corpus::PopulationConfig;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+/// One contract pulled from a source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceContract {
+    /// Stable identifier (file name, `family#id`, manifest id…).
+    pub id: String,
+    /// Runtime bytecode.
+    pub bytecode: Vec<u8>,
+}
+
+/// A streaming source of contracts. `Iterator` supplies the stream
+/// (yielding `Err` for unreadable items without aborting the scan
+/// decision upstream); [`ContractSource::descriptor`] supplies a stable
+/// identity recorded in scan manifests — two invocations that would
+/// yield different streams must produce different descriptors.
+pub trait ContractSource: Iterator<Item = Result<SourceContract, String>> {
+    /// Stable textual identity of this source's stream.
+    fn descriptor(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory
+// ---------------------------------------------------------------------------
+
+/// A source over an in-memory list. The descriptor hashes ids and
+/// bytecodes, so editing any input file between a scan and its resume is
+/// detected.
+pub struct MemorySource {
+    items: std::vec::IntoIter<SourceContract>,
+    descriptor: String,
+}
+
+impl MemorySource {
+    /// Wraps `(id, bytecode)` pairs.
+    pub fn new(items: Vec<(String, Vec<u8>)>) -> MemorySource {
+        let mut material = Vec::new();
+        for (id, code) in &items {
+            material.extend_from_slice(id.as_bytes());
+            material.push(0);
+            material.extend_from_slice(code);
+            material.push(0);
+        }
+        let digest = evm::keccak256(&material);
+        let hex: String = digest.iter().take(8).map(|b| format!("{b:02x}")).collect();
+        let descriptor = format!("mem:{}:{hex}", items.len());
+        let items = items
+            .into_iter()
+            .map(|(id, bytecode)| SourceContract { id, bytecode })
+            .collect::<Vec<_>>()
+            .into_iter();
+        MemorySource { items, descriptor }
+    }
+}
+
+impl Iterator for MemorySource {
+    type Item = Result<SourceContract, String>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.items.next().map(Ok)
+    }
+}
+
+impl ContractSource for MemorySource {
+    fn descriptor(&self) -> String {
+        self.descriptor.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated corpus
+// ---------------------------------------------------------------------------
+
+/// The corpus generator as a streaming source: contracts are produced
+/// one at a time by [`corpus::stream`], so population size only bounds
+/// the stream length, not resident memory.
+pub struct CorpusSource {
+    stream: std::iter::Take<corpus::PopulationStream>,
+    cfg: PopulationConfig,
+}
+
+impl CorpusSource {
+    /// Streams `cfg.size` unique contracts for `cfg`.
+    pub fn new(cfg: PopulationConfig) -> CorpusSource {
+        CorpusSource { stream: corpus::stream(&cfg).take(cfg.size), cfg }
+    }
+}
+
+impl Iterator for CorpusSource {
+    type Item = Result<SourceContract, String>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.stream.next().map(|c| {
+            Ok(SourceContract { id: format!("{}#{}", c.family, c.id), bytecode: c.bytecode })
+        })
+    }
+}
+
+impl ContractSource for CorpusSource {
+    fn descriptor(&self) -> String {
+        format!("corpus:size={}:seed={}", self.cfg.size, self.cfg.seed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directory of hex files
+// ---------------------------------------------------------------------------
+
+/// A directory of `.hex`/`.bin` bytecode files, streamed in sorted
+/// (deterministic) file-name order; each file is read only when the
+/// iterator reaches it.
+pub struct HexDirSource {
+    dir: PathBuf,
+    files: std::vec::IntoIter<PathBuf>,
+    count: usize,
+}
+
+impl HexDirSource {
+    /// Lists `dir` (non-recursively) for `.hex`/`.bin` files.
+    pub fn new(dir: impl AsRef<Path>) -> Result<HexDirSource, String> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("reading {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("hex") | Some("bin")
+                )
+            })
+            .collect();
+        files.sort();
+        let count = files.len();
+        Ok(HexDirSource { dir, files: files.into_iter(), count })
+    }
+}
+
+impl Iterator for HexDirSource {
+    type Item = Result<SourceContract, String>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let path = self.files.next()?;
+        let id = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        Some(
+            std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))
+                .and_then(|text| parse_hex(text.trim()))
+                .map(|bytecode| SourceContract { id, bytecode }),
+        )
+    }
+}
+
+impl ContractSource for HexDirSource {
+    fn descriptor(&self) -> String {
+        format!("hexdir:{}:{}", self.dir.display(), self.count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL manifest
+// ---------------------------------------------------------------------------
+
+/// A JSONL manifest streamed line by line: each record is
+/// `{"id": "...", "bytecode": "0x..."}`. Blank lines are skipped; a
+/// malformed line yields one `Err` item and the stream continues.
+pub struct JsonlManifestSource {
+    path: PathBuf,
+    lines: std::io::Lines<std::io::BufReader<std::fs::File>>,
+    line_no: usize,
+}
+
+#[derive(serde::Deserialize)]
+struct ManifestRecord {
+    id: String,
+    bytecode: String,
+}
+
+impl JsonlManifestSource {
+    /// Opens the manifest for streaming.
+    pub fn new(path: impl AsRef<Path>) -> Result<JsonlManifestSource, String> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::open(&path)
+            .map_err(|e| format!("opening {}: {e}", path.display()))?;
+        Ok(JsonlManifestSource {
+            path,
+            lines: std::io::BufReader::new(file).lines(),
+            line_no: 0,
+        })
+    }
+}
+
+impl Iterator for JsonlManifestSource {
+    type Item = Result<SourceContract, String>;
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => {
+                    return Some(Err(format!("reading {}: {e}", self.path.display())))
+                }
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(
+                serde_json::from_str::<ManifestRecord>(&line)
+                    .map_err(|e| {
+                        format!("{} line {}: {e}", self.path.display(), self.line_no)
+                    })
+                    .and_then(|r| {
+                        parse_hex(&r.bytecode)
+                            .map(|bytecode| SourceContract { id: r.id, bytecode })
+                    }),
+            );
+        }
+    }
+}
+
+impl ContractSource for JsonlManifestSource {
+    fn descriptor(&self) -> String {
+        format!("jsonl:{}", self.path.display())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concatenation
+// ---------------------------------------------------------------------------
+
+/// Concatenates sources, streaming each to exhaustion in order (e.g.
+/// explicit files followed by a generated corpus).
+pub struct ChainedSource {
+    sources: Vec<Box<dyn ContractSource>>,
+    current: usize,
+}
+
+impl ChainedSource {
+    /// Chains `sources` in order.
+    pub fn new(sources: Vec<Box<dyn ContractSource>>) -> ChainedSource {
+        ChainedSource { sources, current: 0 }
+    }
+}
+
+impl Iterator for ChainedSource {
+    type Item = Result<SourceContract, String>;
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.current < self.sources.len() {
+            match self.sources[self.current].next() {
+                Some(item) => return Some(item),
+                None => self.current += 1,
+            }
+        }
+        None
+    }
+}
+
+impl ContractSource for ChainedSource {
+    fn descriptor(&self) -> String {
+        self.sources.iter().map(|s| s.descriptor()).collect::<Vec<_>>().join("+")
+    }
+}
+
+/// Decodes hex bytecode with an optional `0x` prefix.
+pub fn parse_hex(text: &str) -> Result<Vec<u8>, String> {
+    let hexish = text.strip_prefix("0x").unwrap_or(text);
+    if !hexish.len().is_multiple_of(2) {
+        return Err("odd-length hex bytecode".into());
+    }
+    (0..hexish.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&hexish[i..i + 2], 16)
+                .map_err(|e| format!("bad hex bytecode: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ethainter-source-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn memory_source_streams_and_fingerprints() {
+        let a = MemorySource::new(vec![("x".into(), vec![1, 2])]);
+        let b = MemorySource::new(vec![("x".into(), vec![1, 3])]);
+        assert_ne!(a.descriptor(), b.descriptor(), "bytecode edits change the descriptor");
+        let items: Vec<_> = a.map(|r| r.unwrap()).collect();
+        assert_eq!(items, vec![SourceContract { id: "x".into(), bytecode: vec![1, 2] }]);
+    }
+
+    #[test]
+    fn corpus_source_matches_generate() {
+        let cfg = PopulationConfig { size: 12, seed: 5, ..Default::default() };
+        let pop = corpus::Population::generate(&cfg);
+        let streamed: Vec<_> = CorpusSource::new(cfg).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed.len(), 12);
+        for (s, c) in streamed.iter().zip(&pop.contracts) {
+            assert_eq!(s.bytecode, c.bytecode);
+            assert_eq!(s.id, format!("{}#{}", c.family, c.id));
+        }
+    }
+
+    #[test]
+    fn hex_dir_source_reads_sorted() {
+        let dir = tmp_dir("hexdir");
+        std::fs::write(dir.join("b.hex"), "0x6001\n").unwrap();
+        std::fs::write(dir.join("a.bin"), "6000").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "zz").unwrap();
+        let src = HexDirSource::new(&dir).unwrap();
+        assert!(src.descriptor().contains(":2"));
+        let items: Vec<_> = src.map(|r| r.unwrap()).collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].id, "a.bin");
+        assert_eq!(items[0].bytecode, vec![0x60, 0x00]);
+        assert_eq!(items[1].id, "b.hex");
+        assert_eq!(items[1].bytecode, vec![0x60, 0x01]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_manifest_streams_and_reports_bad_lines() {
+        let dir = tmp_dir("jsonl");
+        let path = dir.join("manifest.jsonl");
+        std::fs::write(
+            &path,
+            "{\"id\":\"one\",\"bytecode\":\"0x6000\"}\n\nnot json\n{\"id\":\"two\",\"bytecode\":\"6001\"}\n",
+        )
+        .unwrap();
+        let src = JsonlManifestSource::new(&path).unwrap();
+        let items: Vec<_> = src.collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_ref().unwrap().id, "one");
+        assert!(items[1].is_err());
+        assert_eq!(items[2].as_ref().unwrap().bytecode, vec![0x60, 0x01]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chained_source_concatenates_and_joins_descriptors() {
+        let a = MemorySource::new(vec![("a".into(), vec![0])]);
+        let b = MemorySource::new(vec![("b".into(), vec![1])]);
+        let chained = ChainedSource::new(vec![Box::new(a), Box::new(b)]);
+        assert!(chained.descriptor().contains('+'));
+        let ids: Vec<String> = chained.map(|r| r.unwrap().id).collect();
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+}
