@@ -1,0 +1,202 @@
+//! Perf-trajectory benchmark: per-contract fixpoint time under the
+//! dense and sparse engines over a generated corpus, emitted as
+//! `BENCH_fixpoint.json` (committed at the repo root so the numbers
+//! travel with the code they measure).
+//!
+//! Every contract is decompiled and optimized **once**; each engine
+//! then runs `ethainter::analyze` on the same prepared program, so the
+//! measured delta is purely fixpoint evaluation (the per-phase
+//! `fixpoint_us` timing, which excludes index construction). The run
+//! doubles as a differential check: any divergence in findings, fact
+//! counts, or defeated guards between the engines aborts with a
+//! non-zero exit — the benchmark refuses to publish numbers for
+//! engines that disagree.
+//!
+//! ```text
+//! bench_fixpoint [--corpus N] [--seed S] [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the corpus to 50 contracts for the CI perf-smoke
+//! job; the default 500 matches the committed artifact.
+
+use bench::{latency_summary, LatencySummary};
+use corpus::{Population, PopulationConfig};
+use ethainter::{Config, Engine, Report};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// One engine's aggregate over the corpus.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct EngineRow {
+    /// Per-contract fixpoint latency distribution (µs).
+    fixpoint_us: LatencySummary,
+    /// Sum of per-contract convergence rounds (engine-specific metric:
+    /// dense counts re-scan passes, sparse counts 1 + defeat waves).
+    rounds_total: u64,
+    /// Sum of derived facts across the corpus (identical across
+    /// engines by the differential guarantee).
+    facts_total: u64,
+}
+
+/// The committed benchmark artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchArtifact {
+    /// Corpus size the distributions are computed over.
+    corpus: usize,
+    /// Corpus generator seed.
+    seed: u64,
+    /// Timed analyses per (contract, engine); the fastest is kept.
+    runs_per_contract: u32,
+    dense: EngineRow,
+    sparse: EngineRow,
+    /// Always true in an emitted artifact: a divergence aborts the run.
+    verdicts_identical: bool,
+}
+
+fn total_facts(r: &Report) -> u64 {
+    let f = &r.stats.facts;
+    (f.input_tainted
+        + f.storage_tainted
+        + f.tainted_slots
+        + f.tainted_mappings
+        + f.writable_mappings
+        + f.defeated_guards) as u64
+}
+
+fn main() -> ExitCode {
+    let mut corpus_n = 500usize;
+    let mut seed = 7u64;
+    let mut out_path = String::from("BENCH_fixpoint.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> String {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("bench_fixpoint: {} needs a value", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--corpus" => {
+                corpus_n = take(i).parse().expect("bad --corpus");
+                i += 1;
+            }
+            "--seed" => {
+                seed = take(i).parse().expect("bad --seed");
+                i += 1;
+            }
+            "--out" => {
+                out_path = take(i);
+                i += 1;
+            }
+            "--quick" => corpus_n = 50,
+            other => {
+                eprintln!("bench_fixpoint: unknown flag `{other}`");
+                eprintln!("usage: bench_fixpoint [--corpus N] [--seed S] [--quick] [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let pop = Population::generate(&PopulationConfig {
+        size: corpus_n,
+        seed,
+        ..Default::default()
+    });
+    eprintln!("bench_fixpoint: {} contracts (seed {seed})", pop.contracts.len());
+
+    // Decompile + optimize once per contract; both engines analyze the
+    // identical prepared program.
+    let programs: Vec<decompiler::Program> = pop
+        .contracts
+        .iter()
+        .map(|c| {
+            let mut p = decompiler::decompile(&c.bytecode);
+            decompiler::optimize(&mut p, &decompiler::PassConfig::default());
+            p
+        })
+        .collect();
+
+    // The prepared programs are already optimized; optimize_ir only
+    // matters for analyze_bytecode, not analyze, but keep the configs
+    // honest anyway.
+    let dense_cfg = Config { engine: Engine::Dense, ..Config::default() };
+    let sparse_cfg = Config { engine: Engine::Sparse, ..Config::default() };
+
+    // Best-of-N damps scheduler noise on a shared machine; verdicts are
+    // checked on every run, not just the timed-best one.
+    const RUNS: u32 = 3;
+    let mut dense = EngineRow::default();
+    let mut sparse = EngineRow::default();
+    let mut dense_us = Vec::with_capacity(programs.len());
+    let mut sparse_us = Vec::with_capacity(programs.len());
+
+    for (ci, p) in programs.iter().enumerate() {
+        let mut best: [Option<(u64, Report)>; 2] = [None, None];
+        for (ei, cfg) in [&dense_cfg, &sparse_cfg].into_iter().enumerate() {
+            for _ in 0..RUNS {
+                let r = ethainter::analyze(p, cfg);
+                let us = r.stats.timings.fixpoint_us;
+                match &best[ei] {
+                    Some((b, prev)) => {
+                        // Determinism within one engine across runs.
+                        if prev.findings != r.findings || prev.stats.facts != r.stats.facts {
+                            eprintln!(
+                                "bench_fixpoint: NONDETERMINISM in {} on contract {ci}",
+                                cfg.engine.name()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        if us < *b {
+                            best[ei] = Some((us, r));
+                        }
+                    }
+                    None => best[ei] = Some((us, r)),
+                }
+            }
+        }
+        let (d_us, d) = best[0].take().unwrap();
+        let (s_us, s) = best[1].take().unwrap();
+        if d.findings != s.findings
+            || d.stats.facts != s.stats.facts
+            || d.defeated_guards != s.defeated_guards
+        {
+            eprintln!(
+                "bench_fixpoint: VERDICT MISMATCH on contract {ci} ({}):\n  dense:  {:?}\n  sparse: {:?}",
+                pop.contracts[ci].family, d.findings, s.findings
+            );
+            return ExitCode::FAILURE;
+        }
+        dense_us.push(d_us);
+        sparse_us.push(s_us);
+        dense.rounds_total += d.stats.rounds as u64;
+        sparse.rounds_total += s.stats.rounds as u64;
+        dense.facts_total += total_facts(&d);
+        sparse.facts_total += total_facts(&s);
+    }
+
+    dense.fixpoint_us = latency_summary(&mut dense_us);
+    sparse.fixpoint_us = latency_summary(&mut sparse_us);
+    let artifact = BenchArtifact {
+        corpus: programs.len(),
+        seed,
+        runs_per_contract: RUNS,
+        dense,
+        sparse,
+        verdicts_identical: true,
+    };
+
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write artifact");
+    eprintln!(
+        "bench_fixpoint: dense p50 {}µs p90 {}µs max {}µs | sparse p50 {}µs p90 {}µs max {}µs -> {out_path}",
+        artifact.dense.fixpoint_us.p50,
+        artifact.dense.fixpoint_us.p90,
+        artifact.dense.fixpoint_us.max,
+        artifact.sparse.fixpoint_us.p50,
+        artifact.sparse.fixpoint_us.p90,
+        artifact.sparse.fixpoint_us.max,
+    );
+    ExitCode::SUCCESS
+}

@@ -245,6 +245,40 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Per-contract latency distribution, as emitted in
+/// `BENCH_fixpoint.json` (all values in microseconds).
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Median per-contract time.
+    pub p50: u64,
+    /// 90th-percentile per-contract time.
+    pub p90: u64,
+    /// Slowest contract.
+    pub max: u64,
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of an ascending-sorted
+/// sample set. Empty input yields 0.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: the smallest value with at least p% of the samples
+    // at or below it.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Sorts `samples` in place and summarizes p50/p90/max.
+pub fn latency_summary(samples: &mut [u64]) -> LatencySummary {
+    samples.sort_unstable();
+    LatencySummary {
+        p50: percentile(samples, 50.0),
+        p90: percentile(samples, 90.0),
+        max: samples.last().copied().unwrap_or(0),
+    }
+}
+
 /// Population size from the first CLI argument, with a default.
 pub fn size_arg(default: usize) -> usize {
     std::env::args()
@@ -305,6 +339,21 @@ mod tests {
             assert!(r.true_positives <= r.flagged);
             assert!(r.flagged <= sample.len());
         }
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 90.0), 90);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+        // Odd-sized set: p50 is the middle element.
+        assert_eq!(percentile(&[10, 20, 30], 50.0), 20);
+        let mut samples = vec![30, 10, 20, 40, 50];
+        let s = latency_summary(&mut samples);
+        assert_eq!((s.p50, s.p90, s.max), (30, 50, 50));
     }
 
     #[test]

@@ -61,11 +61,40 @@ impl<T: Ord> Relation<T> {
     }
 
     /// Unions two relations.
+    ///
+    /// Both inputs are already sorted and deduplicated (the type's
+    /// invariant), so this is a linear two-pointer merge — O(n + m)
+    /// comparisons instead of re-sorting the concatenation.
     pub fn merge(self, other: Self) -> Self {
-        let mut elements = self.elements;
-        elements.extend(other.elements);
-        elements.sort();
-        elements.dedup();
+        if other.elements.is_empty() {
+            return self;
+        }
+        if self.elements.is_empty() {
+            return other;
+        }
+        let mut elements = Vec::with_capacity(self.elements.len() + other.elements.len());
+        let mut a = self.elements.into_iter().peekable();
+        let mut b = other.elements.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    std::cmp::Ordering::Less => elements.push(a.next().unwrap()),
+                    std::cmp::Ordering::Greater => elements.push(b.next().unwrap()),
+                    std::cmp::Ordering::Equal => {
+                        elements.push(a.next().unwrap());
+                        b.next();
+                    }
+                },
+                (Some(_), None) => {
+                    elements.extend(a);
+                    break;
+                }
+                (None, _) => {
+                    elements.extend(b);
+                    break;
+                }
+            }
+        }
         Relation { elements }
     }
 
@@ -491,6 +520,40 @@ mod tests {
         let a = Relation::from_iter(vec![1, 3]);
         let b = Relation::from_iter(vec![2, 3]);
         assert_eq!(a.merge(b).as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_handles_overlap_containment_and_emptiness() {
+        // Heavy overlap with interleaving: duplicates collapse once.
+        let a = Relation::from_iter(vec![1, 2, 4, 6, 8, 10]);
+        let b = Relation::from_iter(vec![2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.merge(b).as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+
+        // One side strictly contains the other.
+        let outer = Relation::from_iter(vec![1, 2, 3, 4, 5]);
+        let inner = Relation::from_iter(vec![2, 4]);
+        assert_eq!(outer.clone().merge(inner.clone()).as_slice(), outer.as_slice());
+        assert_eq!(inner.merge(outer.clone()).as_slice(), outer.as_slice());
+
+        // Disjoint tails: the remainder of the longer side is appended.
+        let lo = Relation::from_iter(vec![1, 2, 3]);
+        let hi = Relation::from_iter(vec![10, 20, 30]);
+        assert_eq!(lo.merge(hi).as_slice(), &[1, 2, 3, 10, 20, 30]);
+
+        // Empty operands on either side.
+        let e = Relation::<i32>::empty();
+        let x = Relation::from_iter(vec![7, 9]);
+        assert_eq!(e.clone().merge(x.clone()).as_slice(), &[7, 9]);
+        assert_eq!(x.clone().merge(e.clone()).as_slice(), &[7, 9]);
+        assert!(e.clone().merge(e).is_empty());
+
+        // Matches the from_iter-over-concatenation specification.
+        let p = Relation::from_iter(vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+        let q = Relation::from_iter(vec![(2, 'b'), (3, 'a'), (4, 'd')]);
+        let spec = Relation::from_iter(
+            p.iter().cloned().chain(q.iter().cloned()).collect::<Vec<_>>(),
+        );
+        assert_eq!(p.merge(q), spec);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Def→use-site index over a [`Program`]'s variables.
+//!
+//! Built once in a single pass and shared by consumers that need sparse
+//! propagation: the Ethainter worklist engine pushes exactly the use
+//! sites of a variable whose abstract value changed, instead of
+//! re-scanning every statement. Kept in the decompiler so every client
+//! of the TAC (analysis engines, passes, future tools) indexes the IR
+//! the same way.
+
+use crate::tac::{Program, StmtId, Var};
+
+/// Immutable def-site / use-site index, one entry per variable.
+///
+/// Definitions and uses are recorded in program (statement-id) order.
+/// Block parameters have one defining `Copy` per predecessor binding,
+/// so `defs(v)` is a slice, not an option.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    defs: Vec<Vec<StmtId>>,
+    uses: Vec<Vec<StmtId>>,
+}
+
+impl DefUse {
+    /// Builds the index in one pass over the statements.
+    pub fn build(p: &Program) -> DefUse {
+        let n = p.n_vars as usize;
+        let mut defs: Vec<Vec<StmtId>> = vec![Vec::new(); n];
+        let mut uses: Vec<Vec<StmtId>> = vec![Vec::new(); n];
+        for s in p.iter_stmts() {
+            if let Some(d) = s.def {
+                defs[d.0 as usize].push(s.id);
+            }
+            for &u in &s.uses {
+                let slot = &mut uses[u.0 as usize];
+                // A statement using the same variable twice (e.g.
+                // `v = ADD(x, x)`) is still one use site.
+                if slot.last() != Some(&s.id) {
+                    slot.push(s.id);
+                }
+            }
+        }
+        DefUse { defs, uses }
+    }
+
+    /// Statements defining `v`, in program order.
+    pub fn defs(&self, v: Var) -> &[StmtId] {
+        &self.defs[v.0 as usize]
+    }
+
+    /// Statements using `v`, in program order (each site once).
+    pub fn uses(&self, v: Var) -> &[StmtId] {
+        &self.uses[v.0 as usize]
+    }
+
+    /// Number of variables indexed.
+    pub fn n_vars(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Consumes the index, returning the per-variable def-site table
+    /// (for callers that already keep their own use-side structures).
+    pub fn into_defs(self) -> Vec<Vec<StmtId>> {
+        self.defs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_matches_linear_scan() {
+        let src = r#"
+        contract C {
+            uint v;
+            function f(uint a) public { v = a + a; }
+            function g() public view returns (uint) { return v; }
+        }"#;
+        let compiled = minisol::compile_source(src).unwrap();
+        let p = crate::decompile(&compiled.bytecode);
+        let du = DefUse::build(&p);
+        assert_eq!(du.n_vars(), p.n_vars as usize);
+        for v in 0..p.n_vars {
+            let var = Var(v);
+            let scan_defs: Vec<StmtId> =
+                p.iter_stmts().filter(|s| s.def == Some(var)).map(|s| s.id).collect();
+            assert_eq!(du.defs(var), &scan_defs[..], "defs of v{v}");
+            let scan_uses: Vec<StmtId> =
+                p.iter_stmts().filter(|s| s.uses.contains(&var)).map(|s| s.id).collect();
+            assert_eq!(du.uses(var), &scan_uses[..], "uses of v{v}");
+        }
+    }
+
+    #[test]
+    fn duplicate_operand_is_one_use_site() {
+        let src = "contract C { uint v; function f(uint a) public { v = a * a; } }";
+        let compiled = minisol::compile_source(src).unwrap();
+        let p = crate::decompile(&compiled.bytecode);
+        let du = DefUse::build(&p);
+        for s in p.iter_stmts() {
+            for &u in &s.uses {
+                let sites = du.uses(u);
+                assert_eq!(
+                    sites.iter().filter(|&&id| id == s.id).count(),
+                    1,
+                    "statement {} listed more than once for v{}",
+                    s.id,
+                    u.0
+                );
+            }
+        }
+    }
+}

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod defuse;
 pub mod dom;
 pub mod passes;
 pub mod tac;
 
 pub use builder::{decompile, decompile_with_limits, Limits};
+pub use defuse::DefUse;
 pub use dom::Dominators;
 pub use passes::{optimize, validate::validate, PassConfig, PassStats};
 pub use tac::{Block, BlockId, Op, Program, PublicFunction, Stmt, StmtId, Var};

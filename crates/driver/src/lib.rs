@@ -128,6 +128,13 @@ pub enum Status {
         /// non-empty entries are decompiler bugs surfaced per contract
         /// so batch runs can triage them without re-running.
         lint: Vec<String>,
+        /// Per-phase wall-clock timings
+        /// (decompile/passes/index-build/fixpoint/sink-scan).
+        /// Observability only: present in the live `outcomes.jsonl`
+        /// stream, but stripped by `crates/store` before anything
+        /// equality-sensitive (cache entries, `merged.jsonl`).
+        #[serde(default)]
+        timings: ethainter::PhaseTimings,
     },
     /// The wall-clock budget elapsed (or the analysis hit its internal
     /// deadline) before a fixpoint was reached.
@@ -159,6 +166,37 @@ impl Status {
             Status::Panicked { .. } => "panicked",
             Status::DecompileFailed { .. } => "decompile_failed",
         }
+    }
+
+    /// The same status with per-phase timings zeroed. Deterministic
+    /// artifacts (result-cache entries, `merged.jsonl`) must not vary
+    /// run-to-run, so `crates/store` normalizes statuses through this
+    /// before persisting them.
+    pub fn without_timings(&self) -> Status {
+        match self {
+            Status::Analyzed { timings, .. } if *timings != ethainter::PhaseTimings::default() => {
+                let mut s = self.clone();
+                if let Status::Analyzed { timings, .. } = &mut s {
+                    *timings = ethainter::PhaseTimings::default();
+                }
+                s
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// The verdict projection: timings zeroed *and* `rounds` zeroed.
+    /// `rounds` is an engine-specific effort metric (dense counts
+    /// re-scan passes, sparse counts defeat waves), so it must not
+    /// appear in artifacts that are specified to be byte-identical
+    /// across `--engine dense` ⇄ `--engine sparse` — `merged.jsonl`
+    /// records verdicts, not effort.
+    pub fn verdict_only(&self) -> Status {
+        let mut s = self.without_timings();
+        if let Status::Analyzed { rounds, .. } = &mut s {
+            *rounds = 0;
+        }
+        s
     }
 }
 
@@ -461,7 +499,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// sandbox; exposed so callers can reuse the exact same classification
 /// (decompile-failed vs. timed-out vs. analyzed) without the pool.
 pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
+    let t_dec = ethainter::PhaseTimer::start();
     let mut program = decompiler::decompile(bytecode);
+    let decompile_us = t_dec.elapsed_us();
     if program.incomplete {
         let reason = program
             .warnings
@@ -473,13 +513,18 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
     // Lint the raw decompiler output (the passes assume and preserve the
     // invariants, so violations always originate in the decompiler).
     let lint = decompiler::validate(&program);
+    let t_pass = ethainter::PhaseTimer::start();
     if config.optimize_ir {
         decompiler::optimize(&mut program, &decompiler::PassConfig::default());
     }
+    let passes_us = t_pass.elapsed_us();
     let report = ethainter::analyze(&program, config);
     if report.timed_out {
         return Status::TimedOut;
     }
+    let mut timings = report.stats.timings;
+    timings.decompile_us = decompile_us;
+    timings.passes_us = passes_us;
     Status::Analyzed {
         findings: report.findings.len(),
         composite: report.findings.iter().filter(|f| f.composite).count(),
@@ -488,6 +533,7 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
         rounds: report.stats.rounds,
         facts: report.stats.facts,
         lint,
+        timings,
     }
 }
 
@@ -586,6 +632,7 @@ mod tests {
             rounds: 1,
             facts: ethainter::FactCounts::default(),
             lint: Vec::new(),
+            timings: ethainter::PhaseTimings::default(),
         }
     }
 
@@ -642,6 +689,7 @@ mod tests {
                 rounds: 2,
                 facts: ethainter::FactCounts { input_tainted: 4, rba_blocks: 3, ..Default::default() },
                 lint: vec!["B0 is empty (no terminator)".into()],
+                timings: ethainter::PhaseTimings { fixpoint_us: 7, ..Default::default() },
             },
             _ => Status::DecompileFailed { reason: "r".into() },
         });
@@ -701,11 +749,14 @@ mod tests {
             analyze_stream(items, &cfg(1, 10_000), &ethainter::Config::default(), 2, |o| {
                 streamed.push(o)
             });
-        // elapsed_ms legitimately differs between runs; everything else
-        // must be identical.
+        // elapsed_ms and per-phase timings legitimately differ between
+        // runs; everything else must be identical.
         assert_eq!(streamed.len(), batch.outcomes.len());
         for (s, b) in streamed.iter().zip(&batch.outcomes) {
-            assert_eq!((s.index, &s.id, &s.status), (b.index, &b.id, &b.status));
+            assert_eq!(
+                (s.index, &s.id, s.status.without_timings()),
+                (b.index, &b.id, b.status.without_timings())
+            );
         }
         let b = batch.summary();
         assert_eq!(

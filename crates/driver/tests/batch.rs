@@ -67,9 +67,10 @@ fn batch_results_are_identical_across_worker_counts() {
         &cfg,
     );
     // Same statuses at the same indices: scheduling must not leak into
-    // results (per-contract elapsed times of course differ).
+    // results (per-contract elapsed times and phase timings of course
+    // differ between live runs).
     let strip = |r: &driver::BatchReport| -> Vec<(usize, String, Status)> {
-        r.outcomes.iter().map(|o| (o.index, o.id.clone(), o.status.clone())).collect()
+        r.outcomes.iter().map(|o| (o.index, o.id.clone(), o.status.without_timings())).collect()
     };
     assert_eq!(strip(&one), strip(&four));
 }
@@ -96,6 +97,7 @@ fn hostile_work_is_contained_in_a_large_batch() {
                 rounds: 1,
                 facts: ethainter::FactCounts::default(),
                 lint: Vec::new(),
+                timings: ethainter::PhaseTimings::default(),
             }
         },
     );

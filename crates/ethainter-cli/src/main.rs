@@ -88,7 +88,10 @@ USAGE:
 Config flags (analyze and batch): --no-guards, --no-storage,
 --conservative (the paper's Figure 8 ablations); --no-passes disables
 the IR optimization pipeline and branch pruning, --no-range-guards
-disables only the interval-analysis branch pruning.
+disables only the interval-analysis branch pruning. --engine
+dense|sparse selects the fixpoint evaluator (default sparse); both
+produce identical verdicts, and cached results stay warm across an
+engine switch.
 
 batch analyzes every input in parallel with per-contract isolation:
 a contract that loops is cut off after --timeout-ms (default 120000),
@@ -129,10 +132,11 @@ fn load_bytecode(path: &str) -> Result<Vec<u8>, String> {
     minisol::compile_source(trimmed).map(|c| c.bytecode).map_err(|e| e.to_string())
 }
 
-fn parse_config(flags: &[String]) -> Config {
+fn parse_config(flags: &[String]) -> Result<Config, String> {
     let mut cfg = Config::default();
-    for f in flags {
-        match f.as_str() {
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
             "--no-guards" => cfg.guard_modeling = false,
             "--no-storage" => cfg.storage_taint = false,
             "--conservative" => cfg.storage_model = ethainter::StorageModel::Conservative,
@@ -141,16 +145,22 @@ fn parse_config(flags: &[String]) -> Config {
                 cfg.range_guards = false;
             }
             "--no-range-guards" => cfg.range_guards = false,
+            "--engine" => {
+                let v = flags.get(i + 1).ok_or("--engine needs a value (dense|sparse)")?;
+                cfg.engine = ethainter::Engine::parse(v)?;
+                i += 1;
+            }
             _ => {}
         }
+        i += 1;
     }
-    cfg
+    Ok(cfg)
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("analyze: missing <file>")?;
     let code = load_bytecode(path)?;
-    let cfg = parse_config(args);
+    let cfg = parse_config(args)?;
     let report = ethainter::analyze_bytecode(&code, &cfg);
     if args.iter().any(|a| a == "--json") {
         out!(
@@ -345,6 +355,9 @@ impl BatchArgs {
                 }
                 "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
                 | "--no-range-guards" => {} // parse_config reads these
+                "--engine" => {
+                    take("--engine")?; // parse_config validates the value
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("batch: unknown flag `{other}`"));
                 }
@@ -451,7 +464,7 @@ fn print_summary(s: &driver::Summary, skipped: usize, cache_hits: usize) {
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let parsed = BatchArgs::parse(args)?;
-    let analysis = parse_config(args);
+    let analysis = parse_config(args)?;
     let cfg = parsed.driver_config();
 
     if parsed.cache_dir.is_some()

@@ -19,10 +19,19 @@
 //!   attacker can enroll themselves in, makes more statements
 //!   attacker-reachable, which introduces more taint, which defeats more
 //!   guards — evaluated to mutual fixpoint.
+//!
+//! This module orchestrates; the fixpoint itself lives in the crate's
+//! private `engine` module, which offers two verdict-equivalent
+//! evaluation strategies selected by [`Config::engine`] — the naive
+//! `dense` re-scan and the worklist-driven `sparse` engine. Each
+//! pipeline phase is wall-clock timed into [`Stats::timings`].
 
-use crate::config::{Config, StorageModel};
+use crate::config::{Config, Engine};
+use crate::engine::indexes::SparseIndexes;
+use crate::engine::{self, Ctx, GuardKind, Prepared, SAddr, State};
 use crate::report::{FactCounts, Finding, Report, Stats, Vuln};
-use decompiler::{BlockId, Dominators, Op, Program, Stmt, StmtId, Var};
+use crate::timing::{PhaseTimer, PhaseTimings};
+use decompiler::{BlockId, DefUse, Dominators, Op, Program, Stmt, StmtId, Var};
 use evm::opcode::Opcode;
 use evm::U256;
 use std::cell::Cell;
@@ -56,71 +65,8 @@ pub fn with_deadline<R>(deadline: Instant, f: impl FnOnce() -> R) -> R {
 }
 
 /// True once the thread's installed deadline (if any) has passed.
-fn deadline_exceeded() -> bool {
+pub(crate) fn deadline_exceeded() -> bool {
     DEADLINE.with(|d| d.get()).is_some_and(|t| Instant::now() >= t)
-}
-
-/// How a guard scrutinizes the caller.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum GuardKind {
-    /// `msg.sender == SLOAD(slot)` — an owner comparison; `slot` is also
-    /// an *inferred sink* (§4.5).
-    SenderEqSlot(U256),
-    /// `msg.sender` compared against something non-constant (still
-    /// sanitizing; defeated only by tainting the compared value).
-    SenderEqOther,
-    /// A sender-keyed data-structure membership test over the mapping
-    /// with the given base slot (`require(m[msg.sender])`).
-    Membership(U256),
-    /// Sender-derived condition with no recognized shape (kept
-    /// sanitizing, defeated only via condition taint).
-    SenderOpaque,
-}
-
-/// How atomic guard kinds compose in a compound condition.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum GuardCond {
-    /// A single sender check.
-    Single(GuardKind),
-    /// `a && b`: the attacker must defeat **every** conjunct.
-    Conj(Vec<GuardKind>),
-    /// `a || b`: defeating **any** disjunct suffices.
-    Disj(Vec<GuardKind>),
-}
-
-/// A sanitizing guard: condition + the blocks it protects.
-#[derive(Clone, Debug)]
-struct Guard {
-    /// Base condition variable (after peeling `ISZERO` chains).
-    cond: Var,
-    cond_kind: GuardCond,
-    /// Bytecode offset of the guarding `JUMPI`.
-    pc: usize,
-    /// Blocks dominated by the guard's chosen successor.
-    region: Vec<BlockId>,
-}
-
-/// Storage address classification.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum SAddr {
-    Const(U256),
-    /// `Hash2*`-derived mapping element: base slot + key variables
-    /// (outermost first).
-    Mapping { base: U256, keys: Vec<Var> },
-    Unknown,
-}
-
-struct Ctx<'a> {
-    p: &'a Program,
-    /// var → defining statements (params have one per predecessor copy).
-    defs: Vec<Vec<StmtId>>,
-    /// var → constant value, when uniquely determined.
-    consts: Vec<Option<U256>>,
-    /// Figure 4 relations over TAC vars.
-    ds: Vec<bool>,
-    dsa: Vec<bool>,
-    /// var → storage-address classification (for SLoad/SStore keys).
-    saddr_cache: HashMap<Var, SAddr>,
 }
 
 /// Runs the Ethainter analysis on a decompiled program.
@@ -132,6 +78,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             stmts: p.stmts.len(),
             rounds: 0,
             facts: FactCounts::default(),
+            timings: PhaseTimings::default(),
         },
         ..Report::default()
     };
@@ -139,13 +86,16 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         return report;
     }
 
+    // ---- Index build: every one-time structure the engines share -------
+    let t_index = PhaseTimer::start();
+
     let dom = Dominators::compute(p);
 
-    // ---- Range-proven branch pruning ------------------------------------
-    // Interval analysis proves some JumpI edges never taken; blocks only
-    // reachable through dead edges can never execute, so they are not
-    // attacker-reachable. This monotonically refines ReachableByAttacker
-    // (strictly fewer findings behind statically-decided branches).
+    // Range-proven branch pruning: interval analysis proves some JumpI
+    // edges never taken; blocks only reachable through dead edges can
+    // never execute, so they are not attacker-reachable. This
+    // monotonically refines ReachableByAttacker (strictly fewer findings
+    // behind statically-decided branches).
     let (live_block, n_dead_edges) = if cfg.range_guards {
         let iv = decompiler::passes::intervals::analyze(p);
         let dead: HashSet<(u32, usize)> =
@@ -169,17 +119,9 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         (vec![true; p.blocks.len()], 0)
     };
 
-    // ---- Static indexes -------------------------------------------------
-    let mut defs: Vec<Vec<StmtId>> = vec![Vec::new(); p.n_vars as usize];
-    for s in p.iter_stmts() {
-        if let Some(d) = s.def {
-            defs[d.0 as usize].push(s.id);
-        }
-    }
-
     let mut ctx = Ctx {
         p,
-        defs,
+        du: DefUse::build(p),
         consts: vec![None; p.n_vars as usize],
         ds: vec![false; p.n_vars as usize],
         dsa: vec![false; p.n_vars as usize],
@@ -188,8 +130,8 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     ctx.compute_consts();
     ctx.compute_ds();
 
-    // ---- Guards (StaticallyGuardedStatement) ---------------------------
-    let guards: Vec<Guard> = if cfg.guard_modeling { ctx.find_guards(&dom) } else { Vec::new() };
+    // Guards (StaticallyGuardedStatement).
+    let guards = if cfg.guard_modeling { ctx.find_guards(&dom) } else { Vec::new() };
 
     // Memory def-use: const offset → (store stmts, value vars).
     let mut mem_stores: HashMap<U256, Vec<(StmtId, Var)>> = HashMap::new();
@@ -201,305 +143,69 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         }
     }
 
+    let mut prep = Prepared { ctx, guards, dom, live_block, n_dead_edges, mem_stores };
+    let mut st = State::new(&prep);
+    // The sparse engine's edge maps are part of its index-build cost;
+    // the dense engine never pays for them.
+    let sparse_idx =
+        (cfg.engine == Engine::Sparse).then(|| SparseIndexes::build(&mut prep));
+    report.stats.timings.index_build_us = t_index.elapsed_us();
+
     // ---- Mutually-recursive fixpoint ------------------------------------
-    let n_vars = p.n_vars as usize;
-    let n_blocks = p.blocks.len();
-    let mut input_tainted = vec![false; n_vars];
-    let mut storage_tainted = vec![false; n_vars];
-    let mut tainted_slots: HashSet<U256> = HashSet::new();
-    let mut tainted_mappings: HashSet<U256> = HashSet::new();
-    let mut writable_mappings: HashSet<U256> = HashSet::new();
-    let mut all_slots_tainted = false;
-    let mut unknown_store_tainted = false;
-    let mut defeated: Vec<bool> = vec![false; guards.len()];
-    // Findings that required a defeated guard on their taint path are
-    // "composite" (the ✰ of Figure 6).
-    let mut any_defeat = false;
-
-    let mut rba = vec![true; n_blocks];
-    let recompute_rba = |defeated: &[bool], rba: &mut Vec<bool>| {
-        for b in rba.iter_mut() {
-            *b = true;
-        }
-        for (g, guard) in guards.iter().enumerate() {
-            if !defeated[g] {
-                for &blk in &guard.region {
-                    rba[blk.0 as usize] = false;
-                }
-            }
-        }
-        // Unreachable blocks are not attacker-reachable either — whether
-        // structurally (no CFG path) or because every path crosses a
-        // branch the interval analysis decided statically.
-        for (i, b) in rba.iter_mut().enumerate() {
-            if !dom.is_reachable(BlockId(i as u32)) || !live_block[i] {
-                *b = false;
-            }
-        }
-    };
-    recompute_rba(&defeated, &mut rba);
-
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        let mut changed = false;
-        if deadline_exceeded() {
-            report.timed_out = true;
-            break;
-        }
-
-        // Taint propagation (inner pass repeated within the round until
-        // stable — statement order is arbitrary).
-        loop {
-            let mut inner_changed = false;
-            for s in p.iter_stmts() {
-                let stmt_rba = rba[s.block.0 as usize];
-                let Some(d) = s.def else {
-                    continue;
-                };
-                let di = d.0 as usize;
-                match &s.op {
-                    Op::CallDataLoad
-                        // TaintedFlow(x,x) :- ReachableByAttacker(s),
-                        //                     CALLDATALOAD(s, x).
-                        if stmt_rba && !input_tainted[di] => {
-                            input_tainted[di] = true;
-                            inner_changed = true;
-                        }
-                    Op::Copy
-                    | Op::Bin(_)
-                    | Op::Un(_)
-                    | Op::Hash2
-                    | Op::Sha3
-                    | Op::Other(_) => {
-                        let any_in = s.uses.iter().any(|u| input_tainted[u.0 as usize]);
-                        let any_st = s.uses.iter().any(|u| storage_tainted[u.0 as usize]);
-                        // Input taint moves only through attacker-reachable
-                        // statements (Guard-2); storage taint through all
-                        // (Guard-1).
-                        if any_in && stmt_rba && !input_tainted[di] {
-                            input_tainted[di] = true;
-                            inner_changed = true;
-                        }
-                        if any_st && !storage_tainted[di] {
-                            storage_tainted[di] = true;
-                            inner_changed = true;
-                        }
-                    }
-                    Op::MLoad => {
-                        // Local memory modeling: values stored at the same
-                        // constant offset flow to this load.
-                        if let Some(off) = ctx.consts[s.uses[0].0 as usize] {
-                            if let Some(stores) = mem_stores.get(&off) {
-                                let any_in =
-                                    stores.iter().any(|(_, v)| input_tainted[v.0 as usize]);
-                                let any_st =
-                                    stores.iter().any(|(_, v)| storage_tainted[v.0 as usize]);
-                                if any_in && stmt_rba && !input_tainted[di] {
-                                    input_tainted[di] = true;
-                                    inner_changed = true;
-                                }
-                                if any_st && !storage_tainted[di] {
-                                    storage_tainted[di] = true;
-                                    inner_changed = true;
-                                }
-                            }
-                        }
-                    }
-                    Op::SLoad => {
-                        if !cfg.storage_taint {
-                            continue;
-                        }
-                        let tainted_load = match ctx.classify_addr(s.uses[0]) {
-                            SAddr::Const(v) => {
-                                tainted_slots.contains(&v) || all_slots_tainted
-                            }
-                            SAddr::Mapping { base, .. } => tainted_mappings.contains(&base),
-                            SAddr::Unknown => {
-                                cfg.storage_model == StorageModel::Conservative
-                                    && unknown_store_tainted
-                            }
-                        };
-                        // StorageLoad: loads of tainted storage are
-                        // storage-tainted, eluding guards.
-                        if tainted_load && !storage_tainted[di] {
-                            storage_tainted[di] = true;
-                            inner_changed = true;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if !inner_changed || deadline_exceeded() {
-                break;
-            }
-            changed = true;
-        }
-
-        // Storage writes (StorageWrite-1 / StorageWrite-2 and the
-        // attacker-enrollment rule for sender-keyed structures).
-        if cfg.storage_taint {
-            for s in p.iter_stmts() {
-                if s.op != Op::SStore {
-                    continue;
-                }
-                let stmt_rba = rba[s.block.0 as usize];
-                let key = s.uses[0];
-                let value = s.uses[1];
-                let v_in = input_tainted[value.0 as usize];
-                let v_st = storage_tainted[value.0 as usize];
-                // `msg.sender`-derived values written by the attacker are
-                // attacker-chosen (public-initializer pattern: anyone can
-                // become owner).
-                let v_ds = ctx.ds[value.0 as usize];
-                let attacker_value = (v_in || v_ds) && stmt_rba;
-                let tainted_value = v_st || attacker_value;
-                if !tainted_value {
-                    continue;
-                }
-                match ctx.classify_addr(key) {
-                    SAddr::Const(v) => {
-                        if tainted_slots.insert(v) {
-                            changed = true;
-                        }
-                    }
-                    SAddr::Mapping { base, keys } => {
-                        if tainted_mappings.insert(base) {
-                            changed = true;
-                        }
-                        let key_attacker = keys.iter().any(|k| {
-                            ctx.ds[k.0 as usize] || input_tainted[k.0 as usize]
-                        });
-                        if key_attacker && writable_mappings.insert(base) {
-                            changed = true;
-                        }
-                    }
-                    SAddr::Unknown => {
-                        // StorageWrite-2: tainted value at a tainted
-                        // (attacker-influenced) address taints all known
-                        // slots. Conservative mode does this for *any*
-                        // unknown address.
-                        let key_tainted = input_tainted[key.0 as usize]
-                            || storage_tainted[key.0 as usize];
-                        let conservative =
-                            cfg.storage_model == StorageModel::Conservative;
-                        if key_tainted || conservative {
-                            if !all_slots_tainted {
-                                all_slots_tainted = true;
-                                changed = true;
-                            }
-                            if !unknown_store_tainted {
-                                unknown_store_tainted = true;
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-            }
-            // Enrollment without taint: an attacker-reachable write of a
-            // *non-zero constant* into a structure keyed by the attacker
-            // (users[msg.sender] = true) makes its membership guards
-            // passable.
-            for s in p.iter_stmts() {
-                if s.op != Op::SStore || !rba[s.block.0 as usize] {
-                    continue;
-                }
-                let value_const = ctx.consts[s.uses[1].0 as usize];
-                let value_nonzero_const = value_const.is_some_and(|c| !c.is_zero());
-                let value_attacker = value_nonzero_const
-                    || input_tainted[s.uses[1].0 as usize]
-                    || storage_tainted[s.uses[1].0 as usize]
-                    || ctx.ds[s.uses[1].0 as usize];
-                if !value_attacker {
-                    continue;
-                }
-                if let SAddr::Mapping { base, keys } = ctx.classify_addr(s.uses[0]) {
-                    let key_attacker = keys
-                        .iter()
-                        .any(|k| ctx.ds[k.0 as usize] || input_tainted[k.0 as usize]);
-                    if key_attacker && writable_mappings.insert(base) {
-                        changed = true;
-                    }
-                }
-            }
-        }
-
-        // Guard defeat:
-        // ReachableByAttacker(s) :- StaticallyGuardedStatement(s, guard),
-        //                           TaintedFlow(_, guard).
-        for (g, guard) in guards.iter().enumerate() {
-            if defeated[g] {
-                continue;
-            }
-            let cond_tainted = input_tainted[guard.cond.0 as usize]
-                || storage_tainted[guard.cond.0 as usize];
-            let kind_defeated = |k: &GuardKind| match k {
-                GuardKind::SenderEqSlot(v) => {
-                    cfg.storage_taint
-                        && (tainted_slots.contains(v) || all_slots_tainted)
-                }
-                GuardKind::Membership(base) => {
-                    cfg.storage_taint && writable_mappings.contains(base)
-                }
-                GuardKind::SenderEqOther | GuardKind::SenderOpaque => false,
-            };
-            let structural = match &guard.cond_kind {
-                GuardCond::Single(k) => kind_defeated(k),
-                GuardCond::Conj(ks) => ks.iter().all(kind_defeated),
-                GuardCond::Disj(ks) => ks.iter().any(kind_defeated),
-            };
-            if (cond_tainted || structural) && !cfg.freeze_guards {
-                defeated[g] = true;
-                any_defeat = true;
-                changed = true;
-            }
-        }
-        recompute_rba(&defeated, &mut rba);
-
-        if !changed || rounds > 64 {
-            break;
-        }
+    let t_fix = PhaseTimer::start();
+    match &sparse_idx {
+        Some(idx) => engine::sparse::run(cfg, &prep, idx, &mut st),
+        None => engine::dense::run(cfg, &mut prep, &mut st),
     }
-    report.stats.rounds = rounds;
+    report.stats.timings.fixpoint_us = t_fix.elapsed_us();
+
+    if st.timed_out {
+        report.timed_out = true;
+    }
+    report.stats.rounds = st.rounds;
     report.stats.facts = FactCounts {
-        input_tainted: input_tainted.iter().filter(|&&t| t).count(),
-        storage_tainted: storage_tainted.iter().filter(|&&t| t).count(),
-        tainted_slots: tainted_slots.len(),
-        tainted_mappings: tainted_mappings.len(),
-        writable_mappings: writable_mappings.len(),
-        guards: guards.len(),
-        defeated_guards: defeated.iter().filter(|&&d| d).count(),
-        consts: ctx.consts.iter().filter(|c| c.is_some()).count(),
-        ds: ctx.ds.iter().filter(|&&t| t).count(),
-        dsa: ctx.dsa.iter().filter(|&&t| t).count(),
-        rba_blocks: rba.iter().filter(|&&t| t).count(),
-        dead_edges: n_dead_edges,
+        input_tainted: st.input_tainted.iter().filter(|&&t| t).count(),
+        storage_tainted: st.storage_tainted.iter().filter(|&&t| t).count(),
+        tainted_slots: st.tainted_slots.len(),
+        tainted_mappings: st.tainted_mappings.len(),
+        writable_mappings: st.writable_mappings.len(),
+        guards: prep.guards.len(),
+        defeated_guards: st.defeated.iter().filter(|&&d| d).count(),
+        consts: prep.ctx.consts.iter().filter(|c| c.is_some()).count(),
+        ds: prep.ctx.ds.iter().filter(|&&t| t).count(),
+        dsa: prep.ctx.dsa.iter().filter(|&&t| t).count(),
+        rba_blocks: st.rba.iter().filter(|&&t| t).count(),
+        dead_edges: prep.n_dead_edges,
     };
-    report.defeated_guards = guards
+    report.defeated_guards = prep
+        .guards
         .iter()
-        .zip(&defeated)
+        .zip(&st.defeated)
         .filter(|(_, &d)| d)
         .map(|(g, _)| g.pc)
         .collect();
     report.defeated_guards.sort_unstable();
     report.defeated_guards.dedup();
 
-    // ---- Detectors -------------------------------------------------------
+    // ---- Detectors + sink scan + composite markers ----------------------
+    let t_sink = PhaseTimer::start();
+
     let selectors_of = |b: BlockId| -> Vec<u32> {
         p.block_functions.get(b.0 as usize).cloned().unwrap_or_default()
     };
-    let tainted = |v: Var| input_tainted[v.0 as usize] || storage_tainted[v.0 as usize];
+    let tainted =
+        |v: Var| st.input_tainted[v.0 as usize] || st.storage_tainted[v.0 as usize];
 
     for s in p.iter_stmts() {
         match &s.op {
             Op::SelfDestruct => {
-                if rba[s.block.0 as usize] {
+                if st.rba[s.block.0 as usize] {
                     report.findings.push(Finding {
                         vuln: Vuln::AccessibleSelfDestruct,
                         stmt: s.id.0,
                         pc: s.pc,
                         selectors: selectors_of(s.block),
-                        composite: any_defeat,
+                        composite: st.any_defeat,
                     });
                 }
                 if tainted(s.uses[0]) {
@@ -508,7 +214,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                         stmt: s.id.0,
                         pc: s.pc,
                         selectors: selectors_of(s.block),
-                        composite: any_defeat,
+                        composite: st.any_defeat,
                     });
                 }
             }
@@ -520,16 +226,21 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                         stmt: s.id.0,
                         pc: s.pc,
                         selectors: selectors_of(s.block),
-                        composite: any_defeat,
+                        composite: st.any_defeat,
                     });
                 }
             Op::Call { kind: Opcode::StaticCall } => {
                 if let Some(f) = detect_unchecked_staticcall(
-                    &ctx, s, &rba, &input_tainted, &storage_tainted, &mem_stores,
+                    &prep.ctx,
+                    s,
+                    &st.rba,
+                    &st.input_tainted,
+                    &st.storage_tainted,
+                    &prep.mem_stores,
                 ) {
                     report.findings.push(Finding {
                         selectors: selectors_of(s.block),
-                        composite: any_defeat,
+                        composite: st.any_defeat,
                         ..f
                     });
                 }
@@ -541,14 +252,11 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     // Tainted owner variable (§4.5): a slot compared against the sender
     // in some guard is a sink; attacker-reachable tainted writes to it
     // are violations.
-    let guard_slots: HashSet<U256> = guards
+    let guard_slots: HashSet<U256> = prep
+        .guards
         .iter()
         .flat_map(|g| {
-            let ks: Vec<&GuardKind> = match &g.cond_kind {
-                GuardCond::Single(k) => vec![k],
-                GuardCond::Conj(ks) | GuardCond::Disj(ks) => ks.iter().collect(),
-            };
-            ks.into_iter().filter_map(|k| match k {
+            g.cond_kind.kinds().iter().filter_map(|k| match k {
                 GuardKind::SenderEqSlot(v) => Some(*v),
                 _ => None,
             })
@@ -572,10 +280,10 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     };
     if sink_scan_needed {
         for s in p.iter_stmts() {
-            if s.op != Op::SStore || !rba[s.block.0 as usize] {
+            if s.op != Op::SStore || !st.rba[s.block.0 as usize] {
                 continue;
             }
-            let SAddr::Const(v) = ctx.classify_addr(s.uses[0]) else { continue };
+            let SAddr::Const(v) = prep.ctx.classify_addr(s.uses[0]) else { continue };
             let is_sink = if cfg.guard_modeling {
                 guard_slots.contains(&v)
             } else {
@@ -584,16 +292,16 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 // slot is flagged (the Figure 8b explosion).
                 true
             };
-            let value_attacker = input_tainted[s.uses[1].0 as usize]
-                || storage_tainted[s.uses[1].0 as usize]
-                || ctx.ds[s.uses[1].0 as usize];
+            let value_attacker = st.input_tainted[s.uses[1].0 as usize]
+                || st.storage_tainted[s.uses[1].0 as usize]
+                || prep.ctx.ds[s.uses[1].0 as usize];
             if is_sink && value_attacker {
                 report.findings.push(Finding {
                     vuln: Vuln::TaintedOwnerVariable,
                     stmt: s.id.0,
                     pc: s.pc,
                     selectors: selectors_of(s.block),
-                    composite: any_defeat,
+                    composite: st.any_defeat,
                 });
             }
         }
@@ -605,8 +313,10 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     // Exact composite (✰) markers: a finding is composite iff it does
     // not survive single-transaction reasoning — guards cannot be
     // defeated and taint cannot travel through storage across
-    // transactions. One extra pass, only when escalation happened.
-    if (any_defeat || cfg.storage_taint) && !cfg.freeze_guards {
+    // transactions. One extra pass, only when escalation happened. (The
+    // recursive run's own phase timings are discarded; its cost lands in
+    // this sink_scan phase.)
+    if (st.any_defeat || cfg.storage_taint) && !cfg.freeze_guards {
         let frozen =
             analyze(p, &Config { freeze_guards: true, storage_taint: false, ..*cfg });
         for f in &mut report.findings {
@@ -621,6 +331,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             f.composite = false;
         }
     }
+    report.stats.timings.sink_scan_us = t_sink.elapsed_us();
     report
 }
 
@@ -682,309 +393,4 @@ fn detect_unchecked_staticcall(
         selectors: Vec::new(),
         composite: false,
     })
-}
-
-impl Ctx<'_> {
-    /// Constant propagation (`ConstValue`, C(x) = v): through `Const`
-    /// definitions and `Copy` chains where all definitions agree.
-    fn compute_consts(&mut self) {
-        loop {
-            let mut changed = false;
-            for v in 0..self.consts.len() {
-                if self.consts[v].is_some() {
-                    continue;
-                }
-                let defs = &self.defs[v];
-                if defs.is_empty() {
-                    continue;
-                }
-                let mut val: Option<U256> = None;
-                let mut ok = true;
-                for &d in defs {
-                    let s = self.p.stmt(d);
-                    let this = match &s.op {
-                        Op::Const(c) => Some(*c),
-                        Op::Copy => self.consts[s.uses[0].0 as usize],
-                        _ => None,
-                    };
-                    match (this, val) {
-                        (Some(a), None) => val = Some(a),
-                        (Some(a), Some(b)) if a == b => {}
-                        _ => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if ok {
-                    if let Some(c) = val {
-                        self.consts[v] = Some(c);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-    }
-
-    /// Figure 4 over TAC: `DS` (caller-identity data) and `DSA`
-    /// (addresses of caller-keyed structure elements).
-    fn compute_ds(&mut self) {
-        loop {
-            let mut changed = false;
-            for s in self.p.iter_stmts() {
-                let Some(d) = s.def else { continue };
-                let di = d.0 as usize;
-                match &s.op {
-                    // DS-SenderKey
-                    Op::Env(Opcode::Caller)
-                        if !self.ds[di] => {
-                            self.ds[di] = true;
-                            changed = true;
-                        }
-                    // DS-Lookup / DSA-Lookup: the mapping hash of a
-                    // sender-derived key (or of a structure address) is a
-                    // structure address.
-                    Op::Hash2 => {
-                        let k = s.uses[0].0 as usize;
-                        let b = s.uses[1].0 as usize;
-                        if (self.ds[k] || self.dsa[k] || self.dsa[b]) && !self.dsa[di] {
-                            self.dsa[di] = true;
-                            changed = true;
-                        }
-                    }
-                    // DS-AddrOp: arithmetic on structure addresses.
-                    Op::Bin(_)
-                        if s.uses.iter().any(|u| self.dsa[u.0 as usize]) && !self.dsa[di] => {
-                            self.dsa[di] = true;
-                            changed = true;
-                        }
-                    // DSA-Load: dereferencing a structure address yields
-                    // caller-pertinent data.
-                    Op::SLoad
-                        if self.dsa[s.uses[0].0 as usize] && !self.ds[di] => {
-                            self.ds[di] = true;
-                            changed = true;
-                        }
-                    Op::Copy => {
-                        let u = s.uses[0].0 as usize;
-                        if self.ds[u] && !self.ds[di] {
-                            self.ds[di] = true;
-                            changed = true;
-                        }
-                        if self.dsa[u] && !self.dsa[di] {
-                            self.dsa[di] = true;
-                            changed = true;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-    }
-
-    /// Storage-address classification for a key variable.
-    fn classify_addr(&mut self, v: Var) -> SAddr {
-        if let Some(cached) = self.saddr_cache.get(&v) {
-            return cached.clone();
-        }
-        let result = self.classify_addr_inner(v, 0);
-        self.saddr_cache.insert(v, result.clone());
-        result
-    }
-
-    fn classify_addr_inner(&mut self, v: Var, depth: usize) -> SAddr {
-        if depth > 16 {
-            return SAddr::Unknown;
-        }
-        if let Some(c) = self.consts[v.0 as usize] {
-            return SAddr::Const(c);
-        }
-        let defs = self.defs[v.0 as usize].clone();
-        let mut result: Option<SAddr> = None;
-        for d in defs {
-            let s = self.p.stmt(d);
-            let this = match &s.op {
-                Op::Hash2 => {
-                    let key = s.uses[0];
-                    match self.classify_addr_inner(s.uses[1], depth + 1) {
-                        SAddr::Const(base) => SAddr::Mapping { base, keys: vec![key] },
-                        SAddr::Mapping { base, mut keys } => {
-                            keys.push(key);
-                            SAddr::Mapping { base, keys }
-                        }
-                        SAddr::Unknown => SAddr::Unknown,
-                    }
-                }
-                Op::Copy => self.classify_addr_inner(s.uses[0], depth + 1),
-                _ => SAddr::Unknown,
-            };
-            match (&result, this) {
-                (None, t) => result = Some(t),
-                (Some(a), t) if *a == t => {}
-                _ => return SAddr::Unknown,
-            }
-        }
-        result.unwrap_or(SAddr::Unknown)
-    }
-
-    /// Finds sanitizing guards: `JUMPI`s whose condition scrutinizes the
-    /// caller, guarding the region dominated by their chosen successor.
-    fn find_guards(&mut self, dom: &Dominators) -> Vec<Guard> {
-        let mut out = Vec::new();
-        for s in self.p.iter_stmts() {
-            if s.op != Op::JumpI {
-                continue;
-            }
-            let block = self.p.block(s.block);
-            // Peel ISZERO chains off the condition, tracking polarity.
-            let (base, polarity) = self.peel_iszero(s.uses[0]);
-            for (i, &succ) in block.succs.iter().enumerate() {
-                // succs = [taken, fallthrough] when the target resolved;
-                // the taken edge asserts cond != 0, fallthrough cond == 0.
-                let edge_polarity = if block.succs.len() == 2 {
-                    i == 0
-                } else {
-                    // Single successor: no information.
-                    continue;
-                };
-                if edge_polarity != polarity {
-                    continue;
-                }
-                // The region is sound only when the successor's sole
-                // predecessor is this block (edge dominance).
-                let succ_block = self.p.block(succ);
-                if !(succ_block.preds.len() == 1 && succ_block.preds[0] == s.block) {
-                    continue;
-                }
-                let Some(cond_kind) = self.guard_cond(base, 0) else { continue };
-                let region: Vec<BlockId> = (0..self.p.blocks.len() as u32)
-                    .map(BlockId)
-                    .filter(|&b| dom.dominates(succ, b))
-                    .collect();
-                if !region.is_empty() {
-                    out.push(Guard { cond: base, cond_kind, pc: s.pc, region });
-                }
-            }
-        }
-        out
-    }
-
-    /// Follows `ISZERO` chains: returns the base variable and the
-    /// polarity under which "cond true" asserts the base is true.
-    fn peel_iszero(&self, v: Var) -> (Var, bool) {
-        let mut cur = v;
-        let mut polarity = true;
-        for _ in 0..16 {
-            let defs = &self.defs[cur.0 as usize];
-            if defs.len() != 1 {
-                break;
-            }
-            let s = self.p.stmt(defs[0]);
-            match &s.op {
-                Op::Un(Opcode::IsZero) => {
-                    polarity = !polarity;
-                    cur = s.uses[0];
-                }
-                Op::Copy => cur = s.uses[0],
-                _ => break,
-            }
-        }
-        (cur, polarity)
-    }
-
-    /// Classifies a (possibly compound) guard condition. `&&`/`||`
-    /// compile to bitwise AND/OR over normalized booleans; recurse into
-    /// them so each conjunct/disjunct is scrutinized separately.
-    fn guard_cond(&mut self, base: Var, depth: usize) -> Option<GuardCond> {
-        if depth > 8 {
-            return None;
-        }
-        let defs = self.defs[base.0 as usize].clone();
-        if defs.len() == 1 {
-            let s = self.p.stmt(defs[0]);
-            if let Op::Bin(op @ (Opcode::And | Opcode::Or)) = s.op {
-                let (a, _) = self.peel_iszero(s.uses[0]);
-                let (b, _) = self.peel_iszero(s.uses[1]);
-                let ka = self.guard_cond(a, depth + 1);
-                let kb = self.guard_cond(b, depth + 1);
-                let flatten = |c: GuardCond| -> Vec<GuardKind> {
-                    match c {
-                        GuardCond::Single(k) => vec![k],
-                        GuardCond::Conj(ks) | GuardCond::Disj(ks) => ks,
-                    }
-                };
-                return match (op, ka, kb) {
-                    // a && b: any sanitizing conjunct keeps the guard; all
-                    // sanitizing conjuncts must fall for defeat.
-                    (Opcode::And, Some(x), Some(y)) => {
-                        let mut ks = flatten(x);
-                        ks.extend(flatten(y));
-                        Some(GuardCond::Conj(ks))
-                    }
-                    (Opcode::And, Some(x), None) | (Opcode::And, None, Some(x)) => Some(x),
-                    // a || b: a non-sender disjunct lets the attacker
-                    // through outright (Uguard-NDS on that side).
-                    (Opcode::Or, Some(x), Some(y)) => {
-                        let mut ks = flatten(x);
-                        ks.extend(flatten(y));
-                        Some(GuardCond::Disj(ks))
-                    }
-                    _ => None,
-                };
-            }
-        }
-        self.guard_kind(base).map(GuardCond::Single)
-    }
-
-    /// Does an atomic condition scrutinize the caller, and how?
-    fn guard_kind(&mut self, base: Var) -> Option<GuardKind> {
-        // Membership: the condition is itself caller-pertinent data
-        // (require(m[msg.sender])).
-        if self.ds[base.0 as usize] {
-            // Identify the mapping base if the shape is recognizable.
-            let defs = self.defs[base.0 as usize].clone();
-            for d in defs {
-                let s = self.p.stmt(d);
-                if s.op == Op::SLoad {
-                    if let SAddr::Mapping { base: b, .. } = self.classify_addr(s.uses[0]) {
-                        return Some(GuardKind::Membership(b));
-                    }
-                }
-            }
-            return Some(GuardKind::SenderOpaque);
-        }
-        // Comparison: Eq with a caller-derived side (Uguard-NDS excludes
-        // conditions with no DS side).
-        let defs = self.defs[base.0 as usize].clone();
-        if defs.len() != 1 {
-            return None;
-        }
-        let s = self.p.stmt(defs[0]);
-        let Op::Bin(Opcode::Eq) = s.op else { return None };
-        let (a, b) = (s.uses[0], s.uses[1]);
-        let a_ds = self.ds[a.0 as usize];
-        let b_ds = self.ds[b.0 as usize];
-        if !a_ds && !b_ds {
-            return None; // Uguard-NDS: not a sanitizing guard.
-        }
-        let other = if a_ds { b } else { a };
-        // msg.sender == SLOAD(const slot): the owner pattern; the slot is
-        // an inferred sink.
-        let other_defs = self.defs[other.0 as usize].clone();
-        if other_defs.len() == 1 {
-            let od = self.p.stmt(other_defs[0]);
-            if od.op == Op::SLoad {
-                if let SAddr::Const(v) = self.classify_addr(od.uses[0]) {
-                    return Some(GuardKind::SenderEqSlot(v));
-                }
-            }
-        }
-        Some(GuardKind::SenderEqOther)
-    }
 }

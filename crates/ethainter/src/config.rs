@@ -18,6 +18,43 @@ pub enum StorageModel {
     Conservative,
 }
 
+/// Which fixpoint evaluation strategy runs the Figure 5 mutual
+/// recursion. Both engines compute the **same unique fixpoint** (the
+/// rule system is monotone), so the choice affects speed only — see the
+/// differential suites in `crates/bench/tests/engine_differential.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// Naive evaluation: every round re-scans every statement until
+    /// nothing changes. O(rounds × stmts); kept as the executable
+    /// specification the sparse engine is differentially tested against.
+    Dense,
+    /// Worklist-driven evaluation over one-time def→use / storage /
+    /// guard-region indexes: only statements whose inputs changed are
+    /// re-evaluated, and a defeated guard re-pushes exactly its region.
+    /// The production default.
+    #[default]
+    Sparse,
+}
+
+impl Engine {
+    /// CLI / display name (`dense` | `sparse`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Dense => "dense",
+            Engine::Sparse => "sparse",
+        }
+    }
+
+    /// Parses a CLI `--engine` value.
+    pub fn parse(s: &str) -> Result<Engine, String> {
+        match s {
+            "dense" => Ok(Engine::Dense),
+            "sparse" => Ok(Engine::Sparse),
+            other => Err(format!("unknown engine `{other}` (expected dense|sparse)")),
+        }
+    }
+}
+
 /// Analysis switches. The defaults reproduce the paper's main
 /// configuration; the ablations of Figure 8 flip one switch each.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -45,6 +82,18 @@ pub struct Config {
     /// Refines `ReachableByAttacker` monotonically (strictly fewer
     /// false positives behind statically-decided branches).
     pub range_guards: bool,
+    /// Fixpoint evaluation strategy. **Deliberately excluded from
+    /// [`Config::fingerprint`]**: the sparse and dense engines compute
+    /// the same unique fixpoint of the same monotone rule system, so
+    /// they can never change verdicts, findings, or fact counts — a
+    /// guarantee enforced forever by the 500-contract differential test
+    /// and the proptest equivalence suite in
+    /// `crates/bench/tests/engine_differential.rs`. Keeping it out of
+    /// the fingerprint means a result cache populated under one engine
+    /// stays warm after switching engines (asserted by
+    /// `crates/store/tests/resume.rs::warm_hits_survive_engine_switch`).
+    #[serde(default)]
+    pub engine: Engine,
 }
 
 impl Default for Config {
@@ -56,6 +105,7 @@ impl Default for Config {
             freeze_guards: false,
             optimize_ir: true,
             range_guards: true,
+            engine: Engine::default(),
         }
     }
 }
@@ -81,6 +131,17 @@ impl Config {
     /// - adding a field later forces a new encoding (the field list is
     ///   spelled out here), and the `ethainter-config-v1` domain tag
     ///   versions the scheme itself.
+    ///
+    /// One field is deliberately **not** part of the fingerprint:
+    /// [`Config::engine`]. The fingerprint's contract is "equal
+    /// fingerprints ⇒ equal verdicts", and the engine cannot change
+    /// verdicts by the differential guarantee (both engines reach the
+    /// same unique fixpoint of the same monotone rules). Including it
+    /// would cold-start every result cache on an engine switch for no
+    /// correctness gain; excluding it makes warm hits survive
+    /// `--engine dense` ⇄ `--engine sparse`. If a future engine is ever
+    /// *not* verdict-equivalent, it must be a new analyzer version
+    /// ([`crate::ANALYZER_VERSION`] bump), not a fingerprint field.
     pub fn fingerprint(&self) -> [u8; 32] {
         let canonical = format!(
             "{FINGERPRINT_DOMAIN};guard_modeling={};storage_taint={};storage_model={};\

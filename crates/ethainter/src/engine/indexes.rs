@@ -1,0 +1,147 @@
+//! One-time program indexes for the sparse worklist engine.
+//!
+//! Built once per program (counted into the `index_build` timing phase)
+//! and immutable during the fixpoint: for every kind of state change the
+//! rules can make, an index answers "which statements (or guards) could
+//! now fire?" so the engine re-evaluates exactly those. The def→use-site
+//! half lives in [`decompiler::DefUse`]; this module adds the
+//! analysis-specific edges — constant-offset memory def-use, storage
+//! slot/mapping → load-site maps, guard trigger maps, and the per-block
+//! guard cover counts behind delta `ReachableByAttacker` updates.
+
+use super::{GuardKind, Prepared, SAddr};
+use decompiler::{Op, StmtId, Var};
+use evm::U256;
+use std::collections::HashMap;
+
+/// All sparse-engine indexes for one program.
+pub(crate) struct SparseIndexes {
+    /// Const memory offset → `MLoad` statements at that offset.
+    /// (Paired with `Prepared::mem_stores` for the store side.)
+    pub mem_loads: HashMap<U256, Vec<StmtId>>,
+    /// Per-statement storage-address classification of the key operand
+    /// (`Some` exactly for `SLoad`/`SStore` statements), precomputed so
+    /// the fixpoint never consults the memoizing classifier.
+    pub key_class: Vec<Option<SAddr>>,
+    /// Constant slot → `SLoad` statements reading it.
+    pub sload_const: HashMap<U256, Vec<StmtId>>,
+    /// Every `SLoad` with a constant-slot key (for the
+    /// `all_slots_tainted` event, which fires them all).
+    pub sload_const_all: Vec<StmtId>,
+    /// Mapping base slot → `SLoad` statements reading an element of it.
+    pub sload_mapping: HashMap<U256, Vec<StmtId>>,
+    /// `SLoad`s with unresolved keys (fired by `unknown_store_tainted`
+    /// under the conservative storage model).
+    pub sload_unknown: Vec<StmtId>,
+    /// Mapping *key* variable → `SStore` statements whose key
+    /// classification lists it. Mapping keys are operands of the
+    /// `Hash2` chain, **not** of the store itself, so the def→use index
+    /// alone would miss `key_attacker` flips when a key variable becomes
+    /// input-tainted.
+    pub mapping_key_deps: HashMap<Var, Vec<StmtId>>,
+    /// Guard condition variable → guard indexes (condition-taint defeat).
+    pub guards_by_cond: HashMap<Var, Vec<usize>>,
+    /// Owner slot → guards with a `SenderEqSlot` kind on it.
+    pub guards_by_slot: HashMap<U256, Vec<usize>>,
+    /// Mapping base → guards with a `Membership` kind on it.
+    pub guards_by_membership: HashMap<U256, Vec<usize>>,
+    /// Guards with *any* `SenderEqSlot` kind (re-checked when
+    /// `all_slots_tainted` fires).
+    pub guards_slot_kind: Vec<usize>,
+    /// Worklist seeds: statements whose rules can fire from static facts
+    /// alone (`CallDataLoad` introduces taint; `SStore` can act on
+    /// `DS`/constant values with no prior taint).
+    pub seeds: Vec<StmtId>,
+    /// Per block: statements, for bulk re-push when the block flips to
+    /// attacker-reachable.
+    pub block_stmts: Vec<Vec<StmtId>>,
+}
+
+impl SparseIndexes {
+    /// Builds every index in two passes (statements, then guards).
+    /// Needs `&mut` only for the memoizing address classifier.
+    pub fn build(prep: &mut Prepared<'_>) -> SparseIndexes {
+        let p = prep.ctx.p;
+        let n_stmts = p.stmts.len();
+        let mut ix = SparseIndexes {
+            mem_loads: HashMap::new(),
+            key_class: vec![None; n_stmts],
+            sload_const: HashMap::new(),
+            sload_const_all: Vec::new(),
+            sload_mapping: HashMap::new(),
+            sload_unknown: Vec::new(),
+            mapping_key_deps: HashMap::new(),
+            guards_by_cond: HashMap::new(),
+            guards_by_slot: HashMap::new(),
+            guards_by_membership: HashMap::new(),
+            guards_slot_kind: Vec::new(),
+            seeds: Vec::new(),
+            block_stmts: vec![Vec::new(); p.blocks.len()],
+        };
+        for s in p.iter_stmts() {
+            ix.block_stmts[s.block.0 as usize].push(s.id);
+            match &s.op {
+                Op::MLoad => {
+                    if let Some(off) = prep.ctx.consts[s.uses[0].0 as usize] {
+                        ix.mem_loads.entry(off).or_default().push(s.id);
+                    }
+                }
+                Op::SLoad => {
+                    let class = prep.ctx.classify_addr(s.uses[0]);
+                    match &class {
+                        SAddr::Const(v) => {
+                            ix.sload_const.entry(*v).or_default().push(s.id);
+                            ix.sload_const_all.push(s.id);
+                        }
+                        SAddr::Mapping { base, .. } => {
+                            ix.sload_mapping.entry(*base).or_default().push(s.id);
+                        }
+                        SAddr::Unknown => ix.sload_unknown.push(s.id),
+                    }
+                    ix.key_class[s.id.0 as usize] = Some(class);
+                }
+                Op::SStore => {
+                    let class = prep.ctx.classify_addr(s.uses[0]);
+                    if let SAddr::Mapping { keys, .. } = &class {
+                        for &k in keys {
+                            let deps = ix.mapping_key_deps.entry(k).or_default();
+                            if deps.last() != Some(&s.id) {
+                                deps.push(s.id);
+                            }
+                        }
+                    }
+                    ix.key_class[s.id.0 as usize] = Some(class);
+                    ix.seeds.push(s.id);
+                }
+                Op::CallDataLoad => ix.seeds.push(s.id),
+                _ => {}
+            }
+        }
+        for (g, guard) in prep.guards.iter().enumerate() {
+            ix.guards_by_cond.entry(guard.cond).or_default().push(g);
+            let mut has_slot_kind = false;
+            for k in guard.cond_kind.kinds() {
+                match k {
+                    GuardKind::SenderEqSlot(v) => {
+                        let slot = ix.guards_by_slot.entry(*v).or_default();
+                        if slot.last() != Some(&g) {
+                            slot.push(g);
+                        }
+                        has_slot_kind = true;
+                    }
+                    GuardKind::Membership(base) => {
+                        let ms = ix.guards_by_membership.entry(*base).or_default();
+                        if ms.last() != Some(&g) {
+                            ms.push(g);
+                        }
+                    }
+                    GuardKind::SenderEqOther | GuardKind::SenderOpaque => {}
+                }
+            }
+            if has_slot_kind {
+                ix.guards_slot_kind.push(g);
+            }
+        }
+        ix
+    }
+}

@@ -1,0 +1,541 @@
+//! Fixpoint engines for the Figure 5 mutual recursion.
+//!
+//! The rule system (taint propagation, storage writes, guard defeat) is
+//! **monotone**: every relation only ever grows — input/storage taint
+//! per variable, tainted slots and mappings, writable mappings, the
+//! defeated-guard set, and `ReachableByAttacker` (which is an
+//! anti-monotone function of the *undefeated* guards, hence monotone in
+//! the defeated set). A monotone system has a unique least fixpoint, so
+//! *any* fair evaluation strategy computes the same relations. This
+//! module offers two:
+//!
+//! - [`dense`] — naive evaluation, re-scanning every statement per
+//!   round. Simple enough to read as the executable specification.
+//! - [`sparse`] — worklist evaluation over the one-time [`indexes`]:
+//!   only statements whose inputs changed are re-evaluated. The
+//!   production default ([`Engine::Sparse`](crate::config::Engine)).
+//!
+//! Everything semantic is shared here — guard discovery, storage-address
+//! classification, the `DS`/`DSA` relations, the defeat predicate, and
+//! the [`State`] both engines fill — so the engines differ only in
+//! *scheduling*, never in rules. The differential suites in
+//! `crates/bench/tests/engine_differential.rs` hold them to that.
+
+pub(crate) mod dense;
+pub(crate) mod indexes;
+pub(crate) mod sparse;
+
+use crate::config::Config;
+use decompiler::{BlockId, DefUse, Dominators, Op, Program, StmtId, Var};
+use evm::opcode::Opcode;
+use evm::U256;
+use std::collections::{HashMap, HashSet};
+
+/// How a guard scrutinizes the caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum GuardKind {
+    /// `msg.sender == SLOAD(slot)` — an owner comparison; `slot` is also
+    /// an *inferred sink* (§4.5).
+    SenderEqSlot(U256),
+    /// `msg.sender` compared against something non-constant (still
+    /// sanitizing; defeated only by tainting the compared value).
+    SenderEqOther,
+    /// A sender-keyed data-structure membership test over the mapping
+    /// with the given base slot (`require(m[msg.sender])`).
+    Membership(U256),
+    /// Sender-derived condition with no recognized shape (kept
+    /// sanitizing, defeated only via condition taint).
+    SenderOpaque,
+}
+
+/// How atomic guard kinds compose in a compound condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum GuardCond {
+    /// A single sender check.
+    Single(GuardKind),
+    /// `a && b`: the attacker must defeat **every** conjunct.
+    Conj(Vec<GuardKind>),
+    /// `a || b`: defeating **any** disjunct suffices.
+    Disj(Vec<GuardKind>),
+}
+
+impl GuardCond {
+    /// The atomic kinds of this condition, in syntax order.
+    pub(crate) fn kinds(&self) -> &[GuardKind] {
+        match self {
+            GuardCond::Single(k) => std::slice::from_ref(k),
+            GuardCond::Conj(ks) | GuardCond::Disj(ks) => ks,
+        }
+    }
+}
+
+/// A sanitizing guard: condition + the blocks it protects.
+#[derive(Clone, Debug)]
+pub(crate) struct Guard {
+    /// Base condition variable (after peeling `ISZERO` chains).
+    pub cond: Var,
+    pub cond_kind: GuardCond,
+    /// Bytecode offset of the guarding `JUMPI`.
+    pub pc: usize,
+    /// Blocks dominated by the guard's chosen successor.
+    pub region: Vec<BlockId>,
+}
+
+/// Storage address classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SAddr {
+    Const(U256),
+    /// `Hash2*`-derived mapping element: base slot + key variables
+    /// (outermost first).
+    Mapping { base: U256, keys: Vec<Var> },
+    Unknown,
+}
+
+/// Static (taint-independent) analysis context shared by both engines:
+/// def/use sites, constants, the Figure 4 `DS`/`DSA` relations, and the
+/// memoized storage-address classifier.
+pub(crate) struct Ctx<'a> {
+    pub p: &'a Program,
+    /// Def→use-site index (params have one def per predecessor copy).
+    pub du: DefUse,
+    /// var → constant value, when uniquely determined.
+    pub consts: Vec<Option<U256>>,
+    /// Figure 4 relations over TAC vars.
+    pub ds: Vec<bool>,
+    pub dsa: Vec<bool>,
+    /// var → storage-address classification (for SLoad/SStore keys).
+    pub saddr_cache: HashMap<Var, SAddr>,
+}
+
+/// Everything the engines need, built once per program during the
+/// index-build phase: the static context, the discovered guards, CFG
+/// facts, and the constant-offset memory def-use edges.
+pub(crate) struct Prepared<'a> {
+    pub ctx: Ctx<'a>,
+    pub guards: Vec<Guard>,
+    pub dom: Dominators,
+    /// Per block: false when only reachable through interval-proven
+    /// dead `JumpI` edges (range-guard pruning), true otherwise.
+    pub live_block: Vec<bool>,
+    pub n_dead_edges: usize,
+    /// Const memory offset → (MSTORE stmt, stored value var).
+    pub mem_stores: HashMap<U256, Vec<(StmtId, Var)>>,
+}
+
+/// The mutable fixpoint state both engines drive to the (unique) least
+/// fixpoint. Every field is monotone: booleans only flip `false → true`,
+/// sets only grow.
+pub(crate) struct State {
+    /// `TaintedFlow` — input taint per variable.
+    pub input_tainted: Vec<bool>,
+    /// `AttackerModelInfoflow` — storage taint per variable.
+    pub storage_tainted: Vec<bool>,
+    /// Constant storage slots holding tainted data.
+    pub tainted_slots: HashSet<U256>,
+    /// Mapping base slots holding tainted data.
+    pub tainted_mappings: HashSet<U256>,
+    /// Mapping base slots the attacker can enroll into.
+    pub writable_mappings: HashSet<U256>,
+    /// `StorageWrite-2` fired: every known slot is tainted.
+    pub all_slots_tainted: bool,
+    /// A tainted store to an unresolved address exists (conservative
+    /// storage model).
+    pub unknown_store_tainted: bool,
+    /// Per guard: defeated by the fixpoint.
+    pub defeated: Vec<bool>,
+    /// Any guard was defeated (composite machinery engaged).
+    pub any_defeat: bool,
+    /// `ReachableByAttacker`, per block.
+    pub rba: Vec<bool>,
+    /// Convergence effort: outer passes (dense) or 1 + defeat waves
+    /// (sparse). An engine-dependent *statistic*, unlike the relations
+    /// above, which are engine-independent.
+    pub rounds: usize,
+    /// The cooperative deadline fired mid-fixpoint; relations are a
+    /// valid under-approximation, not the fixpoint.
+    pub timed_out: bool,
+}
+
+impl State {
+    /// Fresh pre-fixpoint state: nothing tainted, no guard defeated,
+    /// `rba` as implied by the undefeated guards and CFG reachability.
+    pub fn new(prep: &Prepared<'_>) -> State {
+        let n_vars = prep.ctx.p.n_vars as usize;
+        let n_blocks = prep.ctx.p.blocks.len();
+        let mut st = State {
+            input_tainted: vec![false; n_vars],
+            storage_tainted: vec![false; n_vars],
+            tainted_slots: HashSet::new(),
+            tainted_mappings: HashSet::new(),
+            writable_mappings: HashSet::new(),
+            all_slots_tainted: false,
+            unknown_store_tainted: false,
+            defeated: vec![false; prep.guards.len()],
+            any_defeat: false,
+            rba: vec![true; n_blocks],
+            rounds: 0,
+            timed_out: false,
+        };
+        recompute_rba(prep, &st.defeated, &mut st.rba);
+        st
+    }
+}
+
+/// Rebuilds `ReachableByAttacker` from scratch: a block is reachable by
+/// the attacker unless an *undefeated* guard's region covers it, and
+/// never when the CFG (or interval analysis) proves it unreachable.
+pub(crate) fn recompute_rba(prep: &Prepared<'_>, defeated: &[bool], rba: &mut [bool]) {
+    for b in rba.iter_mut() {
+        *b = true;
+    }
+    for (g, guard) in prep.guards.iter().enumerate() {
+        if !defeated[g] {
+            for &blk in &guard.region {
+                rba[blk.0 as usize] = false;
+            }
+        }
+    }
+    // Unreachable blocks are not attacker-reachable either — whether
+    // structurally (no CFG path) or because every path crosses a
+    // branch the interval analysis decided statically.
+    for (i, b) in rba.iter_mut().enumerate() {
+        if !prep.dom.is_reachable(BlockId(i as u32)) || !prep.live_block[i] {
+            *b = false;
+        }
+    }
+}
+
+/// The guard-defeat predicate of Figure 5, shared verbatim by both
+/// engines:
+///
+/// ```text
+/// ReachableByAttacker(s) :- StaticallyGuardedStatement(s, guard),
+///                           TaintedFlow(_, guard).
+/// ```
+///
+/// plus the structural defeats (owner slot tainted, membership mapping
+/// attacker-writable), composed per the guard's `&&`/`||` shape.
+pub(crate) fn guard_defeated(guard: &Guard, st: &State, cfg: &Config) -> bool {
+    let ci = guard.cond.0 as usize;
+    let cond_tainted = st.input_tainted[ci] || st.storage_tainted[ci];
+    let kind_defeated = |k: &GuardKind| match k {
+        GuardKind::SenderEqSlot(v) => {
+            cfg.storage_taint && (st.tainted_slots.contains(v) || st.all_slots_tainted)
+        }
+        GuardKind::Membership(base) => {
+            cfg.storage_taint && st.writable_mappings.contains(base)
+        }
+        GuardKind::SenderEqOther | GuardKind::SenderOpaque => false,
+    };
+    let structural = match &guard.cond_kind {
+        GuardCond::Single(k) => kind_defeated(k),
+        GuardCond::Conj(ks) => ks.iter().all(kind_defeated),
+        GuardCond::Disj(ks) => ks.iter().any(kind_defeated),
+    };
+    cond_tainted || structural
+}
+
+impl Ctx<'_> {
+    /// Constant propagation (`ConstValue`, C(x) = v): through `Const`
+    /// definitions and `Copy` chains where all definitions agree.
+    pub fn compute_consts(&mut self) {
+        loop {
+            let mut changed = false;
+            for v in 0..self.consts.len() {
+                if self.consts[v].is_some() {
+                    continue;
+                }
+                let defs = self.du.defs(Var(v as u32));
+                if defs.is_empty() {
+                    continue;
+                }
+                let mut val: Option<U256> = None;
+                let mut ok = true;
+                for &d in defs {
+                    let s = self.p.stmt(d);
+                    let this = match &s.op {
+                        Op::Const(c) => Some(*c),
+                        Op::Copy => self.consts[s.uses[0].0 as usize],
+                        _ => None,
+                    };
+                    match (this, val) {
+                        (Some(a), None) => val = Some(a),
+                        (Some(a), Some(b)) if a == b => {}
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    if let Some(c) = val {
+                        self.consts[v] = Some(c);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Figure 4 over TAC: `DS` (caller-identity data) and `DSA`
+    /// (addresses of caller-keyed structure elements).
+    pub fn compute_ds(&mut self) {
+        loop {
+            let mut changed = false;
+            for s in self.p.iter_stmts() {
+                let Some(d) = s.def else { continue };
+                let di = d.0 as usize;
+                match &s.op {
+                    // DS-SenderKey
+                    Op::Env(Opcode::Caller)
+                        if !self.ds[di] => {
+                            self.ds[di] = true;
+                            changed = true;
+                        }
+                    // DS-Lookup / DSA-Lookup: the mapping hash of a
+                    // sender-derived key (or of a structure address) is a
+                    // structure address.
+                    Op::Hash2 => {
+                        let k = s.uses[0].0 as usize;
+                        let b = s.uses[1].0 as usize;
+                        if (self.ds[k] || self.dsa[k] || self.dsa[b]) && !self.dsa[di] {
+                            self.dsa[di] = true;
+                            changed = true;
+                        }
+                    }
+                    // DS-AddrOp: arithmetic on structure addresses.
+                    Op::Bin(_)
+                        if s.uses.iter().any(|u| self.dsa[u.0 as usize]) && !self.dsa[di] => {
+                            self.dsa[di] = true;
+                            changed = true;
+                        }
+                    // DSA-Load: dereferencing a structure address yields
+                    // caller-pertinent data.
+                    Op::SLoad
+                        if self.dsa[s.uses[0].0 as usize] && !self.ds[di] => {
+                            self.ds[di] = true;
+                            changed = true;
+                        }
+                    Op::Copy => {
+                        let u = s.uses[0].0 as usize;
+                        if self.ds[u] && !self.ds[di] {
+                            self.ds[di] = true;
+                            changed = true;
+                        }
+                        if self.dsa[u] && !self.dsa[di] {
+                            self.dsa[di] = true;
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Storage-address classification for a key variable.
+    pub fn classify_addr(&mut self, v: Var) -> SAddr {
+        if let Some(cached) = self.saddr_cache.get(&v) {
+            return cached.clone();
+        }
+        let result = self.classify_addr_inner(v, 0);
+        self.saddr_cache.insert(v, result.clone());
+        result
+    }
+
+    fn classify_addr_inner(&mut self, v: Var, depth: usize) -> SAddr {
+        if depth > 16 {
+            return SAddr::Unknown;
+        }
+        if let Some(c) = self.consts[v.0 as usize] {
+            return SAddr::Const(c);
+        }
+        let defs: Vec<StmtId> = self.du.defs(v).to_vec();
+        let mut result: Option<SAddr> = None;
+        for d in defs {
+            let s = self.p.stmt(d);
+            let this = match &s.op {
+                Op::Hash2 => {
+                    let key = s.uses[0];
+                    match self.classify_addr_inner(s.uses[1], depth + 1) {
+                        SAddr::Const(base) => SAddr::Mapping { base, keys: vec![key] },
+                        SAddr::Mapping { base, mut keys } => {
+                            keys.push(key);
+                            SAddr::Mapping { base, keys }
+                        }
+                        SAddr::Unknown => SAddr::Unknown,
+                    }
+                }
+                Op::Copy => self.classify_addr_inner(s.uses[0], depth + 1),
+                _ => SAddr::Unknown,
+            };
+            match (&result, this) {
+                (None, t) => result = Some(t),
+                (Some(a), t) if *a == t => {}
+                _ => return SAddr::Unknown,
+            }
+        }
+        result.unwrap_or(SAddr::Unknown)
+    }
+
+    /// Finds sanitizing guards: `JUMPI`s whose condition scrutinizes the
+    /// caller, guarding the region dominated by their chosen successor.
+    pub fn find_guards(&mut self, dom: &Dominators) -> Vec<Guard> {
+        let mut out = Vec::new();
+        for s in self.p.iter_stmts() {
+            if s.op != Op::JumpI {
+                continue;
+            }
+            let block = self.p.block(s.block);
+            // Peel ISZERO chains off the condition, tracking polarity.
+            let (base, polarity) = self.peel_iszero(s.uses[0]);
+            for (i, &succ) in block.succs.iter().enumerate() {
+                // succs = [taken, fallthrough] when the target resolved;
+                // the taken edge asserts cond != 0, fallthrough cond == 0.
+                let edge_polarity = if block.succs.len() == 2 {
+                    i == 0
+                } else {
+                    // Single successor: no information.
+                    continue;
+                };
+                if edge_polarity != polarity {
+                    continue;
+                }
+                // The region is sound only when the successor's sole
+                // predecessor is this block (edge dominance).
+                let succ_block = self.p.block(succ);
+                if !(succ_block.preds.len() == 1 && succ_block.preds[0] == s.block) {
+                    continue;
+                }
+                let Some(cond_kind) = self.guard_cond(base, 0) else { continue };
+                let region: Vec<BlockId> = (0..self.p.blocks.len() as u32)
+                    .map(BlockId)
+                    .filter(|&b| dom.dominates(succ, b))
+                    .collect();
+                if !region.is_empty() {
+                    out.push(Guard { cond: base, cond_kind, pc: s.pc, region });
+                }
+            }
+        }
+        out
+    }
+
+    /// Follows `ISZERO` chains: returns the base variable and the
+    /// polarity under which "cond true" asserts the base is true.
+    fn peel_iszero(&self, v: Var) -> (Var, bool) {
+        let mut cur = v;
+        let mut polarity = true;
+        for _ in 0..16 {
+            let defs = self.du.defs(cur);
+            if defs.len() != 1 {
+                break;
+            }
+            let s = self.p.stmt(defs[0]);
+            match &s.op {
+                Op::Un(Opcode::IsZero) => {
+                    polarity = !polarity;
+                    cur = s.uses[0];
+                }
+                Op::Copy => cur = s.uses[0],
+                _ => break,
+            }
+        }
+        (cur, polarity)
+    }
+
+    /// Classifies a (possibly compound) guard condition. `&&`/`||`
+    /// compile to bitwise AND/OR over normalized booleans; recurse into
+    /// them so each conjunct/disjunct is scrutinized separately.
+    fn guard_cond(&mut self, base: Var, depth: usize) -> Option<GuardCond> {
+        if depth > 8 {
+            return None;
+        }
+        let defs: Vec<StmtId> = self.du.defs(base).to_vec();
+        if defs.len() == 1 {
+            let s = self.p.stmt(defs[0]);
+            if let Op::Bin(op @ (Opcode::And | Opcode::Or)) = s.op {
+                let (a, _) = self.peel_iszero(s.uses[0]);
+                let (b, _) = self.peel_iszero(s.uses[1]);
+                let ka = self.guard_cond(a, depth + 1);
+                let kb = self.guard_cond(b, depth + 1);
+                let flatten = |c: GuardCond| -> Vec<GuardKind> {
+                    match c {
+                        GuardCond::Single(k) => vec![k],
+                        GuardCond::Conj(ks) | GuardCond::Disj(ks) => ks,
+                    }
+                };
+                return match (op, ka, kb) {
+                    // a && b: any sanitizing conjunct keeps the guard; all
+                    // sanitizing conjuncts must fall for defeat.
+                    (Opcode::And, Some(x), Some(y)) => {
+                        let mut ks = flatten(x);
+                        ks.extend(flatten(y));
+                        Some(GuardCond::Conj(ks))
+                    }
+                    (Opcode::And, Some(x), None) | (Opcode::And, None, Some(x)) => Some(x),
+                    // a || b: a non-sender disjunct lets the attacker
+                    // through outright (Uguard-NDS on that side).
+                    (Opcode::Or, Some(x), Some(y)) => {
+                        let mut ks = flatten(x);
+                        ks.extend(flatten(y));
+                        Some(GuardCond::Disj(ks))
+                    }
+                    _ => None,
+                };
+            }
+        }
+        self.guard_kind(base).map(GuardCond::Single)
+    }
+
+    /// Does an atomic condition scrutinize the caller, and how?
+    fn guard_kind(&mut self, base: Var) -> Option<GuardKind> {
+        // Membership: the condition is itself caller-pertinent data
+        // (require(m[msg.sender])).
+        if self.ds[base.0 as usize] {
+            // Identify the mapping base if the shape is recognizable.
+            let defs: Vec<StmtId> = self.du.defs(base).to_vec();
+            for d in defs {
+                let s = self.p.stmt(d);
+                if s.op == Op::SLoad {
+                    if let SAddr::Mapping { base: b, .. } = self.classify_addr(s.uses[0]) {
+                        return Some(GuardKind::Membership(b));
+                    }
+                }
+            }
+            return Some(GuardKind::SenderOpaque);
+        }
+        // Comparison: Eq with a caller-derived side (Uguard-NDS excludes
+        // conditions with no DS side).
+        let defs: Vec<StmtId> = self.du.defs(base).to_vec();
+        if defs.len() != 1 {
+            return None;
+        }
+        let s = self.p.stmt(defs[0]);
+        let Op::Bin(Opcode::Eq) = s.op else { return None };
+        let (a, b) = (s.uses[0], s.uses[1]);
+        let a_ds = self.ds[a.0 as usize];
+        let b_ds = self.ds[b.0 as usize];
+        if !a_ds && !b_ds {
+            return None; // Uguard-NDS: not a sanitizing guard.
+        }
+        let other = if a_ds { b } else { a };
+        // msg.sender == SLOAD(const slot): the owner pattern; the slot is
+        // an inferred sink.
+        let other_defs: Vec<StmtId> = self.du.defs(other).to_vec();
+        if other_defs.len() == 1 {
+            let od = self.p.stmt(other_defs[0]);
+            if od.op == Op::SLoad {
+                if let SAddr::Const(v) = self.classify_addr(od.uses[0]) {
+                    return Some(GuardKind::SenderEqSlot(v));
+                }
+            }
+        }
+        Some(GuardKind::SenderEqOther)
+    }
+}

@@ -1,0 +1,437 @@
+//! Sparse, worklist-driven fixpoint evaluation — the production engine.
+//!
+//! Instead of re-scanning every statement per round, the engine keeps a
+//! worklist of statements whose inputs may have changed and processes it
+//! to exhaustion. Every rule firing is mapped to the statements it can
+//! enable through the one-time [`SparseIndexes`]:
+//!
+//! - a variable gaining input/storage taint pushes its **use sites**
+//!   (plus, for input taint, the `SStore`s whose *mapping keys* include
+//!   it — keys hide behind `Hash2` chains and are not direct uses);
+//! - a slot/mapping becoming tainted pushes exactly the `SLoad`s that
+//!   read it; a tainted `MStore` value pushes the `MLoad`s at the same
+//!   constant offset;
+//! - a guard defeat does **not** rebuild `ReachableByAttacker`: each
+//!   block keeps a count of undefeated guard regions covering it, the
+//!   defeat decrements its region's counters, and a counter hitting zero
+//!   flips just that block and re-pushes just its statements
+//!   (delta-`recompute_rba`).
+//!
+//! **Worklist invariants** (why this terminates at the same fixpoint as
+//! the dense engine — see `DESIGN.md` §10):
+//!
+//! 1. Every state field is monotone (bits flip `false → true`, sets only
+//!    grow, block cover counts only fall), so each event fires at most
+//!    once per fact and total work is bounded by the index sizes.
+//! 2. A statement is pushed whenever *any* input of its transfer
+//!    function changes — variable taint, storage facts, global flags,
+//!    or its block's `rba` bit — so no enabled rule is ever stranded
+//!    (fairness). Processing is idempotent: re-evaluating a statement
+//!    whose inputs did not change performs no state change and pushes
+//!    nothing.
+//! 3. Monotone rule systems have a unique least fixpoint; 1 + 2 make
+//!    the engine a fair chaotic iteration, which converges to exactly
+//!    that fixpoint — hence verdicts, findings, and fact counts are
+//!    identical to the dense engine's by construction (and by the
+//!    differential suites in `crates/bench`).
+
+use super::indexes::SparseIndexes;
+use super::{guard_defeated, Prepared, SAddr, State};
+use crate::analysis::deadline_exceeded;
+use crate::config::{Config, StorageModel};
+use decompiler::{Op, StmtId, Var};
+use evm::U256;
+use std::collections::VecDeque;
+
+/// Runs the sparse fixpoint, mutating `st` in place until the worklist
+/// drains (= convergence) or the cooperative deadline fires.
+pub(crate) fn run(
+    cfg: &Config,
+    prep: &Prepared<'_>,
+    idx: &SparseIndexes,
+    st: &mut State,
+) {
+    // An already-expired deadline must abort before any work, exactly as
+    // the dense engine's per-round check does on its first round.
+    if deadline_exceeded() {
+        st.timed_out = true;
+        return;
+    }
+    let n_stmts = prep.ctx.p.stmts.len();
+    let n_blocks = prep.ctx.p.blocks.len();
+    // Per block: undefeated guard regions covering it. rba is true iff
+    // the count is zero and the block is (statically) reachable — the
+    // same function recompute_rba computes densely.
+    let mut cover = vec![0u32; n_blocks];
+    for (g, guard) in prep.guards.iter().enumerate() {
+        if !st.defeated[g] {
+            for &blk in &guard.region {
+                cover[blk.0 as usize] += 1;
+            }
+        }
+    }
+    let mut eng = Sparse {
+        cfg,
+        prep,
+        idx,
+        st,
+        queue: VecDeque::new(),
+        queued: vec![false; n_stmts],
+        cover,
+        pops: 0,
+    };
+    eng.st.rounds = 1;
+    for &s in &idx.seeds {
+        push(&mut eng.queue, &mut eng.queued, s);
+    }
+    eng.drain();
+}
+
+/// Enqueues a statement unless it is already pending.
+fn push(queue: &mut VecDeque<StmtId>, queued: &mut [bool], id: StmtId) {
+    let i = id.0 as usize;
+    if !queued[i] {
+        queued[i] = true;
+        queue.push_back(id);
+    }
+}
+
+struct Sparse<'a, 'b> {
+    cfg: &'b Config,
+    prep: &'b Prepared<'a>,
+    idx: &'b SparseIndexes,
+    st: &'b mut State,
+    queue: VecDeque<StmtId>,
+    queued: Vec<bool>,
+    /// Per block: undefeated guard regions covering it.
+    cover: Vec<u32>,
+    /// Statements processed (for the periodic deadline check).
+    pops: usize,
+}
+
+impl<'a, 'b> Sparse<'a, 'b> {
+    fn drain(&mut self) {
+        while let Some(id) = self.queue.pop_front() {
+            self.queued[id.0 as usize] = false;
+            self.pops += 1;
+            if self.pops & 0x3ff == 0 && deadline_exceeded() {
+                self.st.timed_out = true;
+                return;
+            }
+            self.process(id);
+        }
+    }
+
+    /// Re-evaluates one statement's transfer function against the
+    /// current state. Mirrors the dense engine's rules exactly; all
+    /// scheduling happens through the event methods below.
+    fn process(&mut self, id: StmtId) {
+        let prep = self.prep;
+        let idx = self.idx;
+        let s = prep.ctx.p.stmt(id);
+        let stmt_rba = self.st.rba[s.block.0 as usize];
+        match &s.op {
+            Op::CallDataLoad => {
+                // TaintedFlow(x,x) :- ReachableByAttacker(s),
+                //                     CALLDATALOAD(s, x).
+                if let (true, Some(d)) = (stmt_rba, s.def) {
+                    self.set_input(d);
+                }
+            }
+            Op::Copy | Op::Bin(_) | Op::Un(_) | Op::Hash2 | Op::Sha3 | Op::Other(_) => {
+                let Some(d) = s.def else { return };
+                let any_in = s.uses.iter().any(|u| self.st.input_tainted[u.0 as usize]);
+                let any_st =
+                    s.uses.iter().any(|u| self.st.storage_tainted[u.0 as usize]);
+                // Input taint moves only through attacker-reachable
+                // statements (Guard-2); storage taint through all (Guard-1).
+                if any_in && stmt_rba {
+                    self.set_input(d);
+                }
+                if any_st {
+                    self.set_storage(d);
+                }
+            }
+            Op::MLoad => {
+                // Local memory modeling: values stored at the same
+                // constant offset flow to this load.
+                let Some(d) = s.def else { return };
+                if let Some(off) = prep.ctx.consts[s.uses[0].0 as usize] {
+                    if let Some(stores) = prep.mem_stores.get(&off) {
+                        let any_in = stores
+                            .iter()
+                            .any(|(_, v)| self.st.input_tainted[v.0 as usize]);
+                        let any_st = stores
+                            .iter()
+                            .any(|(_, v)| self.st.storage_tainted[v.0 as usize]);
+                        if any_in && stmt_rba {
+                            self.set_input(d);
+                        }
+                        if any_st {
+                            self.set_storage(d);
+                        }
+                    }
+                }
+            }
+            Op::MStore => {
+                // Scheduling only: a (now-)tainted stored value enables
+                // the MLoads at the same offset. The loads pull the value
+                // themselves when processed.
+                let v = s.uses[1].0 as usize;
+                if self.st.input_tainted[v] || self.st.storage_tainted[v] {
+                    if let Some(off) = prep.ctx.consts[s.uses[0].0 as usize] {
+                        if let Some(loads) = idx.mem_loads.get(&off) {
+                            for &l in loads {
+                                push(&mut self.queue, &mut self.queued, l);
+                            }
+                        }
+                    }
+                }
+            }
+            Op::SLoad => {
+                if !self.cfg.storage_taint {
+                    return;
+                }
+                let Some(d) = s.def else { return };
+                let class = idx.key_class[id.0 as usize].as_ref().unwrap();
+                let tainted_load = match class {
+                    SAddr::Const(v) => {
+                        self.st.tainted_slots.contains(v) || self.st.all_slots_tainted
+                    }
+                    SAddr::Mapping { base, .. } => {
+                        self.st.tainted_mappings.contains(base)
+                    }
+                    SAddr::Unknown => {
+                        self.cfg.storage_model == StorageModel::Conservative
+                            && self.st.unknown_store_tainted
+                    }
+                };
+                // StorageLoad: loads of tainted storage are
+                // storage-tainted, eluding guards.
+                if tainted_load {
+                    self.set_storage(d);
+                }
+            }
+            Op::SStore => {
+                if !self.cfg.storage_taint {
+                    return;
+                }
+                // StorageWrite-1 / StorageWrite-2 plus the enrollment
+                // rule, evaluated together per statement (they read the
+                // same operands; order is irrelevant at fixpoint).
+                let key = s.uses[0];
+                let value = s.uses[1];
+                let v_in = self.st.input_tainted[value.0 as usize];
+                let v_st = self.st.storage_tainted[value.0 as usize];
+                // `msg.sender`-derived values written by the attacker are
+                // attacker-chosen (public-initializer pattern).
+                let v_ds = prep.ctx.ds[value.0 as usize];
+                let attacker_value = (v_in || v_ds) && stmt_rba;
+                let tainted_value = v_st || attacker_value;
+                match idx.key_class[id.0 as usize].as_ref().unwrap() {
+                    SAddr::Const(v) => {
+                        if tainted_value {
+                            self.taint_slot(*v);
+                        }
+                    }
+                    SAddr::Mapping { base, keys } => {
+                        let key_attacker = keys.iter().any(|k| {
+                            prep.ctx.ds[k.0 as usize]
+                                || self.st.input_tainted[k.0 as usize]
+                        });
+                        if tainted_value {
+                            self.taint_mapping(*base);
+                        }
+                        // Enrollment without taint: an attacker-reachable
+                        // write of a non-zero constant (or attacker-derived
+                        // value) into a structure keyed by the attacker
+                        // (users[msg.sender] = true) makes its membership
+                        // guards passable.
+                        let value_nonzero_const = prep.ctx.consts
+                            [value.0 as usize]
+                            .is_some_and(|c| !c.is_zero());
+                        let enroll_value =
+                            value_nonzero_const || v_in || v_st || v_ds;
+                        if key_attacker
+                            && (tainted_value || (stmt_rba && enroll_value))
+                        {
+                            self.make_writable(*base);
+                        }
+                    }
+                    SAddr::Unknown => {
+                        // StorageWrite-2: tainted value at a tainted
+                        // (attacker-influenced) address taints all known
+                        // slots. Conservative mode does this for *any*
+                        // unknown address.
+                        let key_tainted = self.st.input_tainted[key.0 as usize]
+                            || self.st.storage_tainted[key.0 as usize];
+                        let conservative =
+                            self.cfg.storage_model == StorageModel::Conservative;
+                        if tainted_value && (key_tainted || conservative) {
+                            self.set_all_slots_tainted();
+                            self.set_unknown_store_tainted();
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Events: one per kind of monotone state change ----------------
+
+    /// Variable gained input taint.
+    fn set_input(&mut self, v: Var) {
+        let vi = v.0 as usize;
+        if self.st.input_tainted[vi] {
+            return;
+        }
+        self.st.input_tainted[vi] = true;
+        let prep = self.prep;
+        let idx = self.idx;
+        for &u in prep.ctx.du.uses(v) {
+            push(&mut self.queue, &mut self.queued, u);
+        }
+        // Mapping keys are Hash2 operands, not SStore operands: the
+        // dependent stores' key_attacker predicate just changed.
+        if let Some(deps) = idx.mapping_key_deps.get(&v) {
+            for &d in deps {
+                push(&mut self.queue, &mut self.queued, d);
+            }
+        }
+        self.defeat_candidates_by_cond(v);
+    }
+
+    /// Variable gained storage taint.
+    fn set_storage(&mut self, v: Var) {
+        let vi = v.0 as usize;
+        if self.st.storage_tainted[vi] {
+            return;
+        }
+        self.st.storage_tainted[vi] = true;
+        let prep = self.prep;
+        for &u in prep.ctx.du.uses(v) {
+            push(&mut self.queue, &mut self.queued, u);
+        }
+        self.defeat_candidates_by_cond(v);
+    }
+
+    /// Constant storage slot became tainted.
+    fn taint_slot(&mut self, slot: U256) {
+        if !self.st.tainted_slots.insert(slot) {
+            return;
+        }
+        let idx = self.idx;
+        if let Some(loads) = idx.sload_const.get(&slot) {
+            for &l in loads {
+                push(&mut self.queue, &mut self.queued, l);
+            }
+        }
+        if let Some(gs) = idx.guards_by_slot.get(&slot) {
+            for &g in gs {
+                self.maybe_defeat(g);
+            }
+        }
+    }
+
+    /// Mapping base slot became tainted.
+    fn taint_mapping(&mut self, base: U256) {
+        if !self.st.tainted_mappings.insert(base) {
+            return;
+        }
+        let idx = self.idx;
+        if let Some(loads) = idx.sload_mapping.get(&base) {
+            for &l in loads {
+                push(&mut self.queue, &mut self.queued, l);
+            }
+        }
+    }
+
+    /// Mapping became attacker-writable (enrollment).
+    fn make_writable(&mut self, base: U256) {
+        if !self.st.writable_mappings.insert(base) {
+            return;
+        }
+        let idx = self.idx;
+        if let Some(gs) = idx.guards_by_membership.get(&base) {
+            for &g in gs {
+                self.maybe_defeat(g);
+            }
+        }
+    }
+
+    /// StorageWrite-2 fired for the first time.
+    fn set_all_slots_tainted(&mut self) {
+        if self.st.all_slots_tainted {
+            return;
+        }
+        self.st.all_slots_tainted = true;
+        let idx = self.idx;
+        for &l in &idx.sload_const_all {
+            push(&mut self.queue, &mut self.queued, l);
+        }
+        for &g in &idx.guards_slot_kind {
+            self.maybe_defeat(g);
+        }
+    }
+
+    /// A tainted store to an unresolved address appeared.
+    fn set_unknown_store_tainted(&mut self) {
+        if self.st.unknown_store_tainted {
+            return;
+        }
+        self.st.unknown_store_tainted = true;
+        let idx = self.idx;
+        for &l in &idx.sload_unknown {
+            push(&mut self.queue, &mut self.queued, l);
+        }
+    }
+
+    /// A guard condition variable changed: re-check its guards.
+    fn defeat_candidates_by_cond(&mut self, v: Var) {
+        let idx = self.idx;
+        if let Some(gs) = idx.guards_by_cond.get(&v) {
+            for &g in gs {
+                self.maybe_defeat(g);
+            }
+        }
+    }
+
+    /// Re-evaluates the (shared) defeat predicate for one guard and, on
+    /// defeat, applies the delta-rba update: decrement the region's
+    /// cover counts and flip exactly the blocks whose last covering
+    /// guard fell.
+    fn maybe_defeat(&mut self, g: usize) {
+        if self.st.defeated[g] || self.cfg.freeze_guards {
+            return;
+        }
+        let prep = self.prep;
+        let idx = self.idx;
+        if !guard_defeated(&prep.guards[g], self.st, self.cfg) {
+            return;
+        }
+        self.st.defeated[g] = true;
+        self.st.any_defeat = true;
+        // Convergence effort statistic: 1 + defeat waves (each defeat is
+        // the sparse analogue of a dense re-scan round).
+        self.st.rounds += 1;
+        for &blk in &prep.guards[g].region {
+            let bi = blk.0 as usize;
+            self.cover[bi] -= 1;
+            if self.cover[bi] == 0 {
+                // Same reachability function as recompute_rba, applied to
+                // this block only.
+                let now_rba = prep.dom.is_reachable(blk) && prep.live_block[bi];
+                if now_rba && !self.st.rba[bi] {
+                    self.st.rba[bi] = true;
+                    // Everything in the block sees a new rba bit: its
+                    // CallDataLoads, taint propagation, and SStore rules
+                    // may all fire now.
+                    for &sid in &idx.block_stmts[bi] {
+                        push(&mut self.queue, &mut self.queued, sid);
+                    }
+                }
+            }
+        }
+    }
+}

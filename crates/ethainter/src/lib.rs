@@ -33,12 +33,15 @@
 
 pub mod analysis;
 pub mod config;
+mod engine;
 pub mod formalism;
 pub mod report;
+pub mod timing;
 
 pub use analysis::{analyze, with_deadline};
-pub use config::{Config, StorageModel};
+pub use config::{Config, Engine, StorageModel};
 pub use report::{FactCounts, Finding, Report, Stats, Vuln};
+pub use timing::{PhaseTimer, PhaseTimings};
 
 /// Version tag of the analysis *algorithm*, the third ingredient of
 /// `crates/store`'s content-addressed cache key (alongside the bytecode
@@ -65,9 +68,16 @@ pub fn analyze_bytecode_with_limits(
     config: &Config,
     limits: decompiler::Limits,
 ) -> Report {
+    let t_dec = timing::PhaseTimer::start();
     let mut program = decompiler::decompile_with_limits(bytecode, limits);
+    let decompile_us = t_dec.elapsed_us();
+    let t_pass = timing::PhaseTimer::start();
     if config.optimize_ir {
         decompiler::optimize(&mut program, &decompiler::PassConfig::default());
     }
-    analyze(&program, config)
+    let passes_us = t_pass.elapsed_us();
+    let mut report = analyze(&program, config);
+    report.stats.timings.decompile_us = decompile_us;
+    report.stats.timings.passes_us = passes_us;
+    report
 }

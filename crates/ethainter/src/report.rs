@@ -1,6 +1,7 @@
 //! Findings and per-contract reports (Ethainter's output, consumed by
 //! Ethainter-Kill and the evaluation harness).
 
+use crate::timing::PhaseTimings;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -105,10 +106,18 @@ pub struct Stats {
     pub blocks: usize,
     /// TAC statements analyzed (after IR passes, when enabled).
     pub stmts: usize,
-    /// Outer fixpoint rounds.
+    /// Convergence effort: outer re-scan passes for the dense engine,
+    /// 1 + guard-defeat waves for the sparse engine. Engine-dependent by
+    /// nature (unlike [`Stats::facts`], which both engines must agree
+    /// on exactly).
     pub rounds: usize,
     /// Per-relation fact counts at the fixpoint.
     pub facts: FactCounts,
+    /// Per-phase wall-clock timings. Observability only: excluded from
+    /// equality-sensitive artifacts (`crates/store` strips them from
+    /// cache entries and `merged.jsonl`).
+    #[serde(default)]
+    pub timings: PhaseTimings,
 }
 
 /// Full per-contract output.

@@ -1,0 +1,116 @@
+//! Per-phase wall-clock timing for the analysis pipeline.
+//!
+//! A zero-dependency, monotonic-clock ([`std::time::Instant`]) timing
+//! layer: each pipeline stage accumulates microseconds into one field
+//! of [`PhaseTimings`], which rides on
+//! [`Stats`](crate::report::Stats) and on the batch driver's
+//! `Status::Analyzed` JSONL records. Timings are *observability, not
+//! verdicts*: `crates/store` strips them from cache entries and
+//! `merged.jsonl` so deterministic outputs stay byte-comparable across
+//! machines and engines (see `store::checkpoint::VerdictRecord`).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Microseconds spent in each pipeline phase for one contract.
+///
+/// The five phases cover the whole cold-scan pipeline:
+///
+/// 1. `decompile` — bytecode → TAC (context-cloning abstract
+///    interpretation);
+/// 2. `passes` — the IR optimization pipeline (constprop + DCE), when
+///    enabled;
+/// 3. `index_build` — one-time analysis indexes: def/use sites,
+///    constants, `DS`/`DSA`, guard discovery, and the sparse engine's
+///    edge maps;
+/// 4. `fixpoint` — the mutually-recursive taint/guard-defeat fixpoint
+///    (the engine-dependent hot path the `BENCH_fixpoint.json`
+///    trajectory tracks);
+/// 5. `sink_scan` — detectors, the tainted-owner sink scan, and the
+///    composite-marker pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Bytecode → TAC decompilation, µs.
+    #[serde(default)]
+    pub decompile_us: u64,
+    /// IR optimization passes, µs (0 when `optimize_ir` is off).
+    #[serde(default)]
+    pub passes_us: u64,
+    /// Analysis index construction, µs.
+    #[serde(default)]
+    pub index_build_us: u64,
+    /// Taint/guard-defeat fixpoint, µs.
+    #[serde(default)]
+    pub fixpoint_us: u64,
+    /// Detectors + sink scan + composite markers, µs.
+    #[serde(default)]
+    pub sink_scan_us: u64,
+}
+
+impl PhaseTimings {
+    /// Total microseconds across all phases.
+    pub fn total_us(&self) -> u64 {
+        self.decompile_us
+            + self.passes_us
+            + self.index_build_us
+            + self.fixpoint_us
+            + self.sink_scan_us
+    }
+}
+
+/// A running phase stopwatch over the monotonic clock.
+///
+/// ```
+/// use ethainter::timing::{PhaseTimer, PhaseTimings};
+/// let mut t = PhaseTimings::default();
+/// let timer = PhaseTimer::start();
+/// // ... do the work ...
+/// t.fixpoint_us += timer.elapsed_us();
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseTimer(Instant);
+
+impl PhaseTimer {
+    /// Starts the stopwatch.
+    pub fn start() -> PhaseTimer {
+        PhaseTimer(Instant::now())
+    }
+
+    /// Microseconds since [`PhaseTimer::start`] (saturating).
+    pub fn elapsed_us(&self) -> u64 {
+        self.0.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_phases() {
+        let t = PhaseTimings {
+            decompile_us: 1,
+            passes_us: 2,
+            index_build_us: 3,
+            fixpoint_us: 4,
+            sink_scan_us: 5,
+        };
+        assert_eq!(t.total_us(), 15);
+    }
+
+    #[test]
+    fn timer_is_monotone() {
+        let timer = PhaseTimer::start();
+        let a = timer.elapsed_us();
+        let b = timer.elapsed_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn default_serializes_and_round_trips() {
+        let t = PhaseTimings { fixpoint_us: 42, ..Default::default() };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PhaseTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,74 @@
+//! Directed test for the sparse engine's delta-rba edge case: a guard
+//! defeated *mid-fixpoint* must re-push its region's statements, or the
+//! taint unlocked behind the guard is silently lost.
+//!
+//! The contract below is the minimal composite: `init` lets the
+//! attacker write `owner` (tainting the guard's comparison slot), which
+//! defeats `kill`'s `msg.sender == owner` check, which makes the
+//! `selfdestruct` behind it attacker-reachable. When the sparse engine
+//! processes the defeat it must flip exactly the guarded region's
+//! `ReachableByAttacker` bits and reschedule those statements — a bug
+//! here produces no panic, just a quietly missing finding, which is why
+//! the dense engine is run alongside as the oracle.
+
+use ethainter::{Config, Engine, Report, Vuln};
+
+const TAKEOVER: &str = r#"contract Takeover {
+    address owner;
+    function init(address o) public { owner = o; }
+    function kill(address to) public {
+        require(msg.sender == owner);
+        selfdestruct(to);
+    }
+}"#;
+
+fn analyze_with(engine: Engine) -> Report {
+    let compiled = minisol::compile_source(TAKEOVER).unwrap();
+    ethainter::analyze_bytecode(&compiled.bytecode, &Config { engine, ..Config::default() })
+}
+
+#[test]
+fn guard_defeat_mid_fixpoint_repushes_the_guarded_region() {
+    let dense = analyze_with(Engine::Dense);
+    let sparse = analyze_with(Engine::Sparse);
+
+    // The scenario must actually exercise the path: a guard is
+    // defeated, and the finding lives *behind* that guard.
+    assert!(
+        !sparse.defeated_guards.is_empty(),
+        "no guard defeated — the contract no longer exercises delta-rba"
+    );
+    assert!(
+        sparse.has(Vuln::AccessibleSelfDestruct),
+        "sparse engine lost the finding unlocked by the mid-fixpoint defeat: {:?}",
+        sparse.findings
+    );
+
+    // And the oracle: every verdict byte-identical to the dense engine.
+    assert_eq!(sparse.findings, dense.findings);
+    assert_eq!(sparse.stats.facts, dense.stats.facts);
+    assert_eq!(sparse.defeated_guards, dense.defeated_guards);
+    assert_eq!(sparse.timed_out, dense.timed_out);
+}
+
+/// Same scenario with guards frozen: the defeat must NOT happen, the
+/// finding must NOT appear, and the engines must still agree — the
+/// sparse engine's defeat path has to respect `freeze_guards` exactly
+/// like the dense one.
+#[test]
+fn frozen_guards_suppress_the_defeat_in_both_engines() {
+    let compiled = minisol::compile_source(TAKEOVER).unwrap();
+    let frozen = Config { freeze_guards: true, ..Config::default() };
+    let dense = ethainter::analyze_bytecode(
+        &compiled.bytecode,
+        &Config { engine: Engine::Dense, ..frozen },
+    );
+    let sparse = ethainter::analyze_bytecode(
+        &compiled.bytecode,
+        &Config { engine: Engine::Sparse, ..frozen },
+    );
+    assert!(sparse.defeated_guards.is_empty());
+    assert!(!sparse.has(Vuln::AccessibleSelfDestruct));
+    assert_eq!(sparse.findings, dense.findings);
+    assert_eq!(sparse.stats.facts, dense.stats.facts);
+}

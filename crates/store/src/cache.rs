@@ -221,6 +221,13 @@ impl ResultStore {
             Status::TimedOut | Status::Panicked { .. } => return Ok(()),
             Status::Analyzed { .. } | Status::DecompileFailed { .. } => {}
         }
+        // Cached statuses must be pure functions of (bytecode, config,
+        // analyzer version): strip the wall-clock phase timings so the
+        // segment bytes — and every warm replay — are deterministic.
+        let result = CachedResult {
+            status: result.status.without_timings(),
+            elapsed_ms: result.elapsed_ms,
+        };
         let record = SegmentRecord {
             key: key.to_hex(),
             status: result.status.clone(),
@@ -349,6 +356,7 @@ mod tests {
             rounds: 1,
             facts: FactCounts::default(),
             lint: Vec::new(),
+            timings: ethainter::PhaseTimings::default(),
         }
     }
 

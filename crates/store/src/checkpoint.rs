@@ -71,9 +71,13 @@ pub struct VerdictRecord {
 }
 
 impl VerdictRecord {
-    /// Projects an outcome onto its deterministic fields.
+    /// Projects an outcome onto its deterministic fields. The status'
+    /// per-phase wall-clock timings and engine-specific `rounds` metric
+    /// are zeroed too — `outcomes.jsonl` keeps them for observability,
+    /// `merged.jsonl` must stay byte-identical across runs, machines,
+    /// and fixpoint engines.
     pub fn from_outcome(o: &Outcome) -> VerdictRecord {
-        VerdictRecord { index: o.index, id: o.id.clone(), status: o.status.clone() }
+        VerdictRecord { index: o.index, id: o.id.clone(), status: o.status.verdict_only() }
     }
 }
 

@@ -5,12 +5,12 @@
 //! [`Bencher::iter_batched`] with [`BatchSize`], and the
 //! [`criterion_group!`]/[`criterion_main!`] macros.
 //!
-//! Measurement is deliberately simple: a short warm-up, then batches of
-//! iterations timed with [`std::time::Instant`] until a fixed
-//! measurement budget elapses, reporting the mean per-iteration time.
-//! There is no statistical analysis, outlier rejection, or HTML report —
-//! the numbers are honest wall-clock means, suitable for spotting
-//! order-of-magnitude regressions, not for publication.
+//! Measurement is deliberately simple: a short warm-up, then a fixed
+//! number of timed samples (each a batch of iterations timed with
+//! [`std::time::Instant`]), reported as min/median/max per-iteration
+//! time. There is no statistical analysis, outlier rejection, or HTML
+//! report — the numbers are honest wall-clock samples, suitable for
+//! spotting order-of-magnitude regressions, not for publication.
 
 #![warn(missing_docs)]
 
@@ -32,9 +32,40 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Summary of one benchmark's timed samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Fastest per-iteration sample.
+    pub min: Duration,
+    /// Median per-iteration sample (lower-middle for even counts).
+    pub median: Duration,
+    /// Slowest per-iteration sample.
+    pub max: Duration,
+    /// Total routine invocations across all samples.
+    pub iters: u64,
+}
+
+/// Collapses per-iteration duration samples into a [`Summary`].
+/// Returns `None` when no samples were recorded.
+pub fn summarize(samples: &mut [Duration], iters: u64) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort();
+    Some(Summary {
+        min: samples[0],
+        median: samples[(samples.len() - 1) / 2],
+        max: samples[samples.len() - 1],
+        iters,
+    })
+}
+
 /// Benchmark driver handed to each `criterion_group!` function.
 pub struct Criterion {
     warm_up: Duration,
+    /// Timed samples collected per benchmark.
+    samples: usize,
+    /// Total measurement budget spread across the samples.
     measure: Duration,
 }
 
@@ -42,26 +73,40 @@ impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             warm_up: Duration::from_millis(300),
+            samples: 20,
             measure: Duration::from_secs(1),
         }
     }
 }
 
 impl Criterion {
-    /// Runs `f` as a named benchmark and prints the mean iteration time.
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_count(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints min/median/max
+    /// per-iteration times over the recorded samples.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let mut b = Bencher {
             warm_up: self.warm_up,
+            samples: self.samples,
             measure: self.measure,
-            total: Duration::ZERO,
+            recorded: Vec::new(),
             iters: 0,
         };
         f(&mut b);
-        if b.iters == 0 {
-            println!("{name:<40} (no iterations recorded)");
-        } else {
-            let mean = b.total / b.iters as u32;
-            println!("{name:<40} {mean:>12.2?}/iter ({} iters)", b.iters);
+        match summarize(&mut b.recorded, b.iters) {
+            None => println!("{name:<40} (no iterations recorded)"),
+            Some(s) => println!(
+                "{name:<40} min {:>10.2?}  med {:>10.2?}  max {:>10.2?}  ({} iters, {} samples)",
+                s.min,
+                s.median,
+                s.max,
+                s.iters,
+                b.recorded.len(),
+            ),
         }
         self
     }
@@ -70,30 +115,48 @@ impl Criterion {
 /// Timing harness handed to the benchmark closure.
 pub struct Bencher {
     warm_up: Duration,
+    samples: usize,
     measure: Duration,
-    total: Duration,
+    /// Per-iteration time of each recorded sample.
+    recorded: Vec<Duration>,
     iters: u64,
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
-    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
-        // Warm-up: run untimed until the warm-up budget elapses.
-        let warm_start = Instant::now();
-        while warm_start.elapsed() < self.warm_up {
-            black_box(routine());
+    /// Batch size that keeps each timed sample around `measure/samples`
+    /// long, calibrated from the warm-up.
+    fn batch_size(&self, warm_iters: u64, warm_elapsed: Duration) -> u64 {
+        if warm_iters == 0 || warm_elapsed.is_zero() {
+            return 1;
         }
-        let bench_start = Instant::now();
-        while bench_start.elapsed() < self.measure {
-            let t = Instant::now();
+        let per_iter = warm_elapsed.as_secs_f64() / warm_iters as f64;
+        let target = self.measure.as_secs_f64() / self.samples as f64;
+        ((target / per_iter) as u64).max(1)
+    }
+
+    /// Times repeated calls of `routine`: a warm-up, then `samples`
+    /// timed batches, each recorded as one per-iteration duration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
             black_box(routine());
-            self.total += t.elapsed();
-            self.iters += 1;
+            warm_iters += 1;
+        }
+        let batch = self.batch_size(warm_iters, warm_start.elapsed());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.recorded.push(t.elapsed() / batch as u32);
+            self.iters += batch;
         }
     }
 
     /// Times `routine` over fresh inputs from `setup`; setup time is
-    /// excluded from the measurement.
+    /// excluded from the measurement. Each sample is a single
+    /// invocation (inputs cannot be amortized across a batch).
     pub fn iter_batched<I, R>(
         &mut self,
         mut setup: impl FnMut() -> I,
@@ -101,15 +164,16 @@ impl Bencher {
         _size: BatchSize,
     ) {
         let warm_start = Instant::now();
-        while warm_start.elapsed() < self.warm_up {
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
             black_box(routine(setup()));
+            warm_iters += 1;
         }
-        let bench_start = Instant::now();
-        while bench_start.elapsed() < self.measure {
+        for _ in 0..self.samples {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
-            self.total += t.elapsed();
+            self.recorded.push(t.elapsed());
             self.iters += 1;
         }
     }
@@ -140,14 +204,18 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn quick() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(1),
+            samples: 5,
+            measure: Duration::from_millis(5),
+        }
+    }
+
     #[test]
     fn bench_function_records_iterations() {
-        let mut c = Criterion {
-            warm_up: Duration::from_millis(1),
-            measure: Duration::from_millis(5),
-        };
         let mut ran = false;
-        c.bench_function("noop", |b| {
+        quick().bench_function("noop", |b| {
             b.iter(|| 1 + 1);
             ran = true;
         });
@@ -156,12 +224,36 @@ mod tests {
 
     #[test]
     fn iter_batched_gets_fresh_inputs() {
-        let mut c = Criterion {
-            warm_up: Duration::from_millis(1),
-            measure: Duration::from_millis(5),
-        };
-        c.bench_function("batched", |b| {
+        quick().bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
         });
+    }
+
+    #[test]
+    fn iter_records_the_configured_sample_count() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            samples: 7,
+            measure: Duration::from_millis(5),
+            recorded: Vec::new(),
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(5));
+        assert_eq!(b.recorded.len(), 7);
+        assert!(b.iters >= 7);
+    }
+
+    #[test]
+    fn summarize_orders_min_median_max() {
+        let mut samples = vec![
+            Duration::from_micros(30),
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+        ];
+        let s = summarize(&mut samples, 3).unwrap();
+        assert_eq!(s.min, Duration::from_micros(10));
+        assert_eq!(s.median, Duration::from_micros(20));
+        assert_eq!(s.max, Duration::from_micros(30));
+        assert!(summarize(&mut [], 0).is_none());
     }
 }

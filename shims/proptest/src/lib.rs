@@ -279,7 +279,7 @@ impl_range_strategy!(
     i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
 );
 
-// Tuple strategies (1–6 elements).
+// Tuple strategies (1–8 elements).
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $i:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -298,6 +298,8 @@ impl_tuple_strategy!(
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
     (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
 );
 
 /// Collection strategies, mirroring `proptest::collection`.
