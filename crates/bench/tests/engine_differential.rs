@@ -114,6 +114,7 @@ fn arb_config() -> impl Strategy<Value = Config> {
             optimize_ir: opt,
             range_guards: range,
             engine: Engine::Sparse, // overwritten per side below
+            witness: false,
         })
 }
 

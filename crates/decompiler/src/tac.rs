@@ -196,6 +196,19 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.stmts.is_empty()
     }
+
+    /// Renders one statement the way [`Program`]'s `Display` does —
+    /// `v7 = CallDataLoad(v6)` / `SStore(v2, v9)` — the one-line form
+    /// shared by the program listing, the dot export, and the taint
+    /// witness renderer in `ethainter explain`.
+    pub fn stmt_text(&self, s: StmtId) -> String {
+        let s = self.stmt(s);
+        let uses: Vec<String> = s.uses.iter().map(|u| u.to_string()).collect();
+        match s.def {
+            Some(d) => format!("{d} = {:?}({})", s.op, uses.join(", ")),
+            None => format!("{:?}({})", s.op, uses.join(", ")),
+        }
+    }
 }
 
 impl Program {
@@ -208,16 +221,7 @@ impl Program {
         for (i, b) in self.blocks.iter().enumerate() {
             let mut label = format!("B{i} @0x{:x}\\l", b.pc_start);
             for &sid in &b.stmts {
-                let s = self.stmt(sid);
-                let uses: Vec<String> = s.uses.iter().map(|u| u.to_string()).collect();
-                match s.def {
-                    Some(d) => {
-                        let _ = write!(label, "{d} = {:?}({})\\l", s.op, uses.join(","));
-                    }
-                    None => {
-                        let _ = write!(label, "{:?}({})\\l", s.op, uses.join(","));
-                    }
-                }
+                let _ = write!(label, "{}\\l", self.stmt_text(sid));
             }
             let label = label.replace('"', "'");
             let _ = writeln!(out, "  B{i} [label=\"{label}\"];");
@@ -236,12 +240,7 @@ impl fmt::Display for Program {
             let params: Vec<String> = b.params.iter().map(|p| p.to_string()).collect();
             writeln!(f, "B{i}({}):  // pc 0x{:x}", params.join(", "), b.pc_start)?;
             for &sid in &b.stmts {
-                let s = self.stmt(sid);
-                let uses: Vec<String> = s.uses.iter().map(|u| u.to_string()).collect();
-                match s.def {
-                    Some(d) => writeln!(f, "  {d} = {:?}({})", s.op, uses.join(", "))?,
-                    None => writeln!(f, "  {:?}({})", s.op, uses.join(", "))?,
-                }
+                writeln!(f, "  {}", self.stmt_text(sid))?;
             }
             let succs: Vec<String> = b.succs.iter().map(|s| s.to_string()).collect();
             writeln!(f, "  -> [{}]", succs.join(", "))?;

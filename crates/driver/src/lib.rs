@@ -105,6 +105,11 @@ impl DriverConfig {
 }
 
 /// What happened to one contract.
+//
+// `Analyzed` dwarfs the failure variants, but it is also the variant
+// nearly every outcome holds, so boxing its payload would trade a
+// once-per-batch size asymmetry for an allocation per contract.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Status {
     /// The pipeline completed; counts summarize the produced facts.
@@ -135,6 +140,15 @@ pub enum Status {
         /// equality-sensitive (cache entries, `merged.jsonl`).
         #[serde(default)]
         timings: ethainter::PhaseTimings,
+        /// Source→sink provenance witnesses, one per finding — present
+        /// only when the analysis ran with
+        /// [`ethainter::Config::witness`] on. Like `timings`,
+        /// observability riding on the verdicts: stripped by
+        /// `crates/store` from cache entries and `merged.jsonl`, and
+        /// serialized as *absent* (never `null`) when unset so
+        /// witness-off and witness-stripped records are byte-identical.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        witness: Option<Vec<ethainter::Witness>>,
     },
     /// The wall-clock budget elapsed (or the analysis hit its internal
     /// deadline) before a fixpoint was reached.
@@ -168,16 +182,21 @@ impl Status {
         }
     }
 
-    /// The same status with per-phase timings zeroed. Deterministic
+    /// The same status with the telemetry riders removed: per-phase
+    /// timings zeroed and provenance witnesses dropped. Deterministic
     /// artifacts (result-cache entries, `merged.jsonl`) must not vary
-    /// run-to-run, so `crates/store` normalizes statuses through this
-    /// before persisting them.
+    /// run-to-run — or with observability switches like
+    /// [`ethainter::Config::witness`] — so `crates/store` normalizes
+    /// statuses through this before persisting them.
     pub fn without_timings(&self) -> Status {
         match self {
-            Status::Analyzed { timings, .. } if *timings != ethainter::PhaseTimings::default() => {
+            Status::Analyzed { timings, witness, .. }
+                if *timings != ethainter::PhaseTimings::default() || witness.is_some() =>
+            {
                 let mut s = self.clone();
-                if let Status::Analyzed { timings, .. } = &mut s {
+                if let Status::Analyzed { timings, witness, .. } = &mut s {
                     *timings = ethainter::PhaseTimings::default();
+                    *witness = None;
                 }
                 s
             }
@@ -421,15 +440,35 @@ where
         outcomes: batch
             .results
             .into_iter()
-            .map(|o| Outcome {
-                index: o.index,
-                id: o.id,
-                status: match o.result {
-                    Isolated::Completed(status) => status,
-                    Isolated::TimedOut => Status::TimedOut,
-                    Isolated::Panicked { message } => Status::Panicked { message },
-                },
-                elapsed_ms: o.elapsed_ms,
+            .map(|o| {
+                telemetry::metrics::histogram("ethainter_contract_elapsed_ms")
+                    .observe(o.elapsed_ms);
+                Outcome {
+                    index: o.index,
+                    id: o.id,
+                    status: match o.result {
+                        Isolated::Completed(status) => status,
+                        // The isolation layer's own verdicts (watchdog
+                        // expiry, contained panic) are counted here; the
+                        // cooperative in-analysis paths count themselves
+                        // in `analyze_one`.
+                        Isolated::TimedOut => {
+                            telemetry::metrics::counter(
+                                "ethainter_contracts_timed_out_total",
+                            )
+                            .inc();
+                            Status::TimedOut
+                        }
+                        Isolated::Panicked { message } => {
+                            telemetry::metrics::counter(
+                                "ethainter_contracts_panicked_total",
+                            )
+                            .inc();
+                            Status::Panicked { message }
+                        }
+                    },
+                    elapsed_ms: o.elapsed_ms,
+                }
             })
             .collect(),
         jobs: batch.jobs,
@@ -499,10 +538,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// sandbox; exposed so callers can reuse the exact same classification
 /// (decompile-failed vs. timed-out vs. analyzed) without the pool.
 pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
-    let t_dec = ethainter::PhaseTimer::start();
+    let sp_dec = telemetry::span("ethainter.decompile");
     let mut program = decompiler::decompile(bytecode);
-    let decompile_us = t_dec.elapsed_us();
+    let decompile_us = sp_dec.finish_us();
     if program.incomplete {
+        telemetry::metrics::counter("ethainter_contracts_decompile_failed_total").inc();
         let reason = program
             .warnings
             .first()
@@ -513,18 +553,35 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
     // Lint the raw decompiler output (the passes assume and preserve the
     // invariants, so violations always originate in the decompiler).
     let lint = decompiler::validate(&program);
-    let t_pass = ethainter::PhaseTimer::start();
+    let sp_pass = telemetry::span("ethainter.passes");
     if config.optimize_ir {
         decompiler::optimize(&mut program, &decompiler::PassConfig::default());
     }
-    let passes_us = t_pass.elapsed_us();
+    let passes_us = sp_pass.finish_us();
     let report = ethainter::analyze(&program, config);
     if report.timed_out {
+        telemetry::metrics::counter("ethainter_contracts_timed_out_total").inc();
         return Status::TimedOut;
     }
     let mut timings = report.stats.timings;
     timings.decompile_us = decompile_us;
     timings.passes_us = passes_us;
+    // Re-establish the `total_us == phase_sum()` invariant after adding
+    // the two front-end phases (the scanner re-stamps once more when it
+    // adds `cache_lookup_us`).
+    timings.stamp_total();
+    // Worker-side aggregation: these counters/histograms are global
+    // lock-free atomics, so sandbox threads across the rayon pool fold
+    // into one registry without coordination.
+    telemetry::metrics::counter("ethainter_contracts_analyzed_total").inc();
+    telemetry::metrics::counter("ethainter_findings_total")
+        .add(report.findings.len() as u64);
+    telemetry::metrics::counter("ethainter_findings_composite_total")
+        .add(report.findings.iter().filter(|f| f.composite).count() as u64);
+    telemetry::metrics::histogram("ethainter_phase_decompile_us").observe(decompile_us);
+    telemetry::metrics::histogram("ethainter_phase_fixpoint_us")
+        .observe(timings.fixpoint_us);
+    telemetry::metrics::histogram("ethainter_phase_total_us").observe(timings.total_us);
     Status::Analyzed {
         findings: report.findings.len(),
         composite: report.findings.iter().filter(|f| f.composite).count(),
@@ -534,6 +591,7 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
         facts: report.stats.facts,
         lint,
         timings,
+        witness: report.witnesses,
     }
 }
 
@@ -633,6 +691,7 @@ mod tests {
             facts: ethainter::FactCounts::default(),
             lint: Vec::new(),
             timings: ethainter::PhaseTimings::default(),
+            witness: None,
         }
     }
 
@@ -690,6 +749,7 @@ mod tests {
                 facts: ethainter::FactCounts { input_tainted: 4, rba_blocks: 3, ..Default::default() },
                 lint: vec!["B0 is empty (no terminator)".into()],
                 timings: ethainter::PhaseTimings { fixpoint_us: 7, ..Default::default() },
+                witness: None,
             },
             _ => Status::DecompileFailed { reason: "r".into() },
         });
@@ -757,6 +817,11 @@ mod tests {
                 (s.index, &s.id, s.status.without_timings()),
                 (b.index, &b.id, b.status.without_timings())
             );
+            // Real analyses must uphold the derived-total invariant:
+            // whoever stamps a phase last re-derives `total_us`.
+            if let Status::Analyzed { timings, .. } = &s.status {
+                assert_eq!(timings.total_us, timings.phase_sum());
+            }
         }
         let b = batch.summary();
         assert_eq!(

@@ -98,6 +98,7 @@ fn hostile_work_is_contained_in_a_large_batch() {
                 facts: ethainter::FactCounts::default(),
                 lint: Vec::new(),
                 timings: ethainter::PhaseTimings::default(),
+                witness: None,
             }
         },
     );

@@ -4,6 +4,7 @@
 //! ethainter analyze <file>          # .sol/.msol source or .hex/.bin bytecode
 //! ethainter analyze <file> --json   # machine-readable report
 //! ethainter analyze <file> --no-guards|--no-storage|--conservative
+//! ethainter explain <file>          # render source→sink witness paths
 //! ethainter decompile <file>        # print the TAC
 //! ethainter disasm <file>           # print the disassembly
 //! ethainter compile <file>          # print bytecode hex + selectors
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "analyze" => cmd_analyze(rest),
+        "explain" => cmd_explain(rest),
         "decompile" => cmd_decompile(rest),
         "cfg" => cmd_cfg(rest),
         "disasm" => cmd_disasm(rest),
@@ -70,6 +72,7 @@ ethainter — composite information-flow analysis for EVM contracts
 
 USAGE:
     ethainter analyze <file> [--json] [--no-guards] [--no-storage] [--conservative]
+    ethainter explain <file> [config flags]
     ethainter decompile <file>
     ethainter cfg <file>            # Graphviz dot of the TAC CFG
     ethainter disasm <file>
@@ -79,6 +82,7 @@ USAGE:
     ethainter batch [<file>...] [--corpus n] [--seed s] [--jobs n]
                     [--timeout-ms t] [--out f.jsonl] [--chunk n] [config flags]
                     [--cache-dir d] [--checkpoint d | --resume d] [--limit n]
+                    [--no-progress] [--metrics-out f.json] [--trace-out f.jsonl]
     ethainter cache stats --cache-dir d
     ethainter lint [<file>...] [--corpus n] [--seed s]
 
@@ -91,7 +95,14 @@ the IR optimization pipeline and branch pruning, --no-range-guards
 disables only the interval-analysis branch pruning. --engine
 dense|sparse selects the fixpoint evaluator (default sparse); both
 produce identical verdicts, and cached results stay warm across an
-engine switch.
+engine switch. --witness attaches taint-provenance witnesses to each
+report: a replayable source→sink derivation for every finding
+(analyze --json includes them; batch outcome records carry them).
+
+explain analyzes one contract with witnesses forced on and renders
+each finding's derivation as a numbered source→sink path through the
+TAC: every step cites the rule that fired, the statement it fired at,
+and the fact it established.
 
 batch analyzes every input in parallel with per-contract isolation:
 a contract that loops is cut off after --timeout-ms (default 120000),
@@ -109,6 +120,13 @@ every outcome to d so a killed scan can continue with --resume d,
 which skips completed contracts and writes d/merged.jsonl — verdicts
 byte-identical to an uninterrupted run. --limit n stops after
 recording n outcomes (a deterministic interrupt, used by CI).
+
+batch draws a live progress heartbeat (done/total, throughput, ETA)
+on stderr when it is an interactive terminal; it auto-disables under
+redirection and --no-progress forces it off. --metrics-out f writes a
+snapshot of the telemetry metric registry as JSON, plus a Prometheus
+text-format sibling next to it (.prom); --trace-out f writes the
+span trace (phase timings with parent/child nesting) as JSONL.
 
 lint runs the IR well-formedness validator over each input's raw
 decompiler output and exits non-zero if any violation is found —
@@ -145,6 +163,7 @@ fn parse_config(flags: &[String]) -> Result<Config, String> {
                 cfg.range_guards = false;
             }
             "--no-range-guards" => cfg.range_guards = false,
+            "--witness" => cfg.witness = true,
             "--engine" => {
                 let v = flags.get(i + 1).ok_or("--engine needs a value (dense|sparse)")?;
                 cfg.engine = ethainter::Engine::parse(v)?;
@@ -188,6 +207,41 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         for sel in &f.selectors {
             out!("      via selector 0x{sel:08x}");
         }
+    }
+    Ok(())
+}
+
+/// `ethainter explain <file>` — analyze with witnesses forced on and
+/// render each finding's provenance as a numbered source→sink path.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("explain: missing <file>")?;
+    let code = load_bytecode(path)?;
+    let mut cfg = parse_config(args)?;
+    cfg.witness = true;
+    let report = ethainter::analyze_bytecode(&code, &cfg);
+    if report.timed_out {
+        out!("analysis budget exhausted — no witnesses for a partial analysis");
+        return Ok(());
+    }
+    if report.findings.is_empty() {
+        out!("no findings — nothing to explain");
+        return Ok(());
+    }
+    let witnesses = report.witnesses.as_deref().unwrap_or(&[]);
+    for (f, w) in report.findings.iter().zip(witnesses) {
+        let star = if f.composite { "  ✰ composite" } else { "" };
+        out!("{} at pc 0x{:04x}{star}", f.vuln, f.pc);
+        for (i, step) in w.steps.iter().enumerate() {
+            let loc = match step.pc {
+                Some(pc) => format!(" @0x{pc:04x}"),
+                None => String::new(),
+            };
+            out!("  {:>2}. [{}]{loc} {}", i + 1, step.rule, step.fact);
+            if let Some(code) = &step.code {
+                out!("        {code}");
+            }
+        }
+        out!("");
     }
     Ok(())
 }
@@ -304,6 +358,9 @@ struct BatchArgs {
     resume_dir: Option<String>,
     limit: Option<usize>,
     chunk: usize,
+    no_progress: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl BatchArgs {
@@ -320,6 +377,9 @@ impl BatchArgs {
             resume_dir: None,
             limit: None,
             chunk: 64,
+            no_progress: false,
+            metrics_out: None,
+            trace_out: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -353,8 +413,11 @@ impl BatchArgs {
                 "--chunk" => {
                     p.chunk = take("--chunk")?.parse().map_err(|e| format!("bad --chunk: {e}"))?
                 }
+                "--no-progress" => p.no_progress = true,
+                "--metrics-out" => p.metrics_out = Some(take("--metrics-out")?),
+                "--trace-out" => p.trace_out = Some(take("--trace-out")?),
                 "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
-                | "--no-range-guards" => {} // parse_config reads these
+                | "--no-range-guards" | "--witness" => {} // parse_config reads these
                 "--engine" => {
                     take("--engine")?; // parse_config validates the value
                 }
@@ -472,11 +535,21 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         || parsed.resume_dir.is_some()
         || parsed.limit.is_some()
     {
-        return batch_with_store(&parsed, &cfg, &analysis);
+        batch_with_store(&parsed, &cfg, &analysis)?;
+    } else {
+        batch_plain(&parsed, &cfg, &analysis)?;
     }
+    write_telemetry_outputs(&parsed)
+}
 
-    // Plain path: stream files + generated corpus through the driver in
-    // bounded chunks, flushing each outcome line as it is produced.
+/// The plain batch path: stream files + generated corpus through the
+/// driver in bounded chunks, flushing each outcome line as it is
+/// produced.
+fn batch_plain(
+    parsed: &BatchArgs,
+    cfg: &driver::DriverConfig,
+    analysis: &Config,
+) -> Result<(), String> {
     let mut contracts: Vec<(String, Vec<u8>)> = Vec::with_capacity(parsed.files.len());
     for f in &parsed.files {
         contracts.push((f.clone(), load_bytecode(f)?));
@@ -489,23 +562,50 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     .take(parsed.corpus_n)
     .map(|c| (format!("{}#{}", c.family, c.id), c.bytecode));
 
+    let total = (parsed.files.len() + parsed.corpus_n) as u64;
+    let mut progress = telemetry::Progress::new(Some(total), parsed.no_progress);
     let mut sink = JsonlSink::open(parsed.out_path.as_deref())?;
     let mut io_error: Option<String> = None;
     let summary = driver::analyze_stream(
         contracts.into_iter().chain(generated),
-        &cfg,
-        &analysis,
+        cfg,
+        analysis,
         parsed.chunk,
         |o| {
             if io_error.is_none() {
                 io_error = sink.write(&o).err();
             }
+            progress.tick();
         },
     );
+    progress.finish();
     if let Some(e) = io_error {
         return Err(e);
     }
     print_summary(&summary, 0, 0);
+    Ok(())
+}
+
+/// Writes the post-batch telemetry artifacts: a metric-registry
+/// snapshot (`--metrics-out`, JSON plus a Prometheus `.prom` sibling)
+/// and the span trace (`--trace-out`, JSONL).
+fn write_telemetry_outputs(parsed: &BatchArgs) -> Result<(), String> {
+    if let Some(path) = &parsed.metrics_out {
+        let snap = telemetry::metrics::snapshot();
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        let prom = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.prom"),
+            None => format!("{path}.prom"),
+        };
+        std::fs::write(&prom, snap.to_prometheus())
+            .map_err(|e| format!("writing {prom}: {e}"))?;
+        out!("  metrics: {path} (+ {prom})");
+    }
+    if let Some(path) = &parsed.trace_out {
+        std::fs::write(path, telemetry::spans_jsonl())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out!("  trace: {path}");
+    }
     Ok(())
 }
 
@@ -549,6 +649,11 @@ fn batch_with_store(
         None => None,
     };
 
+    // The heartbeat's total is the full input set; a resumed scan only
+    // ticks the remainder, so its line under-fills — the ETA is still
+    // honest about the work left.
+    let total = (parsed.files.len() + parsed.corpus_n) as u64;
+    let mut progress = telemetry::Progress::new(Some(total), parsed.no_progress);
     let mut sink = JsonlSink::open(parsed.out_path.as_deref())?;
     let mut io_error: Option<String> = None;
     let mut summary = driver::Summary::empty(cfg.effective_jobs());
@@ -568,10 +673,12 @@ fn batch_with_store(
                 if io_error.is_none() {
                     io_error = sink.write(o).err();
                 }
+                progress.tick();
             },
             |e| eprintln!("warning: skipping unreadable input: {e}"),
         )?
     };
+    progress.finish();
     if let Some(e) = io_error {
         return Err(e);
     }

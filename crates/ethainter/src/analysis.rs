@@ -28,9 +28,11 @@
 
 use crate::config::{Config, Engine};
 use crate::engine::indexes::SparseIndexes;
+use crate::engine::provenance::Provenance;
 use crate::engine::{self, Ctx, GuardKind, Prepared, SAddr, State};
 use crate::report::{FactCounts, Finding, Report, Stats, Vuln};
-use crate::timing::{PhaseTimer, PhaseTimings};
+use crate::timing::PhaseTimings;
+use crate::witness;
 use decompiler::{BlockId, DefUse, Dominators, Op, Program, Stmt, StmtId, Var};
 use evm::opcode::Opcode;
 use evm::U256;
@@ -87,7 +89,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     }
 
     // ---- Index build: every one-time structure the engines share -------
-    let t_index = PhaseTimer::start();
+    let sp_index = telemetry::span("ethainter.index_build");
 
     let dom = Dominators::compute(p);
 
@@ -149,15 +151,15 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     // the dense engine never pays for them.
     let sparse_idx =
         (cfg.engine == Engine::Sparse).then(|| SparseIndexes::build(&mut prep));
-    report.stats.timings.index_build_us = t_index.elapsed_us();
+    report.stats.timings.index_build_us = sp_index.finish_us();
 
     // ---- Mutually-recursive fixpoint ------------------------------------
-    let t_fix = PhaseTimer::start();
+    let sp_fix = telemetry::span("ethainter.fixpoint");
     match &sparse_idx {
         Some(idx) => engine::sparse::run(cfg, &prep, idx, &mut st),
         None => engine::dense::run(cfg, &mut prep, &mut st),
     }
-    report.stats.timings.fixpoint_us = t_fix.elapsed_us();
+    report.stats.timings.fixpoint_us = sp_fix.finish_us();
 
     if st.timed_out {
         report.timed_out = true;
@@ -188,7 +190,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     report.defeated_guards.dedup();
 
     // ---- Detectors + sink scan + composite markers ----------------------
-    let t_sink = PhaseTimer::start();
+    let sp_sink = telemetry::span("ethainter.sink_scan");
 
     let selectors_of = |b: BlockId| -> Vec<u32> {
         p.block_functions.get(b.0 as usize).cloned().unwrap_or_default()
@@ -317,8 +319,15 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     // recursive run's own phase timings are discarded; its cost lands in
     // this sink_scan phase.)
     if (st.any_defeat || cfg.storage_taint) && !cfg.freeze_guards {
-        let frozen =
-            analyze(p, &Config { freeze_guards: true, storage_taint: false, ..*cfg });
+        let frozen = analyze(
+            p,
+            &Config {
+                freeze_guards: true,
+                storage_taint: false,
+                witness: false,
+                ..*cfg
+            },
+        );
         for f in &mut report.findings {
             let direct = frozen
                 .findings
@@ -331,7 +340,29 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             f.composite = false;
         }
     }
-    report.stats.timings.sink_scan_us = t_sink.elapsed_us();
+    report.stats.timings.sink_scan_us = sp_sink.finish_us();
+
+    // ---- Provenance witnesses (opt-in) ----------------------------------
+    // Replay the fixpoint on the dense engine with a first-derivation
+    // recorder and backtrack each finding to its axioms. The replay
+    // starts from a fresh State and always runs dense, so witnesses are
+    // byte-identical whatever engine produced the verdicts above.
+    // Skipped for the composite-marker sub-analysis (`freeze_guards`)
+    // and for timed-out contracts (partial relations would make the
+    // paths misleading).
+    if cfg.witness && !cfg.freeze_guards && !report.timed_out {
+        let sp_wit = telemetry::span("ethainter.witness");
+        let mut wst = State::new(&prep);
+        let mut prov = Provenance::new(&prep);
+        engine::dense::run_recording(cfg, &mut prep, &mut wst, &mut prov);
+        report.witnesses =
+            Some(witness::build(&report.findings, &prep, &wst, &prov));
+        report.stats.timings.witness_us = sp_wit.finish_us();
+        telemetry::metrics::counter("ethainter_witnesses_built_total")
+            .add(report.findings.len() as u64);
+    }
+
+    report.stats.timings.stamp_total();
     report
 }
 

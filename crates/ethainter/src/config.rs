@@ -94,6 +94,17 @@ pub struct Config {
     /// `crates/store/tests/resume.rs::warm_hits_survive_engine_switch`).
     #[serde(default)]
     pub engine: Engine,
+    /// Record taint provenance and attach a source→sink
+    /// [`Witness`](crate::witness::Witness) to every finding, via a
+    /// second (dense, recording) fixpoint run. Costs roughly one extra
+    /// dense fixpoint per contract; off by default. Like
+    /// [`Config::engine`], **excluded from [`Config::fingerprint`]**:
+    /// witnesses are derived observability riding on the verdicts, never
+    /// changing findings, fact counts, or rounds — and the store strips
+    /// them from cache entries and `merged.jsonl`, so a cache populated
+    /// without witnesses stays warm when they are turned on.
+    #[serde(default)]
+    pub witness: bool,
 }
 
 impl Default for Config {
@@ -106,6 +117,7 @@ impl Default for Config {
             optimize_ir: true,
             range_guards: true,
             engine: Engine::default(),
+            witness: false,
         }
     }
 }
@@ -132,16 +144,19 @@ impl Config {
     ///   spelled out here), and the `ethainter-config-v1` domain tag
     ///   versions the scheme itself.
     ///
-    /// One field is deliberately **not** part of the fingerprint:
-    /// [`Config::engine`]. The fingerprint's contract is "equal
-    /// fingerprints ⇒ equal verdicts", and the engine cannot change
-    /// verdicts by the differential guarantee (both engines reach the
-    /// same unique fixpoint of the same monotone rules). Including it
-    /// would cold-start every result cache on an engine switch for no
-    /// correctness gain; excluding it makes warm hits survive
-    /// `--engine dense` ⇄ `--engine sparse`. If a future engine is ever
-    /// *not* verdict-equivalent, it must be a new analyzer version
-    /// ([`crate::ANALYZER_VERSION`] bump), not a fingerprint field.
+    /// Two fields are deliberately **not** part of the fingerprint:
+    /// [`Config::engine`] and [`Config::witness`]. The fingerprint's
+    /// contract is "equal fingerprints ⇒ equal verdicts", and the engine
+    /// cannot change verdicts by the differential guarantee (both
+    /// engines reach the same unique fixpoint of the same monotone
+    /// rules). Including it would cold-start every result cache on an
+    /// engine switch for no correctness gain; excluding it makes warm
+    /// hits survive `--engine dense` ⇄ `--engine sparse`. Likewise
+    /// `witness` only adds derived observability (stripped from cache
+    /// entries anyway) and can never change a verdict. If a future
+    /// engine is ever *not* verdict-equivalent, it must be a new
+    /// analyzer version ([`crate::ANALYZER_VERSION`] bump), not a
+    /// fingerprint field.
     pub fn fingerprint(&self) -> [u8; 32] {
         let canonical = format!(
             "{FINGERPRINT_DOMAIN};guard_modeling={};storage_taint={};storage_model={};\

@@ -5,16 +5,92 @@
 //! `ReachableByAttacker` recomputation, until a round changes nothing.
 //! O(rounds × stmts) and deliberately simple; the sparse engine is
 //! differentially tested against this one.
+//!
+//! Because this engine's evaluation order is fully deterministic
+//! (statement order, then guard order), it doubles as the **canonical
+//! provenance recorder**: [`run_recording`] is the same fixpoint with a
+//! [`Provenance`] attached, noting the first derivation of every fact.
+//! The witness layer replays it even when the production engine is
+//! sparse, so witnesses never depend on worklist scheduling.
 
-use super::{guard_defeated, recompute_rba, Prepared, SAddr, State};
+use super::provenance::{Edge, FactId, Provenance};
+use super::{guard_defeated, recompute_rba, Guard, GuardCond, GuardKind, Prepared, SAddr, State};
 use crate::analysis::deadline_exceeded;
 use crate::config::{Config, StorageModel};
-use decompiler::Op;
+use decompiler::{Op, Var};
 
 /// Runs the dense fixpoint, mutating `st` in place until convergence,
 /// timeout, or the 64-round safety cap.
 pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
+    run_impl(cfg, prep, st, None);
+}
+
+/// [`run`], recording the first derivation of every fact into `prov`.
+pub(crate) fn run_recording(
+    cfg: &Config,
+    prep: &mut Prepared<'_>,
+    st: &mut State,
+    prov: &mut Provenance,
+) {
+    run_impl(cfg, prep, st, Some(prov));
+}
+
+/// The prerequisite facts that defeat `guard` under the current state —
+/// the provenance mirror of [`guard_defeated`].
+fn defeat_sources(guard: &Guard, st: &State) -> Vec<FactId> {
+    let ci = guard.cond.0;
+    if st.input_tainted[ci as usize] {
+        return vec![FactId::Input(ci)];
+    }
+    if st.storage_tainted[ci as usize] {
+        return vec![FactId::Storage(ci)];
+    }
+    let kind_fact = |k: &GuardKind| -> Option<FactId> {
+        match k {
+            GuardKind::SenderEqSlot(v) => {
+                if st.tainted_slots.contains(v) {
+                    Some(FactId::Slot(*v))
+                } else if st.all_slots_tainted {
+                    Some(FactId::AllSlots)
+                } else {
+                    None
+                }
+            }
+            GuardKind::Membership(base) => st
+                .writable_mappings
+                .contains(base)
+                .then_some(FactId::Writable(*base)),
+            GuardKind::SenderEqOther | GuardKind::SenderOpaque => None,
+        }
+    };
+    let defeated: Vec<FactId> =
+        guard.cond_kind.kinds().iter().filter_map(kind_fact).collect();
+    match &guard.cond_kind {
+        // One defeated disjunct suffices; cite only the first.
+        GuardCond::Disj(_) => defeated.into_iter().take(1).collect(),
+        _ => defeated,
+    }
+}
+
+fn run_impl(
+    cfg: &Config,
+    prep: &mut Prepared<'_>,
+    st: &mut State,
+    mut prov: Option<&mut Provenance>,
+) {
     let p = prep.ctx.p;
+    // Reborrow-per-record helper: provenance is recorded only when a
+    // recorder is attached, and only for first derivations.
+    macro_rules! rec {
+        ($fact:expr, $edge:expr) => {
+            if let Some(pr) = prov.as_deref_mut() {
+                pr.record($fact, $edge);
+            }
+        };
+    }
+    let first_with = |uses: &[Var], pred: &dyn Fn(Var) -> bool| -> Option<Var> {
+        uses.iter().copied().find(|&u| pred(u))
+    };
     loop {
         st.rounds += 1;
         let mut changed = false;
@@ -39,6 +115,12 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                         //                     CALLDATALOAD(s, x).
                         if stmt_rba && !st.input_tainted[di] => {
                             st.input_tainted[di] = true;
+                            rec!(FactId::Input(d.0), Edge {
+                                rule: "source-calldata",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: vec![FactId::Reach(s.block.0)],
+                            });
                             inner_changed = true;
                         }
                     Op::Copy
@@ -54,11 +136,34 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                         // statements (Guard-2); storage taint through all
                         // (Guard-1).
                         if any_in && stmt_rba && !st.input_tainted[di] {
+                            // Source lookup precedes the mutation so a
+                            // self-referential def can't cite itself.
+                            let u = first_with(&s.uses, &|u: Var| {
+                                st.input_tainted[u.0 as usize]
+                            });
                             st.input_tainted[di] = true;
+                            rec!(FactId::Input(d.0), Edge {
+                                rule: "flow",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: vec![
+                                    FactId::Input(u.expect("any_in").0),
+                                    FactId::Reach(s.block.0),
+                                ],
+                            });
                             inner_changed = true;
                         }
                         if any_st && !st.storage_tainted[di] {
+                            let u = first_with(&s.uses, &|u: Var| {
+                                st.storage_tainted[u.0 as usize]
+                            });
                             st.storage_tainted[di] = true;
+                            rec!(FactId::Storage(d.0), Edge {
+                                rule: "flow",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: vec![FactId::Storage(u.expect("any_st").0)],
+                            });
                             inner_changed = true;
                         }
                     }
@@ -74,11 +179,34 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                                     .iter()
                                     .any(|(_, v)| st.storage_tainted[v.0 as usize]);
                                 if any_in && stmt_rba && !st.input_tainted[di] {
+                                    let (sid, v) = *stores
+                                        .iter()
+                                        .find(|(_, v)| st.input_tainted[v.0 as usize])
+                                        .expect("any_in");
                                     st.input_tainted[di] = true;
+                                    rec!(FactId::Input(d.0), Edge {
+                                        rule: "mem-flow",
+                                        stmt: Some(s.id),
+                                        via: Some(sid),
+                                        sources: vec![
+                                            FactId::Input(v.0),
+                                            FactId::Reach(s.block.0),
+                                        ],
+                                    });
                                     inner_changed = true;
                                 }
                                 if any_st && !st.storage_tainted[di] {
+                                    let (sid, v) = *stores
+                                        .iter()
+                                        .find(|(_, v)| st.storage_tainted[v.0 as usize])
+                                        .expect("any_st");
                                     st.storage_tainted[di] = true;
+                                    rec!(FactId::Storage(d.0), Edge {
+                                        rule: "mem-flow",
+                                        stmt: Some(s.id),
+                                        via: Some(sid),
+                                        sources: vec![FactId::Storage(v.0)],
+                                    });
                                     inner_changed = true;
                                 }
                             }
@@ -88,12 +216,13 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                         if !cfg.storage_taint {
                             continue;
                         }
-                        let tainted_load = match prep.ctx.classify_addr(s.uses[0]) {
+                        let addr = prep.ctx.classify_addr(s.uses[0]);
+                        let tainted_load = match &addr {
                             SAddr::Const(v) => {
-                                st.tainted_slots.contains(&v) || st.all_slots_tainted
+                                st.tainted_slots.contains(v) || st.all_slots_tainted
                             }
                             SAddr::Mapping { base, .. } => {
-                                st.tainted_mappings.contains(&base)
+                                st.tainted_mappings.contains(base)
                             }
                             SAddr::Unknown => {
                                 cfg.storage_model == StorageModel::Conservative
@@ -104,6 +233,22 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                         // storage-tainted, eluding guards.
                         if tainted_load && !st.storage_tainted[di] {
                             st.storage_tainted[di] = true;
+                            let source = match &addr {
+                                SAddr::Const(v) if st.tainted_slots.contains(v) => {
+                                    FactId::Slot(*v)
+                                }
+                                SAddr::Const(_) => FactId::AllSlots,
+                                SAddr::Mapping { base, .. } => {
+                                    FactId::MappingTaint(*base)
+                                }
+                                SAddr::Unknown => FactId::UnknownStore,
+                            };
+                            rec!(FactId::Storage(d.0), Edge {
+                                rule: "storage-load",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: vec![source],
+                            });
                             inner_changed = true;
                         }
                     }
@@ -137,20 +282,64 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                 if !tainted_value {
                     continue;
                 }
+                // The fact that makes this store's value tainted, for
+                // provenance (storage taint first, mirroring rule
+                // priority; attacker-reachability cited when needed).
+                let value_sources = || -> Vec<FactId> {
+                    if v_st {
+                        vec![FactId::Storage(value.0)]
+                    } else if v_in {
+                        vec![FactId::Input(value.0), FactId::Reach(s.block.0)]
+                    } else {
+                        vec![FactId::Sender(value.0), FactId::Reach(s.block.0)]
+                    }
+                };
                 match prep.ctx.classify_addr(key) {
                     SAddr::Const(v) => {
                         if st.tainted_slots.insert(v) {
+                            rec!(FactId::Slot(v), Edge {
+                                rule: "storage-write",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: value_sources(),
+                            });
                             changed = true;
                         }
                     }
                     SAddr::Mapping { base, keys } => {
                         if st.tainted_mappings.insert(base) {
+                            rec!(FactId::MappingTaint(base), Edge {
+                                rule: "storage-write",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: value_sources(),
+                            });
                             changed = true;
                         }
                         let key_attacker = keys.iter().any(|k| {
                             prep.ctx.ds[k.0 as usize] || st.input_tainted[k.0 as usize]
                         });
                         if key_attacker && st.writable_mappings.insert(base) {
+                            let k = *keys
+                                .iter()
+                                .find(|k| {
+                                    prep.ctx.ds[k.0 as usize]
+                                        || st.input_tainted[k.0 as usize]
+                                })
+                                .expect("key_attacker");
+                            let key_fact = if prep.ctx.ds[k.0 as usize] {
+                                FactId::Sender(k.0)
+                            } else {
+                                FactId::Input(k.0)
+                            };
+                            let mut sources = vec![key_fact];
+                            sources.extend(value_sources());
+                            rec!(FactId::Writable(base), Edge {
+                                rule: "enroll",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources,
+                            });
                             changed = true;
                         }
                     }
@@ -164,12 +353,33 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                         let conservative =
                             cfg.storage_model == StorageModel::Conservative;
                         if key_tainted || conservative {
+                            let sources = || -> Vec<FactId> {
+                                let mut srcs = value_sources();
+                                if st.input_tainted[key.0 as usize] {
+                                    srcs.push(FactId::Input(key.0));
+                                } else if st.storage_tainted[key.0 as usize] {
+                                    srcs.push(FactId::Storage(key.0));
+                                }
+                                srcs
+                            };
                             if !st.all_slots_tainted {
                                 st.all_slots_tainted = true;
+                                rec!(FactId::AllSlots, Edge {
+                                    rule: "storage-write-unknown",
+                                    stmt: Some(s.id),
+                                    via: None,
+                                    sources: sources(),
+                                });
                                 changed = true;
                             }
                             if !st.unknown_store_tainted {
                                 st.unknown_store_tainted = true;
+                                rec!(FactId::UnknownStore, Edge {
+                                    rule: "storage-write-unknown",
+                                    stmt: Some(s.id),
+                                    via: None,
+                                    sources: sources(),
+                                });
                                 changed = true;
                             }
                         }
@@ -198,6 +408,24 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
                         prep.ctx.ds[k.0 as usize] || st.input_tainted[k.0 as usize]
                     });
                     if key_attacker && st.writable_mappings.insert(base) {
+                        let k = *keys
+                            .iter()
+                            .find(|k| {
+                                prep.ctx.ds[k.0 as usize]
+                                    || st.input_tainted[k.0 as usize]
+                            })
+                            .expect("key_attacker");
+                        let key_fact = if prep.ctx.ds[k.0 as usize] {
+                            FactId::Sender(k.0)
+                        } else {
+                            FactId::Input(k.0)
+                        };
+                        rec!(FactId::Writable(base), Edge {
+                            rule: "enroll",
+                            stmt: Some(s.id),
+                            via: None,
+                            sources: vec![key_fact, FactId::Reach(s.block.0)],
+                        });
                         changed = true;
                     }
                 }
@@ -214,10 +442,43 @@ pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
             if guard_defeated(&prep.guards[g], st, cfg) && !cfg.freeze_guards {
                 st.defeated[g] = true;
                 st.any_defeat = true;
+                rec!(FactId::Defeated(g), Edge {
+                    rule: "guard-defeat",
+                    stmt: None,
+                    via: None,
+                    sources: defeat_sources(&prep.guards[g], st),
+                });
                 changed = true;
             }
         }
+        // When recording, diff `rba` around the recomputation so blocks
+        // opened by this round's defeats get a provenance edge citing
+        // every (now defeated) guard that was covering them.
+        let rba_before = prov.is_some().then(|| st.rba.clone());
         recompute_rba(prep, &st.defeated, &mut st.rba);
+        if let Some(before) = rba_before {
+            for (b, (&was, &now)) in before.iter().zip(&st.rba).enumerate() {
+                if was || !now {
+                    continue;
+                }
+                let covering: Vec<FactId> = prep
+                    .guards
+                    .iter()
+                    .enumerate()
+                    .filter(|(g, guard)| {
+                        st.defeated[*g]
+                            && guard.region.iter().any(|blk| blk.0 as usize == b)
+                    })
+                    .map(|(g, _)| FactId::Defeated(g))
+                    .collect();
+                rec!(FactId::Reach(b as u32), Edge {
+                    rule: "guards-defeated",
+                    stmt: None,
+                    via: None,
+                    sources: covering,
+                });
+            }
+        }
 
         if !changed || st.rounds > 64 {
             break;

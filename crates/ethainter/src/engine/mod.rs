@@ -23,6 +23,7 @@
 
 pub(crate) mod dense;
 pub(crate) mod indexes;
+pub(crate) mod provenance;
 pub(crate) mod sparse;
 
 use crate::config::Config;

@@ -1,0 +1,137 @@
+//! First-derivation provenance for the fixpoint relations.
+//!
+//! When witnesses are requested, the dense engine re-runs the fixpoint
+//! from a fresh [`State`](super::State) with a [`Provenance`] recorder
+//! attached, and every mutation site records *why* the fact first
+//! became true: the rule name, the statement that fired, and the
+//! prerequisite facts ([`FactId`]s). Because the rule system is
+//! monotone, first-derivation edges form an acyclic graph rooted at the
+//! axioms (CALLDATALOAD sources, `msg.sender`, unguarded blocks), so
+//! backtracking from any sink fact replays a concrete source→sink path.
+//!
+//! The dense engine's iteration order is fully deterministic (statement
+//! order, then guard order, then block order), which is what makes
+//! witnesses **byte-identical across engines**: the production engine
+//! may be sparse, but provenance always comes from the same canonical
+//! dense replay. The replay costs one extra dense fixpoint and is only
+//! paid when [`Config::witness`](crate::Config) is on.
+
+use super::Prepared;
+use decompiler::StmtId;
+use evm::U256;
+use std::collections::HashMap;
+
+/// A fact of the fixpoint state, addressable for provenance lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum FactId {
+    /// Variable carries input taint (`TaintedFlow`).
+    Input(u32),
+    /// Variable carries storage taint (`AttackerModelInfoflow`).
+    Storage(u32),
+    /// Constant storage slot holds tainted data.
+    Slot(U256),
+    /// Mapping base slot holds tainted data.
+    MappingTaint(U256),
+    /// Mapping base slot the attacker can enroll into.
+    Writable(U256),
+    /// `StorageWrite-2` fired: every known slot tainted.
+    AllSlots,
+    /// A tainted store to an unresolved address exists.
+    UnknownStore,
+    /// Guard (by index into `Prepared::guards`) was defeated.
+    Defeated(usize),
+    /// Block is `ReachableByAttacker`.
+    Reach(u32),
+    /// Variable is `msg.sender`-derived (Figure 4's `DS`) — a static
+    /// axiom, never carries an edge.
+    Sender(u32),
+}
+
+/// Why a fact first became true: the deriving rule, the statement that
+/// fired (plus an optional secondary site, e.g. the `MSTORE` feeding an
+/// `MLOAD`), and the prerequisite facts.
+#[derive(Clone, Debug)]
+pub(crate) struct Edge {
+    pub rule: &'static str,
+    pub stmt: Option<StmtId>,
+    pub via: Option<StmtId>,
+    pub sources: Vec<FactId>,
+}
+
+/// First-derivation edges for every fact the replay derived. Facts with
+/// no entry are axioms (or were never derived).
+pub(crate) struct Provenance {
+    input: Vec<Option<Edge>>,
+    storage: Vec<Option<Edge>>,
+    slots: HashMap<U256, Edge>,
+    mappings: HashMap<U256, Edge>,
+    writable: HashMap<U256, Edge>,
+    all_slots: Option<Edge>,
+    unknown_store: Option<Edge>,
+    defeated: Vec<Option<Edge>>,
+    reach: Vec<Option<Edge>>,
+}
+
+impl Provenance {
+    /// Empty recorder sized for `prep`'s program.
+    pub fn new(prep: &Prepared<'_>) -> Provenance {
+        Provenance {
+            input: vec![None; prep.ctx.p.n_vars as usize],
+            storage: vec![None; prep.ctx.p.n_vars as usize],
+            slots: HashMap::new(),
+            mappings: HashMap::new(),
+            writable: HashMap::new(),
+            all_slots: None,
+            unknown_store: None,
+            defeated: vec![None; prep.guards.len()],
+            reach: vec![None; prep.ctx.p.blocks.len()],
+        }
+    }
+
+    /// Records the first derivation of `fact`; later derivations are
+    /// ignored (the dense replay visits sites in deterministic order,
+    /// so "first" is canonical).
+    pub fn record(&mut self, fact: FactId, edge: Edge) {
+        let slot = match fact {
+            FactId::Input(v) => &mut self.input[v as usize],
+            FactId::Storage(v) => &mut self.storage[v as usize],
+            FactId::Slot(k) => {
+                self.slots.entry(k).or_insert(edge);
+                return;
+            }
+            FactId::MappingTaint(k) => {
+                self.mappings.entry(k).or_insert(edge);
+                return;
+            }
+            FactId::Writable(k) => {
+                self.writable.entry(k).or_insert(edge);
+                return;
+            }
+            FactId::AllSlots => &mut self.all_slots,
+            FactId::UnknownStore => &mut self.unknown_store,
+            FactId::Defeated(g) => &mut self.defeated[g],
+            FactId::Reach(b) => &mut self.reach[b as usize],
+            FactId::Sender(_) => return, // static axiom
+        };
+        if slot.is_none() {
+            *slot = Some(edge);
+        }
+    }
+
+    /// The first-derivation edge of `fact`, if it was derived (axioms
+    /// and never-derived facts return `None`).
+    pub fn get(&self, fact: FactId) -> Option<&Edge> {
+        match fact {
+            FactId::Input(v) => self.input.get(v as usize)?.as_ref(),
+            FactId::Storage(v) => self.storage.get(v as usize)?.as_ref(),
+            FactId::Slot(k) => self.slots.get(&k),
+            FactId::MappingTaint(k) => self.mappings.get(&k),
+            FactId::Writable(k) => self.writable.get(&k),
+            FactId::AllSlots => self.all_slots.as_ref(),
+            FactId::UnknownStore => self.unknown_store.as_ref(),
+            FactId::Defeated(g) => self.defeated.get(g)?.as_ref(),
+            FactId::Reach(b) => self.reach.get(b as usize)?.as_ref(),
+            FactId::Sender(_) => None,
+        }
+    }
+}

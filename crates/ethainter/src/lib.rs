@@ -37,11 +37,13 @@ mod engine;
 pub mod formalism;
 pub mod report;
 pub mod timing;
+pub mod witness;
 
 pub use analysis::{analyze, with_deadline};
 pub use config::{Config, Engine, StorageModel};
 pub use report::{FactCounts, Finding, Report, Stats, Vuln};
 pub use timing::{PhaseTimer, PhaseTimings};
+pub use witness::{Witness, WitnessStep};
 
 /// Version tag of the analysis *algorithm*, the third ingredient of
 /// `crates/store`'s content-addressed cache key (alongside the bytecode
@@ -68,16 +70,18 @@ pub fn analyze_bytecode_with_limits(
     config: &Config,
     limits: decompiler::Limits,
 ) -> Report {
-    let t_dec = timing::PhaseTimer::start();
+    let sp_dec = telemetry::span("ethainter.decompile");
     let mut program = decompiler::decompile_with_limits(bytecode, limits);
-    let decompile_us = t_dec.elapsed_us();
-    let t_pass = timing::PhaseTimer::start();
+    let decompile_us = sp_dec.finish_us();
+    let sp_pass = telemetry::span("ethainter.passes");
     if config.optimize_ir {
         decompiler::optimize(&mut program, &decompiler::PassConfig::default());
     }
-    let passes_us = t_pass.elapsed_us();
+    let passes_us = sp_pass.finish_us();
     let mut report = analyze(&program, config);
     report.stats.timings.decompile_us = decompile_us;
     report.stats.timings.passes_us = passes_us;
+    // `analyze` stamped a total without the two phases above; re-derive.
+    report.stats.timings.stamp_total();
     report
 }

@@ -2,6 +2,7 @@
 //! Ethainter-Kill and the evaluation harness).
 
 use crate::timing::PhaseTimings;
+use crate::witness::Witness;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -135,6 +136,15 @@ pub struct Report {
     pub defeated_guards: Vec<usize>,
     /// Statistics.
     pub stats: Stats,
+    /// Source→sink provenance witnesses, one per finding in finding
+    /// order — present only when [`Config::witness`](crate::Config) was
+    /// on. Observability riding on the verdicts: `crates/store` strips
+    /// witnesses from cache entries and `merged.jsonl` exactly like
+    /// timings, and the field serializes as *absent* (not `null`) when
+    /// unset so witness-off and witness-stripped records stay
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub witnesses: Option<Vec<Witness>>,
 }
 
 impl Report {

@@ -14,22 +14,33 @@ use std::time::Instant;
 
 /// Microseconds spent in each pipeline phase for one contract.
 ///
-/// The five phases cover the whole cold-scan pipeline:
+/// The seven phases cover the whole scan pipeline:
 ///
-/// 1. `decompile` — bytecode → TAC (context-cloning abstract
+/// 1. `cache_lookup` — result-cache key derivation + lookup, when the
+///    scan runs with a cache (0 otherwise);
+/// 2. `decompile` — bytecode → TAC (context-cloning abstract
 ///    interpretation);
-/// 2. `passes` — the IR optimization pipeline (constprop + DCE), when
+/// 3. `passes` — the IR optimization pipeline (constprop + DCE), when
 ///    enabled;
-/// 3. `index_build` — one-time analysis indexes: def/use sites,
+/// 4. `index_build` — one-time analysis indexes: def/use sites,
 ///    constants, `DS`/`DSA`, guard discovery, and the sparse engine's
 ///    edge maps;
-/// 4. `fixpoint` — the mutually-recursive taint/guard-defeat fixpoint
+/// 5. `fixpoint` — the mutually-recursive taint/guard-defeat fixpoint
 ///    (the engine-dependent hot path the `BENCH_fixpoint.json`
 ///    trajectory tracks);
-/// 5. `sink_scan` — detectors, the tainted-owner sink scan, and the
-///    composite-marker pass.
+/// 6. `sink_scan` — detectors, the tainted-owner sink scan, and the
+///    composite-marker pass;
+/// 7. `witness` — the provenance replay + source→sink path
+///    reconstruction, when [`Config::witness`](crate::Config) is on.
+///
+/// `total_us` is a *derived* field: whoever finishes stamping phases
+/// calls [`PhaseTimings::stamp_total`], establishing the invariant
+/// `total_us == phase_sum()` that the driver tests assert.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
+    /// Result-cache key + lookup, µs (0 when scanning without a cache).
+    #[serde(default)]
+    pub cache_lookup_us: u64,
     /// Bytecode → TAC decompilation, µs.
     #[serde(default)]
     pub decompile_us: u64,
@@ -45,16 +56,31 @@ pub struct PhaseTimings {
     /// Detectors + sink scan + composite markers, µs.
     #[serde(default)]
     pub sink_scan_us: u64,
+    /// Provenance replay + witness path reconstruction, µs.
+    #[serde(default)]
+    pub witness_us: u64,
+    /// Sum of all phases, stamped by [`PhaseTimings::stamp_total`].
+    #[serde(default)]
+    pub total_us: u64,
 }
 
 impl PhaseTimings {
-    /// Total microseconds across all phases.
-    pub fn total_us(&self) -> u64 {
-        self.decompile_us
+    /// Sum of every per-phase field (everything except `total_us`).
+    pub fn phase_sum(&self) -> u64 {
+        self.cache_lookup_us
+            + self.decompile_us
             + self.passes_us
             + self.index_build_us
             + self.fixpoint_us
             + self.sink_scan_us
+            + self.witness_us
+    }
+
+    /// Re-derives `total_us` from the phases. Call after the last phase
+    /// is stamped (and again if a later layer adds one, e.g. the
+    /// scanner adding `cache_lookup_us`).
+    pub fn stamp_total(&mut self) {
+        self.total_us = self.phase_sum();
     }
 }
 
@@ -87,15 +113,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn total_sums_all_phases() {
-        let t = PhaseTimings {
-            decompile_us: 1,
-            passes_us: 2,
-            index_build_us: 3,
-            fixpoint_us: 4,
-            sink_scan_us: 5,
+    fn stamp_total_establishes_the_phase_sum_invariant() {
+        let mut t = PhaseTimings {
+            cache_lookup_us: 1,
+            decompile_us: 2,
+            passes_us: 3,
+            index_build_us: 4,
+            fixpoint_us: 5,
+            sink_scan_us: 6,
+            witness_us: 7,
+            total_us: 0,
         };
-        assert_eq!(t.total_us(), 15);
+        assert_eq!(t.phase_sum(), 28);
+        t.stamp_total();
+        assert_eq!(t.total_us, t.phase_sum());
+        // Re-stamping after a later layer adds a phase keeps it true.
+        t.cache_lookup_us += 100;
+        t.stamp_total();
+        assert_eq!(t.total_us, 128);
     }
 
     #[test]

@@ -199,15 +199,20 @@ impl ResultStore {
         })
     }
 
-    /// Looks up a key, counting the hit or miss.
+    /// Looks up a key, counting the hit or miss — both in the store's
+    /// own persistent stats and in the global telemetry registry
+    /// (`ethainter_cache_{hits,misses}_total`), so `--metrics-out`
+    /// surfaces cache temperature without a second accounting path.
     pub fn get(&mut self, key: &CacheKey) -> Option<CachedResult> {
         match self.index.get(key) {
             Some(hit) => {
                 self.session_hits += 1;
+                telemetry::metrics::counter("ethainter_cache_hits_total").inc();
                 Some(hit.clone())
             }
             None => {
                 self.session_misses += 1;
+                telemetry::metrics::counter("ethainter_cache_misses_total").inc();
                 None
             }
         }
@@ -357,6 +362,7 @@ mod tests {
             facts: FactCounts::default(),
             lint: Vec::new(),
             timings: ethainter::PhaseTimings::default(),
+            witness: None,
         }
     }
 

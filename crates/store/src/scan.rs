@@ -20,8 +20,23 @@
 use crate::cache::{cache_key, CacheKey, CachedResult, ResultStore};
 use crate::checkpoint::Checkpoint;
 use crate::source::ContractSource;
-use driver::{DriverConfig, Outcome};
+use driver::{DriverConfig, Outcome, Status};
 use std::time::Instant;
+
+/// A cache miss queued for a driver run: (global index, id, code) plus
+/// the precomputed cache key and the µs its derivation + lookup took,
+/// when caching is on.
+type PendingItem = (usize, String, Vec<u8>, Option<CacheKey>, u64);
+
+/// Stamps the scanner-side `cache_lookup_us` phase onto an analyzed
+/// status and re-derives `total_us`, keeping the
+/// `total_us == phase_sum()` invariant after the last phase lands.
+fn stamp_cache_lookup(status: &mut Status, lookup_us: u64) {
+    if let Status::Analyzed { timings, .. } = status {
+        timings.cache_lookup_us = lookup_us;
+        timings.stamp_total();
+    }
+}
 
 /// Scan policy: driver settings, analysis config, chunking, and an
 /// optional record budget for this invocation.
@@ -97,9 +112,7 @@ impl Scanner<'_> {
         let started = Instant::now();
         let chunk_size = self.chunk.max(1);
         let mut summary = ScanSummary::default();
-        // Misses waiting for a driver run: (global index, id, code) plus
-        // the precomputed cache key when caching is on.
-        let mut pending: Vec<(usize, String, Vec<u8>, Option<CacheKey>)> = Vec::new();
+        let mut pending: Vec<PendingItem> = Vec::new();
         let mut index = 0usize;
 
         loop {
@@ -123,22 +136,36 @@ impl Scanner<'_> {
                 summary.skipped_completed += 1;
                 continue;
             }
-            let key = self.cache.as_ref().map(|_| cache_key(&item.bytecode, &self.analysis));
-            if let (Some(cache), Some(key)) = (self.cache.as_deref_mut(), key) {
-                if let Some(hit) = cache.get(&key) {
-                    let outcome = Outcome {
-                        index: i,
-                        id: item.id,
-                        status: hit.status,
-                        elapsed_ms: hit.elapsed_ms,
-                    };
-                    checkpoint.record(&outcome)?;
-                    sink(&outcome);
-                    summary.cache_hits += 1;
-                    continue;
+            // Key derivation + index probe is its own timed phase
+            // (`cache_lookup_us`), charged to the outcome whether the
+            // probe hits (the whole cost of a warm replay) or misses
+            // (overhead on top of the fresh analysis).
+            let mut lookup_us = 0u64;
+            let key = match self.cache.as_deref_mut() {
+                Some(cache) => {
+                    let sp_lookup = telemetry::span("store.cache_lookup");
+                    let key = cache_key(&item.bytecode, &self.analysis);
+                    let hit = cache.get(&key);
+                    lookup_us = sp_lookup.finish_us();
+                    if let Some(hit) = hit {
+                        let mut status = hit.status;
+                        stamp_cache_lookup(&mut status, lookup_us);
+                        let outcome = Outcome {
+                            index: i,
+                            id: item.id,
+                            status,
+                            elapsed_ms: hit.elapsed_ms,
+                        };
+                        checkpoint.record(&outcome)?;
+                        sink(&outcome);
+                        summary.cache_hits += 1;
+                        continue;
+                    }
+                    Some(key)
                 }
-            }
-            pending.push((i, item.id, item.bytecode, key));
+                None => None,
+            };
+            pending.push((i, item.id, item.bytecode, key, lookup_us));
             if pending.len() >= chunk_size {
                 self.flush(&mut pending, checkpoint, &mut summary, &mut sink)?;
             }
@@ -167,21 +194,24 @@ impl Scanner<'_> {
     /// and emits each outcome at its global index.
     fn flush(
         &mut self,
-        pending: &mut Vec<(usize, String, Vec<u8>, Option<CacheKey>)>,
+        pending: &mut Vec<PendingItem>,
         checkpoint: &mut Checkpoint,
         summary: &mut ScanSummary,
         sink: &mut impl FnMut(&Outcome),
     ) -> Result<(), String> {
-        let batch: Vec<(usize, Option<CacheKey>)> =
-            pending.iter().map(|(i, _, _, key)| (*i, *key)).collect();
+        let batch: Vec<(usize, Option<CacheKey>, u64)> =
+            pending.iter().map(|(i, _, _, key, us)| (*i, *key, *us)).collect();
         let items: Vec<(String, Vec<u8>)> = std::mem::take(pending)
             .into_iter()
-            .map(|(_, id, code, _)| (id, code))
+            .map(|(_, id, code, _, _)| (id, code))
             .collect();
         let report = driver::analyze_batch(items, &self.driver, &self.analysis);
         debug_assert_eq!(report.outcomes.len(), batch.len());
-        for (mut outcome, (global, key)) in report.outcomes.into_iter().zip(batch) {
+        for (mut outcome, (global, key, lookup_us)) in report.outcomes.into_iter().zip(batch) {
             outcome.index = global;
+            if key.is_some() {
+                stamp_cache_lookup(&mut outcome.status, lookup_us);
+            }
             checkpoint.record(&outcome)?;
             if let (Some(cache), Some(key)) = (self.cache.as_deref_mut(), key) {
                 cache.put(

@@ -18,8 +18,9 @@ fn arb_config() -> impl Strategy<Value = Config> {
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
+        any::<bool>(),
     )
-        .prop_map(|(guards, storage, conservative, freeze, opt, range, sparse)| Config {
+        .prop_map(|(guards, storage, conservative, freeze, opt, range, sparse, witness)| Config {
             guard_modeling: guards,
             storage_taint: storage,
             storage_model: if conservative {
@@ -31,6 +32,7 @@ fn arb_config() -> impl Strategy<Value = Config> {
             optimize_ir: opt,
             range_guards: range,
             engine: if sparse { Engine::Sparse } else { Engine::Dense },
+            witness,
         })
 }
 
@@ -135,6 +137,20 @@ proptest! {
             },
             ..cfg
         };
+        prop_assert_eq!(cache_key(&code, &other), cache_key(&code, &cfg));
+        prop_assert_eq!(other.fingerprint(), cfg.fingerprint());
+    }
+
+    /// The other deliberate insensitivity: `witness` only attaches
+    /// provenance riders (which the store strips before persisting
+    /// anything), so flipping it must NOT move the key — a cache
+    /// populated without witnesses stays warm when `--witness` turns on.
+    #[test]
+    fn witness_flip_keeps_the_key(
+        code in vec(any::<u8>(), 0..256),
+        cfg in arb_config(),
+    ) {
+        let other = Config { witness: !cfg.witness, ..cfg };
         prop_assert_eq!(cache_key(&code, &other), cache_key(&code, &cfg));
         prop_assert_eq!(other.fingerprint(), cfg.fingerprint());
     }

@@ -187,3 +187,77 @@ fn warm_hits_survive_engine_switch() {
         let _ = std::fs::remove_dir_all(&d);
     }
 }
+
+#[test]
+fn witness_mode_changes_no_persistent_artifact() {
+    // `--witness` attaches provenance riders to live outcomes, but the
+    // store strips them (with the timings) before anything persistent:
+    // two scans of the same population, one with witnesses and one
+    // without, must produce byte-identical merged verdicts AND
+    // byte-identical cache segment files. Each scan gets its own cold
+    // cache so the segments are written (not replayed) in both runs.
+    let plain = ethainter::Config::default();
+    let with_witness = ethainter::Config { witness: true, ..Default::default() };
+    let pop = PopulationConfig { size: 40, seed: 0x817_AE55, ..PopulationConfig::default() };
+    let src = || store::CorpusSource::new(pop);
+    // Segment records carry the wall-clock `elapsed_ms` of the original
+    // analysis, which legitimately varies between live runs — normalize
+    // it so the comparison pins everything the witness flag could have
+    // leaked (the status payloads) and nothing it couldn't (the clock).
+    let segment = |dir: &std::path::Path| -> String {
+        let text = std::fs::read_to_string(dir.join("segment.jsonl")).unwrap();
+        text.lines()
+            .map(|l| {
+                let mut v: serde_json::Value = serde_json::from_str(l).unwrap();
+                if let serde_json::Value::Object(fields) = &mut v {
+                    for (k, val) in fields.iter_mut() {
+                        if k == "elapsed_ms" {
+                            *val = serde_json::Value::UInt(0);
+                        }
+                    }
+                }
+                serde_json::to_string(&v).unwrap()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let plain_cache_dir = tmp_dir("wit-plain-cache");
+    let plain_dir = tmp_dir("wit-plain");
+    let mut plain_cache = ResultStore::open(&plain_cache_dir).unwrap();
+    let mut cp =
+        Checkpoint::create(&plain_dir, Manifest::new(&plain, src().descriptor())).unwrap();
+    Scanner { analysis: plain, ..scanner(Some(&mut plain_cache)) }
+        .scan(src(), &mut cp, |_| {}, |_| {})
+        .unwrap();
+    let plain_verdicts = cp.merged_verdicts_jsonl();
+    let plain_segment = segment(&plain_cache_dir);
+
+    let wit_cache_dir = tmp_dir("wit-on-cache");
+    let wit_dir = tmp_dir("wit-on");
+    let mut wit_cache = ResultStore::open(&wit_cache_dir).unwrap();
+    let mut cp2 =
+        Checkpoint::create(&wit_dir, Manifest::new(&with_witness, src().descriptor())).unwrap();
+    let mut saw_witness = false;
+    Scanner { analysis: with_witness, ..scanner(Some(&mut wit_cache)) }
+        .scan(
+            src(),
+            &mut cp2,
+            |o| {
+                if let driver::Status::Analyzed { witness: Some(w), findings, .. } = &o.status {
+                    saw_witness = true;
+                    assert_eq!(w.len(), *findings, "one witness per finding");
+                }
+            },
+            |_| {},
+        )
+        .unwrap();
+    assert!(saw_witness, "the population must produce at least one witnessed finding");
+
+    assert_eq!(cp2.merged_verdicts_jsonl(), plain_verdicts, "merged.jsonl is witness-blind");
+    assert_eq!(segment(&wit_cache_dir), plain_segment, "cache segments are witness-blind");
+
+    for d in [plain_cache_dir, plain_dir, wit_cache_dir, wit_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

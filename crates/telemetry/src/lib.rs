@@ -1,0 +1,39 @@
+//! # telemetry — spans, metrics, and progress for the ethainter pipeline
+//!
+//! A zero-external-dependency observability layer shared by every crate
+//! in the workspace. Three independent pieces:
+//!
+//! - [`span`] / [`SpanGuard`] — structured tracing. A span is a named,
+//!   timed region of code; guards nest via a thread-local stack so each
+//!   span records its parent, and completed spans land in a bounded
+//!   global ring buffer exportable as JSONL ([`spans_jsonl`]). Spans
+//!   *subsume* the per-phase stopwatch (`PhaseTimings`): the pipeline
+//!   times each phase by opening a span and stamping
+//!   [`SpanGuard::finish_us`] into the matching timings field, so the
+//!   trace and the timings can never disagree.
+//! - [`metrics`] — a global registry of named counters, gauges, and
+//!   log-bucketed histograms (power-of-two buckets, p50/p90/p99
+//!   estimates). All instruments are lock-free atomics, so rayon batch
+//!   workers aggregate into the same registry without coordination.
+//!   Snapshots export as JSON ([`metrics::Snapshot::to_json`]) and
+//!   Prometheus text exposition format
+//!   ([`metrics::Snapshot::to_prometheus`]).
+//! - [`progress`] — a throttled, single-line stderr heartbeat for long
+//!   batch runs (done/total, throughput, ETA) that auto-disables when
+//!   stderr is not a TTY so CI logs never see `\r` control characters.
+//!
+//! Metric names follow `ethainter_<subsystem>_<what>[_<unit>][_total]`
+//! (Prometheus conventions): counters end in `_total`, durations carry
+//! a `_us`/`_ms` unit suffix, and the subsystem is the crate that owns
+//! the instrument (`cache`, `scan`, `phase`, ...).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod progress;
+mod spans;
+
+pub use progress::Progress;
+pub use spans::{
+    set_span_capacity, span, spans_jsonl, take_spans, SpanGuard, SpanRecord,
+};

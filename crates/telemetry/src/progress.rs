@@ -1,0 +1,155 @@
+//! Live single-line progress/heartbeat for long batch runs.
+//!
+//! Renders `\r  123/300 41% 52.3/s eta 3s` to stderr, redrawn at most
+//! every 100 ms so a million-contract scan costs a handful of writes
+//! per second, not one per contract. The carriage-return trick only
+//! makes sense on an interactive terminal: when stderr is not a TTY
+//! (CI logs, redirects) the reporter auto-disables, and `--no-progress`
+//! forces it off even on a TTY. Rendering is separated from I/O
+//! ([`render_line`]) so the format is unit-testable without a
+//! terminal.
+
+use std::io::{IsTerminal, Write};
+use std::time::{Duration, Instant};
+
+/// Minimum interval between redraws.
+const REDRAW_EVERY: Duration = Duration::from_millis(100);
+
+/// Decides whether progress output should be enabled: on only when
+/// stderr is an interactive terminal and the user didn't pass
+/// `--no-progress`.
+pub fn progress_enabled(no_progress_flag: bool) -> bool {
+    !no_progress_flag && std::io::stderr().is_terminal()
+}
+
+/// A throttled stderr progress line. Construct once per batch, call
+/// [`tick`](Progress::tick) per completed item, [`finish`](Progress::finish)
+/// at the end.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    total: Option<u64>,
+    done: u64,
+    started: Instant,
+    last_draw: Option<Instant>,
+}
+
+impl Progress {
+    /// A reporter that follows [`progress_enabled`] (TTY detection plus
+    /// the `--no-progress` override).
+    pub fn new(total: Option<u64>, no_progress_flag: bool) -> Progress {
+        Progress::with_enabled(total, progress_enabled(no_progress_flag))
+    }
+
+    /// A reporter with the TTY decision made by the caller (tests).
+    pub fn with_enabled(total: Option<u64>, enabled: bool) -> Progress {
+        Progress {
+            enabled,
+            total,
+            done: 0,
+            started: Instant::now(),
+            last_draw: None,
+        }
+    }
+
+    /// Whether this reporter will ever write to stderr.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one completed item and redraws if the throttle allows.
+    pub fn tick(&mut self) {
+        self.done += 1;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.last_draw {
+            None => true,
+            Some(t) => now.duration_since(t) >= REDRAW_EVERY,
+        };
+        if due {
+            self.last_draw = Some(now);
+            let line = render_line(self.done, self.total, self.started.elapsed());
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r\x1b[2K{line}");
+            let _ = err.flush();
+        }
+    }
+
+    /// Draws a final line and moves to a fresh row so subsequent output
+    /// starts clean. No-op when disabled.
+    pub fn finish(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let line = render_line(self.done, self.total, self.started.elapsed());
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "\r\x1b[2K{line}");
+        let _ = err.flush();
+    }
+}
+
+/// Formats one progress line: `done[/total percent] rate/s [eta Ns]`.
+pub fn render_line(done: u64, total: Option<u64>, elapsed: Duration) -> String {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    match total {
+        Some(t) if t > 0 => {
+            let pct = done * 100 / t;
+            let eta = if rate > 0.0 && done < t {
+                format!(" eta {}s", ((t - done) as f64 / rate).ceil() as u64)
+            } else {
+                String::new()
+            };
+            format!("{done}/{t} {pct}% {rate:.1}/s{eta}")
+        }
+        _ => format!("{done} done {rate:.1}/s"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_progress_flag_always_disables() {
+        assert!(!progress_enabled(true));
+        let p = Progress::new(Some(10), true);
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    fn disabled_reporter_counts_but_never_draws() {
+        let mut p = Progress::with_enabled(Some(3), false);
+        p.tick();
+        p.tick();
+        p.finish();
+        assert_eq!(p.done, 2);
+        assert!(p.last_draw.is_none(), "disabled reporter must not draw");
+    }
+
+    #[test]
+    fn render_line_with_known_total_has_percent_and_eta() {
+        let line = render_line(50, Some(200), Duration::from_secs(10));
+        assert_eq!(line, "50/200 25% 5.0/s eta 30s");
+    }
+
+    #[test]
+    fn render_line_complete_drops_eta() {
+        let line = render_line(200, Some(200), Duration::from_secs(10));
+        assert_eq!(line, "200/200 100% 20.0/s");
+    }
+
+    #[test]
+    fn render_line_without_total_reports_rate_only() {
+        let line = render_line(7, None, Duration::from_secs(2));
+        assert_eq!(line, "7 done 3.5/s");
+    }
+
+    #[test]
+    fn render_line_at_time_zero_does_not_divide_by_zero() {
+        let line = render_line(0, Some(5), Duration::ZERO);
+        assert_eq!(line, "0/5 0% 0.0/s");
+    }
+}

@@ -1,0 +1,235 @@
+//! Span-based structured tracing.
+//!
+//! A [`span`] opens a named, timed region; dropping (or explicitly
+//! finishing) the returned [`SpanGuard`] records a [`SpanRecord`] into
+//! a bounded global ring buffer. Nesting is tracked per thread: the
+//! guard stashes the previous "current span" id on construction and
+//! restores it on drop, so `parent` links form a forest even under
+//! rayon's work stealing (each worker thread keeps its own stack).
+//!
+//! The collector is deliberately bounded ([`set_span_capacity`],
+//! default 4096 records): telemetry must never grow without limit
+//! during a million-contract scan. When full, the oldest records are
+//! evicted — recent history is what an operator exporting a trace
+//! actually wants.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, as stored in the ring buffer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanRecord {
+    /// Process-unique span id (monotonically assigned).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for roots.
+    pub parent: u64,
+    /// Static span name, e.g. `"ethainter.fixpoint"`.
+    pub name: String,
+    /// Start offset in microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct Collector {
+    buf: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn collector() -> &'static Mutex<Collector> {
+    static C: OnceLock<Mutex<Collector>> = OnceLock::new();
+    C.get_or_init(|| {
+        Mutex::new(Collector { buf: VecDeque::new(), capacity: 4096, dropped: 0 })
+    })
+}
+
+fn epoch() -> Instant {
+    static E: OnceLock<Instant> = OnceLock::new();
+    *E.get_or_init(Instant::now)
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// An open span; records itself into the global collector when dropped
+/// or [finished](SpanGuard::finish_us).
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    prev: u64,
+    name: &'static str,
+    started: Instant,
+    start_us: u64,
+}
+
+/// Opens a span named `name`, nested under the thread's current span.
+pub fn span(name: &'static str) -> SpanGuard {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| c.replace(id));
+    let started = Instant::now();
+    let start_us = started.duration_since(epoch()).as_micros() as u64;
+    SpanGuard { id, prev, name, started, start_us }
+}
+
+impl SpanGuard {
+    /// Closes the span, records it, and returns its duration in
+    /// microseconds — the hook that feeds `PhaseTimings` fields.
+    pub fn finish_us(self) -> u64 {
+        let us = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        // Drop runs next and records with the same clock; remember the
+        // value so the record and the returned duration agree exactly.
+        self.record(us);
+        std::mem::forget(self);
+        us
+    }
+
+    fn record(&self, dur_us: u64) {
+        CURRENT.with(|c| c.set(self.prev));
+        let rec = SpanRecord {
+            id: self.id,
+            parent: self.prev,
+            name: self.name.to_string(),
+            start_us: self.start_us,
+            dur_us,
+        };
+        let mut c = collector().lock().unwrap();
+        if c.buf.len() >= c.capacity {
+            c.buf.pop_front();
+            c.dropped += 1;
+        }
+        c.buf.push_back(rec);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let us = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.record(us);
+    }
+}
+
+/// Caps the ring buffer at `capacity` records, evicting the oldest if
+/// already over. A capacity of 0 effectively disables span collection.
+pub fn set_span_capacity(capacity: usize) {
+    let mut c = collector().lock().unwrap();
+    c.capacity = capacity;
+    while c.buf.len() > capacity {
+        c.buf.pop_front();
+        c.dropped += 1;
+    }
+}
+
+/// Drains and returns all buffered spans (oldest first).
+pub fn take_spans() -> Vec<SpanRecord> {
+    let mut c = collector().lock().unwrap();
+    c.buf.drain(..).collect()
+}
+
+/// Drains the buffer and renders one JSON object per line (JSONL),
+/// oldest span first — the export format for `--trace-out`.
+pub fn spans_jsonl() -> String {
+    let mut out = String::new();
+    for rec in take_spans() {
+        out.push_str(&serde_json::to_string(&rec).expect("span serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share one global collector, and `take_spans` drains
+    // it wholesale — two tests draining concurrently would steal each
+    // other's records. Serialize them behind one lock.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_parent_child_on_one_thread() {
+        let _g = guard();
+        let outer = span("test.outer_xq");
+        let inner = span("test.inner_xq");
+        drop(inner);
+        drop(outer);
+        let spans = take_spans();
+        let outer = spans.iter().find(|s| s.name == "test.outer_xq").unwrap();
+        let inner = spans.iter().find(|s| s.name == "test.inner_xq").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert!(inner.dur_us <= outer.dur_us);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let _g = guard();
+        let outer = span("test.parent_sib");
+        let a = span("test.sib_a");
+        drop(a);
+        let b = span("test.sib_b");
+        drop(b);
+        drop(outer);
+        let spans = take_spans();
+        let outer = spans.iter().find(|s| s.name == "test.parent_sib").unwrap();
+        let a = spans.iter().find(|s| s.name == "test.sib_a").unwrap();
+        let b = spans.iter().find(|s| s.name == "test.sib_b").unwrap();
+        assert_eq!(a.parent, outer.id);
+        assert_eq!(b.parent, outer.id);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn finish_us_returns_duration_and_records() {
+        let _lk = guard();
+        let g = span("test.finish_us");
+        let us = g.finish_us();
+        let spans = take_spans();
+        let rec = spans.iter().find(|s| s.name == "test.finish_us").unwrap();
+        assert_eq!(rec.dur_us, us);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let _g = guard();
+        drop(span("test.jsonl_a"));
+        drop(span("test.jsonl_b"));
+        let text = spans_jsonl();
+        let mine: Vec<&str> =
+            text.lines().filter(|l| l.contains("test.jsonl_")).collect();
+        assert_eq!(mine.len(), 2);
+        for line in mine {
+            let v = serde_json::parse(line).unwrap();
+            assert!(v.get("id").is_some());
+            assert!(v.get("dur_us").is_some());
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_when_full() {
+        let _g = guard();
+        take_spans();
+        set_span_capacity(3);
+        for name in
+            ["test.rb_1", "test.rb_2", "test.rb_3", "test.rb_4", "test.rb_5"]
+        {
+            // A fixed set of static names keeps `span` happy without a
+            // leak; each drop pushes one record.
+            drop(span(name));
+        }
+        let spans = take_spans();
+        set_span_capacity(4096);
+        assert_eq!(spans.len(), 3);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["test.rb_3", "test.rb_4", "test.rb_5"]);
+    }
+}

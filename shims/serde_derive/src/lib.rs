@@ -7,14 +7,21 @@
 //!
 //! Supported shapes — exactly what this workspace derives:
 //!
-//! - structs with named fields (`#[serde(default)]` honored per field)
+//! - structs with named fields (`#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "Option::is_none")]` honored per
+//!   field)
 //! - tuple structs (newtypes serialize transparently, wider ones as
 //!   arrays)
 //! - enums with unit, tuple, and struct variants (externally tagged,
-//!   matching serde's default representation)
+//!   matching serde's default representation); struct-variant fields
+//!   take the same attributes as struct fields
 //!
-//! Generic types and other serde attributes are rejected with a compile
-//! error rather than silently mishandled.
+//! `skip_serializing_if` accepts only the `"Option::is_none"` predicate
+//! (checked as "serialized to `Value::Null`", which is exactly how the
+//! shim's `Option` serializes `None`); on the way back in it implies
+//! `default`, so a skipped field deserializes as `None` instead of
+//! erroring. Generic types and other serde attributes are rejected
+//! with a compile error rather than silently mishandled.
 
 #![warn(missing_docs)]
 
@@ -25,6 +32,16 @@ struct Field {
     name: String,
     /// `#[serde(default)]` present.
     default: bool,
+    /// `#[serde(skip_serializing_if = "Option::is_none")]` present.
+    skip_none: bool,
+}
+
+/// Field-level serde attributes accumulated by [`Cursor::skip_attrs`].
+#[derive(Default)]
+struct AttrInfo {
+    default: bool,
+    /// The string argument of `skip_serializing_if`, if present.
+    skip_if: Option<String>,
 }
 
 /// The payload of one enum variant.
@@ -105,19 +122,17 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Skips attributes (`#[...]`); returns true if any skipped attribute
-    /// was `#[serde(default)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut has_default = false;
+    /// Skips attributes (`#[...]`), accumulating any recognized
+    /// `#[serde(...)]` field arguments along the way.
+    fn skip_attrs(&mut self) -> AttrInfo {
+        let mut info = AttrInfo::default();
         loop {
             match self.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     self.next();
                     if let Some(TokenTree::Group(g)) = self.peek() {
                         if g.delimiter() == Delimiter::Bracket {
-                            if attr_is_serde_default(&g.stream()) {
-                                has_default = true;
-                            }
+                            merge_serde_attr(&g.stream(), &mut info);
                             self.next();
                             continue;
                         }
@@ -127,7 +142,7 @@ impl Cursor {
                 _ => break,
             }
         }
-        has_default
+        info
     }
 
     /// Skips `pub` / `pub(...)` visibility.
@@ -168,19 +183,39 @@ impl Cursor {
     }
 }
 
-/// Does this attribute body (the tokens inside `#[...]`) spell
-/// `serde(default)`?
-fn attr_is_serde_default(body: &TokenStream) -> bool {
+/// If this attribute body (the tokens inside `#[...]`) is a
+/// `serde(...)` attribute, folds its recognized arguments
+/// (`default`, `skip_serializing_if = "..."`) into `info`.
+fn merge_serde_attr(body: &TokenStream, info: &mut AttrInfo) {
     let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
-    match tokens.as_slice() {
+    let args = match tokens.as_slice() {
         [TokenTree::Ident(name), TokenTree::Group(args)]
             if name.to_string() == "serde" =>
         {
-            args.stream().into_iter().any(
-                |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"),
-            )
+            args.stream()
         }
-        _ => false,
+        _ => return,
+    };
+    let mut cur = Cursor::new(args);
+    while let Some(t) = cur.next() {
+        let TokenTree::Ident(id) = &t else { continue };
+        match id.to_string().as_str() {
+            "default" => info.default = true,
+            "skip_serializing_if" => {
+                // Expect `= "path"`.
+                match (cur.next(), cur.next()) {
+                    (
+                        Some(TokenTree::Punct(eq)),
+                        Some(TokenTree::Literal(lit)),
+                    ) if eq.as_char() == '=' => {
+                        info.skip_if =
+                            Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                    _ => info.skip_if = Some(String::new()),
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -220,7 +255,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut cur = Cursor::new(body);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        let default = cur.skip_attrs();
+        let attrs = cur.skip_attrs();
         if cur.at_end() {
             break;
         }
@@ -231,7 +266,17 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
             other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
         }
         cur.skip_to_top_level_comma();
-        fields.push(Field { name, default });
+        let skip_none = match attrs.skip_if.as_deref() {
+            None => false,
+            Some("Option::is_none") => true,
+            Some(other) => {
+                return Err(format!(
+                    "serde shim supports only skip_serializing_if = \
+                     \"Option::is_none\", field `{name}` uses {other:?}"
+                ))
+            }
+        };
+        fields.push(Field { name, default: attrs.default, skip_none });
     }
     Ok(fields)
 }
@@ -304,16 +349,33 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
 // Code generation
 // ---------------------------------------------------------------------------
 
+/// One `__fields.push(...)` statement for a named field, honoring
+/// `skip_serializing_if = "Option::is_none"` (the shim's `Option`
+/// serializes `None` as `Value::Null`, so "is none" is a `Null` check
+/// on the serialized value).
+fn field_push(f: &Field, expr: &str) -> String {
+    if f.skip_none {
+        format!(
+            "{{ let __val = ::serde::Serialize::serialize({expr});\n\
+             if !::std::matches!(__val, ::serde::Value::Null) {{\n\
+             __fields.push(({:?}.to_string(), __val));\n}} }}\n",
+            f.name
+        )
+    } else {
+        format!(
+            "__fields.push(({:?}.to_string(), ::serde::Serialize::serialize({expr})));\n",
+            f.name
+        )
+    }
+}
+
 fn gen_serialize(item: &Input) -> String {
     let name = &item.name;
     let body = match &item.shape {
         Shape::NamedStruct(fields) => {
             let mut pushes = String::new();
             for f in fields {
-                pushes.push_str(&format!(
-                    "__fields.push(({:?}.to_string(), ::serde::Serialize::serialize(&self.{})));\n",
-                    f.name, f.name
-                ));
+                pushes.push_str(&field_push(f, &format!("&self.{}", f.name)));
             }
             format!(
                 "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
@@ -355,20 +417,17 @@ fn gen_serialize(item: &Input) -> String {
                     Payload::Named(fields) => {
                         let binds: Vec<String> =
                             fields.iter().map(|f| f.name.clone()).collect();
-                        let pushes: Vec<String> = fields
+                        let pushes: String = fields
                             .iter()
-                            .map(|f| {
-                                format!(
-                                    "({:?}.to_string(), ::serde::Serialize::serialize({}))",
-                                    f.name, f.name
-                                )
-                            })
+                            .map(|f| field_push(f, &f.name))
                             .collect();
                         arms.push_str(&format!(
-                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), \
-                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(::std::vec![({vn:?}.to_string(), \
+                             ::serde::Value::Object(__fields))])\n}},\n",
                             binds.join(", "),
-                            pushes.join(", ")
                         ));
                     }
                 }
@@ -389,8 +448,13 @@ fn gen_deserialize(item: &Input) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    let helper =
-                        if f.default { "__field_or_default" } else { "__field" };
+                    // `skip_none` implies `default`: a field the writer
+                    // skipped must read back as `None`, not error.
+                    let helper = if f.default || f.skip_none {
+                        "__field_or_default"
+                    } else {
+                        "__field"
+                    };
                     format!("{}: ::serde::{helper}(__v, {:?})?", f.name, f.name)
                 })
                 .collect();
@@ -446,7 +510,7 @@ fn gen_deserialize(item: &Input) -> String {
                         let inits: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                let helper = if f.default {
+                                let helper = if f.default || f.skip_none {
                                     "__field_or_default"
                                 } else {
                                     "__field"

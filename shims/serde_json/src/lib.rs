@@ -408,4 +408,45 @@ mod tests {
         let back: Value = from_str(r#""A😀""#).unwrap();
         assert_eq!(back, Value::Str("A😀".into()));
     }
+
+    #[test]
+    fn skip_serializing_if_none_omits_the_field() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Rec {
+            a: u32,
+            #[serde(default, skip_serializing_if = "Option::is_none")]
+            w: Option<u32>,
+        }
+        let none = Rec { a: 1, w: None };
+        let json = to_string(&none).unwrap();
+        assert!(!json.contains("\"w\""), "None field must be omitted: {json}");
+        assert_eq!(from_str::<Rec>(&json).unwrap(), none);
+        let some = Rec { a: 1, w: Some(9) };
+        let json = to_string(&some).unwrap();
+        assert!(json.contains("\"w\":9"), "Some field must serialize: {json}");
+        assert_eq!(from_str::<Rec>(&json).unwrap(), some);
+    }
+
+    #[test]
+    fn skip_serializing_if_none_works_in_enum_struct_variants() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Msg {
+            Data {
+                n: u32,
+                #[serde(skip_serializing_if = "Option::is_none")]
+                extra: Option<String>,
+            },
+            Quit,
+        }
+        let bare = Msg::Data { n: 7, extra: None };
+        let json = to_string(&bare).unwrap();
+        assert!(!json.contains("extra"), "{json}");
+        assert_eq!(from_str::<Msg>(&json).unwrap(), bare);
+        let full = Msg::Data { n: 7, extra: Some("x".into()) };
+        assert_eq!(from_str::<Msg>(&to_string(&full).unwrap()).unwrap(), full);
+        assert_eq!(
+            from_str::<Msg>(&to_string(&Msg::Quit).unwrap()).unwrap(),
+            Msg::Quit
+        );
+    }
 }
