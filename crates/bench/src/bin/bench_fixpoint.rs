@@ -5,31 +5,60 @@
 //!
 //! Every contract is decompiled and optimized **once**; each engine
 //! then runs `ethainter::analyze` on the same prepared program, so the
-//! measured delta is purely fixpoint evaluation (the per-phase
-//! `fixpoint_us` timing, which excludes index construction). The run
-//! doubles as a differential check: any divergence in findings, fact
-//! counts, or defeated guards between the engines aborts with a
-//! non-zero exit — the benchmark refuses to publish numbers for
-//! engines that disagree.
+//! measured delta is purely analysis evaluation. Alongside the headline
+//! `fixpoint_us` distribution, the artifact carries an `index_build_us`
+//! distribution and per-phase medians, so regressions can be localized
+//! to a phase without re-profiling. The run doubles as a differential
+//! check: any divergence in findings, fact counts, or defeated guards
+//! between the engines aborts with a non-zero exit — the benchmark
+//! refuses to publish numbers for engines that disagree.
 //!
 //! ```text
-//! bench_fixpoint [--corpus N] [--seed S] [--quick] [--out PATH]
+//! bench_fixpoint [--corpus N] [--seed S] [--scale small|realistic|adversarial]
+//!                [--quick] [--out PATH]
 //! ```
+//!
+//! `--scale` picks the structural scale of the generated corpus
+//! (default `realistic`, matching the committed artifact — the small
+//! templates finish under the clock's resolution and make the sparse
+//! engine read as "infinitely fast"). When a distribution's p50 still
+//! rounds to 0µs, the artifact says so honestly: the engine row gets
+//! `"below_resolution": true` and the run prints a warning.
 //!
 //! `--quick` shrinks the corpus to 50 contracts for the CI perf-smoke
 //! job; the default 500 matches the committed artifact.
 
 use bench::{latency_summary, LatencySummary};
-use corpus::{Population, PopulationConfig};
-use ethainter::{Config, Engine, Report};
+use corpus::{Population, PopulationConfig, Scale};
+use ethainter::{Config, Engine, PhaseTimings, Report};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
+
+/// Medians of the per-contract phase timings (µs). Decompile/passes are
+/// always zero here (programs are prepared once, outside the timed
+/// region) and omitted.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct PhaseMedians {
+    index_build_us: u64,
+    fixpoint_us: u64,
+    sink_scan_us: u64,
+    total_us: u64,
+}
 
 /// One engine's aggregate over the corpus.
 #[derive(Debug, Default, Serialize, Deserialize)]
 struct EngineRow {
     /// Per-contract fixpoint latency distribution (µs).
     fixpoint_us: LatencySummary,
+    /// Per-contract index-construction latency distribution (µs) —
+    /// guard discovery, def-use, const/DS propagation, sparse indexes.
+    index_build_us: LatencySummary,
+    /// Per-phase medians over the corpus.
+    phase_medians_us: PhaseMedians,
+    /// True when `fixpoint_us.p50` rounded to 0µs: the corpus is too
+    /// small for this engine to register on a microsecond clock, and
+    /// ratios against this row are meaningless.
+    below_resolution: bool,
     /// Sum of per-contract convergence rounds (engine-specific metric:
     /// dense counts re-scan passes, sparse counts 1 + defeat waves).
     rounds_total: u64,
@@ -45,6 +74,9 @@ struct BenchArtifact {
     corpus: usize,
     /// Corpus generator seed.
     seed: u64,
+    /// Structural corpus scale (`small` | `realistic` | `adversarial`).
+    /// Trajectories are only comparable PR-over-PR at the same scale.
+    scale: String,
     /// Timed analyses per (contract, engine); the fastest is kept.
     runs_per_contract: u32,
     dense: EngineRow,
@@ -63,9 +95,49 @@ fn total_facts(r: &Report) -> u64 {
         + f.defeated_guards) as u64
 }
 
+/// Builds one engine's row from its per-contract best-run samples.
+fn engine_row(
+    name: &str,
+    timings: &[PhaseTimings],
+    rounds_total: u64,
+    facts_total: u64,
+) -> EngineRow {
+    let mut fixpoint: Vec<u64> = timings.iter().map(|t| t.fixpoint_us).collect();
+    let mut index_build: Vec<u64> = timings.iter().map(|t| t.index_build_us).collect();
+    let median = |field: fn(&PhaseTimings) -> u64| -> u64 {
+        let mut v: Vec<u64> = timings.iter().map(field).collect();
+        v.sort_unstable();
+        v.get(v.len() / 2).copied().unwrap_or(0)
+    };
+    let phase_medians_us = PhaseMedians {
+        index_build_us: median(|t| t.index_build_us),
+        fixpoint_us: median(|t| t.fixpoint_us),
+        sink_scan_us: median(|t| t.sink_scan_us),
+        total_us: median(|t| t.total_us),
+    };
+    let fixpoint_us = latency_summary(&mut fixpoint);
+    let below_resolution = fixpoint_us.p50 == 0;
+    if below_resolution {
+        eprintln!(
+            "bench_fixpoint: WARNING: {name} fixpoint p50 rounds to 0µs — corpus too \
+             small for this engine to register; re-run with a larger --scale before \
+             reading ratios off this row"
+        );
+    }
+    EngineRow {
+        fixpoint_us,
+        index_build_us: latency_summary(&mut index_build),
+        phase_medians_us,
+        below_resolution,
+        rounds_total,
+        facts_total,
+    }
+}
+
 fn main() -> ExitCode {
     let mut corpus_n = 500usize;
     let mut seed = 7u64;
+    let mut scale = Scale::Realistic;
     let mut out_path = String::from("BENCH_fixpoint.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,6 +157,14 @@ fn main() -> ExitCode {
                 seed = take(i).parse().expect("bad --seed");
                 i += 1;
             }
+            "--scale" => {
+                let v = take(i);
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("bench_fixpoint: bad --scale `{v}` (small|realistic|adversarial)");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
             "--out" => {
                 out_path = take(i);
                 i += 1;
@@ -92,7 +172,10 @@ fn main() -> ExitCode {
             "--quick" => corpus_n = 50,
             other => {
                 eprintln!("bench_fixpoint: unknown flag `{other}`");
-                eprintln!("usage: bench_fixpoint [--corpus N] [--seed S] [--quick] [--out PATH]");
+                eprintln!(
+                    "usage: bench_fixpoint [--corpus N] [--seed S] \
+                     [--scale small|realistic|adversarial] [--quick] [--out PATH]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -102,9 +185,14 @@ fn main() -> ExitCode {
     let pop = Population::generate(&PopulationConfig {
         size: corpus_n,
         seed,
+        scale,
         ..Default::default()
     });
-    eprintln!("bench_fixpoint: {} contracts (seed {seed})", pop.contracts.len());
+    eprintln!(
+        "bench_fixpoint: {} contracts (seed {seed}, scale {})",
+        pop.contracts.len(),
+        scale.name()
+    );
 
     // Decompile + optimize once per contract; both engines analyze the
     // identical prepared program.
@@ -127,10 +215,12 @@ fn main() -> ExitCode {
     // Best-of-N damps scheduler noise on a shared machine; verdicts are
     // checked on every run, not just the timed-best one.
     const RUNS: u32 = 3;
-    let mut dense = EngineRow::default();
-    let mut sparse = EngineRow::default();
-    let mut dense_us = Vec::with_capacity(programs.len());
-    let mut sparse_us = Vec::with_capacity(programs.len());
+    let mut dense_rounds = 0u64;
+    let mut sparse_rounds = 0u64;
+    let mut dense_facts = 0u64;
+    let mut sparse_facts = 0u64;
+    let mut dense_t: Vec<PhaseTimings> = Vec::with_capacity(programs.len());
+    let mut sparse_t: Vec<PhaseTimings> = Vec::with_capacity(programs.len());
 
     for (ci, p) in programs.iter().enumerate() {
         let mut best: [Option<(u64, Report)>; 2] = [None, None];
@@ -156,8 +246,8 @@ fn main() -> ExitCode {
                 }
             }
         }
-        let (d_us, d) = best[0].take().unwrap();
-        let (s_us, s) = best[1].take().unwrap();
+        let (_, d) = best[0].take().unwrap();
+        let (_, s) = best[1].take().unwrap();
         if d.findings != s.findings
             || d.stats.facts != s.stats.facts
             || d.defeated_guards != s.defeated_guards
@@ -168,22 +258,21 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        dense_us.push(d_us);
-        sparse_us.push(s_us);
-        dense.rounds_total += d.stats.rounds as u64;
-        sparse.rounds_total += s.stats.rounds as u64;
-        dense.facts_total += total_facts(&d);
-        sparse.facts_total += total_facts(&s);
+        dense_t.push(d.stats.timings);
+        sparse_t.push(s.stats.timings);
+        dense_rounds += d.stats.rounds as u64;
+        sparse_rounds += s.stats.rounds as u64;
+        dense_facts += total_facts(&d);
+        sparse_facts += total_facts(&s);
     }
 
-    dense.fixpoint_us = latency_summary(&mut dense_us);
-    sparse.fixpoint_us = latency_summary(&mut sparse_us);
     let artifact = BenchArtifact {
         corpus: programs.len(),
         seed,
+        scale: scale.name().to_string(),
         runs_per_contract: RUNS,
-        dense,
-        sparse,
+        dense: engine_row("dense", &dense_t, dense_rounds, dense_facts),
+        sparse: engine_row("sparse", &sparse_t, sparse_rounds, sparse_facts),
         verdicts_identical: true,
     };
 

@@ -119,6 +119,48 @@ fn arb_config() -> impl Strategy<Value = Config> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Scaled presets: random (seed, scale, config) triples where the
+    /// scale is drawn from the *large* presets (realistic/adversarial),
+    /// so the differential also covers megacontracts whose fixpoints
+    /// take thousands of worklist pops — few cases, because each one
+    /// decompiles and analyzes a 10–50 KB contract twice.
+    #[test]
+    fn scaled_presets_are_engine_invariant(
+        seed in any::<u64>(),
+        adversarial in any::<bool>(),
+        cfg in arb_config(),
+    ) {
+        let scale = if adversarial {
+            corpus::Scale::Adversarial
+        } else {
+            corpus::Scale::Realistic
+        };
+        let pop = corpus::Population::generate(&corpus::PopulationConfig {
+            size: 1,
+            seed,
+            scale,
+            ..Default::default()
+        });
+        let (dense_cfg, sparse_cfg) = both_engines(&cfg);
+        for c in &pop.contracts {
+            let d = ethainter::analyze_bytecode(&c.bytecode, &dense_cfg);
+            let s = ethainter::analyze_bytecode(&c.bytecode, &sparse_cfg);
+            prop_assert_eq!(
+                verdict(&d),
+                verdict(&s),
+                "engines diverge on {}#{} (seed {}, scale {:?})",
+                c.family,
+                c.id,
+                seed,
+                scale
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Random (corpus seed, config) pairs: a fresh 3-contract

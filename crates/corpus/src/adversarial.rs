@@ -1,0 +1,535 @@
+//! Adversarial-scale contract generators: realistic DeFi-shaped
+//! contracts large enough to make the fixpoint engines sweat.
+//!
+//! The small templates in [`templates`](crate::templates) are calibrated
+//! for *prevalence* realism (the §6.2 flagged-percentage table); the
+//! generators here are calibrated for *shape* realism — the structural
+//! properties that dominate analysis cost on deployed mainnet code:
+//!
+//! - **Dispatcher fan-out**: dozens of external selectors, so guard
+//!   discovery and reachability work over many entry regions at once.
+//! - **Deep internal call chains**: taint must flow through
+//!   per-call-site memory argument cells across many frames (and the
+//!   context-cloning decompiler multiplies every chain by its call
+//!   sites).
+//! - **Wide mapping families**: many distinct mapping base slots, so the
+//!   storage-taint relations carry many atoms instead of a handful.
+//! - **Nested guard chains**: membership tiers enrolled level-by-level,
+//!   forcing one delta-`ReachableByAttacker` wave per tier in the sparse
+//!   engine (and a full re-scan per wave in the dense one).
+//!
+//! Every generator is parameterized by [`Knobs`] and exposed as a plain
+//! template function (`fn(&mut impl Rng) -> Spec`, like
+//! [`templates`](crate::templates)) at the
+//! [`Scale::Realistic`](crate::Scale) and
+//! [`Scale::Adversarial`](crate::Scale) presets, so the population
+//! machinery (weighted sampling, dedup, streaming) is unchanged.
+//!
+//! Size envelope (enforced by tests): `Realistic` contracts land in
+//! roughly 4–25 KB of runtime bytecode, `Adversarial` in 10–50 KB, and
+//! both decompile completely within the decompiler's default block and
+//! statement budgets.
+
+use crate::templates::{GroundTruth, Spec};
+use ethainter::Vuln;
+use rand::Rng;
+use std::fmt::Write;
+
+/// Structural size parameters for one adversarial contract, drawn
+/// uniformly from inclusive ranges.
+#[derive(Clone, Copy, Debug)]
+pub struct Knobs {
+    /// Dispatched (public) functions beyond the fixed protocol core.
+    pub entry_fns: (usize, usize),
+    /// Length of the internal call chain threading taint through memory
+    /// argument cells.
+    pub chain_depth: (usize, usize),
+    /// Distinct mapping state variables (storage-atom width).
+    pub mappings: (usize, usize),
+    /// Nested membership-guard tiers (delta-rba wave count).
+    pub guard_levels: (usize, usize),
+    /// Storage operations per internal-chain stage (statement weight of
+    /// each cloned frame).
+    pub chain_fat: (usize, usize),
+}
+
+impl Knobs {
+    /// The `--scale realistic` preset: mid-size deployed-protocol shape.
+    pub const REALISTIC: Knobs = Knobs {
+        entry_fns: (28, 40),
+        chain_depth: (10, 14),
+        mappings: (6, 10),
+        guard_levels: (3, 6),
+        chain_fat: (7, 10),
+    };
+
+    /// The `--scale adversarial` preset: worst-plausible mainnet shape.
+    pub const ADVERSARIAL: Knobs = Knobs {
+        entry_fns: (44, 64),
+        chain_depth: (10, 13),
+        mappings: (12, 20),
+        guard_levels: (6, 10),
+        chain_fat: (7, 10),
+    };
+
+    fn entry_fns(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(self.entry_fns.0..self.entry_fns.1 + 1)
+    }
+    fn chain_depth(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(self.chain_depth.0..self.chain_depth.1 + 1)
+    }
+    fn mappings(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(self.mappings.0..self.mappings.1 + 1)
+    }
+    fn guard_levels(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(self.guard_levels.0..self.guard_levels.1 + 1)
+    }
+    fn chain_fat(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(self.chain_fat.0..self.chain_fat.1 + 1)
+    }
+}
+
+fn suffix(rng: &mut impl Rng) -> u32 {
+    rng.gen_range(0..100_000)
+}
+
+/// Emits a deep internal call chain `name0 … name{depth-1}`, each stage
+/// a fat straight-line frame: `fat` mapping updates over the
+/// `map{0..n_maps}` family (keyed by the threaded address argument) plus
+/// two counter-slot bumps, then a tail call to the next stage. Straight-
+/// line on purpose — the context-cloning decompiler clones one chain per
+/// call site, so statement weight multiplies without block-count growth.
+#[allow(clippy::too_many_arguments)]
+fn emit_chain(
+    s: &mut String,
+    rng: &mut impl Rng,
+    name: &str,
+    map: &str,
+    counters: (&str, &str),
+    depth: usize,
+    n_maps: usize,
+    fat: usize,
+) {
+    for i in 0..depth {
+        let _ = writeln!(s, "    function {name}{i}(address a, uint v) internal {{");
+        for w in 0..fat {
+            let m = (i * fat + w) % n_maps;
+            match w % 3 {
+                0 => {
+                    let _ = writeln!(s, "        {map}{m}[a] += v + {b};", b = rng.gen_range(1..99u32));
+                }
+                1 => {
+                    let _ = writeln!(s, "        {map}{m}[a] += v / {d};", d = rng.gen_range(2..50u32));
+                }
+                _ => {
+                    let _ = writeln!(s, "        {map}{m}[a] -= v / {d};", d = rng.gen_range(2..50u32));
+                }
+            }
+        }
+        let _ = write!(s, "        {c0} += v;\n        {c1} += 1;\n", c0 = counters.0, c1 = counters.1);
+        if i + 1 < depth {
+            let _ = writeln!(s, "        {name}{next}(a, v + {b});", next = i + 1, b = rng.gen_range(1..9u32));
+        }
+        s.push_str("    }\n");
+    }
+}
+
+// ------------------------------------------------------------- safe ----
+
+/// A DeFi-style pooled-deposit protocol: wide dispatcher, a deep
+/// internal settlement chain shared by every deposit entry point, and a
+/// family of per-pool mappings. Owner administration is constructor-set
+/// and never attacker-writable — clean.
+pub fn defi_protocol(rng: &mut impl Rng, k: &Knobs) -> Spec {
+    let sfx = suffix(rng);
+    let n_maps = k.mappings(rng);
+    let depth = k.chain_depth(rng);
+    let entries = k.entry_fns(rng);
+    let owner = rng.gen_range(1u64..u32::MAX as u64);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "contract Protocol{sfx} {{\n    address owner = 0x{owner:x};\n    uint totalLocked;\n    uint feeRate = {fee};\n    uint epoch;\n",
+        fee = rng.gen_range(1..500u32),
+    );
+    for i in 0..n_maps {
+        let _ = writeln!(s, "    mapping(address => uint) pool{i};");
+    }
+    s.push_str("    mapping(address => mapping(address => uint)) approvals;\n");
+    s.push_str("    modifier onlyOwner() { require(msg.sender == owner); _; }\n");
+    // Two fat internal chains: the settlement chain books deposits
+    // across the whole pool family, the rake chain books fees on the
+    // way out. Every entry point calls one of them, so the
+    // context-cloning decompiler clones a full chain per selector and
+    // taint repeatedly crosses memory argument cells.
+    let fat = k.chain_fat(rng);
+    emit_chain(&mut s, rng, "settle", "pool", ("totalLocked", "epoch"), depth, n_maps, fat);
+    emit_chain(&mut s, rng, "rake", "pool", ("epoch", "totalLocked"), depth, n_maps, fat);
+    for j in 0..entries {
+        let m = j % n_maps;
+        let m2 = (j + 3) % n_maps;
+        match j % 5 {
+            0 => {
+                let _ = write!(
+                    s,
+                    "    function deposit{j}(uint v) public {{\n        require(v > 0);\n        settle0(msg.sender, v);\n        pool{m2}[msg.sender] += v / {half};\n        emit Deposit(uint(msg.sender), v);\n    }}\n",
+                    half = rng.gen_range(2..9u32),
+                );
+            }
+            1 => {
+                let _ = write!(
+                    s,
+                    "    function withdraw{j}(uint v) public {{\n        require(pool{m}[msg.sender] >= v);\n        pool{m}[msg.sender] -= v;\n        rake0(msg.sender, v);\n        totalLocked -= v;\n        emit Withdraw(uint(msg.sender), v);\n    }}\n"
+                );
+            }
+            2 => {
+                let _ = write!(
+                    s,
+                    "    function approve{j}(address spender, uint v) public {{\n        approvals[msg.sender][spender] = v;\n        settle0(spender, v);\n        epoch += 1;\n    }}\n"
+                );
+            }
+            3 => {
+                let _ = write!(
+                    s,
+                    "    function harvest{j}(address a, uint v) public {{\n        require(pool{m}[a] > 0);\n        rake0(a, v + pool{m2}[a] + feeRate * {rate});\n    }}\n",
+                    rate = rng.gen_range(1..100u32),
+                );
+            }
+            _ => {
+                let _ = write!(
+                    s,
+                    "    function rebase{j}(uint v) public {{\n        if (v > {cut}) {{ epoch += v; totalLocked += v / {div}; }}\n        settle0(msg.sender, v + 1);\n    }}\n",
+                    cut = rng.gen_range(5..5_000u32),
+                    div = rng.gen_range(2..20u32),
+                );
+            }
+        }
+    }
+    s.push_str("    function setFee(uint f) public onlyOwner { feeRate = f; }\n");
+    s.push_str("    function advance() public onlyOwner { epoch += 1; }\n}");
+    Spec { family: "adv_defi_protocol", source: s, truth: GroundTruth::default() }
+}
+
+/// A tiered access-control fortress: `guard_levels` nested membership
+/// tiers, each enrolled only from the tier below it, rooted at a
+/// constructor-set owner. The chain is intact, so nothing is reachable —
+/// clean, but the analyzer must still discover every guard and cover
+/// every region.
+pub fn guard_fortress(rng: &mut impl Rng, k: &Knobs) -> Spec {
+    let sfx = suffix(rng);
+    let tiers = k.guard_levels(rng);
+    let entries = k.entry_fns(rng);
+    let owner = rng.gen_range(1u64..u32::MAX as u64);
+    let treasury = rng.gen_range(1u64..u32::MAX as u64);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "contract Fortress{sfx} {{\n    address owner = 0x{owner:x};\n    address treasury = 0x{treasury:x};\n    uint epoch;\n    uint audits;\n"
+    );
+    for i in 0..tiers {
+        let _ = write!(s, "    mapping(address => bool) tier{i};\n    mapping(address => uint) log{i};\n");
+    }
+    s.push_str("    modifier onlyOwner() { require(msg.sender == owner); _; }\n");
+    for i in 0..tiers {
+        let _ = writeln!(s, "    modifier atTier{i}() {{ require(tier{i}[msg.sender]); _; }}");
+    }
+    s.push_str("    function promote0(address a) public onlyOwner { tier0[a] = true; log0[a] = 1; }\n");
+    for i in 1..tiers {
+        let _ = writeln!(
+            s,
+            "    function promote{i}(address a) public atTier{prev} {{ tier{i}[a] = true; log{i}[a] = 1; }}",
+            prev = i - 1,
+        );
+    }
+    // Fat audit-trail chain over the log family — cloned inside every
+    // guarded entry region, so guard regions cover thousands of cloned
+    // statements. It must never touch a tier mapping: the guard chain
+    // stays intact and the contract stays clean.
+    let depth = k.chain_depth(rng);
+    let fat = k.chain_fat(rng);
+    emit_chain(&mut s, rng, "drill", "log", ("epoch", "audits"), depth, tiers, fat);
+    for j in 0..entries {
+        let t = j % tiers;
+        match j % 3 {
+            0 => {
+                let _ = write!(
+                    s,
+                    "    function act{j}(uint v) public atTier{t} {{\n        require(v > {floor});\n        epoch += v;\n        drill0(msg.sender, v);\n        emit Act(epoch, v);\n    }}\n",
+                    floor = rng.gen_range(0..50u32),
+                );
+            }
+            1 => {
+                let _ = write!(
+                    s,
+                    "    function audit{j}() public atTier{t} {{\n        audits += 1;\n        drill0(msg.sender, {w});\n        emit Audit(epoch, audits);\n    }}\n",
+                    w = rng.gen_range(1..9u32),
+                );
+            }
+            _ => {
+                let _ = write!(
+                    s,
+                    "    function peek{j}(address a) public returns (uint) {{\n        require(log{t}[a] > 0);\n        return epoch + log{t}[a] * {w};\n    }}\n",
+                    w = rng.gen_range(1..1_000u32),
+                );
+            }
+        }
+    }
+    let _ = write!(
+        s,
+        "    function retire() public atTier{top} {{ selfdestruct(treasury); }}\n}}",
+        top = tiers - 1,
+    );
+    Spec { family: "adv_guard_fortress", source: s, truth: GroundTruth::default() }
+}
+
+/// A wide ERC20-style token suite: balances + allowance + reward
+/// mapping family, an internal bookkeeping chain under `transfer`, and
+/// many benign view/adjust selectors. No sinks — clean.
+pub fn token_megasuite(rng: &mut impl Rng, k: &Knobs) -> Spec {
+    let sfx = suffix(rng);
+    let n_maps = k.mappings(rng);
+    let depth = k.chain_depth(rng);
+    let entries = k.entry_fns(rng);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "contract Token{sfx} {{\n    uint supply = {supply};\n    uint minted;\n    uint burned;\n",
+        supply = rng.gen_range(1_000..100_000_000u64),
+    );
+    s.push_str("    mapping(address => uint) balances;\n");
+    s.push_str("    mapping(address => mapping(address => uint)) allowed;\n");
+    for i in 0..n_maps {
+        let _ = writeln!(s, "    mapping(address => uint) rewards{i};");
+    }
+    // Fat internal accrual chain walked on every transfer, claim, and
+    // burn — per-holder reward bookkeeping across the whole family.
+    let fat = k.chain_fat(rng);
+    emit_chain(&mut s, rng, "accrue", "rewards", ("minted", "burned"), depth, n_maps, fat);
+    s.push_str(
+        "    function transfer(address to, uint v) public {\n        require(balances[msg.sender] >= v);\n        balances[msg.sender] -= v;\n        balances[to] += v;\n        accrue0(msg.sender, v);\n        emit Transfer(uint(to), v);\n    }\n",
+    );
+    s.push_str(
+        "    function approve(address spender, uint v) public { allowed[msg.sender][spender] = v; }\n",
+    );
+    for j in 0..entries {
+        let m = j % n_maps;
+        let m2 = (j + 5) % n_maps;
+        match j % 4 {
+            0 => {
+                let _ = write!(
+                    s,
+                    "    function claim{j}() public {{\n        require(rewards{m}[msg.sender] > 0);\n        balances[msg.sender] += rewards{m}[msg.sender];\n        rewards{m}[msg.sender] = 0;\n        accrue0(msg.sender, {w});\n        emit Claim(minted, burned);\n    }}\n",
+                    w = rng.gen_range(1..9u32),
+                );
+            }
+            1 => {
+                let _ = write!(
+                    s,
+                    "    function balance{j}(address a) public returns (uint) {{\n        require(balances[a] + rewards{m}[a] > 0);\n        return balances[a] + rewards{m}[a] + rewards{m2}[a];\n    }}\n"
+                );
+            }
+            2 => {
+                let _ = write!(
+                    s,
+                    "    function burn{j}(uint v) public {{\n        require(balances[msg.sender] >= v);\n        balances[msg.sender] -= v;\n        accrue0(msg.sender, v / {cut});\n        burned += v;\n        emit Burn(uint(msg.sender), v);\n    }}\n",
+                    cut = rng.gen_range(2..20u32),
+                );
+            }
+            _ => {
+                let _ = write!(
+                    s,
+                    "    function stat{j}(uint v) public returns (uint) {{\n        accrue0(msg.sender, v);\n        if (v > {cut}) {{ return supply - burned + {w}; }}\n        return minted + v * {f};\n    }}\n",
+                    cut = rng.gen_range(10..10_000u32),
+                    w = rng.gen_range(1..10_000u32),
+                    f = rng.gen_range(2..9u32),
+                );
+            }
+        }
+    }
+    s.push('}');
+    Spec { family: "adv_token_megasuite", source: s, truth: GroundTruth::default() }
+}
+
+// ------------------------------------------------------- vulnerable ----
+
+/// The §2 Victim scaled up: a nested membership-guard chain whose bottom
+/// tier is publicly self-enrollable. An attacker walks the chain tier by
+/// tier (one transaction wave per tier — one delta-rba wave per tier in
+/// the engine), then rewrites the owner slot and destroys the contract.
+/// Composite by construction.
+pub fn guard_chain_breach(rng: &mut impl Rng, k: &Knobs) -> Spec {
+    let sfx = suffix(rng);
+    let tiers = k.guard_levels(rng);
+    let entries = k.entry_fns(rng);
+    let mut truth = GroundTruth::of(&[
+        Vuln::TaintedOwnerVariable,
+        Vuln::AccessibleSelfDestruct,
+        Vuln::TaintedSelfDestruct,
+    ]);
+    truth.composite = true;
+    truth.killable = true;
+    let mut s = String::new();
+    let _ = write!(s, "contract Syndicate{sfx} {{\n    address owner;\n    uint loot;\n    uint heat;\n");
+    for i in 0..tiers {
+        let _ = write!(s, "    mapping(address => bool) rank{i};\n    mapping(address => uint) spoils{i};\n");
+    }
+    for i in 0..tiers {
+        let _ = writeln!(s, "    modifier atRank{i}() {{ require(rank{i}[msg.sender]); _; }}");
+    }
+    // The breach: anyone joins rank 0.
+    s.push_str("    function join() public { rank0[msg.sender] = true; }\n");
+    for i in 1..tiers {
+        let _ = writeln!(
+            s,
+            "    function climb{i}(address a) public atRank{prev} {{ rank{i}[a] = true; spoils{i}[a] = 1; }}",
+            prev = i - 1,
+        );
+    }
+    // Fat laundering chain over the spoils family, cloned under every
+    // rank guard. Spoils mappings never guard anything, so the chain
+    // adds analysis weight without changing which guards are defeated.
+    let depth = k.chain_depth(rng);
+    let fat = k.chain_fat(rng);
+    emit_chain(&mut s, rng, "launder", "spoils", ("loot", "heat"), depth, tiers, fat);
+    for j in 0..entries {
+        let t = j % tiers;
+        match j % 3 {
+            0 => {
+                let _ = write!(
+                    s,
+                    "    function skim{j}(uint v) public atRank{t} {{\n        require(v > 0);\n        loot += v;\n        launder0(msg.sender, v);\n    }}\n"
+                );
+            }
+            1 => {
+                let _ = write!(
+                    s,
+                    "    function fence{j}(uint v) public atRank{t} {{\n        launder0(msg.sender, v / {cut});\n        heat += 1;\n        emit Fence(loot, heat);\n    }}\n",
+                    cut = rng.gen_range(2..20u32),
+                );
+            }
+            _ => {
+                let _ = write!(
+                    s,
+                    "    function tally{j}(address a) public returns (uint) {{\n        require(spoils{t}[a] > 0);\n        return loot + spoils{t}[a] * {w};\n    }}\n",
+                    w = rng.gen_range(1..100u32),
+                );
+            }
+        }
+    }
+    let top = tiers - 1;
+    let _ = writeln!(s, "    function crown(address o) public atRank{top} {{ owner = o; }}");
+    let _ = writeln!(s, "    function sack() public atRank{top} {{ selfdestruct(owner); }}");
+    s.push_str("    function sweep() public { require(msg.sender == owner); selfdestruct(owner); }\n}");
+    Spec { family: "adv_guard_chain_breach", source: s, truth }
+}
+
+/// `vuln_pending_owner` at depth: the proposed owner travels through a
+/// deep internal staging chain (booking per-stage audit slots and ledger
+/// entries on the way) before landing in `pending`; `adopt` copies it
+/// into the owner slot that guards minting. The finding requires storage
+/// taint *and* survives the long memory-mediated flow — composite.
+pub fn deep_pipeline(rng: &mut impl Rng, k: &Knobs) -> Spec {
+    let sfx = suffix(rng);
+    let depth = k.chain_depth(rng);
+    let n_maps = k.mappings(rng);
+    let entries = k.entry_fns(rng);
+    let mut truth = GroundTruth::of(&[Vuln::TaintedOwnerVariable]);
+    truth.composite = true;
+    let mut s = String::new();
+    let _ = write!(s, "contract Pipeline{sfx} {{\n    address owner;\n    address pending;\n    uint round;\n");
+    for i in 0..depth {
+        let _ = writeln!(s, "    uint audit{i};");
+    }
+    for i in 0..n_maps {
+        let _ = writeln!(s, "    mapping(address => uint) ledger{i};");
+    }
+    // The staging chain is fat on purpose: each frame books `fat`
+    // ledger entries (keyed by the proposed address — the taint the
+    // finding rests on) before threading the proposal one frame deeper.
+    let fat = k.chain_fat(rng);
+    for i in 0..depth {
+        if i + 1 == depth {
+            let _ = writeln!(
+                s,
+                "    function stage{i}(address a, uint v) internal {{ pending = a; audit{i} = v; }}"
+            );
+        } else {
+            let _ = writeln!(s, "    function stage{i}(address a, uint v) internal {{");
+            for w in 0..fat {
+                let m = (i * fat + w) % n_maps;
+                let _ = writeln!(
+                    s,
+                    "        ledger{m}[a] += v + {b};",
+                    b = rng.gen_range(1..99u32)
+                );
+            }
+            let _ = write!(s, "        audit{i} = v;\n        stage{next}(a, v + 1);\n    }}\n", next = i + 1);
+        }
+    }
+    // A benign bookkeeping chain over the same ledgers for the filler
+    // entries. It must never write `pending`: only the propose→stage
+    // pipeline may reach the owner slot, or the labels would shift.
+    emit_chain(&mut s, rng, "wash", "ledger", ("round", "round"), depth, n_maps, fat);
+    let _ = write!(
+        s,
+        "    function propose(address p, uint v) public {{ stage0(p, v); }}\n    function adopt() public {{ owner = pending; round += 1; }}\n    function mint(address to, uint v) public {{\n        require(msg.sender == owner);\n        ledger0[to] += v;\n    }}\n"
+    );
+    for j in 0..entries {
+        let m = j % n_maps;
+        let m2 = (j + 2) % n_maps;
+        match j % 3 {
+            0 => {
+                let _ = write!(
+                    s,
+                    "    function tally{j}(address a) public returns (uint) {{\n        require(ledger{m}[a] > 0);\n        return ledger{m}[a] + ledger{m2}[a] + audit{am};\n    }}\n",
+                    am = j % depth,
+                );
+            }
+            1 => {
+                let _ = write!(
+                    s,
+                    "    function seed{j}(uint v) public {{\n        require(v > {floor});\n        wash0(msg.sender, v);\n        ledger{m2}[msg.sender] += v / {cut};\n        emit Seed(round, v);\n    }}\n",
+                    floor = rng.gen_range(0..100u32),
+                    cut = rng.gen_range(2..20u32),
+                );
+            }
+            _ => {
+                let _ = write!(
+                    s,
+                    "    function spin{j}(uint v) public {{\n        if (v > {gate}) {{ round += {inc}; }}\n        wash0(msg.sender, v);\n        audit{am} += 1;\n    }}\n",
+                    gate = rng.gen_range(1..5_000u32),
+                    inc = rng.gen_range(1..7u32),
+                    am = j % depth,
+                );
+            }
+        }
+    }
+    s.push('}');
+    Spec { family: "adv_deep_pipeline", source: s, truth }
+}
+
+// --------------------------------------------------- TemplateFn shims ---
+
+macro_rules! at_scale {
+    ($($name:ident => $inner:ident / $knobs:ident),* $(,)?) => {
+        $(
+            /// Preset wrapper for the weighted-template tables.
+            pub fn $name(rng: &mut rand::rngs::StdRng) -> Spec {
+                $inner(rng, &Knobs::$knobs)
+            }
+        )*
+    };
+}
+
+at_scale! {
+    defi_protocol_realistic => defi_protocol / REALISTIC,
+    defi_protocol_adversarial => defi_protocol / ADVERSARIAL,
+    guard_fortress_realistic => guard_fortress / REALISTIC,
+    guard_fortress_adversarial => guard_fortress / ADVERSARIAL,
+    token_megasuite_realistic => token_megasuite / REALISTIC,
+    token_megasuite_adversarial => token_megasuite / ADVERSARIAL,
+    guard_chain_breach_realistic => guard_chain_breach / REALISTIC,
+    guard_chain_breach_adversarial => guard_chain_breach / ADVERSARIAL,
+    deep_pipeline_realistic => deep_pipeline / REALISTIC,
+    deep_pipeline_adversarial => deep_pipeline / ADVERSARIAL,
+}

@@ -10,7 +10,7 @@
 //! bytecode hashes, so streaming memory stays bounded by 32 bytes per
 //! unique contract, not by the bytecodes themselves.
 
-use crate::templates::{weighted_templates_for, GroundTruth, Profile, Spec, TemplateFn};
+use crate::templates::{weighted_templates_scaled, GroundTruth, Profile, Scale, Spec, TemplateFn};
 use chain::TestNet;
 use evm::{Address, U256, World};
 use rand::rngs::StdRng;
@@ -53,6 +53,9 @@ pub struct PopulationConfig {
     pub modern_fraction: f64,
     /// Which deployment universe to model.
     pub profile: Profile,
+    /// Structural scale of the individual contracts (default
+    /// [`Scale::Small`] keeps historical populations byte-identical).
+    pub scale: Scale,
 }
 
 impl Default for PopulationConfig {
@@ -63,6 +66,7 @@ impl Default for PopulationConfig {
             source_fraction: 0.35,
             modern_fraction: 0.10,
             profile: Profile::default(),
+            scale: Scale::default(),
         }
     }
 }
@@ -100,7 +104,7 @@ pub struct PopulationStream {
 /// `cfg`, one contract at a time. `cfg.size` is ignored — take as many
 /// contracts as needed; memory stays bounded by the dedup hash set.
 pub fn stream(cfg: &PopulationConfig) -> PopulationStream {
-    let templates = weighted_templates_for(cfg.profile);
+    let templates = weighted_templates_scaled(cfg.profile, cfg.scale);
     let total_weight: f64 = templates.iter().map(|(w, _)| w).sum();
     PopulationStream {
         rng: StdRng::seed_from_u64(cfg.seed),

@@ -11,6 +11,16 @@
 //! turn the paper's manual-inspection precision protocol (Figure 6) into
 //! a measurement.
 //!
+//! Orthogonally to the vulnerability mixture ([`Profile`]), the
+//! [`Scale`] knob selects structural size: [`Scale::Small`] keeps the
+//! original few-hundred-byte templates (and historical populations
+//! byte-identical), while [`Scale::Realistic`] and
+//! [`Scale::Adversarial`] draw from the [`adversarial`] generators —
+//! 4–50 KB contracts with dispatcher fan-out, deep internal call
+//! chains, wide mapping families, and nested guard tiers, sized so
+//! per-contract fixpoints are measurable in milliseconds. See the
+//! crate `README.md` and the repository's `BENCHMARKS.md`.
+//!
 //! # Examples
 //!
 //! ```
@@ -21,8 +31,9 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod generator;
 pub mod templates;
 
 pub use generator::{stream, CorpusContract, Population, PopulationConfig, PopulationStream};
-pub use templates::{GroundTruth, Profile, Spec};
+pub use templates::{GroundTruth, Profile, Scale, Spec};

@@ -33,7 +33,7 @@ pub struct GroundTruth {
 }
 
 impl GroundTruth {
-    fn of(vulns: &[Vuln]) -> Self {
+    pub(crate) fn of(vulns: &[Vuln]) -> Self {
         GroundTruth { exploitable: vulns.iter().copied().collect(), ..Self::default() }
     }
 }
@@ -757,6 +757,51 @@ pub enum Profile {
     Ropsten,
 }
 
+/// Structural scale of a generated population: how large and how deeply
+/// nested the individual contracts are (orthogonal to [`Profile`], which
+/// picks the vulnerability *mixture*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The original small templates (a few hundred bytes each). The
+    /// default, so existing populations, cache keys, and checkpoints
+    /// stay byte-identical.
+    #[default]
+    Small,
+    /// Mid-size DeFi-shaped contracts (roughly 4–25 KB bytecode) from
+    /// [`adversarial`](crate::adversarial) at [`Knobs::REALISTIC`],
+    /// mixed with a minority of small templates — the benchmark scale.
+    ///
+    /// [`Knobs::REALISTIC`]: crate::adversarial::Knobs::REALISTIC
+    Realistic,
+    /// Worst-plausible contracts (roughly 10–50 KB bytecode) at
+    /// [`Knobs::ADVERSARIAL`] — maximum dispatcher fan-out, chain
+    /// depth, mapping width, and guard nesting.
+    ///
+    /// [`Knobs::ADVERSARIAL`]: crate::adversarial::Knobs::ADVERSARIAL
+    Adversarial,
+}
+
+impl Scale {
+    /// Parses the `--scale` CLI spelling.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "realistic" => Some(Scale::Realistic),
+            "adversarial" => Some(Scale::Adversarial),
+            _ => None,
+        }
+    }
+
+    /// The `--scale` CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Realistic => "realistic",
+            Scale::Adversarial => "adversarial",
+        }
+    }
+}
+
 /// A contract-family generator: draws one randomized [`Spec`].
 pub type TemplateFn = fn(&mut rand::rngs::StdRng) -> Spec;
 
@@ -765,6 +810,43 @@ pub type TemplateFn = fn(&mut rand::rngs::StdRng) -> Spec;
 /// table).
 pub fn weighted_templates() -> Vec<(f64, TemplateFn)> {
     weighted_templates_for(Profile::Mainnet)
+}
+
+/// Template mixture for a given universe profile *and* structural
+/// scale. [`Scale::Small`] reproduces [`weighted_templates_for`]
+/// exactly; the larger scales are dominated by the
+/// [`adversarial`](crate::adversarial) families, keeping a small-
+/// template minority for dispatcher variety. The composite-breach
+/// weight at each scale is the "configured seed rate" the corpus tests
+/// pin: large populations are guaranteed to contain composite chains.
+pub fn weighted_templates_scaled(profile: Profile, scale: Scale) -> Vec<(f64, TemplateFn)> {
+    use crate::adversarial as adv;
+    match scale {
+        Scale::Small => weighted_templates_for(profile),
+        Scale::Realistic => vec![
+            (0.270, adv::defi_protocol_realistic as TemplateFn),
+            (0.220, adv::token_megasuite_realistic),
+            (0.160, adv::guard_fortress_realistic),
+            (0.070, adv::deep_pipeline_realistic),
+            (0.060, adv::guard_chain_breach_realistic),
+            // A minority of small shapes keeps dispatcher variety (and
+            // exercises the engines' fast path alongside the slow one).
+            (0.080, safe_token),
+            (0.060, safe_wallet),
+            (0.040, safe_admin_system),
+            (0.015, vuln_composite_victim),
+            (0.010, vuln_pending_owner),
+            (0.010, vuln_tainted_delegatecall),
+            (0.005, vuln_unchecked_staticcall),
+        ],
+        Scale::Adversarial => vec![
+            (0.300, adv::defi_protocol_adversarial as TemplateFn),
+            (0.220, adv::token_megasuite_adversarial),
+            (0.180, adv::guard_fortress_adversarial),
+            (0.150, adv::deep_pipeline_adversarial),
+            (0.150, adv::guard_chain_breach_adversarial),
+        ],
+    }
 }
 
 /// Template mixture for a given universe profile.

@@ -32,6 +32,10 @@
 
 #![warn(missing_docs)]
 
+pub mod dense;
+
+pub use dense::{BitSet, Interner};
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

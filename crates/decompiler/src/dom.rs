@@ -99,6 +99,22 @@ impl Dominators {
         self.idom.get(b.0 as usize).copied().flatten()
     }
 
+    /// Dominator-tree children, indexed by block: `children()[b]` are
+    /// the blocks whose immediate dominator is `b`. One O(blocks) pass;
+    /// a DFS from `b` over this index enumerates exactly the set
+    /// `{x : b dominates x}` without the per-query idom-chain walk
+    /// `dominates` pays, which matters when collecting the dominated
+    /// region of every guard in a program with hundreds of blocks.
+    pub fn children(&self) -> Vec<Vec<BlockId>> {
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); self.idom.len()];
+        for (b, id) in self.idom.iter().enumerate() {
+            if let Some(p) = id {
+                children[p.0 as usize].push(BlockId(b as u32));
+            }
+        }
+        children
+    }
+
     /// True when `b` is reachable from the entry.
     pub fn is_reachable(&self, b: BlockId) -> bool {
         self.reachable.get(b.0 as usize).copied().unwrap_or(false)
@@ -178,6 +194,32 @@ mod tests {
         assert!(dom.dominates(BlockId(1), BlockId(2)));
         assert!(dom.dominates(BlockId(2), BlockId(2)));
         assert!(!dom.dominates(BlockId(2), BlockId(1)));
+    }
+
+    #[test]
+    fn children_subtree_matches_dominates() {
+        let mut p = diamond();
+        p.blocks.push(Block::default()); // block 4: unreachable
+        let dom = Dominators::compute(&p);
+        let children = dom.children();
+        for root in 0..p.blocks.len() as u32 {
+            // DFS over the children index.
+            let mut subtree = Vec::new();
+            let mut stack = vec![BlockId(root)];
+            while let Some(b) = stack.pop() {
+                if b != BlockId(root) || dom.is_reachable(b) {
+                    subtree.push(b);
+                }
+                stack.extend(&children[b.0 as usize]);
+            }
+            subtree.sort();
+            // Reference: the per-query dominates predicate.
+            let reference: Vec<BlockId> = (0..p.blocks.len() as u32)
+                .map(BlockId)
+                .filter(|&b| dom.dominates(BlockId(root), b))
+                .collect();
+            assert_eq!(subtree, reference, "subtree of B{root}");
+        }
     }
 
     #[test]

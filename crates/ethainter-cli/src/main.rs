@@ -79,12 +79,12 @@ USAGE:
     ethainter compile <file>
     ethainter kill <file>
     ethainter scan [n]
-    ethainter batch [<file>...] [--corpus n] [--seed s] [--jobs n]
+    ethainter batch [<file>...] [--corpus n] [--seed s] [--scale sc] [--jobs n]
                     [--timeout-ms t] [--out f.jsonl] [--chunk n] [config flags]
                     [--cache-dir d] [--checkpoint d | --resume d] [--limit n]
                     [--no-progress] [--metrics-out f.json] [--trace-out f.jsonl]
     ethainter cache stats --cache-dir d
-    ethainter lint [<file>...] [--corpus n] [--seed s]
+    ethainter lint [<file>...] [--corpus n] [--seed s] [--scale sc]
 
 <file> is minisol source (.sol/.msol/anything parseable) or hex bytecode
 (.hex/.bin, with or without a 0x prefix).
@@ -108,7 +108,9 @@ batch analyzes every input in parallel with per-contract isolation:
 a contract that loops is cut off after --timeout-ms (default 120000),
 a contract that panics the analyzer is contained, and every input
 yields exactly one JSONL outcome record (--out, `-` for stdout).
---corpus n adds n generated corpus contracts to the inputs;
+--corpus n adds n generated corpus contracts to the inputs, at the
+structural --scale small|realistic|adversarial (default small; the
+large scales generate 4–50 KB DeFi-shaped contracts — see BENCHMARKS.md);
 --jobs 0 (default) uses one worker per core. Inputs stream through the
 driver in --chunk-sized windows (default 64), and each outcome line is
 flushed as it is produced — a killed run leaves a valid JSONL prefix.
@@ -350,6 +352,7 @@ struct BatchArgs {
     files: Vec<String>,
     corpus_n: usize,
     seed: u64,
+    scale: corpus::Scale,
     jobs: usize,
     timeout_ms: u64,
     out_path: Option<String>,
@@ -369,6 +372,7 @@ impl BatchArgs {
             files: Vec::new(),
             corpus_n: 0,
             seed: 7,
+            scale: corpus::Scale::default(),
             jobs: 0,
             timeout_ms: 120_000,
             out_path: None,
@@ -393,6 +397,12 @@ impl BatchArgs {
                 }
                 "--seed" => {
                     p.seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--scale" => {
+                    let v = take("--scale")?;
+                    p.scale = corpus::Scale::parse(&v).ok_or_else(|| {
+                        format!("bad --scale: `{v}` (expected small|realistic|adversarial)")
+                    })?
                 }
                 "--jobs" => {
                     p.jobs = take("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
@@ -459,6 +469,7 @@ impl BatchArgs {
             sources.push(Box::new(store::CorpusSource::new(corpus::PopulationConfig {
                 size: self.corpus_n,
                 seed: self.seed,
+                scale: self.scale,
                 ..Default::default()
             })));
         }
@@ -557,6 +568,7 @@ fn batch_plain(
     let generated = corpus::stream(&corpus::PopulationConfig {
         size: parsed.corpus_n,
         seed: parsed.seed,
+        scale: parsed.scale,
         ..Default::default()
     })
     .take(parsed.corpus_n)
@@ -757,6 +769,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     let mut files: Vec<String> = Vec::new();
     let mut corpus_n = 0usize;
     let mut seed = 7u64;
+    let mut scale = corpus::Scale::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -768,6 +781,12 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                 corpus_n = take("--corpus")?.parse().map_err(|e| format!("bad --corpus: {e}"))?
             }
             "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--scale" => {
+                let v = take("--scale")?;
+                scale = corpus::Scale::parse(&v).ok_or_else(|| {
+                    format!("bad --scale: `{v}` (expected small|realistic|adversarial)")
+                })?
+            }
             other if other.starts_with("--") => {
                 return Err(format!("lint: unknown flag `{other}`"));
             }
@@ -783,6 +802,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         let pop = corpus::Population::generate(&corpus::PopulationConfig {
             size: corpus_n,
             seed,
+            scale,
             ..Default::default()
         });
         for (i, c) in pop.contracts.into_iter().enumerate() {

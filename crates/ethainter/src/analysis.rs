@@ -29,7 +29,7 @@
 use crate::config::{Config, Engine};
 use crate::engine::indexes::SparseIndexes;
 use crate::engine::provenance::Provenance;
-use crate::engine::{self, Ctx, GuardKind, Prepared, SAddr, State};
+use crate::engine::{self, Ctx, GuardKind, KeyClass, Prepared, State};
 use crate::report::{FactCounts, Finding, Report, Stats, Vuln};
 use crate::timing::PhaseTimings;
 use crate::witness;
@@ -145,19 +145,20 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         }
     }
 
-    let mut prep = Prepared { ctx, guards, dom, live_block, n_dead_edges, mem_stores };
+    // Intern the slot universe and resolve per-statement key
+    // classifications once; both engines then run atom-indexed.
+    let prep = Prepared::build(ctx, guards, dom, live_block, n_dead_edges, mem_stores);
     let mut st = State::new(&prep);
     // The sparse engine's edge maps are part of its index-build cost;
     // the dense engine never pays for them.
-    let sparse_idx =
-        (cfg.engine == Engine::Sparse).then(|| SparseIndexes::build(&mut prep));
+    let sparse_idx = (cfg.engine == Engine::Sparse).then(|| SparseIndexes::build(&prep));
     report.stats.timings.index_build_us = sp_index.finish_us();
 
     // ---- Mutually-recursive fixpoint ------------------------------------
     let sp_fix = telemetry::span("ethainter.fixpoint");
     match &sparse_idx {
         Some(idx) => engine::sparse::run(cfg, &prep, idx, &mut st),
-        None => engine::dense::run(cfg, &mut prep, &mut st),
+        None => engine::dense::run(cfg, &prep, &mut st),
     }
     report.stats.timings.fixpoint_us = sp_fix.finish_us();
 
@@ -285,7 +286,11 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             if s.op != Op::SStore || !st.rba[s.block.0 as usize] {
                 continue;
             }
-            let SAddr::Const(v) = prep.ctx.classify_addr(s.uses[0]) else { continue };
+            let Some(KeyClass::Const(a)) = prep.key_class[s.id.0 as usize].as_ref()
+            else {
+                continue;
+            };
+            let v = *prep.slots.resolve(*a);
             let is_sink = if cfg.guard_modeling {
                 guard_slots.contains(&v)
             } else {
@@ -354,7 +359,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         let sp_wit = telemetry::span("ethainter.witness");
         let mut wst = State::new(&prep);
         let mut prov = Provenance::new(&prep);
-        engine::dense::run_recording(cfg, &mut prep, &mut wst, &mut prov);
+        engine::dense::run_recording(cfg, &prep, &mut wst, &mut prov);
         report.witnesses =
             Some(witness::build(&report.findings, &prep, &wst, &prov));
         report.stats.timings.witness_us = sp_wit.finish_us();

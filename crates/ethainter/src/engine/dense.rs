@@ -14,21 +14,23 @@
 //! sparse, so witnesses never depend on worklist scheduling.
 
 use super::provenance::{Edge, FactId, Provenance};
-use super::{guard_defeated, recompute_rba, Guard, GuardCond, GuardKind, Prepared, SAddr, State};
+use super::{
+    guard_defeated, recompute_rba, Guard, GuardCond, GuardKind, KeyClass, Prepared, State,
+};
 use crate::analysis::deadline_exceeded;
 use crate::config::{Config, StorageModel};
 use decompiler::{Op, Var};
 
 /// Runs the dense fixpoint, mutating `st` in place until convergence,
 /// timeout, or the 64-round safety cap.
-pub(crate) fn run(cfg: &Config, prep: &mut Prepared<'_>, st: &mut State) {
+pub(crate) fn run(cfg: &Config, prep: &Prepared<'_>, st: &mut State) {
     run_impl(cfg, prep, st, None);
 }
 
 /// [`run`], recording the first derivation of every fact into `prov`.
 pub(crate) fn run_recording(
     cfg: &Config,
-    prep: &mut Prepared<'_>,
+    prep: &Prepared<'_>,
     st: &mut State,
     prov: &mut Provenance,
 ) {
@@ -36,8 +38,11 @@ pub(crate) fn run_recording(
 }
 
 /// The prerequisite facts that defeat `guard` under the current state —
-/// the provenance mirror of [`guard_defeated`].
-fn defeat_sources(guard: &Guard, st: &State) -> Vec<FactId> {
+/// the provenance mirror of [`guard_defeated`]. Membership tests run
+/// over atoms (`atoms` is the guard's [`Prepared::guard_atoms`] row);
+/// the cited [`FactId`]s carry the 256-bit slots straight from the
+/// guard kinds, so witnesses stay atom-free.
+fn defeat_sources(guard: &Guard, atoms: &[Option<u32>], st: &State) -> Vec<FactId> {
     let ci = guard.cond.0;
     if st.input_tainted[ci as usize] {
         return vec![FactId::Input(ci)];
@@ -45,10 +50,10 @@ fn defeat_sources(guard: &Guard, st: &State) -> Vec<FactId> {
     if st.storage_tainted[ci as usize] {
         return vec![FactId::Storage(ci)];
     }
-    let kind_fact = |k: &GuardKind| -> Option<FactId> {
+    let kind_fact = |(i, k): (usize, &GuardKind)| -> Option<FactId> {
         match k {
             GuardKind::SenderEqSlot(v) => {
-                if st.tainted_slots.contains(v) {
+                if atoms[i].is_some_and(|a| st.tainted_slots.contains(a)) {
                     Some(FactId::Slot(*v))
                 } else if st.all_slots_tainted {
                     Some(FactId::AllSlots)
@@ -56,15 +61,19 @@ fn defeat_sources(guard: &Guard, st: &State) -> Vec<FactId> {
                     None
                 }
             }
-            GuardKind::Membership(base) => st
-                .writable_mappings
-                .contains(base)
+            GuardKind::Membership(base) => atoms[i]
+                .is_some_and(|a| st.writable_mappings.contains(a))
                 .then_some(FactId::Writable(*base)),
             GuardKind::SenderEqOther | GuardKind::SenderOpaque => None,
         }
     };
-    let defeated: Vec<FactId> =
-        guard.cond_kind.kinds().iter().filter_map(kind_fact).collect();
+    let defeated: Vec<FactId> = guard
+        .cond_kind
+        .kinds()
+        .iter()
+        .enumerate()
+        .filter_map(kind_fact)
+        .collect();
     match &guard.cond_kind {
         // One defeated disjunct suffices; cite only the first.
         GuardCond::Disj(_) => defeated.into_iter().take(1).collect(),
@@ -74,7 +83,7 @@ fn defeat_sources(guard: &Guard, st: &State) -> Vec<FactId> {
 
 fn run_impl(
     cfg: &Config,
-    prep: &mut Prepared<'_>,
+    prep: &Prepared<'_>,
     st: &mut State,
     mut prov: Option<&mut Provenance>,
 ) {
@@ -216,15 +225,15 @@ fn run_impl(
                         if !cfg.storage_taint {
                             continue;
                         }
-                        let addr = prep.ctx.classify_addr(s.uses[0]);
-                        let tainted_load = match &addr {
-                            SAddr::Const(v) => {
-                                st.tainted_slots.contains(v) || st.all_slots_tainted
+                        let addr = prep.key_class[s.id.0 as usize].as_ref().unwrap();
+                        let tainted_load = match addr {
+                            KeyClass::Const(a) => {
+                                st.tainted_slots.contains(*a) || st.all_slots_tainted
                             }
-                            SAddr::Mapping { base, .. } => {
-                                st.tainted_mappings.contains(base)
+                            KeyClass::Mapping { base, .. } => {
+                                st.tainted_mappings.contains(*base)
                             }
-                            SAddr::Unknown => {
+                            KeyClass::Unknown => {
                                 cfg.storage_model == StorageModel::Conservative
                                     && st.unknown_store_tainted
                             }
@@ -233,15 +242,15 @@ fn run_impl(
                         // storage-tainted, eluding guards.
                         if tainted_load && !st.storage_tainted[di] {
                             st.storage_tainted[di] = true;
-                            let source = match &addr {
-                                SAddr::Const(v) if st.tainted_slots.contains(v) => {
-                                    FactId::Slot(*v)
+                            let source = match addr {
+                                KeyClass::Const(a) if st.tainted_slots.contains(*a) => {
+                                    FactId::Slot(*prep.slots.resolve(*a))
                                 }
-                                SAddr::Const(_) => FactId::AllSlots,
-                                SAddr::Mapping { base, .. } => {
-                                    FactId::MappingTaint(*base)
+                                KeyClass::Const(_) => FactId::AllSlots,
+                                KeyClass::Mapping { base, .. } => {
+                                    FactId::MappingTaint(*prep.slots.resolve(*base))
                                 }
-                                SAddr::Unknown => FactId::UnknownStore,
+                                KeyClass::Unknown => FactId::UnknownStore,
                             };
                             rec!(FactId::Storage(d.0), Edge {
                                 rule: "storage-load",
@@ -294,10 +303,10 @@ fn run_impl(
                         vec![FactId::Sender(value.0), FactId::Reach(s.block.0)]
                     }
                 };
-                match prep.ctx.classify_addr(key) {
-                    SAddr::Const(v) => {
-                        if st.tainted_slots.insert(v) {
-                            rec!(FactId::Slot(v), Edge {
+                match prep.key_class[s.id.0 as usize].as_ref().unwrap() {
+                    KeyClass::Const(a) => {
+                        if st.tainted_slots.insert(*a) {
+                            rec!(FactId::Slot(*prep.slots.resolve(*a)), Edge {
                                 rule: "storage-write",
                                 stmt: Some(s.id),
                                 via: None,
@@ -306,9 +315,9 @@ fn run_impl(
                             changed = true;
                         }
                     }
-                    SAddr::Mapping { base, keys } => {
-                        if st.tainted_mappings.insert(base) {
-                            rec!(FactId::MappingTaint(base), Edge {
+                    KeyClass::Mapping { base, keys } => {
+                        if st.tainted_mappings.insert(*base) {
+                            rec!(FactId::MappingTaint(*prep.slots.resolve(*base)), Edge {
                                 rule: "storage-write",
                                 stmt: Some(s.id),
                                 via: None,
@@ -319,7 +328,7 @@ fn run_impl(
                         let key_attacker = keys.iter().any(|k| {
                             prep.ctx.ds[k.0 as usize] || st.input_tainted[k.0 as usize]
                         });
-                        if key_attacker && st.writable_mappings.insert(base) {
+                        if key_attacker && st.writable_mappings.insert(*base) {
                             let k = *keys
                                 .iter()
                                 .find(|k| {
@@ -334,7 +343,7 @@ fn run_impl(
                             };
                             let mut sources = vec![key_fact];
                             sources.extend(value_sources());
-                            rec!(FactId::Writable(base), Edge {
+                            rec!(FactId::Writable(*prep.slots.resolve(*base)), Edge {
                                 rule: "enroll",
                                 stmt: Some(s.id),
                                 via: None,
@@ -343,7 +352,7 @@ fn run_impl(
                             changed = true;
                         }
                     }
-                    SAddr::Unknown => {
+                    KeyClass::Unknown => {
                         // StorageWrite-2: tainted value at a tainted
                         // (attacker-influenced) address taints all known
                         // slots. Conservative mode does this for *any*
@@ -403,11 +412,13 @@ fn run_impl(
                 if !value_attacker {
                     continue;
                 }
-                if let SAddr::Mapping { base, keys } = prep.ctx.classify_addr(s.uses[0]) {
+                if let KeyClass::Mapping { base, keys } =
+                    prep.key_class[s.id.0 as usize].as_ref().unwrap()
+                {
                     let key_attacker = keys.iter().any(|k| {
                         prep.ctx.ds[k.0 as usize] || st.input_tainted[k.0 as usize]
                     });
-                    if key_attacker && st.writable_mappings.insert(base) {
+                    if key_attacker && st.writable_mappings.insert(*base) {
                         let k = *keys
                             .iter()
                             .find(|k| {
@@ -420,7 +431,7 @@ fn run_impl(
                         } else {
                             FactId::Input(k.0)
                         };
-                        rec!(FactId::Writable(base), Edge {
+                        rec!(FactId::Writable(*prep.slots.resolve(*base)), Edge {
                             rule: "enroll",
                             stmt: Some(s.id),
                             via: None,
@@ -439,14 +450,16 @@ fn run_impl(
             if st.defeated[g] {
                 continue;
             }
-            if guard_defeated(&prep.guards[g], st, cfg) && !cfg.freeze_guards {
+            if guard_defeated(&prep.guards[g], &prep.guard_atoms[g], st, cfg)
+                && !cfg.freeze_guards
+            {
                 st.defeated[g] = true;
                 st.any_defeat = true;
                 rec!(FactId::Defeated(g), Edge {
                     rule: "guard-defeat",
                     stmt: None,
                     via: None,
-                    sources: defeat_sources(&prep.guards[g], st),
+                    sources: defeat_sources(&prep.guards[g], &prep.guard_atoms[g], st),
                 });
                 changed = true;
             }

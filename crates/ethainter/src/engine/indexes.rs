@@ -8,28 +8,39 @@
 //! analysis-specific edges — constant-offset memory def-use, storage
 //! slot/mapping → load-site maps, guard trigger maps, and the per-block
 //! guard cover counts behind delta `ReachableByAttacker` updates.
+//!
+//! Every index here is a **dense `Vec` keyed by an interned atom**, not
+//! a hash map keyed by a 256-bit constant or a `Var`: storage slots are
+//! atoms from [`Prepared::slots`], constant memory offsets get their own
+//! [`Interner`] built here, and variable-keyed triggers index by the
+//! variable number directly. The fixpoint inner loops therefore never
+//! hash a 32-byte key.
 
-use super::{GuardKind, Prepared, SAddr};
+use super::{GuardKind, KeyClass, Prepared};
+use datalog::Interner;
 use decompiler::{Op, StmtId, Var};
 use evm::U256;
-use std::collections::HashMap;
 
 /// All sparse-engine indexes for one program.
 pub(crate) struct SparseIndexes {
-    /// Const memory offset → `MLoad` statements at that offset.
-    /// (Paired with `Prepared::mem_stores` for the store side.)
-    pub mem_loads: HashMap<U256, Vec<StmtId>>,
-    /// Per-statement storage-address classification of the key operand
-    /// (`Some` exactly for `SLoad`/`SStore` statements), precomputed so
-    /// the fixpoint never consults the memoizing classifier.
-    pub key_class: Vec<Option<SAddr>>,
-    /// Constant slot → `SLoad` statements reading it.
-    pub sload_const: HashMap<U256, Vec<StmtId>>,
+    /// Constant memory offsets seen by `MLoad`/`MStore`, interned.
+    pub mem: Interner<U256>,
+    /// Per statement: the interned atom of its constant memory offset
+    /// (`Some` exactly for `MLoad`/`MStore` with a constant key).
+    pub stmt_mem: Vec<Option<u32>>,
+    /// Memory atom → `MLoad` statements at that offset.
+    pub mem_loads: Vec<Vec<StmtId>>,
+    /// Memory atom → (store statement, stored value var) pairs — the
+    /// atom-indexed mirror of [`Prepared::mem_stores`].
+    pub mem_store_vals: Vec<Vec<(StmtId, Var)>>,
+    /// Slot atom → `SLoad` statements reading that constant slot.
+    pub sload_const: Vec<Vec<StmtId>>,
     /// Every `SLoad` with a constant-slot key (for the
     /// `all_slots_tainted` event, which fires them all).
     pub sload_const_all: Vec<StmtId>,
-    /// Mapping base slot → `SLoad` statements reading an element of it.
-    pub sload_mapping: HashMap<U256, Vec<StmtId>>,
+    /// Slot atom → `SLoad` statements reading an element of that
+    /// mapping.
+    pub sload_mapping: Vec<Vec<StmtId>>,
     /// `SLoad`s with unresolved keys (fired by `unknown_store_tainted`
     /// under the conservative storage model).
     pub sload_unknown: Vec<StmtId>,
@@ -37,14 +48,15 @@ pub(crate) struct SparseIndexes {
     /// classification lists it. Mapping keys are operands of the
     /// `Hash2` chain, **not** of the store itself, so the def→use index
     /// alone would miss `key_attacker` flips when a key variable becomes
-    /// input-tainted.
-    pub mapping_key_deps: HashMap<Var, Vec<StmtId>>,
-    /// Guard condition variable → guard indexes (condition-taint defeat).
-    pub guards_by_cond: HashMap<Var, Vec<usize>>,
-    /// Owner slot → guards with a `SenderEqSlot` kind on it.
-    pub guards_by_slot: HashMap<U256, Vec<usize>>,
-    /// Mapping base → guards with a `Membership` kind on it.
-    pub guards_by_membership: HashMap<U256, Vec<usize>>,
+    /// input-tainted. Indexed by variable number.
+    pub mapping_key_deps: Vec<Vec<StmtId>>,
+    /// Guard condition variable → guard indexes (condition-taint
+    /// defeat). Indexed by variable number.
+    pub guards_by_cond: Vec<Vec<usize>>,
+    /// Slot atom → guards with a `SenderEqSlot` kind on it.
+    pub guards_by_slot: Vec<Vec<usize>>,
+    /// Slot atom → guards with a `Membership` kind on it.
+    pub guards_by_membership: Vec<Vec<usize>>,
     /// Guards with *any* `SenderEqSlot` kind (re-checked when
     /// `all_slots_tainted` fires).
     pub guards_slot_kind: Vec<usize>,
@@ -58,22 +70,28 @@ pub(crate) struct SparseIndexes {
 }
 
 impl SparseIndexes {
-    /// Builds every index in two passes (statements, then guards).
-    /// Needs `&mut` only for the memoizing address classifier.
-    pub fn build(prep: &mut Prepared<'_>) -> SparseIndexes {
+    /// Builds every index in two passes (statements, then guards). The
+    /// key classifications and slot atoms are already resolved in
+    /// [`Prepared`], so this only distributes statement ids into the
+    /// atom-indexed tables.
+    pub fn build(prep: &Prepared<'_>) -> SparseIndexes {
         let p = prep.ctx.p;
         let n_stmts = p.stmts.len();
+        let n_vars = p.n_vars as usize;
+        let n_slots = prep.slots.len();
         let mut ix = SparseIndexes {
-            mem_loads: HashMap::new(),
-            key_class: vec![None; n_stmts],
-            sload_const: HashMap::new(),
+            mem: Interner::new(),
+            stmt_mem: vec![None; n_stmts],
+            mem_loads: Vec::new(),
+            mem_store_vals: Vec::new(),
+            sload_const: vec![Vec::new(); n_slots],
             sload_const_all: Vec::new(),
-            sload_mapping: HashMap::new(),
+            sload_mapping: vec![Vec::new(); n_slots],
             sload_unknown: Vec::new(),
-            mapping_key_deps: HashMap::new(),
-            guards_by_cond: HashMap::new(),
-            guards_by_slot: HashMap::new(),
-            guards_by_membership: HashMap::new(),
+            mapping_key_deps: vec![Vec::new(); n_vars],
+            guards_by_cond: vec![Vec::new(); n_vars],
+            guards_by_slot: vec![Vec::new(); n_slots],
+            guards_by_membership: vec![Vec::new(); n_slots],
             guards_slot_kind: Vec::new(),
             seeds: Vec::new(),
             block_stmts: vec![Vec::new(); p.blocks.len()],
@@ -81,36 +99,44 @@ impl SparseIndexes {
         for s in p.iter_stmts() {
             ix.block_stmts[s.block.0 as usize].push(s.id);
             match &s.op {
-                Op::MLoad => {
+                Op::MLoad | Op::MStore => {
                     if let Some(off) = prep.ctx.consts[s.uses[0].0 as usize] {
-                        ix.mem_loads.entry(off).or_default().push(s.id);
+                        let a = ix.mem.intern(off);
+                        if a as usize >= ix.mem_loads.len() {
+                            ix.mem_loads.push(Vec::new());
+                            ix.mem_store_vals.push(Vec::new());
+                        }
+                        ix.stmt_mem[s.id.0 as usize] = Some(a);
+                        if s.op == Op::MLoad {
+                            ix.mem_loads[a as usize].push(s.id);
+                        } else {
+                            ix.mem_store_vals[a as usize].push((s.id, s.uses[1]));
+                        }
                     }
                 }
                 Op::SLoad => {
-                    let class = prep.ctx.classify_addr(s.uses[0]);
-                    match &class {
-                        SAddr::Const(v) => {
-                            ix.sload_const.entry(*v).or_default().push(s.id);
+                    match prep.key_class[s.id.0 as usize].as_ref().unwrap() {
+                        KeyClass::Const(a) => {
+                            ix.sload_const[*a as usize].push(s.id);
                             ix.sload_const_all.push(s.id);
                         }
-                        SAddr::Mapping { base, .. } => {
-                            ix.sload_mapping.entry(*base).or_default().push(s.id);
+                        KeyClass::Mapping { base, .. } => {
+                            ix.sload_mapping[*base as usize].push(s.id);
                         }
-                        SAddr::Unknown => ix.sload_unknown.push(s.id),
+                        KeyClass::Unknown => ix.sload_unknown.push(s.id),
                     }
-                    ix.key_class[s.id.0 as usize] = Some(class);
                 }
                 Op::SStore => {
-                    let class = prep.ctx.classify_addr(s.uses[0]);
-                    if let SAddr::Mapping { keys, .. } = &class {
+                    if let KeyClass::Mapping { keys, .. } =
+                        prep.key_class[s.id.0 as usize].as_ref().unwrap()
+                    {
                         for &k in keys {
-                            let deps = ix.mapping_key_deps.entry(k).or_default();
+                            let deps = &mut ix.mapping_key_deps[k.0 as usize];
                             if deps.last() != Some(&s.id) {
                                 deps.push(s.id);
                             }
                         }
                     }
-                    ix.key_class[s.id.0 as usize] = Some(class);
                     ix.seeds.push(s.id);
                 }
                 Op::CallDataLoad => ix.seeds.push(s.id),
@@ -118,19 +144,20 @@ impl SparseIndexes {
             }
         }
         for (g, guard) in prep.guards.iter().enumerate() {
-            ix.guards_by_cond.entry(guard.cond).or_default().push(g);
+            ix.guards_by_cond[guard.cond.0 as usize].push(g);
             let mut has_slot_kind = false;
-            for k in guard.cond_kind.kinds() {
+            for (i, k) in guard.cond_kind.kinds().iter().enumerate() {
+                let Some(atom) = prep.guard_atoms[g][i] else { continue };
                 match k {
-                    GuardKind::SenderEqSlot(v) => {
-                        let slot = ix.guards_by_slot.entry(*v).or_default();
+                    GuardKind::SenderEqSlot(_) => {
+                        let slot = &mut ix.guards_by_slot[atom as usize];
                         if slot.last() != Some(&g) {
                             slot.push(g);
                         }
                         has_slot_kind = true;
                     }
-                    GuardKind::Membership(base) => {
-                        let ms = ix.guards_by_membership.entry(*base).or_default();
+                    GuardKind::Membership(_) => {
+                        let ms = &mut ix.guards_by_membership[atom as usize];
                         if ms.last() != Some(&g) {
                             ms.push(g);
                         }

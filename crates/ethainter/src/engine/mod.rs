@@ -27,10 +27,11 @@ pub(crate) mod provenance;
 pub(crate) mod sparse;
 
 use crate::config::Config;
+use datalog::{BitSet, Interner};
 use decompiler::{BlockId, DefUse, Dominators, Op, Program, StmtId, Var};
 use evm::opcode::Opcode;
 use evm::U256;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, VecDeque};
 
 /// How a guard scrutinizes the caller.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,6 +93,24 @@ pub(crate) enum SAddr {
     Unknown,
 }
 
+/// [`SAddr`] with the 256-bit slot constants interned into dense atoms
+/// (see [`datalog::Interner`]). Precomputed per `SLoad`/`SStore`
+/// statement during index build, so the fixpoint inner loops test slot
+/// membership against [`BitSet`]s instead of hashing 32-byte keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum KeyClass {
+    /// Constant slot, by atom.
+    Const(u32),
+    /// Mapping element: interned base-slot atom + key variables.
+    Mapping {
+        /// Atom of the mapping's base slot.
+        base: u32,
+        /// Key variables, outermost first.
+        keys: Vec<Var>,
+    },
+    Unknown,
+}
+
 /// Static (taint-independent) analysis context shared by both engines:
 /// def/use sites, constants, the Figure 4 `DS`/`DSA` relations, and the
 /// memoized storage-address classifier.
@@ -114,6 +133,10 @@ pub(crate) struct Ctx<'a> {
 pub(crate) struct Prepared<'a> {
     pub ctx: Ctx<'a>,
     pub guards: Vec<Guard>,
+    /// Per guard, aligned with `cond_kind.kinds()`: the interned slot
+    /// atom of `SenderEqSlot`/`Membership` kinds (`None` for kinds with
+    /// no slot). Lets the defeat predicate test bitsets directly.
+    pub guard_atoms: Vec<Vec<Option<u32>>>,
     pub dom: Dominators,
     /// Per block: false when only reachable through interval-proven
     /// dead `JumpI` edges (range-guard pruning), true otherwise.
@@ -121,6 +144,69 @@ pub(crate) struct Prepared<'a> {
     pub n_dead_edges: usize,
     /// Const memory offset → (MSTORE stmt, stored value var).
     pub mem_stores: HashMap<U256, Vec<(StmtId, Var)>>,
+    /// Universe of storage slot constants (slots + mapping bases) seen
+    /// by key classification or guard kinds, interned to dense atoms.
+    pub slots: Interner<U256>,
+    /// Per statement: atom-resolved key classification (`Some` exactly
+    /// for `SLoad`/`SStore`), shared by both engines so neither pays
+    /// the memoizing classifier during the fixpoint.
+    pub key_class: Vec<Option<KeyClass>>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Assembles the prepared program: interns the slot universe,
+    /// resolves per-statement key classifications, and precomputes the
+    /// per-guard atom table.
+    pub fn build(
+        mut ctx: Ctx<'a>,
+        guards: Vec<Guard>,
+        dom: Dominators,
+        live_block: Vec<bool>,
+        n_dead_edges: usize,
+        mem_stores: HashMap<U256, Vec<(StmtId, Var)>>,
+    ) -> Prepared<'a> {
+        let mut slots = Interner::new();
+        let mut key_class: Vec<Option<KeyClass>> = vec![None; ctx.p.stmts.len()];
+        for (id, kc) in key_class.iter_mut().enumerate() {
+            let s = ctx.p.stmt(StmtId(id as u32));
+            if !matches!(s.op, Op::SLoad | Op::SStore) {
+                continue;
+            }
+            let key = s.uses[0];
+            *kc = Some(match ctx.classify_addr(key) {
+                SAddr::Const(v) => KeyClass::Const(slots.intern(v)),
+                SAddr::Mapping { base, keys } => {
+                    KeyClass::Mapping { base: slots.intern(base), keys }
+                }
+                SAddr::Unknown => KeyClass::Unknown,
+            });
+        }
+        let guard_atoms = guards
+            .iter()
+            .map(|g| {
+                g.cond_kind
+                    .kinds()
+                    .iter()
+                    .map(|k| match k {
+                        GuardKind::SenderEqSlot(v) => Some(slots.intern(*v)),
+                        GuardKind::Membership(base) => Some(slots.intern(*base)),
+                        GuardKind::SenderEqOther | GuardKind::SenderOpaque => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        Prepared {
+            ctx,
+            guards,
+            guard_atoms,
+            dom,
+            live_block,
+            n_dead_edges,
+            mem_stores,
+            slots,
+            key_class,
+        }
+    }
 }
 
 /// The mutable fixpoint state both engines drive to the (unique) least
@@ -131,12 +217,13 @@ pub(crate) struct State {
     pub input_tainted: Vec<bool>,
     /// `AttackerModelInfoflow` — storage taint per variable.
     pub storage_tainted: Vec<bool>,
-    /// Constant storage slots holding tainted data.
-    pub tainted_slots: HashSet<U256>,
-    /// Mapping base slots holding tainted data.
-    pub tainted_mappings: HashSet<U256>,
-    /// Mapping base slots the attacker can enroll into.
-    pub writable_mappings: HashSet<U256>,
+    /// Constant storage slots holding tainted data (atoms into
+    /// [`Prepared::slots`]).
+    pub tainted_slots: BitSet,
+    /// Mapping base slots holding tainted data (atoms).
+    pub tainted_mappings: BitSet,
+    /// Mapping base slots the attacker can enroll into (atoms).
+    pub writable_mappings: BitSet,
     /// `StorageWrite-2` fired: every known slot is tainted.
     pub all_slots_tainted: bool,
     /// A tainted store to an unresolved address exists (conservative
@@ -166,9 +253,9 @@ impl State {
         let mut st = State {
             input_tainted: vec![false; n_vars],
             storage_tainted: vec![false; n_vars],
-            tainted_slots: HashSet::new(),
-            tainted_mappings: HashSet::new(),
-            writable_mappings: HashSet::new(),
+            tainted_slots: BitSet::with_capacity(prep.slots.len()),
+            tainted_mappings: BitSet::with_capacity(prep.slots.len()),
+            writable_mappings: BitSet::with_capacity(prep.slots.len()),
             all_slots_tainted: false,
             unknown_store_tainted: false,
             defeated: vec![false; prep.guards.len()],
@@ -216,22 +303,33 @@ pub(crate) fn recompute_rba(prep: &Prepared<'_>, defeated: &[bool], rba: &mut [b
 ///
 /// plus the structural defeats (owner slot tainted, membership mapping
 /// attacker-writable), composed per the guard's `&&`/`||` shape.
-pub(crate) fn guard_defeated(guard: &Guard, st: &State, cfg: &Config) -> bool {
+///
+/// `atoms` is the guard's row of [`Prepared::guard_atoms`], aligned with
+/// `cond_kind.kinds()` — the slot membership tests run against the
+/// interned-atom bitsets, never the 256-bit constants.
+pub(crate) fn guard_defeated(
+    guard: &Guard,
+    atoms: &[Option<u32>],
+    st: &State,
+    cfg: &Config,
+) -> bool {
     let ci = guard.cond.0 as usize;
     let cond_tainted = st.input_tainted[ci] || st.storage_tainted[ci];
-    let kind_defeated = |k: &GuardKind| match k {
-        GuardKind::SenderEqSlot(v) => {
-            cfg.storage_taint && (st.tainted_slots.contains(v) || st.all_slots_tainted)
+    let kind_defeated = |(i, k): (usize, &GuardKind)| match k {
+        GuardKind::SenderEqSlot(_) => {
+            cfg.storage_taint
+                && (st.all_slots_tainted
+                    || atoms[i].is_some_and(|a| st.tainted_slots.contains(a)))
         }
-        GuardKind::Membership(base) => {
-            cfg.storage_taint && st.writable_mappings.contains(base)
+        GuardKind::Membership(_) => {
+            cfg.storage_taint && atoms[i].is_some_and(|a| st.writable_mappings.contains(a))
         }
         GuardKind::SenderEqOther | GuardKind::SenderOpaque => false,
     };
+    let mut kinds = guard.cond_kind.kinds().iter().enumerate();
     let structural = match &guard.cond_kind {
-        GuardCond::Single(k) => kind_defeated(k),
-        GuardCond::Conj(ks) => ks.iter().all(kind_defeated),
-        GuardCond::Disj(ks) => ks.iter().any(kind_defeated),
+        GuardCond::Single(_) | GuardCond::Conj(_) => kinds.all(kind_defeated),
+        GuardCond::Disj(_) => kinds.any(kind_defeated),
     };
     cond_tainted || structural
 }
@@ -239,103 +337,136 @@ pub(crate) fn guard_defeated(guard: &Guard, st: &State, cfg: &Config) -> bool {
 impl Ctx<'_> {
     /// Constant propagation (`ConstValue`, C(x) = v): through `Const`
     /// definitions and `Copy` chains where all definitions agree.
+    ///
+    /// Worklist form: a variable is (re)examined only when first seeded
+    /// or when a variable it copies from resolves. The resolution
+    /// predicate is monotone (sources never change once `Some`), so this
+    /// reaches the same least fixpoint as the naive rescan it replaced —
+    /// in O(copy edges) instead of O(rounds × vars).
     pub fn compute_consts(&mut self) {
-        loop {
-            let mut changed = false;
-            for v in 0..self.consts.len() {
-                if self.consts[v].is_some() {
-                    continue;
-                }
-                let defs = self.du.defs(Var(v as u32));
-                if defs.is_empty() {
-                    continue;
-                }
-                let mut val: Option<U256> = None;
-                let mut ok = true;
-                for &d in defs {
-                    let s = self.p.stmt(d);
-                    let this = match &s.op {
-                        Op::Const(c) => Some(*c),
-                        Op::Copy => self.consts[s.uses[0].0 as usize],
-                        _ => None,
-                    };
-                    match (this, val) {
-                        (Some(a), None) => val = Some(a),
-                        (Some(a), Some(b)) if a == b => {}
-                        _ => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if ok {
-                    if let Some(c) = val {
-                        self.consts[v] = Some(c);
-                        changed = true;
+        let n = self.consts.len();
+        let mut queue: VecDeque<u32> = (0..n as u32).collect();
+        let mut queued = vec![true; n];
+        while let Some(v) = queue.pop_front() {
+            let vi = v as usize;
+            queued[vi] = false;
+            if self.consts[vi].is_some() {
+                continue;
+            }
+            let defs = self.du.defs(Var(v));
+            if defs.is_empty() {
+                continue;
+            }
+            let mut val: Option<U256> = None;
+            let mut ok = true;
+            for &d in defs {
+                let s = self.p.stmt(d);
+                let this = match &s.op {
+                    Op::Const(c) => Some(*c),
+                    Op::Copy => self.consts[s.uses[0].0 as usize],
+                    _ => None,
+                };
+                match (this, val) {
+                    (Some(a), None) => val = Some(a),
+                    (Some(a), Some(b)) if a == b => {}
+                    _ => {
+                        ok = false;
+                        break;
                     }
                 }
             }
-            if !changed {
-                break;
+            if !ok {
+                continue;
+            }
+            let Some(c) = val else { continue };
+            self.consts[vi] = Some(c);
+            // Copies *of* v may now resolve — requeue their defined vars.
+            for &u in self.du.uses(Var(v)) {
+                let s = self.p.stmt(u);
+                if s.op != Op::Copy {
+                    continue;
+                }
+                let Some(d) = s.def else { continue };
+                let di = d.0 as usize;
+                if self.consts[di].is_none() && !queued[di] {
+                    queued[di] = true;
+                    queue.push_back(d.0);
+                }
             }
         }
     }
 
     /// Figure 4 over TAC: `DS` (caller-identity data) and `DSA`
     /// (addresses of caller-keyed structure elements).
+    ///
+    /// Worklist form: every statement is examined once, then only
+    /// re-examined when `ds`/`dsa` flips on one of its operands (the
+    /// def's use-sites are requeued on a flip). Both relations are
+    /// monotone, so this is the same least fixpoint as the naive
+    /// all-statements rescan — without the O(rounds × stmts) cost that
+    /// dominated index build on context-cloned megacontracts.
     pub fn compute_ds(&mut self) {
-        loop {
-            let mut changed = false;
-            for s in self.p.iter_stmts() {
-                let Some(d) = s.def else { continue };
-                let di = d.0 as usize;
-                match &s.op {
-                    // DS-SenderKey
-                    Op::Env(Opcode::Caller)
-                        if !self.ds[di] => {
-                            self.ds[di] = true;
-                            changed = true;
-                        }
-                    // DS-Lookup / DSA-Lookup: the mapping hash of a
-                    // sender-derived key (or of a structure address) is a
-                    // structure address.
-                    Op::Hash2 => {
-                        let k = s.uses[0].0 as usize;
-                        let b = s.uses[1].0 as usize;
-                        if (self.ds[k] || self.dsa[k] || self.dsa[b]) && !self.dsa[di] {
-                            self.dsa[di] = true;
-                            changed = true;
-                        }
+        let n_stmts = self.p.stmts.len();
+        let mut queue: VecDeque<u32> = (0..n_stmts as u32).collect();
+        let mut queued = vec![true; n_stmts];
+        while let Some(id) = queue.pop_front() {
+            queued[id as usize] = false;
+            let s = self.p.stmt(StmtId(id));
+            let Some(d) = s.def else { continue };
+            let di = d.0 as usize;
+            let mut flip_ds = false;
+            let mut flip_dsa = false;
+            match &s.op {
+                // DS-SenderKey
+                Op::Env(Opcode::Caller) if !self.ds[di] => flip_ds = true,
+                // DS-Lookup / DSA-Lookup: the mapping hash of a
+                // sender-derived key (or of a structure address) is a
+                // structure address.
+                Op::Hash2 => {
+                    let k = s.uses[0].0 as usize;
+                    let b = s.uses[1].0 as usize;
+                    if (self.ds[k] || self.dsa[k] || self.dsa[b]) && !self.dsa[di] {
+                        flip_dsa = true;
                     }
-                    // DS-AddrOp: arithmetic on structure addresses.
-                    Op::Bin(_)
-                        if s.uses.iter().any(|u| self.dsa[u.0 as usize]) && !self.dsa[di] => {
-                            self.dsa[di] = true;
-                            changed = true;
-                        }
-                    // DSA-Load: dereferencing a structure address yields
-                    // caller-pertinent data.
-                    Op::SLoad
-                        if self.dsa[s.uses[0].0 as usize] && !self.ds[di] => {
-                            self.ds[di] = true;
-                            changed = true;
-                        }
-                    Op::Copy => {
-                        let u = s.uses[0].0 as usize;
-                        if self.ds[u] && !self.ds[di] {
-                            self.ds[di] = true;
-                            changed = true;
-                        }
-                        if self.dsa[u] && !self.dsa[di] {
-                            self.dsa[di] = true;
-                            changed = true;
-                        }
-                    }
-                    _ => {}
                 }
+                // DS-AddrOp: arithmetic on structure addresses.
+                Op::Bin(_)
+                    if s.uses.iter().any(|u| self.dsa[u.0 as usize])
+                        && !self.dsa[di] =>
+                {
+                    flip_dsa = true;
+                }
+                // DSA-Load: dereferencing a structure address yields
+                // caller-pertinent data.
+                Op::SLoad if self.dsa[s.uses[0].0 as usize] && !self.ds[di] => {
+                    flip_ds = true;
+                }
+                Op::Copy => {
+                    let u = s.uses[0].0 as usize;
+                    if self.ds[u] && !self.ds[di] {
+                        flip_ds = true;
+                    }
+                    if self.dsa[u] && !self.dsa[di] {
+                        flip_dsa = true;
+                    }
+                }
+                _ => {}
             }
-            if !changed {
-                break;
+            if !flip_ds && !flip_dsa {
+                continue;
+            }
+            if flip_ds {
+                self.ds[di] = true;
+            }
+            if flip_dsa {
+                self.dsa[di] = true;
+            }
+            for &u in self.du.uses(d) {
+                let ui = u.0 as usize;
+                if !queued[ui] {
+                    queued[ui] = true;
+                    queue.push_back(u.0);
+                }
             }
         }
     }
@@ -387,7 +518,13 @@ impl Ctx<'_> {
 
     /// Finds sanitizing guards: `JUMPI`s whose condition scrutinizes the
     /// caller, guarding the region dominated by their chosen successor.
+    ///
+    /// Regions are collected by DFS over the dominator-tree children
+    /// index ([`Dominators::children`]) — O(region size) per guard —
+    /// instead of testing `dom.dominates(succ, b)` for every block,
+    /// which walked an idom chain per (guard, block) pair.
     pub fn find_guards(&mut self, dom: &Dominators) -> Vec<Guard> {
+        let children = dom.children();
         let mut out = Vec::new();
         for s in self.p.iter_stmts() {
             if s.op != Op::JumpI {
@@ -415,10 +552,17 @@ impl Ctx<'_> {
                     continue;
                 }
                 let Some(cond_kind) = self.guard_cond(base, 0) else { continue };
-                let region: Vec<BlockId> = (0..self.p.blocks.len() as u32)
-                    .map(BlockId)
-                    .filter(|&b| dom.dominates(succ, b))
-                    .collect();
+                // The dominated region is exactly the dominator-tree
+                // subtree rooted at `succ` (when `succ` is reachable).
+                let mut region: Vec<BlockId> = Vec::new();
+                if dom.is_reachable(succ) {
+                    let mut stack = vec![succ];
+                    while let Some(b) = stack.pop() {
+                        region.push(b);
+                        stack.extend(&children[b.0 as usize]);
+                    }
+                    region.sort_unstable();
+                }
                 if !region.is_empty() {
                     out.push(Guard { cond: base, cond_kind, pc: s.pc, region });
                 }

@@ -36,11 +36,10 @@
 //!    differential suites in `crates/bench`).
 
 use super::indexes::SparseIndexes;
-use super::{guard_defeated, Prepared, SAddr, State};
+use super::{guard_defeated, KeyClass, Prepared, State};
 use crate::analysis::deadline_exceeded;
 use crate::config::{Config, StorageModel};
 use decompiler::{Op, StmtId, Var};
-use evm::U256;
 use std::collections::VecDeque;
 
 /// Runs the sparse fixpoint, mutating `st` in place until the worklist
@@ -156,20 +155,19 @@ impl<'a, 'b> Sparse<'a, 'b> {
                 // Local memory modeling: values stored at the same
                 // constant offset flow to this load.
                 let Some(d) = s.def else { return };
-                if let Some(off) = prep.ctx.consts[s.uses[0].0 as usize] {
-                    if let Some(stores) = prep.mem_stores.get(&off) {
-                        let any_in = stores
-                            .iter()
-                            .any(|(_, v)| self.st.input_tainted[v.0 as usize]);
-                        let any_st = stores
-                            .iter()
-                            .any(|(_, v)| self.st.storage_tainted[v.0 as usize]);
-                        if any_in && stmt_rba {
-                            self.set_input(d);
-                        }
-                        if any_st {
-                            self.set_storage(d);
-                        }
+                if let Some(a) = idx.stmt_mem[id.0 as usize] {
+                    let stores = &idx.mem_store_vals[a as usize];
+                    let any_in = stores
+                        .iter()
+                        .any(|(_, v)| self.st.input_tainted[v.0 as usize]);
+                    let any_st = stores
+                        .iter()
+                        .any(|(_, v)| self.st.storage_tainted[v.0 as usize]);
+                    if any_in && stmt_rba {
+                        self.set_input(d);
+                    }
+                    if any_st {
+                        self.set_storage(d);
                     }
                 }
             }
@@ -179,11 +177,9 @@ impl<'a, 'b> Sparse<'a, 'b> {
                 // themselves when processed.
                 let v = s.uses[1].0 as usize;
                 if self.st.input_tainted[v] || self.st.storage_tainted[v] {
-                    if let Some(off) = prep.ctx.consts[s.uses[0].0 as usize] {
-                        if let Some(loads) = idx.mem_loads.get(&off) {
-                            for &l in loads {
-                                push(&mut self.queue, &mut self.queued, l);
-                            }
+                    if let Some(a) = idx.stmt_mem[id.0 as usize] {
+                        for &l in &idx.mem_loads[a as usize] {
+                            push(&mut self.queue, &mut self.queued, l);
                         }
                     }
                 }
@@ -193,15 +189,15 @@ impl<'a, 'b> Sparse<'a, 'b> {
                     return;
                 }
                 let Some(d) = s.def else { return };
-                let class = idx.key_class[id.0 as usize].as_ref().unwrap();
+                let class = prep.key_class[id.0 as usize].as_ref().unwrap();
                 let tainted_load = match class {
-                    SAddr::Const(v) => {
-                        self.st.tainted_slots.contains(v) || self.st.all_slots_tainted
+                    KeyClass::Const(a) => {
+                        self.st.tainted_slots.contains(*a) || self.st.all_slots_tainted
                     }
-                    SAddr::Mapping { base, .. } => {
-                        self.st.tainted_mappings.contains(base)
+                    KeyClass::Mapping { base, .. } => {
+                        self.st.tainted_mappings.contains(*base)
                     }
-                    SAddr::Unknown => {
+                    KeyClass::Unknown => {
                         self.cfg.storage_model == StorageModel::Conservative
                             && self.st.unknown_store_tainted
                     }
@@ -228,13 +224,13 @@ impl<'a, 'b> Sparse<'a, 'b> {
                 let v_ds = prep.ctx.ds[value.0 as usize];
                 let attacker_value = (v_in || v_ds) && stmt_rba;
                 let tainted_value = v_st || attacker_value;
-                match idx.key_class[id.0 as usize].as_ref().unwrap() {
-                    SAddr::Const(v) => {
+                match prep.key_class[id.0 as usize].as_ref().unwrap() {
+                    KeyClass::Const(a) => {
                         if tainted_value {
-                            self.taint_slot(*v);
+                            self.taint_slot(*a);
                         }
                     }
-                    SAddr::Mapping { base, keys } => {
+                    KeyClass::Mapping { base, keys } => {
                         let key_attacker = keys.iter().any(|k| {
                             prep.ctx.ds[k.0 as usize]
                                 || self.st.input_tainted[k.0 as usize]
@@ -258,7 +254,7 @@ impl<'a, 'b> Sparse<'a, 'b> {
                             self.make_writable(*base);
                         }
                     }
-                    SAddr::Unknown => {
+                    KeyClass::Unknown => {
                         // StorageWrite-2: tainted value at a tainted
                         // (attacker-influenced) address taints all known
                         // slots. Conservative mode does this for *any*
@@ -294,10 +290,8 @@ impl<'a, 'b> Sparse<'a, 'b> {
         }
         // Mapping keys are Hash2 operands, not SStore operands: the
         // dependent stores' key_attacker predicate just changed.
-        if let Some(deps) = idx.mapping_key_deps.get(&v) {
-            for &d in deps {
-                push(&mut self.queue, &mut self.queued, d);
-            }
+        for &d in &idx.mapping_key_deps[vi] {
+            push(&mut self.queue, &mut self.queued, d);
         }
         self.defeat_candidates_by_cond(v);
     }
@@ -316,47 +310,39 @@ impl<'a, 'b> Sparse<'a, 'b> {
         self.defeat_candidates_by_cond(v);
     }
 
-    /// Constant storage slot became tainted.
-    fn taint_slot(&mut self, slot: U256) {
+    /// Constant storage slot (by atom) became tainted.
+    fn taint_slot(&mut self, slot: u32) {
         if !self.st.tainted_slots.insert(slot) {
             return;
         }
         let idx = self.idx;
-        if let Some(loads) = idx.sload_const.get(&slot) {
-            for &l in loads {
-                push(&mut self.queue, &mut self.queued, l);
-            }
+        for &l in &idx.sload_const[slot as usize] {
+            push(&mut self.queue, &mut self.queued, l);
         }
-        if let Some(gs) = idx.guards_by_slot.get(&slot) {
-            for &g in gs {
-                self.maybe_defeat(g);
-            }
+        for &g in &idx.guards_by_slot[slot as usize] {
+            self.maybe_defeat(g);
         }
     }
 
-    /// Mapping base slot became tainted.
-    fn taint_mapping(&mut self, base: U256) {
+    /// Mapping base slot (by atom) became tainted.
+    fn taint_mapping(&mut self, base: u32) {
         if !self.st.tainted_mappings.insert(base) {
             return;
         }
         let idx = self.idx;
-        if let Some(loads) = idx.sload_mapping.get(&base) {
-            for &l in loads {
-                push(&mut self.queue, &mut self.queued, l);
-            }
+        for &l in &idx.sload_mapping[base as usize] {
+            push(&mut self.queue, &mut self.queued, l);
         }
     }
 
-    /// Mapping became attacker-writable (enrollment).
-    fn make_writable(&mut self, base: U256) {
+    /// Mapping (by atom) became attacker-writable (enrollment).
+    fn make_writable(&mut self, base: u32) {
         if !self.st.writable_mappings.insert(base) {
             return;
         }
         let idx = self.idx;
-        if let Some(gs) = idx.guards_by_membership.get(&base) {
-            for &g in gs {
-                self.maybe_defeat(g);
-            }
+        for &g in &idx.guards_by_membership[base as usize] {
+            self.maybe_defeat(g);
         }
     }
 
@@ -390,10 +376,8 @@ impl<'a, 'b> Sparse<'a, 'b> {
     /// A guard condition variable changed: re-check its guards.
     fn defeat_candidates_by_cond(&mut self, v: Var) {
         let idx = self.idx;
-        if let Some(gs) = idx.guards_by_cond.get(&v) {
-            for &g in gs {
-                self.maybe_defeat(g);
-            }
+        for &g in &idx.guards_by_cond[v.0 as usize] {
+            self.maybe_defeat(g);
         }
     }
 
@@ -407,7 +391,7 @@ impl<'a, 'b> Sparse<'a, 'b> {
         }
         let prep = self.prep;
         let idx = self.idx;
-        if !guard_defeated(&prep.guards[g], self.st, self.cfg) {
+        if !guard_defeated(&prep.guards[g], &prep.guard_atoms[g], self.st, self.cfg) {
             return;
         }
         self.st.defeated[g] = true;

@@ -115,7 +115,18 @@ impl Iterator for CorpusSource {
 
 impl ContractSource for CorpusSource {
     fn descriptor(&self) -> String {
-        format!("corpus:size={}:seed={}", self.cfg.size, self.cfg.seed)
+        // The scale suffix appears only for non-default scales, so
+        // descriptors of pre-existing (small) populations — and hence
+        // their scan manifests — stay byte-identical for `--resume`.
+        match self.cfg.scale {
+            corpus::Scale::Small => {
+                format!("corpus:size={}:seed={}", self.cfg.size, self.cfg.seed)
+            }
+            scale => format!(
+                "corpus:size={}:seed={}:scale={scale:?}",
+                self.cfg.size, self.cfg.seed
+            ),
+        }
     }
 }
 
