@@ -29,6 +29,20 @@ pub enum Pattern {
     UnrestrictedWrite,
     /// Unvalidated caller input reaching a state/memory/call operation.
     MissingInputValidation,
+    /// Any `SSTORE` at a higher bytecode offset than a `CALL` — the "no
+    /// writes after call" pattern matched on raw program order, with no
+    /// cell matching, dominance, or reachability (so a write in a
+    /// *different* function still triggers it).
+    ReentrantCall,
+    /// A `CALL` whose result never flows into a `JUMPI` condition
+    /// (Securify's unhandled-exception pattern; no storage-constraint
+    /// escape hatch).
+    UnhandledException,
+    /// `ORIGIN` flowing into any `JUMPI` condition, sink-blind.
+    TxOriginMisuse,
+    /// `TIMESTAMP` flowing into any `JUMPI` condition or transferred
+    /// value, sink-blind.
+    TimestampMisuse,
 }
 
 /// One reported violation.
@@ -247,6 +261,64 @@ fn analyze_once(p: &Program) -> Option<SecurifyReport> {
         }
     }
 
+    // Detector suite v2 analogues — the same checks Ethainter performs
+    // with its effect/ordering summaries and origin/time lattices, here
+    // reduced to raw pattern matches (no ordering oracle, no cell
+    // matching, no attacker-reachability), reproducing the baseline's
+    // characteristic completeness-over-precision trade.
+    let ext_calls: Vec<&decompiler::Stmt> = p
+        .iter_stmts()
+        .filter(|s| matches!(s.op, Op::Call { kind: Opcode::Call | Opcode::CallCode }))
+        .collect();
+    for c in &ext_calls {
+        // "No writes after call": any later store, anywhere.
+        if p.iter_stmts().any(|s| s.op == Op::SStore && s.pc > c.pc) {
+            report
+                .violations
+                .push(Violation { pattern: Pattern::ReentrantCall, stmt: c.id.0 });
+        }
+        // Unhandled exception: the success flag constrains no branch.
+        if let Some(d) = c.def {
+            let checked = p
+                .iter_stmts()
+                .any(|s| s.op == Op::JumpI && s.uses.iter().any(|u| flows_to(d, *u)));
+            if !checked {
+                report
+                    .violations
+                    .push(Violation { pattern: Pattern::UnhandledException, stmt: c.id.0 });
+            }
+        }
+    }
+    let origin_vars: Vec<Var> = p
+        .iter_stmts()
+        .filter(|d| matches!(d.op, Op::Env(Opcode::Origin)))
+        .filter_map(|d| d.def)
+        .collect();
+    let time_vars: Vec<Var> = p
+        .iter_stmts()
+        .filter(|d| matches!(d.op, Op::Env(Opcode::Timestamp)))
+        .filter_map(|d| d.def)
+        .collect();
+    for s in p.iter_stmts() {
+        if s.op == Op::JumpI && origin_vars.iter().any(|&o| flows_to(o, s.uses[0])) {
+            report
+                .violations
+                .push(Violation { pattern: Pattern::TxOriginMisuse, stmt: s.id.0 });
+        }
+        let time_hit = match &s.op {
+            Op::JumpI => time_vars.iter().any(|&t| flows_to(t, s.uses[0])),
+            Op::Call { kind: Opcode::Call | Opcode::CallCode } => {
+                time_vars.iter().any(|&t| flows_to(t, s.uses[2]))
+            }
+            _ => false,
+        };
+        if time_hit {
+            report
+                .violations
+                .push(Violation { pattern: Pattern::TimestampMisuse, stmt: s.id.0 });
+        }
+    }
+
     report.violations.sort_by_key(|v| (v.pattern, v.stmt));
     report.violations.dedup();
     Some(report)
@@ -331,5 +403,71 @@ mod tests {
     #[test]
     fn empty_bytecode_is_clean() {
         assert!(analyze(&[]).violations.is_empty());
+    }
+
+    #[test]
+    fn reentrant_withdraw_and_unchecked_send_flagged() {
+        let r = run(
+            r#"contract Bank {
+                mapping(address => uint) balances;
+                uint nonce;
+                function withdraw() public {
+                    uint bal = balances[msg.sender];
+                    require(bal > 0x0);
+                    send(msg.sender, bal);
+                    balances[msg.sender] = 0x0;
+                }
+            }"#,
+        );
+        assert!(r.has(Pattern::ReentrantCall), "{:?}", r.violations);
+        assert!(r.has(Pattern::UnhandledException), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn checked_send_is_not_an_unhandled_exception() {
+        let r = run(
+            r#"contract Payer {
+                function pay(address to, uint v) public { require(send(to, v)); }
+            }"#,
+        );
+        assert!(!r.has(Pattern::UnhandledException), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn write_after_guarded_call_is_a_reentrancy_fp() {
+        // The naive program-order match has no cell or reachability
+        // reasoning: a store in a *different, unrelated* function that
+        // happens to sit at a higher offset still triggers it. Ethainter's
+        // ordering oracle keeps this clean.
+        let r = run(
+            r#"contract W {
+                address owner = 0x1234;
+                uint nonce;
+                function pay(address to, uint v) public {
+                    require(msg.sender == owner);
+                    require(send(to, v));
+                }
+                function zbump() public { nonce += 0x1; }
+            }"#,
+        );
+        assert!(r.has(Pattern::ReentrantCall), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn origin_and_timestamp_guards_flagged_sink_blind() {
+        let r = run(
+            r#"contract G {
+                address owner = 0x1234;
+                uint epoch;
+                function tick() public {
+                    require(tx.origin == owner);
+                    if (block.timestamp > epoch) { epoch = block.timestamp; }
+                }
+            }"#,
+        );
+        assert!(r.has(Pattern::TxOriginMisuse), "{:?}", r.violations);
+        // Sink-blind: a bookkeeping write behind a time branch is enough
+        // (Ethainter requires a money-flow sink).
+        assert!(r.has(Pattern::TimestampMisuse), "{:?}", r.violations);
     }
 }

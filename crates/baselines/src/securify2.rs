@@ -26,6 +26,17 @@ pub enum Pattern {
     UnrestrictedDelegateCall,
     /// A state write of caller-supplied data with no sender check.
     UnrestrictedWrite,
+    /// A state write textually after a `send`/`external_call` in the
+    /// same function body (syntactic checks-effects-interactions; no
+    /// cell matching, so *any* later write fires it).
+    Reentrancy,
+    /// `tx.origin` mentioned in any `require`/`if` condition.
+    TxOriginAuth,
+    /// `block.timestamp` mentioned in any `require`/`if` condition,
+    /// sink-blind.
+    TimestampGuard,
+    /// A bare `send(...)` statement whose result is discarded.
+    UncheckedSend,
 }
 
 /// Why Securify2 produced no result for a contract.
@@ -106,6 +117,10 @@ pub fn analyze_ast(contract: &Contract) -> Securify2Report {
                 guarded |= body_checks_sender(&md.body);
             }
         }
+        // Detector suite v2 patterns are purely syntactic and fire
+        // regardless of sender guards (a sender check does not excuse a
+        // tx.origin comparison or a dropped send result).
+        scan_v2(&f.body, &f.name, contract, &mut report);
         if guarded {
             continue;
         }
@@ -148,6 +163,107 @@ pub fn analyze_ast(contract: &Contract) -> Securify2Report {
         });
     }
     report
+}
+
+/// The detector-suite-v2 source patterns over one function body:
+/// condition mentions of `tx.origin`/`block.timestamp`, bare sends, and
+/// a linear interaction-then-effect ordering scan.
+fn scan_v2(body: &[Stmt], fname: &str, contract: &Contract, report: &mut Securify2Report) {
+    let mut hit = |pattern: Pattern| {
+        report.violations.push(Violation { pattern, function: fname.to_string() })
+    };
+    let mut seen_call = false;
+    let mut walk = Vec::new();
+    flatten(body, &mut walk);
+    for s in &walk {
+        match s {
+            Stmt::Require(e) | Stmt::If { cond: e, .. } => {
+                if expr_mentions_origin(e) {
+                    hit(Pattern::TxOriginAuth);
+                }
+                if expr_mentions_timestamp(e) {
+                    hit(Pattern::TimestampGuard);
+                }
+            }
+            _ => {}
+        }
+        if let Stmt::Expr(Expr::Call { name, .. }) = s {
+            if name == "send" {
+                hit(Pattern::UncheckedSend);
+            }
+        }
+        if let Stmt::Assign { target, .. } = s {
+            let is_state = contract.state_vars.iter().any(|sv| sv.name == target.name);
+            if is_state && seen_call {
+                hit(Pattern::Reentrancy);
+            }
+        }
+        seen_call |= stmt_makes_external_call(s);
+    }
+}
+
+/// Flattens a body into statement order (branch bodies inline after
+/// their heads) — the linear view `scan_v2`'s ordering check walks.
+fn flatten<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a Stmt>) {
+    for s in stmts {
+        out.push(s);
+        match s {
+            Stmt::If { then_body, else_body, .. } => {
+                flatten(then_body, out);
+                flatten(else_body, out);
+            }
+            Stmt::While { body, .. } => flatten(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn stmt_makes_external_call(s: &Stmt) -> bool {
+    let in_expr = |e: &Expr| expr_mentions_call(e, &["send", "external_call"]);
+    match s {
+        Stmt::Expr(e) | Stmt::Require(e) => in_expr(e),
+        Stmt::VarDecl { init, .. } => in_expr(init),
+        Stmt::Assign { value, .. } => in_expr(value),
+        _ => false,
+    }
+}
+
+fn expr_mentions_call(e: &Expr, names: &[&str]) -> bool {
+    match e {
+        Expr::Call { name, args, .. } => {
+            names.contains(&name.as_str()) || args.iter().any(|a| expr_mentions_call(a, names))
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_mentions_call(lhs, names) || expr_mentions_call(rhs, names)
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr_mentions_call(expr, names),
+        Expr::Index { indices, .. } => indices.iter().any(|ix| expr_mentions_call(ix, names)),
+        _ => false,
+    }
+}
+
+fn expr_mentions_origin(e: &Expr) -> bool {
+    match e {
+        Expr::TxOrigin => true,
+        Expr::Binary { lhs, rhs, .. } => expr_mentions_origin(lhs) || expr_mentions_origin(rhs),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr_mentions_origin(expr),
+        Expr::Index { indices, .. } => indices.iter().any(expr_mentions_origin),
+        Expr::Call { args, .. } => args.iter().any(expr_mentions_origin),
+        _ => false,
+    }
+}
+
+fn expr_mentions_timestamp(e: &Expr) -> bool {
+    match e {
+        Expr::BlockTimestamp => true,
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_mentions_timestamp(lhs) || expr_mentions_timestamp(rhs)
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr_mentions_timestamp(expr),
+        Expr::Index { indices, .. } => indices.iter().any(expr_mentions_timestamp),
+        Expr::Call { args, .. } => args.iter().any(expr_mentions_timestamp),
+        _ => false,
+    }
 }
 
 fn visit(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
@@ -275,6 +391,75 @@ mod tests {
         }
         src.push('}');
         assert_eq!(analyze(&src, true).unwrap_err(), Failure::Timeout);
+    }
+
+    #[test]
+    fn reentrant_ordering_and_bare_send_flagged() {
+        let r = run(
+            r#"contract Bank {
+                mapping(address => uint) balances;
+                function withdraw() public {
+                    uint bal = balances[msg.sender];
+                    require(bal > 0x0);
+                    send(msg.sender, bal);
+                    balances[msg.sender] = 0x0;
+                }
+            }"#,
+        );
+        assert!(r.has(Pattern::Reentrancy), "{:?}", r.violations);
+        assert!(r.has(Pattern::UncheckedSend), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn effects_first_and_checked_send_clean() {
+        let r = run(
+            r#"contract Bank {
+                mapping(address => uint) balances;
+                function withdraw() public {
+                    uint bal = balances[msg.sender];
+                    require(bal > 0x0);
+                    balances[msg.sender] = 0x0;
+                    require(send(msg.sender, bal));
+                }
+            }"#,
+        );
+        assert!(!r.has(Pattern::Reentrancy), "{:?}", r.violations);
+        assert!(!r.has(Pattern::UncheckedSend), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn origin_and_timestamp_conditions_flagged() {
+        let r = run(
+            r#"contract G {
+                address owner = 0x1;
+                uint epoch;
+                function f() public {
+                    require(tx.origin == owner);
+                    if (block.timestamp > epoch) { epoch = block.timestamp; }
+                }
+            }"#,
+        );
+        assert!(r.has(Pattern::TxOriginAuth), "{:?}", r.violations);
+        // Sink-blind: Ethainter keeps the bookkeeping branch clean.
+        assert!(r.has(Pattern::TimestampGuard), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn sender_guard_does_not_excuse_v2_patterns() {
+        // The v2 scan runs before the sender-guard skip.
+        let r = run(
+            r#"contract W {
+                address owner = 0x1;
+                uint nonce;
+                function pay(address to, uint v) public {
+                    require(msg.sender == owner);
+                    send(to, v);
+                    nonce += 0x1;
+                }
+            }"#,
+        );
+        assert!(r.has(Pattern::UncheckedSend), "{:?}", r.violations);
+        assert!(r.has(Pattern::Reentrancy), "{:?}", r.violations);
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct TeetherResult {
     pub exploit: Option<Vec<ExploitTx>>,
     /// True when the search exhausted its budget.
     pub timed_out: bool,
+    /// Trace-level analogue of the unchecked-call-return class: some
+    /// executed path performed a `CALL` at the victim and immediately
+    /// discarded the success flag (the next victim-frame step is a
+    /// `POP`). Concrete-witness precision, path-palette completeness.
+    #[serde(default)]
+    pub unchecked_call: bool,
 }
 
 /// Hunts for a selfdestruct exploit against `bytecode` deployed on a
@@ -86,8 +92,13 @@ pub fn hunt(bytecode: &[u8], initial_storage: &[(U256, U256)], cfg: &TeetherConf
     }
 
     let program = decompile(bytecode);
-    // No selfdestruct instruction at all: nothing to hunt.
-    if !program.iter_stmts().any(|s| s.op == decompiler::Op::SelfDestruct) {
+    // Nothing huntable: neither a selfdestruct (the exploit target) nor
+    // an external call (the unchecked-call witness source).
+    let has_kill = program.iter_stmts().any(|s| s.op == decompiler::Op::SelfDestruct);
+    let has_call = program
+        .iter_stmts()
+        .any(|s| matches!(s.op, decompiler::Op::Call { kind: Opcode::Call }));
+    if !has_kill && !has_call {
         return result;
     }
     let selectors: Vec<u32> = program.functions.iter().map(|f| f.selector).collect();
@@ -135,6 +146,7 @@ pub fn hunt(bytecode: &[u8], initial_storage: &[(U256, U256)], cfg: &TeetherConf
                     result.timed_out = true;
                     return result;
                 }
+                result.unchecked_call |= trace_drops_call_result(&r.trace.steps, victim);
                 if r.success
                     && r.trace
                         .steps
@@ -147,7 +159,7 @@ pub fn hunt(bytecode: &[u8], initial_storage: &[(U256, U256)], cfg: &TeetherConf
                 }
             }
         }
-        if cfg.max_depth < 2 {
+        if cfg.max_depth < 2 || !has_kill {
             continue;
         }
         // Depth 2.
@@ -191,6 +203,29 @@ pub fn hunt(bytecode: &[u8], initial_storage: &[(U256, U256)], cfg: &TeetherConf
         }
     }
     result
+}
+
+/// True when some `CALL` executed in the victim's frame is immediately
+/// followed — in the same frame — by a `POP`: the success flag was
+/// discarded without inspection (this compiler emits the check, when
+/// present, as `ISZERO`/`JUMPI` right after the call returns).
+fn trace_drops_call_result(steps: &[evm::TraceStep], victim: Address) -> bool {
+    for (i, s) in steps.iter().enumerate() {
+        if s.op != Opcode::Call || s.address != victim {
+            continue;
+        }
+        // The callee's steps (if any) run at depth+1; the next step at
+        // the call's own depth and address consumes the success flag.
+        if let Some(next) = steps[i + 1..]
+            .iter()
+            .find(|n| n.depth == s.depth && n.address == victim)
+        {
+            if next.op == Opcode::Pop {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -250,6 +285,37 @@ mod tests {
         );
         let r = hunt(&code, &init, &eager());
         assert!(!r.flagged, "{r:?}");
+    }
+
+    #[test]
+    fn witnesses_dropped_send_result() {
+        let (code, init) = bytecode(
+            r#"contract Payer {
+                uint nonce;
+                function pay(address to, uint amount) public {
+                    send(to, amount);
+                    nonce += 0x1;
+                }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(r.unchecked_call, "{r:?}");
+        assert!(!r.flagged, "no selfdestruct to find");
+    }
+
+    #[test]
+    fn checked_send_leaves_no_dropped_result_witness() {
+        let (code, init) = bytecode(
+            r#"contract Payer {
+                uint nonce;
+                function pay(address to, uint amount) public {
+                    require(send(to, amount));
+                    nonce += 0x1;
+                }
+            }"#,
+        );
+        let r = hunt(&code, &init, &eager());
+        assert!(!r.unchecked_call, "{r:?}");
     }
 
     #[test]

@@ -45,6 +45,61 @@ pub struct TestNet {
     gas_limit: u64,
 }
 
+/// [`State`] plus the chain's block environment: the `World` handed to
+/// the interpreter so `NUMBER`/`TIMESTAMP` observe the network clock
+/// (and [`TestNet::warp_to`] actually changes executed behavior) while
+/// everything stateful delegates to the journaled [`State`].
+struct BlockEnv<'a> {
+    state: &'a mut State,
+    block_number: u64,
+    timestamp: u64,
+}
+
+impl World for BlockEnv<'_> {
+    fn balance(&self, address: Address) -> U256 {
+        self.state.balance(address)
+    }
+    fn code(&self, address: Address) -> Vec<u8> {
+        self.state.code(address)
+    }
+    fn storage_get(&self, address: Address, key: U256) -> U256 {
+        self.state.storage_get(address, key)
+    }
+    fn storage_set(&mut self, address: Address, key: U256, value: U256) {
+        self.state.storage_set(address, key, value)
+    }
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        self.state.transfer(from, to, value)
+    }
+    fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
+        self.state.selfdestruct(address, beneficiary)
+    }
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        self.state.set_code(address, code)
+    }
+    fn nonce(&self, address: Address) -> u64 {
+        self.state.nonce(address)
+    }
+    fn increment_nonce(&mut self, address: Address) {
+        self.state.increment_nonce(address)
+    }
+    fn log(&mut self, address: Address, topics: Vec<U256>, data: Vec<u8>) {
+        self.state.log(address, topics, data)
+    }
+    fn snapshot(&mut self) -> usize {
+        self.state.snapshot()
+    }
+    fn revert_to(&mut self, snapshot: usize) {
+        self.state.revert_to(snapshot)
+    }
+    fn block_number(&self) -> u64 {
+        self.block_number
+    }
+    fn block_timestamp(&self) -> u64 {
+        self.timestamp
+    }
+}
+
 impl TestNet {
     /// A fresh, empty network.
     pub fn new() -> Self {
@@ -70,6 +125,22 @@ impl TestNet {
     /// Current block number.
     pub fn block_number(&self) -> u64 {
         self.block_number
+    }
+
+    /// Current block timestamp.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Fast-forwards the chain clock to `timestamp` (no effect if it is
+    /// already past), advancing the block number accordingly — the
+    /// deadline-probing primitive behind timestamp-dependence
+    /// demonstrations.
+    pub fn warp_to(&mut self, timestamp: u64) {
+        if timestamp > self.timestamp {
+            self.block_number += (timestamp - self.timestamp).div_ceil(13).max(1);
+            self.timestamp = timestamp;
+        }
     }
 
     /// Sets the per-transaction gas limit.
@@ -123,7 +194,12 @@ impl TestNet {
             depth: 0,
         };
         let mut trace = Trace::default();
-        let exec = execute(&mut self.state, params, &mut trace);
+        let mut env = BlockEnv {
+            state: &mut self.state,
+            block_number: self.block_number,
+            timestamp: self.timestamp,
+        };
+        let exec = execute(&mut env, params, &mut trace);
         match exec.outcome {
             Outcome::Return(runtime) => {
                 self.state.set_code(address, runtime);
@@ -196,7 +272,12 @@ impl TestNet {
             is_static: false,
             depth: 0,
         };
-        let exec = execute(&mut self.state, params, &mut trace);
+        let mut env = BlockEnv {
+            state: &mut self.state,
+            block_number: self.block_number,
+            timestamp: self.timestamp,
+        };
+        let exec = execute(&mut env, params, &mut trace);
 
         let (success, output) = match &exec.outcome {
             Outcome::Return(data) => (true, data.clone()),

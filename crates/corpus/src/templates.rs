@@ -745,6 +745,181 @@ pub fn vuln_magic_kill(rng: &mut impl Rng) -> Spec {
     Spec { family: "vuln_magic_kill", source, truth }
 }
 
+// ------------------------------------------------ detector suite v2 ---
+
+/// Checks-effects-interactions violation: the balance is read before the
+/// external call and zeroed after it, so a re-entrant callee withdraws
+/// against the stale balance. The send is `require`-checked, so only the
+/// ordering class applies.
+pub fn vuln_reentrant_bank(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Bank");
+    let withdraw = ident(rng, "withdraw");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    mapping(address => uint) balances;
+    function {deposit}(uint v) public {{ balances[msg.sender] += v; }}
+    function {withdraw}() public {{
+        uint bal = balances[msg.sender];
+        require(bal > 0x0);
+        require(send(msg.sender, bal));
+        balances[msg.sender] = 0x0;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        deposit = ident(rng, "deposit"),
+    );
+    Spec {
+        family: "vuln_reentrant_bank",
+        source,
+        truth: GroundTruth::of(&[Vuln::Reentrancy]),
+    }
+}
+
+/// The hardened bank: effects before interactions — clean.
+pub fn safe_effects_first_bank(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Bank");
+    let withdraw = ident(rng, "withdraw");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    mapping(address => uint) balances;
+    function {deposit}(uint v) public {{ balances[msg.sender] += v; }}
+    function {withdraw}() public {{
+        uint bal = balances[msg.sender];
+        require(bal > 0x0);
+        balances[msg.sender] = 0x0;
+        require(send(msg.sender, bal));
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        deposit = ident(rng, "deposit"),
+    );
+    Spec { family: "safe_effects_first_bank", source, truth: GroundTruth::default() }
+}
+
+/// `tx.origin`-based authentication over a state write: a phishing
+/// contract called by the owner passes the check.
+pub fn vuln_txorigin_auth(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Drop");
+    let claim = ident(rng, "claim");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    mapping(address => uint) credits;
+    function {claim}(address to, uint v) public {{
+        require(tx.origin == owner);
+        credits[to] += v;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec {
+        family: "vuln_txorigin_auth",
+        source,
+        truth: GroundTruth::of(&[Vuln::TxOriginAuth]),
+    }
+}
+
+/// The hardened variant: `msg.sender` authentication — clean.
+pub fn safe_sender_auth(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Drop");
+    let claim = ident(rng, "claim");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    address owner = 0x{owner:x};
+    mapping(address => uint) credits;
+    function {claim}(address to, uint v) public {{
+        require(msg.sender == owner);
+        credits[to] += v;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        owner = rng.gen_range(1u64..u32::MAX as u64),
+    );
+    Spec { family: "safe_sender_auth", source, truth: GroundTruth::default() }
+}
+
+/// A miner-influencable deadline gates a money flow.
+pub fn vuln_timestamp_payout(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Lotto");
+    let payout = ident(rng, "payout");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint deadline = 0x{deadline:x};
+    function {payout}(address to, uint amount) public {{
+        require(block.timestamp > deadline);
+        require(send(to, amount));
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        // Strictly above the TestNet genesis timestamp (1_600_000_000 <
+        // 0x6000_0000): a seeded deadline is always still in the future,
+        // so the kill-crate warp demonstration can flip it.
+        deadline = rng.gen_range(0x6000_0000u64..0x7000_0000),
+    );
+    Spec {
+        family: "vuln_timestamp_payout",
+        source,
+        truth: GroundTruth::of(&[Vuln::TimestampDependence]),
+    }
+}
+
+/// The hardened variant: a block-number deadline — clean.
+pub fn safe_blocknumber_payout(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Lotto");
+    let payout = ident(rng, "payout");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint deadline = 0x{deadline:x};
+    function {payout}(address to, uint amount) public {{
+        require(block.number > deadline);
+        require(send(to, amount));
+    }}
+}}"#,
+        filler = filler_vars(rng),
+        deadline = rng.gen_range(0x100_0000u64..0x200_0000),
+    );
+    Spec { family: "safe_blocknumber_payout", source, truth: GroundTruth::default() }
+}
+
+/// A bare `send` whose success flag is silently dropped.
+pub fn vuln_unchecked_send(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Payer");
+    let pay = ident(rng, "pay");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint nonce;
+    function {pay}(address to, uint amount) public {{
+        send(to, amount);
+        nonce += 0x1;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec {
+        family: "vuln_unchecked_send",
+        source,
+        truth: GroundTruth::of(&[Vuln::UncheckedCallReturn]),
+    }
+}
+
+/// The hardened variant: the send is `require`-checked — clean.
+pub fn safe_checked_send(rng: &mut impl Rng) -> Spec {
+    let name = ident(rng, "Payer");
+    let pay = ident(rng, "pay");
+    let source = format!(
+        r#"contract {name} {{
+{filler}    uint nonce;
+    function {pay}(address to, uint amount) public {{
+        require(send(to, amount));
+        nonce += 0x1;
+    }}
+}}"#,
+        filler = filler_vars(rng),
+    );
+    Spec { family: "safe_checked_send", source, truth: GroundTruth::default() }
+}
+
 /// Which deployment universe a population models.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Profile {
@@ -838,13 +1013,30 @@ pub fn weighted_templates_scaled(profile: Profile, scale: Scale) -> Vec<(f64, Te
             (0.010, vuln_pending_owner),
             (0.010, vuln_tainted_delegatecall),
             (0.005, vuln_unchecked_staticcall),
+            // Detector suite v2 seeds (positives + hardened negatives).
+            (0.004, vuln_reentrant_bank),
+            (0.004, safe_effects_first_bank),
+            (0.003, vuln_unchecked_send),
+            (0.003, safe_checked_send),
+            (0.002, vuln_txorigin_auth),
+            (0.002, safe_sender_auth),
+            (0.002, vuln_timestamp_payout),
+            (0.002, safe_blocknumber_payout),
         ],
         Scale::Adversarial => vec![
-            (0.300, adv::defi_protocol_adversarial as TemplateFn),
-            (0.220, adv::token_megasuite_adversarial),
-            (0.180, adv::guard_fortress_adversarial),
+            (0.296, adv::defi_protocol_adversarial as TemplateFn),
+            (0.218, adv::token_megasuite_adversarial),
+            (0.178, adv::guard_fortress_adversarial),
             (0.150, adv::deep_pipeline_adversarial),
             (0.150, adv::guard_chain_breach_adversarial),
+            // Detector suite v2 seeds: a thin layer of small shapes so
+            // the new classes appear even in the worst-plausible mix.
+            (0.002, vuln_reentrant_bank),
+            (0.002, vuln_unchecked_send),
+            (0.001, vuln_txorigin_auth),
+            (0.001, vuln_timestamp_payout),
+            (0.001, safe_effects_first_bank),
+            (0.001, safe_checked_send),
         ],
     }
 }
@@ -863,6 +1055,16 @@ pub fn weighted_templates_for(profile: Profile) -> Vec<(f64, TemplateFn)> {
             (0.0002, vuln_param_beneficiary),
             (0.0001, vuln_composite_victim),
             (0.0001, vuln_tainted_owner_kill),
+            // Detector suite v2: testnet experiments skew heavily toward
+            // hardened shapes, with a trace of the raw patterns.
+            (0.0020, safe_checked_send),
+            (0.0015, safe_effects_first_bank),
+            (0.0010, safe_sender_auth),
+            (0.0010, safe_blocknumber_payout),
+            (0.0002, vuln_unchecked_send),
+            (0.0001, vuln_reentrant_bank),
+            (0.0001, vuln_txorigin_auth),
+            (0.0001, vuln_timestamp_payout),
         ];
     }
     vec![
@@ -903,5 +1105,15 @@ pub fn weighted_templates_for(profile: Profile) -> Vec<(f64, TemplateFn)> {
         // tool-comparison targets
         (0.0004, safe_legacy_proxy),
         (0.0030, safe_uninit_owner),
+        // detector suite v2: ordering, origin, time, and unchecked-send
+        // shapes (positives plus their hardened negatives)
+        (0.0012, vuln_reentrant_bank),
+        (0.0020, safe_effects_first_bank),
+        (0.0015, vuln_unchecked_send),
+        (0.0025, safe_checked_send),
+        (0.0005, vuln_txorigin_auth),
+        (0.0010, safe_sender_auth),
+        (0.0005, vuln_timestamp_payout),
+        (0.0010, safe_blocknumber_payout),
     ]
 }

@@ -15,6 +15,9 @@
 //!   edges dead so the analysis can prune unreachable guard regions.
 //! * [`storage`] — per-public-function storage read/write summaries for
 //!   the detectors' sink inference.
+//! * [`effects`] — interprocedural effect/ordering summaries (external
+//!   call sites vs. storage-write sites ordered via the dominator
+//!   tree), the substrate of the detector suite v2 sink scans.
 //! * [`validate`] — the IR well-formedness linter, run at the end of
 //!   every debug-build decompilation and by `ethainter lint`.
 //!
@@ -25,6 +28,7 @@
 
 pub mod constprop;
 pub mod dataflow;
+pub mod effects;
 pub mod intervals;
 pub mod liveness;
 pub mod storage;

@@ -179,6 +179,8 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         dsa: prep.ctx.dsa.iter().filter(|&&t| t).count(),
         rba_blocks: st.rba.iter().filter(|&&t| t).count(),
         dead_edges: prep.n_dead_edges,
+        origin_tainted: st.origin_tainted.iter().filter(|&&t| t).count(),
+        time_tainted: st.time_tainted.iter().filter(|&&t| t).count(),
     };
     report.defeated_guards = prep
         .guards
@@ -310,6 +312,139 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                     selectors: selectors_of(s.block),
                     composite: st.any_defeat,
                 });
+            }
+        }
+    }
+
+    // ---- Detector suite v2: effect/ordering + origin/time detectors ----
+    // All four run over engine-independent inputs (the effect/ordering
+    // summaries and the shared fixpoint state), so dense and sparse
+    // verdicts stay byte-identical by construction.
+
+    // Reentrancy + unchecked call return both need external-call sites;
+    // the effect summary is only built when one exists (most contracts
+    // have none, and the sink scan is already the dominant phase).
+    let has_ext_call = p
+        .iter_stmts()
+        .any(|s| matches!(s.op, Op::Call { kind: Opcode::Call | Opcode::CallCode }));
+    if has_ext_call {
+        use decompiler::passes::effects;
+        let eff = effects::summarize(p);
+        // Unchecked call return: an attacker-reachable CALL whose
+        // success flag never constrains a path or a storage write.
+        for c in &eff.calls {
+            let cs = p.stmt(c.stmt);
+            if matches!(c.kind, Opcode::Call | Opcode::CallCode)
+                && !c.checked
+                && st.rba[cs.block.0 as usize]
+            {
+                report.findings.push(Finding {
+                    vuln: Vuln::UncheckedCallReturn,
+                    stmt: cs.id.0,
+                    pc: cs.pc,
+                    selectors: selectors_of(cs.block),
+                    composite: st.any_defeat,
+                });
+            }
+        }
+        // Reentrancy: an attacker-reachable external call ordered before
+        // the storage write of a cell that was read before the call
+        // (checks-effects-interactions violation — the stale read is the
+        // balance check a re-entrant caller exploits).
+        for v in effects::reordered_writes(p, &prep.dom, &eff) {
+            let cs = p.stmt(v.call);
+            if st.rba[cs.block.0 as usize] {
+                report.findings.push(Finding {
+                    vuln: Vuln::Reentrancy,
+                    stmt: cs.id.0,
+                    pc: cs.pc,
+                    selectors: selectors_of(cs.block),
+                    composite: st.any_defeat,
+                });
+            }
+        }
+        // Timestamp dependence, value variant: a transferred value
+        // (CALL's value operand) derived from TIMESTAMP.
+        for c in &eff.calls {
+            let cs = p.stmt(c.stmt);
+            if matches!(c.kind, Opcode::Call | Opcode::CallCode)
+                && st.time_tainted[cs.uses[2].0 as usize]
+                && st.rba[cs.block.0 as usize]
+            {
+                report.findings.push(Finding {
+                    vuln: Vuln::TimestampDependence,
+                    stmt: cs.id.0,
+                    pc: cs.pc,
+                    selectors: selectors_of(cs.block),
+                    composite: st.any_defeat,
+                });
+            }
+        }
+    }
+
+    // tx.origin authentication + timestamp dependence (guard variant):
+    // branch regions whose peeled condition carries origin/time taint,
+    // gating a critical sink. `cond_regions` deliberately includes the
+    // conditions the sanitizing-guard machinery rejects — an origin
+    // comparison is precisely a non-sender guard.
+    let any_origin = st.origin_tainted.iter().any(|&t| t);
+    let any_time = st.time_tainted.iter().any(|&t| t);
+    if any_origin || any_time {
+        for r in prep.ctx.cond_regions(&prep.dom) {
+            let js = p.stmt(r.stmt);
+            if !st.rba[js.block.0 as usize] {
+                continue;
+            }
+            let region_ops = || {
+                r.region
+                    .iter()
+                    .flat_map(|b| p.block(*b).stmts.iter())
+                    .map(|&sid| &p.stmt(sid).op)
+            };
+            // Auth sinks: any state change or control transfer the
+            // origin check purports to protect.
+            if any_origin && st.origin_tainted[r.cond.0 as usize] {
+                let gates_sink = region_ops().any(|op| {
+                    matches!(
+                        op,
+                        Op::SStore
+                            | Op::SelfDestruct
+                            | Op::Call {
+                                kind: Opcode::Call
+                                    | Opcode::CallCode
+                                    | Opcode::DelegateCall
+                            }
+                    )
+                });
+                if gates_sink {
+                    report.findings.push(Finding {
+                        vuln: Vuln::TxOriginAuth,
+                        stmt: js.id.0,
+                        pc: js.pc,
+                        selectors: selectors_of(js.block),
+                        composite: st.any_defeat,
+                    });
+                }
+            }
+            // Timestamp sinks: money flows only — a time-dependent
+            // branch over a plain state write is everyday Solidity.
+            if any_time && st.time_tainted[r.cond.0 as usize] {
+                let gates_money = region_ops().any(|op| {
+                    matches!(
+                        op,
+                        Op::SelfDestruct
+                            | Op::Call { kind: Opcode::Call | Opcode::CallCode }
+                    )
+                });
+                if gates_money {
+                    report.findings.push(Finding {
+                        vuln: Vuln::TimestampDependence,
+                        stmt: js.id.0,
+                        pc: js.pc,
+                        selectors: selectors_of(js.block),
+                        composite: st.any_defeat,
+                    });
+                }
             }
         }
     }

@@ -20,6 +20,7 @@ use super::{
 use crate::analysis::deadline_exceeded;
 use crate::config::{Config, StorageModel};
 use decompiler::{Op, Var};
+use evm::opcode::Opcode;
 
 /// Runs the dense fixpoint, mutating `st` in place until convergence,
 /// timeout, or the 64-round safety cap.
@@ -132,6 +133,29 @@ fn run_impl(
                             });
                             inner_changed = true;
                         }
+                    // OriginFlow / TimeFlow sources (detector suite v2):
+                    // environment reads, unconditional like storage
+                    // taint — the value exists on every path.
+                    Op::Env(Opcode::Origin) if !st.origin_tainted[di] => {
+                        st.origin_tainted[di] = true;
+                        rec!(FactId::Origin(d.0), Edge {
+                            rule: "source-origin",
+                            stmt: Some(s.id),
+                            via: None,
+                            sources: vec![],
+                        });
+                        inner_changed = true;
+                    }
+                    Op::Env(Opcode::Timestamp) if !st.time_tainted[di] => {
+                        st.time_tainted[di] = true;
+                        rec!(FactId::Time(d.0), Edge {
+                            rule: "source-timestamp",
+                            stmt: Some(s.id),
+                            via: None,
+                            sources: vec![],
+                        });
+                        inner_changed = true;
+                    }
                     Op::Copy
                     | Op::Bin(_)
                     | Op::Un(_)
@@ -141,6 +165,34 @@ fn run_impl(
                         let any_in = s.uses.iter().any(|u| st.input_tainted[u.0 as usize]);
                         let any_st =
                             s.uses.iter().any(|u| st.storage_tainted[u.0 as usize]);
+                        let any_or = s.uses.iter().any(|u| st.origin_tainted[u.0 as usize]);
+                        let any_tm = s.uses.iter().any(|u| st.time_tainted[u.0 as usize]);
+                        if any_or && !st.origin_tainted[di] {
+                            let u = first_with(&s.uses, &|u: Var| {
+                                st.origin_tainted[u.0 as usize]
+                            });
+                            st.origin_tainted[di] = true;
+                            rec!(FactId::Origin(d.0), Edge {
+                                rule: "flow",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: vec![FactId::Origin(u.expect("any_or").0)],
+                            });
+                            inner_changed = true;
+                        }
+                        if any_tm && !st.time_tainted[di] {
+                            let u = first_with(&s.uses, &|u: Var| {
+                                st.time_tainted[u.0 as usize]
+                            });
+                            st.time_tainted[di] = true;
+                            rec!(FactId::Time(d.0), Edge {
+                                rule: "flow",
+                                stmt: Some(s.id),
+                                via: None,
+                                sources: vec![FactId::Time(u.expect("any_tm").0)],
+                            });
+                            inner_changed = true;
+                        }
                         // Input taint moves only through attacker-reachable
                         // statements (Guard-2); storage taint through all
                         // (Guard-1).
@@ -217,6 +269,36 @@ fn run_impl(
                                         sources: vec![FactId::Storage(v.0)],
                                     });
                                     inner_changed = true;
+                                }
+                                let or_store = stores
+                                    .iter()
+                                    .find(|(_, v)| st.origin_tainted[v.0 as usize]);
+                                if let Some(&(sid, v)) = or_store {
+                                    if !st.origin_tainted[di] {
+                                        st.origin_tainted[di] = true;
+                                        rec!(FactId::Origin(d.0), Edge {
+                                            rule: "mem-flow",
+                                            stmt: Some(s.id),
+                                            via: Some(sid),
+                                            sources: vec![FactId::Origin(v.0)],
+                                        });
+                                        inner_changed = true;
+                                    }
+                                }
+                                let tm_store = stores
+                                    .iter()
+                                    .find(|(_, v)| st.time_tainted[v.0 as usize]);
+                                if let Some(&(sid, v)) = tm_store {
+                                    if !st.time_tainted[di] {
+                                        st.time_tainted[di] = true;
+                                        rec!(FactId::Time(d.0), Edge {
+                                            rule: "mem-flow",
+                                            stmt: Some(s.id),
+                                            via: Some(sid),
+                                            sources: vec![FactId::Time(v.0)],
+                                        });
+                                        inner_changed = true;
+                                    }
                                 }
                             }
                         }

@@ -62,7 +62,8 @@ pub(crate) struct SparseIndexes {
     pub guards_slot_kind: Vec<usize>,
     /// Worklist seeds: statements whose rules can fire from static facts
     /// alone (`CallDataLoad` introduces taint; `SStore` can act on
-    /// `DS`/constant values with no prior taint).
+    /// `DS`/constant values with no prior taint; `ORIGIN`/`TIMESTAMP`
+    /// reads introduce the detector-suite-v2 flavors).
     pub seeds: Vec<StmtId>,
     /// Per block: statements, for bulk re-push when the block flips to
     /// attacker-reachable.
@@ -140,6 +141,9 @@ impl SparseIndexes {
                     ix.seeds.push(s.id);
                 }
                 Op::CallDataLoad => ix.seeds.push(s.id),
+                Op::Env(evm::opcode::Opcode::Origin | evm::opcode::Opcode::Timestamp) => {
+                    ix.seeds.push(s.id)
+                }
                 _ => {}
             }
         }

@@ -71,6 +71,21 @@ impl GuardCond {
     }
 }
 
+/// A branch region for the detector suite v2: a `JumpI`'s peeled
+/// condition variable plus the blocks its edge-dominant successor
+/// dominates. Unlike [`Guard`], the condition is *not* required to
+/// scrutinize the caller — `tx.origin` and `block.timestamp` guards are
+/// exactly the ones the sanitizing-guard machinery rejects.
+#[derive(Clone, Debug)]
+pub(crate) struct CondRegion {
+    /// The `JumpI` statement.
+    pub stmt: StmtId,
+    /// Base condition variable (after peeling `ISZERO` chains).
+    pub cond: Var,
+    /// Blocks dominated by the edge-dominant successor, sorted.
+    pub region: Vec<BlockId>,
+}
+
 /// A sanitizing guard: condition + the blocks it protects.
 #[derive(Clone, Debug)]
 pub(crate) struct Guard {
@@ -217,6 +232,13 @@ pub(crate) struct State {
     pub input_tainted: Vec<bool>,
     /// `AttackerModelInfoflow` — storage taint per variable.
     pub storage_tainted: Vec<bool>,
+    /// `OriginFlow` — `ORIGIN`-derived taint per variable (detector
+    /// suite v2). Propagates unconditionally, like storage taint: the
+    /// phishable origin value exists on every path.
+    pub origin_tainted: Vec<bool>,
+    /// `TimeFlow` — `TIMESTAMP`-derived taint per variable (detector
+    /// suite v2). Unconditional, like `origin_tainted`.
+    pub time_tainted: Vec<bool>,
     /// Constant storage slots holding tainted data (atoms into
     /// [`Prepared::slots`]).
     pub tainted_slots: BitSet,
@@ -253,6 +275,8 @@ impl State {
         let mut st = State {
             input_tainted: vec![false; n_vars],
             storage_tainted: vec![false; n_vars],
+            origin_tainted: vec![false; n_vars],
+            time_tainted: vec![false; n_vars],
             tainted_slots: BitSet::with_capacity(prep.slots.len()),
             tainted_mappings: BitSet::with_capacity(prep.slots.len()),
             writable_mappings: BitSet::with_capacity(prep.slots.len()),
@@ -565,6 +589,46 @@ impl Ctx<'_> {
                 }
                 if !region.is_empty() {
                     out.push(Guard { cond: base, cond_kind, pc: s.pc, region });
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates *all* branch regions, one per edge-dominant `JumpI`
+    /// successor, regardless of what the condition scrutinizes — the
+    /// detector suite v2 consumes these with its own taint predicates
+    /// (`origin_tainted`/`time_tainted` on the peeled condition).
+    /// Deterministic: statement order, then successor order.
+    pub fn cond_regions(&self, dom: &Dominators) -> Vec<CondRegion> {
+        let children = dom.children();
+        let mut out = Vec::new();
+        for s in self.p.iter_stmts() {
+            if s.op != Op::JumpI {
+                continue;
+            }
+            let block = self.p.block(s.block);
+            let (base, _) = self.peel_iszero(s.uses[0]);
+            if block.succs.len() != 2 {
+                continue;
+            }
+            for &succ in &block.succs {
+                let succ_block = self.p.block(succ);
+                if !(succ_block.preds.len() == 1 && succ_block.preds[0] == s.block) {
+                    continue;
+                }
+                if !dom.is_reachable(succ) {
+                    continue;
+                }
+                let mut region: Vec<BlockId> = Vec::new();
+                let mut stack = vec![succ];
+                while let Some(b) = stack.pop() {
+                    region.push(b);
+                    stack.extend(&children[b.0 as usize]);
+                }
+                region.sort_unstable();
+                if !region.is_empty() {
+                    out.push(CondRegion { stmt: s.id, cond: base, region });
                 }
             }
         }

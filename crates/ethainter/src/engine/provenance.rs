@@ -45,6 +45,10 @@ pub(crate) enum FactId {
     /// Variable is `msg.sender`-derived (Figure 4's `DS`) — a static
     /// axiom, never carries an edge.
     Sender(u32),
+    /// Variable carries `ORIGIN`-derived taint (`OriginFlow`).
+    Origin(u32),
+    /// Variable carries `TIMESTAMP`-derived taint (`TimeFlow`).
+    Time(u32),
 }
 
 /// Why a fact first became true: the deriving rule, the statement that
@@ -70,6 +74,8 @@ pub(crate) struct Provenance {
     unknown_store: Option<Edge>,
     defeated: Vec<Option<Edge>>,
     reach: Vec<Option<Edge>>,
+    origin: Vec<Option<Edge>>,
+    time: Vec<Option<Edge>>,
 }
 
 impl Provenance {
@@ -85,6 +91,8 @@ impl Provenance {
             unknown_store: None,
             defeated: vec![None; prep.guards.len()],
             reach: vec![None; prep.ctx.p.blocks.len()],
+            origin: vec![None; prep.ctx.p.n_vars as usize],
+            time: vec![None; prep.ctx.p.n_vars as usize],
         }
     }
 
@@ -112,6 +120,8 @@ impl Provenance {
             FactId::Defeated(g) => &mut self.defeated[g],
             FactId::Reach(b) => &mut self.reach[b as usize],
             FactId::Sender(_) => return, // static axiom
+            FactId::Origin(v) => &mut self.origin[v as usize],
+            FactId::Time(v) => &mut self.time[v as usize],
         };
         if slot.is_none() {
             *slot = Some(edge);
@@ -132,6 +142,8 @@ impl Provenance {
             FactId::Defeated(g) => self.defeated.get(g)?.as_ref(),
             FactId::Reach(b) => self.reach.get(b as usize)?.as_ref(),
             FactId::Sender(_) => None,
+            FactId::Origin(v) => self.origin.get(v as usize)?.as_ref(),
+            FactId::Time(v) => self.time.get(v as usize)?.as_ref(),
         }
     }
 }

@@ -137,6 +137,18 @@ impl<'a, 'b> Sparse<'a, 'b> {
                     self.set_input(d);
                 }
             }
+            // OriginFlow / TimeFlow sources (detector suite v2):
+            // unconditional, like storage taint.
+            Op::Env(evm::opcode::Opcode::Origin) => {
+                if let Some(d) = s.def {
+                    self.set_origin(d);
+                }
+            }
+            Op::Env(evm::opcode::Opcode::Timestamp) => {
+                if let Some(d) = s.def {
+                    self.set_time(d);
+                }
+            }
             Op::Copy | Op::Bin(_) | Op::Un(_) | Op::Hash2 | Op::Sha3 | Op::Other(_) => {
                 let Some(d) = s.def else { return };
                 let any_in = s.uses.iter().any(|u| self.st.input_tainted[u.0 as usize]);
@@ -149,6 +161,12 @@ impl<'a, 'b> Sparse<'a, 'b> {
                 }
                 if any_st {
                     self.set_storage(d);
+                }
+                if s.uses.iter().any(|u| self.st.origin_tainted[u.0 as usize]) {
+                    self.set_origin(d);
+                }
+                if s.uses.iter().any(|u| self.st.time_tainted[u.0 as usize]) {
+                    self.set_time(d);
                 }
             }
             Op::MLoad => {
@@ -169,6 +187,12 @@ impl<'a, 'b> Sparse<'a, 'b> {
                     if any_st {
                         self.set_storage(d);
                     }
+                    if stores.iter().any(|(_, v)| self.st.origin_tainted[v.0 as usize]) {
+                        self.set_origin(d);
+                    }
+                    if stores.iter().any(|(_, v)| self.st.time_tainted[v.0 as usize]) {
+                        self.set_time(d);
+                    }
                 }
             }
             Op::MStore => {
@@ -176,7 +200,11 @@ impl<'a, 'b> Sparse<'a, 'b> {
                 // the MLoads at the same offset. The loads pull the value
                 // themselves when processed.
                 let v = s.uses[1].0 as usize;
-                if self.st.input_tainted[v] || self.st.storage_tainted[v] {
+                if self.st.input_tainted[v]
+                    || self.st.storage_tainted[v]
+                    || self.st.origin_tainted[v]
+                    || self.st.time_tainted[v]
+                {
                     if let Some(a) = idx.stmt_mem[id.0 as usize] {
                         for &l in &idx.mem_loads[a as usize] {
                             push(&mut self.queue, &mut self.queued, l);
@@ -308,6 +336,34 @@ impl<'a, 'b> Sparse<'a, 'b> {
             push(&mut self.queue, &mut self.queued, u);
         }
         self.defeat_candidates_by_cond(v);
+    }
+
+    /// Variable gained `ORIGIN` taint (detector suite v2). Origin taint
+    /// never feeds guard defeat or storage facts, so only the use sites
+    /// (and, via `MStore` scheduling, memory loads) need re-evaluation.
+    fn set_origin(&mut self, v: Var) {
+        let vi = v.0 as usize;
+        if self.st.origin_tainted[vi] {
+            return;
+        }
+        self.st.origin_tainted[vi] = true;
+        let prep = self.prep;
+        for &u in prep.ctx.du.uses(v) {
+            push(&mut self.queue, &mut self.queued, u);
+        }
+    }
+
+    /// Variable gained `TIMESTAMP` taint (detector suite v2).
+    fn set_time(&mut self, v: Var) {
+        let vi = v.0 as usize;
+        if self.st.time_tainted[vi] {
+            return;
+        }
+        self.st.time_tainted[vi] = true;
+        let prep = self.prep;
+        for &u in prep.ctx.du.uses(v) {
+            push(&mut self.queue, &mut self.queued, u);
+        }
     }
 
     /// Constant storage slot (by atom) became tainted.

@@ -51,7 +51,7 @@ pub use witness::{Witness, WitnessStep};
 /// change makes the analysis produce different reports for the same
 /// (bytecode, config) pair — decompiler limits, new rules, fixed rules —
 /// so previously cached results are invalidated instead of replayed.
-pub const ANALYZER_VERSION: &str = concat!("ethainter-rs/", env!("CARGO_PKG_VERSION"), "+a1");
+pub const ANALYZER_VERSION: &str = concat!("ethainter-rs/", env!("CARGO_PKG_VERSION"), "+a2");
 
 /// Decompiles `bytecode` and runs the analysis — the end-to-end entry
 /// point used by the CLI, the scanner, and Ethainter-Kill. With the

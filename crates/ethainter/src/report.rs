@@ -20,16 +20,39 @@ pub enum Vuln {
     /// §3.5 — `STATICCALL` whose output window overlaps its input and is
     /// trusted without a `RETURNDATASIZE` check.
     UncheckedTaintedStaticCall,
+    /// Detector suite v2 — external call ordered before the storage
+    /// write that guards it (checks-effects-interactions violation).
+    Reentrancy,
+    /// Detector suite v2 — `ORIGIN` flowing into a guard comparison
+    /// that gates a critical sink (phishable authentication).
+    TxOriginAuth,
+    /// Detector suite v2 — `TIMESTAMP` tainting a guard condition over
+    /// a money flow, or a transferred value.
+    TimestampDependence,
+    /// Detector suite v2 — low-level `CALL` whose success flag never
+    /// constrains a path or a storage write.
+    UncheckedCallReturn,
 }
 
 impl Vuln {
-    /// All vulnerability classes, in the paper's table order.
-    pub const ALL: [Vuln; 5] = [
+    /// Number of vulnerability classes. [`Vuln::ALL`] is sized by this
+    /// constant so adding a class is a one-enum-variant change — any
+    /// per-class table should be `[T; Vuln::COUNT]` or driven by
+    /// `Vuln::ALL.len()`, never a hardcoded arity.
+    pub const COUNT: usize = 9;
+
+    /// All vulnerability classes: the paper's five in its table order,
+    /// then the detector-suite-v2 classes in declaration order.
+    pub const ALL: [Vuln; Self::COUNT] = [
         Vuln::AccessibleSelfDestruct,
         Vuln::TaintedSelfDestruct,
         Vuln::TaintedOwnerVariable,
         Vuln::UncheckedTaintedStaticCall,
         Vuln::TaintedDelegateCall,
+        Vuln::Reentrancy,
+        Vuln::TxOriginAuth,
+        Vuln::TimestampDependence,
+        Vuln::UncheckedCallReturn,
     ];
 
     /// Short display name as in the paper's tables.
@@ -40,6 +63,10 @@ impl Vuln {
             Vuln::TaintedOwnerVariable => "tainted owner variable",
             Vuln::TaintedDelegateCall => "tainted delegatecall",
             Vuln::UncheckedTaintedStaticCall => "unchecked tainted staticcall",
+            Vuln::Reentrancy => "reentrancy",
+            Vuln::TxOriginAuth => "tx.origin authentication",
+            Vuln::TimestampDependence => "timestamp dependence",
+            Vuln::UncheckedCallReturn => "unchecked call return",
         }
     }
 }
@@ -98,6 +125,14 @@ pub struct FactCounts {
     pub rba_blocks: usize,
     /// `JumpI` edges interval analysis proved never taken.
     pub dead_edges: usize,
+    /// Variables carrying `ORIGIN`-derived taint (`OriginFlow`).
+    /// Serde-defaulted: records written before detector suite v2 omit
+    /// this relation.
+    #[serde(default)]
+    pub origin_tainted: usize,
+    /// Variables carrying `TIMESTAMP`-derived taint (`TimeFlow`).
+    #[serde(default)]
+    pub time_tainted: usize,
 }
 
 /// Analysis statistics.
@@ -156,5 +191,38 @@ impl Report {
     /// Findings of one class.
     pub fn of(&self, vuln: Vuln) -> impl Iterator<Item = &Finding> {
         self.findings.iter().filter(move |f| f.vuln == vuln)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_class_exactly_once() {
+        assert_eq!(Vuln::ALL.len(), Vuln::COUNT);
+        let unique: std::collections::BTreeSet<_> = Vuln::ALL.iter().collect();
+        assert_eq!(unique.len(), Vuln::COUNT, "duplicate class in Vuln::ALL");
+    }
+
+    #[test]
+    fn every_class_round_trips_through_serde() {
+        for v in Vuln::ALL {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Vuln = serde_json::from_str(&json).unwrap();
+            assert_eq!(v, back, "serde round-trip changed {v:?} via {json}");
+        }
+        // The whole array round-trips as one value too (batch records
+        // embed class lists, not single variants).
+        let json = serde_json::to_string(&Vuln::ALL.to_vec()).unwrap();
+        let back: Vec<Vuln> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Vuln::ALL.to_vec());
+    }
+
+    #[test]
+    fn class_names_are_unique() {
+        let names: std::collections::BTreeSet<_> =
+            Vuln::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), Vuln::COUNT);
     }
 }

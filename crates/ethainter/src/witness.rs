@@ -79,6 +79,8 @@ fn fact_text(fact: FactId, prep: &Prepared<'_>) -> String {
         }
         FactId::Reach(b) => format!("block B{b} attacker-reachable"),
         FactId::Sender(v) => format!("v{v} msg.sender-derived"),
+        FactId::Origin(v) => format!("v{v} tx.origin-derived"),
+        FactId::Time(v) => format!("v{v} timestamp-derived"),
     }
 }
 
@@ -200,6 +202,38 @@ fn seeds(f: &Finding, prep: &Prepared<'_>, st: &State) -> Vec<FactId> {
                     {
                         out.push(t);
                     }
+                }
+            }
+            out.push(block);
+            out
+        }
+        // Detector suite v2. Reentrancy and unchecked-call-return rest
+        // on attacker reachability of the call plus static ordering
+        // facts (no taint lattice involved), so the block axiom is the
+        // whole seed set.
+        Vuln::Reentrancy | Vuln::UncheckedCallReturn => vec![block],
+        Vuln::TxOriginAuth => {
+            // Anchored at the guarding JumpI: cite the condition's
+            // origin-taint derivation plus reachability.
+            let mut out = Vec::new();
+            let cond = s.uses[0];
+            if st.origin_tainted[cond.0 as usize] {
+                out.push(FactId::Origin(cond.0));
+            }
+            out.push(block);
+            out
+        }
+        Vuln::TimestampDependence => {
+            // Anchored at a time-tainted JumpI condition, or at a CALL
+            // whose value operand is time-derived.
+            let mut out = Vec::new();
+            let carrier = match s.op {
+                decompiler::Op::Call { .. } => Some(s.uses[2]),
+                _ => Some(s.uses[0]),
+            };
+            if let Some(v) = carrier {
+                if st.time_tainted[v.0 as usize] {
+                    out.push(FactId::Time(v.0));
                 }
             }
             out.push(block);

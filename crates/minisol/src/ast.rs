@@ -238,6 +238,8 @@ pub enum Expr {
     BlockNumber,
     /// `block.timestamp`
     BlockTimestamp,
+    /// `tx.origin` (the transaction's original signer)
+    TxOrigin,
     /// `this` (the contract's own address)
     This,
     /// Binary operation.

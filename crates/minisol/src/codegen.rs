@@ -546,6 +546,10 @@ impl Cg<'_> {
                 self.op(Opcode::Timestamp);
                 Ok(())
             }
+            Expr::TxOrigin => {
+                self.op(Opcode::Origin);
+                Ok(())
+            }
             Expr::This => {
                 self.op(Opcode::Address);
                 Ok(())

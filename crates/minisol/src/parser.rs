@@ -586,6 +586,14 @@ impl Parser {
             }
             Token::Ident(name) => {
                 self.bump();
+                if name == "tx" && *self.peek() == Token::Dot {
+                    self.bump();
+                    let field = self.ident()?;
+                    return match field.as_str() {
+                        "origin" => Ok(Expr::TxOrigin),
+                        other => self.err(format!("unknown tx field `{other}`")),
+                    };
+                }
                 if *self.peek() == Token::LParen {
                     self.call_tail(name)
                 } else {

@@ -152,6 +152,7 @@ pub fn expr(e: &Expr) -> String {
         Expr::MsgValue => "msg.value".to_string(),
         Expr::BlockNumber => "block.number".to_string(),
         Expr::BlockTimestamp => "block.timestamp".to_string(),
+        Expr::TxOrigin => "tx.origin".to_string(),
         Expr::This => "this".to_string(),
         Expr::Binary { op, lhs, rhs } => {
             let o = match op {
@@ -245,6 +246,21 @@ mod tests {
                     send(w, msg.value);
                     external_call(w, "ping(address)", address(v));
                     delegatecall(w);
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_txorigin_and_block_context() {
+        round_trip(
+            r#"contract C {
+                address owner;
+                uint stamp;
+                function f(address to, uint v) public {
+                    require(tx.origin == owner);
+                    if (block.timestamp > block.number) { stamp = block.timestamp; }
+                    require(send(to, v));
                 }
             }"#,
         );

@@ -281,6 +281,7 @@ fn check_expr(e: &Expr, scope: &Scope<'_>) -> Result<(), SemaError> {
         | Expr::MsgValue
         | Expr::BlockNumber
         | Expr::BlockTimestamp
+        | Expr::TxOrigin
         | Expr::This => Ok(()),
         Expr::Ident(name) => {
             if !scope.resolves(name) {
