@@ -1,0 +1,283 @@
+//! Serving-path benchmark: loopback HTTP clients against an in-process
+//! `ethainter serve` daemon, emitted as `BENCH_serve.json` (committed
+//! at the repo root so the numbers travel with the code they measure).
+//!
+//! The workload runs the same request set twice against one shared
+//! cache directory: the **cold** pass analyzes every contract fresh,
+//! the **warm** pass re-submits identical bytecode and must be answered
+//! from the cache. Each request's latency is measured accept-to-done
+//! through real TCP + JSON polling — the full service overhead, not
+//! just the analysis — so the cold/warm delta is what a client
+//! actually gains from the shared cache.
+//!
+//! ```text
+//! bench_serve [--contracts N] [--clients C] [--scale small|realistic|adversarial]
+//!             [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the corpus (30 small contracts, 4 clients) for
+//! the CI smoke lane; the default 120 realistic contracts × 8 clients
+//! matches the committed artifact — the realistic scale makes the
+//! analysis cost (and hence the cache's warm-pass win) visible over
+//! the fixed HTTP round-trip overhead.
+
+use bench::percentile;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Per-request latency distribution with the serving-path tail (µs).
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct ServeLatency {
+    /// Median accept-to-done latency.
+    p50: u64,
+    /// 90th percentile.
+    p90: u64,
+    /// 99th percentile — the tail a queueing daemon is judged by.
+    p99: u64,
+    /// Slowest request.
+    max: u64,
+}
+
+fn serve_latency(samples: &mut [u64]) -> ServeLatency {
+    samples.sort_unstable();
+    ServeLatency {
+        p50: percentile(samples, 50.0),
+        p90: percentile(samples, 90.0),
+        p99: percentile(samples, 99.0),
+        max: samples.last().copied().unwrap_or(0),
+    }
+}
+
+/// One pass (cold or warm) over the request set.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct PassRow {
+    /// Wall-clock for the whole pass (ms).
+    wall_ms: u64,
+    /// Completed requests per second × 1000.
+    requests_per_sec_x1000: u64,
+    /// Accept-to-done latency distribution (µs).
+    latency_us: ServeLatency,
+    /// Requests answered from the shared cache.
+    cache_hits: u64,
+    /// Requests that ran a fresh analysis.
+    fresh: u64,
+}
+
+/// The committed artifact.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Artifact {
+    /// Unique contracts (= requests per pass).
+    contracts: usize,
+    /// Concurrent loopback clients.
+    clients: usize,
+    /// Corpus seed (generation is deterministic).
+    seed: u64,
+    /// Corpus structural scale.
+    scale: String,
+    /// First pass: every request is a fresh analysis.
+    cold: PassRow,
+    /// Second pass: identical bytecode, answered from the cache.
+    warm: PassRow,
+    /// warm p50 as a fraction of cold p50, ×1000 (lower = bigger win).
+    warm_over_cold_p50_x1000: u64,
+}
+
+/// Submits `jobs[next..]` round-robin until exhausted, polling each to
+/// completion; returns (latency µs, cached) per completed request.
+fn run_clients(
+    addr: &str,
+    jobs: &[server::api::JobRequest],
+    clients: usize,
+) -> Vec<(u64, bool)> {
+    let next = AtomicUsize::new(0);
+    let barrier = Barrier::new(clients);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            handles.push(scope.spawn(|| {
+                barrier.wait();
+                let mut results = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        return results;
+                    }
+                    let started = Instant::now();
+                    let resp = server::client::submit(addr, &jobs[i]).expect("submit");
+                    assert_eq!(resp.status, 202, "submit rejected: {}", resp.body);
+                    let accepted: server::api::JobAccepted =
+                        serde_json::from_str(&resp.body).expect("accepted body");
+                    // Tight poll (1ms): the measurement should expose the
+                    // daemon's latency, not the poller's patience.
+                    let done = loop {
+                        let r = server::client::request(
+                            addr,
+                            "GET",
+                            &format!("/jobs/{}", accepted.id),
+                            None,
+                        )
+                        .expect("poll");
+                        let s: server::api::JobStatusBody =
+                            serde_json::from_str(&r.body).expect("status body");
+                        if s.state == "done" {
+                            break s;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    };
+                    results.push((
+                        started.elapsed().as_micros() as u64,
+                        done.cached == Some(true),
+                    ));
+                }
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    })
+}
+
+fn pass_row(results: &[(u64, bool)], wall: Duration) -> PassRow {
+    let mut samples: Vec<u64> = results.iter().map(|(us, _)| *us).collect();
+    let cache_hits = results.iter().filter(|(_, cached)| *cached).count() as u64;
+    let wall_ms = wall.as_millis() as u64;
+    PassRow {
+        wall_ms,
+        requests_per_sec_x1000: (results.len() as u64 * 1_000_000)
+            .checked_div(wall_ms)
+            .unwrap_or(0),
+        latency_us: serve_latency(&mut samples),
+        cache_hits,
+        fresh: results.len() as u64 - cache_hits,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut contracts = 120usize;
+    let mut clients = 8usize;
+    let mut scale = corpus::Scale::Realistic;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--contracts" => {
+                contracts = it.next().and_then(|v| v.parse().ok()).unwrap_or(contracts)
+            }
+            "--clients" => clients = it.next().and_then(|v| v.parse().ok()).unwrap_or(clients),
+            "--scale" => {
+                let v = it.next().cloned().unwrap_or_default();
+                scale = match corpus::Scale::parse(&v) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("bench_serve: bad --scale `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--quick" => {
+                contracts = 30;
+                clients = 4;
+                scale = corpus::Scale::Small;
+            }
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            other => {
+                eprintln!("bench_serve: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seed = 7u64;
+    eprintln!(
+        "bench_serve: {contracts} contracts ({scale:?}), {clients} clients, seed {seed}"
+    );
+    let pop = corpus::Population::generate(&corpus::PopulationConfig {
+        size: contracts,
+        seed,
+        scale,
+        ..Default::default()
+    });
+    let jobs: Vec<server::api::JobRequest> = pop
+        .contracts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| server::api::JobRequest {
+            bytecode: c.bytecode.iter().map(|b| format!("{b:02x}")).collect(),
+            id: Some(format!("{}#{i}", c.family)),
+            config: None,
+        })
+        .collect();
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("ethainter-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = match server::Server::start(server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0, // one per core, like production
+        queue_depth: contracts.max(256),
+        cache_dir: Some(cache_dir.to_string_lossy().into_owned()),
+        ..Default::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr().to_string();
+
+    let cold_started = Instant::now();
+    let cold_results = run_clients(&addr, &jobs, clients);
+    let cold = pass_row(&cold_results, cold_started.elapsed());
+
+    let warm_started = Instant::now();
+    let warm_results = run_clients(&addr, &jobs, clients);
+    let warm = pass_row(&warm_results, warm_started.elapsed());
+
+    let report = handle.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    if !report.drained_cleanly {
+        eprintln!("bench_serve: shutdown left jobs behind — refusing to publish");
+        return ExitCode::FAILURE;
+    }
+    // The warm pass must actually have been warm, or the numbers lie.
+    if warm.cache_hits != jobs.len() as u64 {
+        eprintln!(
+            "bench_serve: warm pass had {} hits over {} requests — cache not warming, refusing to publish",
+            warm.cache_hits,
+            jobs.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let artifact = Artifact {
+        contracts,
+        clients,
+        seed,
+        scale: format!("{scale:?}").to_lowercase(),
+        warm_over_cold_p50_x1000: (warm.latency_us.p50 * 1000)
+            .checked_div(cold.latency_us.p50)
+            .unwrap_or(0),
+        cold,
+        warm,
+    };
+    eprintln!(
+        "  cold: {} req/s (p50 {}µs, p99 {}µs) | warm: {} req/s (p50 {}µs, p99 {}µs), {} hits",
+        artifact.cold.requests_per_sec_x1000 / 1000,
+        artifact.cold.latency_us.p50,
+        artifact.cold.latency_us.p99,
+        artifact.warm.requests_per_sec_x1000 / 1000,
+        artifact.warm.latency_us.p50,
+        artifact.warm.latency_us.p99,
+        artifact.warm.cache_hits,
+    );
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("bench_serve: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("  wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -437,42 +437,34 @@ where
 {
     let batch = run_isolated(items, cfg, work);
     BatchReport {
-        outcomes: batch
-            .results
-            .into_iter()
-            .map(|o| {
-                telemetry::metrics::histogram("ethainter_contract_elapsed_ms")
-                    .observe(o.elapsed_ms);
-                Outcome {
-                    index: o.index,
-                    id: o.id,
-                    status: match o.result {
-                        Isolated::Completed(status) => status,
-                        // The isolation layer's own verdicts (watchdog
-                        // expiry, contained panic) are counted here; the
-                        // cooperative in-analysis paths count themselves
-                        // in `analyze_one`.
-                        Isolated::TimedOut => {
-                            telemetry::metrics::counter(
-                                "ethainter_contracts_timed_out_total",
-                            )
-                            .inc();
-                            Status::TimedOut
-                        }
-                        Isolated::Panicked { message } => {
-                            telemetry::metrics::counter(
-                                "ethainter_contracts_panicked_total",
-                            )
-                            .inc();
-                            Status::Panicked { message }
-                        }
-                    },
-                    elapsed_ms: o.elapsed_ms,
-                }
-            })
-            .collect(),
+        outcomes: batch.results.into_iter().map(fold_outcome).collect(),
         jobs: batch.jobs,
         wall_time: batch.wall_time,
+    }
+}
+
+/// Folds one isolated status run into a flat [`Outcome`], counting the
+/// isolation layer's own verdicts (watchdog expiry, contained panic)
+/// in the telemetry registry; the cooperative in-analysis paths count
+/// themselves in [`analyze_one`]. Shared by the batch fold and the
+/// single-job server path so both classify identically.
+fn fold_outcome(o: IsolatedOutcome<Status>) -> Outcome {
+    telemetry::metrics::histogram("ethainter_contract_elapsed_ms").observe(o.elapsed_ms);
+    Outcome {
+        index: o.index,
+        id: o.id,
+        status: match o.result {
+            Isolated::Completed(status) => status,
+            Isolated::TimedOut => {
+                telemetry::metrics::counter("ethainter_contracts_timed_out_total").inc();
+                Status::TimedOut
+            }
+            Isolated::Panicked { message } => {
+                telemetry::metrics::counter("ethainter_contracts_panicked_total").inc();
+                Status::Panicked { message }
+            }
+        },
+        elapsed_ms: o.elapsed_ms,
     }
 }
 
@@ -489,11 +481,36 @@ where
     R: Send + 'static,
     F: Fn(T) -> R + Send + Sync + 'static,
 {
+    let work = Arc::clone(work);
+    let mut outcome = isolate_one(id, item, timeout, move |item| work(item));
+    outcome.index = index;
+    outcome
+}
+
+/// Runs one unit of caller-supplied work with the full sandbox
+/// treatment — disposable thread, `catch_unwind` panic containment,
+/// `recv_timeout` watchdog with thread abandonment — without a worker
+/// pool around it. This is the job-at-a-time isolation primitive for
+/// callers that schedule their own concurrency, like the `ethainter
+/// serve` worker loop; [`run_isolated`] is built on it.
+///
+/// The returned outcome always has `index == 0`; pool callers stamp
+/// their own.
+pub fn isolate_one<T, R, F>(
+    id: String,
+    item: T,
+    timeout: Duration,
+    work: F,
+) -> IsolatedOutcome<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(T) -> R + Send + 'static,
+{
     let started = Instant::now();
     let (tx, rx) = mpsc::channel();
-    let work = Arc::clone(work);
     let spawned = std::thread::Builder::new()
-        .name(format!("sandbox-{index}"))
+        .name(format!("sandbox-{id}"))
         .spawn(move || {
             let result = catch_unwind(AssertUnwindSafe(|| work(item)));
             // The watchdog may have given up on us; a dead receiver is fine.
@@ -517,7 +534,7 @@ where
         },
     };
 
-    IsolatedOutcome { index, id, result, elapsed_ms: started.elapsed().as_millis() as u64 }
+    IsolatedOutcome { index: 0, id, result, elapsed_ms: started.elapsed().as_millis() as u64 }
 }
 
 /// Extracts a printable message from a panic payload.
@@ -613,6 +630,29 @@ pub fn analyze_batch(
         let deadline = Instant::now() + timeout;
         ethainter::with_deadline(deadline, || analyze_one(&bytecode, &analysis))
     })
+}
+
+/// Analyzes one `(id, bytecode)` contract as a standalone job with the
+/// **same** isolation and classification as [`analyze_batch`] — sandbox
+/// thread, cooperative deadline, panic containment, identical
+/// [`Status`] taxonomy and telemetry counters — but no worker pool.
+///
+/// This is the per-job unit of `ethainter serve`: the server supplies
+/// its own concurrency (one OS worker per `--jobs`), so each job needs
+/// exactly one disposable sandbox, not a rayon pool. The returned
+/// outcome has `index == 0`; job identity lives in `id`.
+pub fn analyze_job(
+    id: &str,
+    bytecode: Vec<u8>,
+    cfg: &DriverConfig,
+    analysis: &ethainter::Config,
+) -> Outcome {
+    let analysis = *analysis;
+    let timeout = cfg.timeout;
+    fold_outcome(isolate_one(id.to_string(), bytecode, timeout, move |code: Vec<u8>| {
+        let deadline = Instant::now() + timeout;
+        ethainter::with_deadline(deadline, || analyze_one(&code, &analysis))
+    }))
 }
 
 /// Analyzes an unbounded stream of `(id, bytecode)` contracts with
@@ -827,6 +867,43 @@ mod tests {
         assert_eq!(
             (summary.total, summary.analyzed, summary.findings),
             (b.total, b.analyzed, b.findings)
+        );
+    }
+
+    #[test]
+    fn isolate_one_completes_panics_and_times_out() {
+        let done = isolate_one("ok".to_string(), 21usize, Duration::from_secs(10), |n| n * 2);
+        assert_eq!(done.result, Isolated::Completed(42));
+        assert_eq!(done.index, 0);
+
+        let boom = isolate_one("boom".to_string(), (), Duration::from_secs(10), |()| {
+            panic!("job exploded");
+        });
+        match boom.result {
+            Isolated::Panicked { ref message } => assert!(message.contains("job exploded")),
+            ref other => panic!("expected Panicked, got {other:?}"),
+        }
+
+        let slow = isolate_one("slow".to_string(), (), Duration::from_millis(50), |()| {
+            std::thread::sleep(Duration::from_secs(30));
+        });
+        assert_eq!(slow.result, Isolated::TimedOut);
+        assert!(slow.elapsed_ms < 10_000, "watchdog must not wait for the sleeper");
+    }
+
+    #[test]
+    fn analyze_job_matches_analyze_batch_verdicts() {
+        let src = "contract J { uint v; function set(uint a) public { v = a; } }";
+        let code = minisol::compile_source(src).unwrap().bytecode;
+        let dcfg = cfg(1, 10_000);
+        let analysis = ethainter::Config::default();
+        let job = analyze_job("j", code.clone(), &dcfg, &analysis);
+        assert!(job.status.is_analyzed());
+        let batch = analyze_batch(vec![("j".into(), code)], &dcfg, &analysis);
+        assert_eq!(
+            job.status.without_timings(),
+            batch.outcomes[0].status.without_timings(),
+            "single-job and batch paths classify identically"
         );
     }
 

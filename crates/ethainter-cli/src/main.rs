@@ -12,7 +12,8 @@
 //! ethainter scan <n>                # generate a population and scan it
 //! ethainter batch [files] [--corpus n] [--jobs n] [--timeout-ms t] [--out f]
 //!                 [--cache-dir d] [--checkpoint d | --resume d] [--limit n]
-//! ethainter cache stats --cache-dir d  # result-store report
+//! ethainter serve [--addr a] [--jobs n] [--queue-depth n] [--cache-dir d]
+//! ethainter cache stats --cache-dir d [--json]  # result-store report
 //! ethainter lint [files] [--corpus n]  # IR well-formedness check, fails on violations
 //! ```
 
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "kill" => cmd_kill(rest),
         "scan" => cmd_scan(rest),
         "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
         "cache" => cmd_cache(rest),
         "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
@@ -83,7 +85,10 @@ USAGE:
                     [--timeout-ms t] [--out f.jsonl] [--chunk n] [config flags]
                     [--cache-dir d] [--checkpoint d | --resume d] [--limit n]
                     [--no-progress] [--metrics-out f.json] [--trace-out f.jsonl]
-    ethainter cache stats --cache-dir d
+    ethainter serve [--addr host:port] [--jobs n] [--queue-depth n]
+                    [--timeout-ms t] [--max-body-kb n] [--cache-dir d]
+                    [--trace-out f.jsonl] [config flags]
+    ethainter cache stats --cache-dir d [--json]
     ethainter lint [<file>...] [--corpus n] [--seed s] [--scale sc]
 
 <file> is minisol source (.sol/.msol/anything parseable) or hex bytecode
@@ -129,6 +134,18 @@ redirection and --no-progress forces it off. --metrics-out f writes a
 snapshot of the telemetry metric registry as JSON, plus a Prometheus
 text-format sibling next to it (.prom); --trace-out f writes the
 span trace (phase timings with parent/child nesting) as JSONL.
+
+serve runs the analyzer as a daemon: POST /jobs (hex bytecode + config
+as JSON) returns a job id, GET /jobs/<id> polls it to completion (the
+full report rides in the response once done), GET /healthz reports
+liveness, and GET /metrics serves the live telemetry registry as
+Prometheus text. Jobs flow through a bounded queue (--queue-depth,
+default 256; full → HTTP 429) into --jobs worker threads with the same
+per-job timeout and panic containment as batch mode, all sharing the
+--cache-dir content-addressed cache: re-submitted bytecode is a cache
+hit, and N concurrent identical submissions cost one fresh analysis.
+SIGINT drains in-flight jobs before exiting (new submissions → 503;
+polls keep working during the drain).
 
 lint runs the IR well-formedness validator over each input's raw
 decompiler output and exits non-zero if any violation is found —
@@ -536,11 +553,24 @@ fn print_summary(s: &driver::Summary, skipped: usize, cache_hits: usize) {
     out!("  findings {} ({} composite)", s.findings, s.composite);
 }
 
+/// Opens `path` and installs it as the incremental span sink: the
+/// trace ring flushes to it whenever it fills, so a run producing more
+/// spans than the ring holds loses none of them (and a crashed run
+/// still leaves every flushed span on disk).
+fn install_trace_writer(path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    telemetry::install_span_writer(Box::new(std::io::BufWriter::new(file)));
+    Ok(())
+}
+
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let parsed = BatchArgs::parse(args)?;
     let analysis = parse_config(args)?;
     let cfg = parsed.driver_config();
 
+    if let Some(path) = &parsed.trace_out {
+        install_trace_writer(path)?;
+    }
     if parsed.cache_dir.is_some()
         || parsed.checkpoint_dir.is_some()
         || parsed.resume_dir.is_some()
@@ -614,9 +644,13 @@ fn write_telemetry_outputs(parsed: &BatchArgs) -> Result<(), String> {
         out!("  metrics: {path} (+ {prom})");
     }
     if let Some(path) = &parsed.trace_out {
-        std::fs::write(path, telemetry::spans_jsonl())
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        out!("  trace: {path}");
+        // The incremental writer was installed up front; drain the tail
+        // of the ring and close the file.
+        telemetry::flush_spans();
+        drop(telemetry::remove_span_writer());
+        out!("  trace: {path} ({} span(s), {} dropped)",
+            telemetry::spans_flushed(),
+            telemetry::spans_dropped());
     }
     Ok(())
 }
@@ -729,14 +763,89 @@ fn batch_with_store(
     Ok(())
 }
 
-/// `ethainter cache stats --cache-dir <dir>` — report on a result
-/// store without running anything.
+/// `ethainter serve` — run the analyzer as an HTTP daemon until
+/// SIGINT, then drain gracefully.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = server::ServerConfig { analysis: parse_config(args)?, ..Default::default() };
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("serve: {name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = take("--addr")?,
+            "--jobs" => {
+                cfg.workers = take("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = take("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?
+            }
+            "--timeout-ms" => {
+                let ms: u64 = take("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                cfg.timeout = std::time::Duration::from_millis(ms);
+            }
+            "--max-body-kb" => {
+                let kb: usize = take("--max-body-kb")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-body-kb: {e}"))?;
+                cfg.max_body = kb * 1024;
+            }
+            "--cache-dir" => cfg.cache_dir = Some(take("--cache-dir")?),
+            "--trace-out" => trace_out = Some(take("--trace-out")?),
+            "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
+            | "--no-range-guards" | "--witness" => {} // parse_config reads these
+            "--engine" => {
+                take("--engine")?; // parse_config validates the value
+            }
+            other => return Err(format!("serve: unknown argument `{other}`")),
+        }
+    }
+    if let Some(path) = &trace_out {
+        install_trace_writer(path)?;
+    }
+
+    server::install_sigint_handler();
+    let handle = server::Server::start(cfg)?;
+    out!("ethainter serve: listening on {}", handle.url());
+    out!("  POST /jobs | GET /jobs/<id> | GET /healthz | GET /metrics | GET /cache/stats");
+    out!("  ^C drains in-flight jobs and exits");
+    while !server::sigint_received() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    out!("SIGINT — draining in-flight jobs");
+    let report = handle.shutdown();
+    if let Some(path) = &trace_out {
+        drop(telemetry::remove_span_writer());
+        out!("  trace: {path} ({} span(s))", telemetry::spans_flushed());
+    }
+    out!(
+        "drained{}: {} job(s) completed, cache flushed",
+        if report.drained_cleanly { " cleanly" } else { " (jobs left behind!)" },
+        report.jobs_done
+    );
+    if report.drained_cleanly {
+        Ok(())
+    } else {
+        Err("shutdown left accepted jobs unfinished".into())
+    }
+}
+
+/// `ethainter cache stats --cache-dir <dir> [--json]` — report on a
+/// result store without running anything. `--json` emits the same
+/// [`server::api::CacheStatsBody`] schema the daemon serves at
+/// `GET /cache/stats`.
 fn cmd_cache(args: &[String]) -> Result<(), String> {
     let sub = args.first().map(String::as_str);
     if sub != Some("stats") {
         return Err("cache: expected subcommand `stats`".into());
     }
     let mut cache_dir: Option<String> = None;
+    let mut json = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -744,6 +853,7 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
                 cache_dir =
                     Some(it.next().cloned().ok_or("cache stats: --cache-dir needs a value")?)
             }
+            "--json" => json = true,
             other => return Err(format!("cache stats: unknown argument `{other}`")),
         }
     }
@@ -754,6 +864,11 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
     let store = store::ResultStore::open(&dir)?;
     let s = store.stats();
     let (analyzed, failed) = store.status_breakdown();
+    if json {
+        let body = server::api::CacheStatsBody::new(&s, analyzed, failed);
+        out!("{}", serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
     out!("cache {dir}");
     out!("  entries:       {} ({analyzed} analyzed, {failed} decompile_failed)", s.entries);
     out!("  segment bytes: {}", s.segment_bytes);

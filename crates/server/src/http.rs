@@ -1,0 +1,184 @@
+//! A deliberately small HTTP/1.1 subset over [`std::net::TcpStream`].
+//!
+//! The daemon speaks exactly what its four routes need: request line +
+//! headers + optional `Content-Length` body in, status line +
+//! `Content-Type` + `Content-Length` body out, one request per
+//! connection (`Connection: close` semantics). No chunked transfer
+//! encoding, no keep-alive, no TLS — and no dependency beyond `std`,
+//! matching the repo's vendored-shims-only build.
+//!
+//! Limits are enforced *during* the read, not after: a request whose
+//! headers exceed [`MAX_HEAD_BYTES`] or whose declared body exceeds the
+//! server's per-request cap is rejected without buffering the excess,
+//! so an oversized upload cannot balloon memory before the 413.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers (bytes).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path, e.g. `/jobs/0000000000000001`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line, header, or unsupported framing → 400.
+    BadRequest(String),
+    /// Declared or actual body size over the server's cap → 413.
+    TooLarge {
+        /// The limit that was exceeded, for the error body.
+        limit: usize,
+    },
+    /// Connection-level failure (peer vanished, read timeout): nothing
+    /// to respond to — the handler just drops the stream.
+    Io(String),
+}
+
+/// Reads and parses one request from the stream, enforcing `max_body`
+/// and a wall-clock `read_timeout` on every blocking read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) -> Result<Request, RequestError> {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+
+    // Accumulate until the blank line terminating the headers.
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(RequestError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(RequestError::Io("connection closed mid-request".into()));
+            }
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(RequestError::Io(e.to_string())),
+        }
+    };
+    let body_start = head_end + 4; // past "\r\n\r\n"
+    let mut body: Vec<u8> = head[body_start..].to_vec();
+    head.truncate(head_end);
+
+    let head_text = String::from_utf8(head)
+        .map_err(|_| RequestError::BadRequest("non-UTF-8 request head".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") && !m.is_empty() => {
+            (m.to_string(), p.to_string())
+        }
+        _ => {
+            return Err(RequestError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" {
+            return Err(RequestError::BadRequest(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| RequestError::BadRequest(format!("bad Content-Length `{value}`")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge { limit: max_body });
+    }
+    if body.len() > content_length {
+        // More bytes than declared: trailing garbage (we never pipeline).
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(RequestError::Io("connection closed mid-body".into()));
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(RequestError::Io(e.to_string())),
+        }
+        if body.len() > content_length {
+            body.truncate(content_length);
+        }
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the handful of status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response and flushes. Errors are swallowed — if
+/// the peer is gone there is nobody left to tell.
+pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body))
+        .and_then(|_| stream.flush());
+}
+
+/// [`respond`] with an `application/json` body.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
+    respond(stream, status, "application/json", body.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_is_found() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

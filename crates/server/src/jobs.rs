@@ -1,0 +1,226 @@
+//! Job identity and lifecycle tracking.
+//!
+//! Every accepted submission gets a monotonically assigned [`JobId`]
+//! and a [`JobRecord`] in the [`Registry`], moving through exactly one
+//! path: `Queued → Running → Done`. The registry is the single source
+//! of truth `GET /jobs/<id>` reads, and it keeps completed records
+//! until shutdown — a poller that comes back late still finds its
+//! verdict (analysis results are small; the daemon's lifetime is a
+//! session, not a year).
+
+use driver::Outcome;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A server-assigned job identifier; rendered as 16 lowercase hex
+/// digits (`000000000000002a`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl JobId {
+    /// Parses the 16-hex-digit display form.
+    pub fn parse(s: &str) -> Result<JobId, String> {
+        if s.len() != 16 || !s.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!("job id must be 16 hex digits, got `{s}`"));
+        }
+        u64::from_str_radix(s, 16).map(JobId).map_err(|e| e.to_string())
+    }
+}
+
+/// Where one job is in its lifecycle.
+//
+// `Done` dwarfs the transient states, but every record ends there and
+// stays there — boxing the payload would cost an allocation per job to
+// shrink states that exist only for milliseconds.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Claimed by a worker; analysis in progress.
+    Running {
+        /// Milliseconds the job spent queued before a worker took it.
+        wait_ms: u64,
+    },
+    /// Finished — the terminal state.
+    Done {
+        /// The full per-contract result record (verdicts, fact counts,
+        /// timings, optional witness), identical in shape to a batch
+        /// outcome line.
+        outcome: Outcome,
+        /// True when the verdict came from the shared cache.
+        cached: bool,
+        /// Milliseconds spent queued.
+        wait_ms: u64,
+        /// Milliseconds from acceptance to completion.
+        total_ms: u64,
+    },
+}
+
+/// One tracked job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The server-assigned id.
+    pub id: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    submitted: Instant,
+}
+
+/// Counts of jobs per lifecycle state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs accepted but not yet claimed.
+    pub queued: u64,
+    /// Jobs a worker is currently analyzing.
+    pub running: u64,
+    /// Jobs in the terminal state.
+    pub done: u64,
+}
+
+/// The id allocator + job table shared by acceptors and workers.
+#[derive(Default)]
+pub struct Registry {
+    next: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+}
+
+impl Registry {
+    /// An empty registry starting at id 1.
+    pub fn new() -> Registry {
+        Registry { next: AtomicU64::new(1), jobs: Mutex::default() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, JobRecord>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Allocates an id and records the job as queued.
+    pub fn create(&self) -> JobId {
+        let id = JobId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.lock().insert(
+            id.0,
+            JobRecord { id, state: JobState::Queued, submitted: Instant::now() },
+        );
+        id
+    }
+
+    /// Forgets a job whose enqueue was refused (it was never really
+    /// accepted, so it must not linger as eternally `Queued`).
+    pub fn forget(&self, id: JobId) {
+        self.lock().remove(&id.0);
+    }
+
+    /// Marks a job running; returns the time it spent queued (ms).
+    pub fn mark_running(&self, id: JobId) -> u64 {
+        let mut g = self.lock();
+        let Some(rec) = g.get_mut(&id.0) else { return 0 };
+        let wait_ms = rec.submitted.elapsed().as_millis() as u64;
+        rec.state = JobState::Running { wait_ms };
+        wait_ms
+    }
+
+    /// Records the terminal state; returns acceptance-to-completion ms.
+    pub fn complete(&self, id: JobId, outcome: Outcome, cached: bool) -> u64 {
+        let mut g = self.lock();
+        let Some(rec) = g.get_mut(&id.0) else { return 0 };
+        let total_ms = rec.submitted.elapsed().as_millis() as u64;
+        let wait_ms = match rec.state {
+            JobState::Running { wait_ms } => wait_ms,
+            _ => 0,
+        };
+        rec.state = JobState::Done { outcome, cached, wait_ms, total_ms };
+        total_ms
+    }
+
+    /// A snapshot of one job.
+    pub fn get(&self, id: JobId) -> Option<JobRecord> {
+        self.lock().get(&id.0).cloned()
+    }
+
+    /// How many jobs are in each state.
+    pub fn counts(&self) -> JobCounts {
+        let g = self.lock();
+        let mut c = JobCounts::default();
+        for rec in g.values() {
+            match rec.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running { .. } => c.running += 1,
+                JobState::Done { .. } => c.done += 1,
+            }
+        }
+        c
+    }
+
+    /// True when every accepted job has reached the terminal state —
+    /// the post-drain invariant graceful shutdown asserts.
+    pub fn all_done(&self) -> bool {
+        let c = self.counts();
+        c.queued == 0 && c.running == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use driver::Status;
+
+    fn outcome(id: &str) -> Outcome {
+        Outcome {
+            index: 0,
+            id: id.to_string(),
+            status: Status::DecompileFailed { reason: "x".into() },
+            elapsed_ms: 1,
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_counts() {
+        let reg = Registry::new();
+        let a = reg.create();
+        let b = reg.create();
+        assert_ne!(a, b);
+        assert_eq!(reg.counts(), JobCounts { queued: 2, running: 0, done: 0 });
+        assert!(!reg.all_done());
+
+        reg.mark_running(a);
+        assert_eq!(reg.counts(), JobCounts { queued: 1, running: 1, done: 0 });
+        reg.complete(a, outcome("a"), false);
+        reg.mark_running(b);
+        reg.complete(b, outcome("b"), true);
+        assert_eq!(reg.counts(), JobCounts { queued: 0, running: 0, done: 2 });
+        assert!(reg.all_done());
+
+        match reg.get(b).unwrap().state {
+            JobState::Done { cached, .. } => assert!(cached),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ids_round_trip_through_display() {
+        let id = JobId(42);
+        assert_eq!(id.to_string(), "000000000000002a");
+        assert_eq!(JobId::parse("000000000000002a").unwrap(), id);
+        assert!(JobId::parse("2a").is_err());
+        assert!(JobId::parse("zzzzzzzzzzzzzzzz").is_err());
+    }
+
+    #[test]
+    fn refused_jobs_are_forgotten() {
+        let reg = Registry::new();
+        let id = reg.create();
+        reg.forget(id);
+        assert!(reg.get(id).is_none());
+        assert!(reg.all_done());
+    }
+}

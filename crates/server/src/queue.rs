@@ -1,0 +1,151 @@
+//! The bounded MPSC job queue between HTTP acceptors and analysis
+//! workers.
+//!
+//! Producers (connection handler threads) **never block**: when the
+//! queue is full, [`JobQueue::try_push`] hands the job straight back
+//! and the HTTP layer answers 429 — backpressure is a protocol
+//! response, not a stalled socket. Consumers (workers) block on a
+//! condvar in [`JobQueue::pop`] until a job arrives or the queue is
+//! closed and drained, which is exactly the graceful-shutdown
+//! sequence: `close()` wakes every idle worker, each drains what is
+//! left, then `pop` returns `None` and the worker exits.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct Slots<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue with non-blocking
+/// push and blocking, close-aware pop.
+pub struct JobQueue<T> {
+    slots: Mutex<Slots<T>>,
+    capacity: usize,
+    available: Condvar,
+}
+
+/// Why a push was refused; the job comes back to the caller untouched.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity → surface as HTTP 429.
+    Full(T),
+    /// The queue was closed (daemon draining) → surface as HTTP 503.
+    Closed(T),
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` queued jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            slots: Mutex::new(Slots { buf: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            available: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Slots<T>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues without blocking. Returns the depth *after* the push,
+    /// or the job wrapped in the refusal reason.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.buf.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.buf.push_back(item);
+        let depth = g.buf.len();
+        drop(g);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available (returns it) or the queue is
+    /// closed *and* empty (returns `None` — the worker's exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.buf.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.available.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// already-queued jobs still drain, every blocked `pop` wakes.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// True when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        match q.try_push(12) {
+            Err(PushError::Closed(12)) => {}
+            other => panic!("expected Closed(12), got {other:?}"),
+        }
+        // Queued jobs survive the close…
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        // …and only then does pop signal exit.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_popper_wakes_on_close() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let qc = Arc::clone(&q);
+        let t = std::thread::spawn(move || qc.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+}

@@ -26,6 +26,10 @@
 //!   detected and repaired, and a deterministic index-sorted
 //!   `merged.jsonl` of [`VerdictRecord`]s that is byte-identical
 //!   whether a scan ran cold, warm, or interrupted-then-resumed.
+//! - [`shared`] — a **thread-safe, single-flight** view of the cache
+//!   ([`SharedCache`]) for concurrent consumers (`ethainter serve`
+//!   workers): N simultaneous requests for the same key cost exactly
+//!   one fresh analysis; everyone else blocks briefly and hits.
 //!
 //! [`scan::Scanner`] wires them together over [`driver::analyze_batch`]
 //! with bounded memory (resume filter → cache lookup → chunked fresh
@@ -53,9 +57,11 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod scan;
+pub mod shared;
 pub mod source;
 
 pub use cache::{cache_key, CacheKey, CacheStats, CachedResult, ResultStore};
+pub use shared::{GetOrCompute, SharedCache};
 pub use checkpoint::{Checkpoint, Manifest, VerdictRecord};
 pub use scan::{ScanSummary, Scanner};
 pub use source::{

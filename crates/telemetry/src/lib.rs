@@ -6,7 +6,10 @@
 //! - [`span`] / [`SpanGuard`] — structured tracing. A span is a named,
 //!   timed region of code; guards nest via a thread-local stack so each
 //!   span records its parent, and completed spans land in a bounded
-//!   global ring buffer exportable as JSONL ([`spans_jsonl`]). Spans
+//!   global ring buffer exportable as JSONL ([`spans_jsonl`]) — or, with
+//!   a streaming writer installed ([`install_span_writer`]), flushed
+//!   downstream batch-by-batch whenever the buffer fills, so arbitrarily
+//!   long runs (`--trace-out`, `ethainter serve`) lose no spans. Spans
 //!   *subsume* the per-phase stopwatch (`PhaseTimings`): the pipeline
 //!   times each phase by opening a span and stamping
 //!   [`SpanGuard::finish_us`] into the matching timings field, so the
@@ -35,5 +38,7 @@ mod spans;
 
 pub use progress::Progress;
 pub use spans::{
-    set_span_capacity, span, spans_jsonl, take_spans, SpanGuard, SpanRecord,
+    flush_spans, install_span_writer, remove_span_writer, set_span_capacity,
+    span, spans_dropped, spans_flushed, spans_jsonl, take_spans, SpanGuard,
+    SpanRecord,
 };

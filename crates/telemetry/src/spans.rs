@@ -9,12 +9,20 @@
 //!
 //! The collector is deliberately bounded ([`set_span_capacity`],
 //! default 4096 records): telemetry must never grow without limit
-//! during a million-contract scan. When full, the oldest records are
-//! evicted — recent history is what an operator exporting a trace
-//! actually wants.
+//! during a million-contract scan. What happens when the buffer fills
+//! depends on whether a **span writer** is installed:
+//!
+//! - no writer (the default): the oldest records are evicted — recent
+//!   history is what an operator dumping a post-mortem trace wants;
+//! - writer installed ([`install_span_writer`]): the full buffer is
+//!   serialized to the writer as a JSONL batch and cleared, so a
+//!   long-running exporter (`--trace-out`, the server's job traces)
+//!   streams span batches incrementally and **never loses a span** —
+//!   however far past the ring capacity a run grows.
 
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -38,13 +46,49 @@ struct Collector {
     buf: VecDeque<SpanRecord>,
     capacity: usize,
     dropped: u64,
+    flushed: u64,
+    writer: Option<Box<dyn Write + Send>>,
+}
+
+impl Collector {
+    /// Serializes every buffered span to the installed writer (oldest
+    /// first) and clears the buffer. Records that fail to write are
+    /// counted as dropped — an exporter whose disk filled up must not
+    /// wedge the analysis pipeline.
+    fn flush_to_writer(&mut self) -> usize {
+        let Some(writer) = self.writer.as_mut() else { return 0 };
+        let mut written = 0usize;
+        for rec in self.buf.drain(..) {
+            let line = serde_json::to_string(&rec).expect("span serializes");
+            match writer.write_all(line.as_bytes()).and_then(|_| writer.write_all(b"\n")) {
+                Ok(()) => written += 1,
+                Err(_) => self.dropped += 1,
+            }
+        }
+        let _ = writer.flush();
+        self.flushed += written as u64;
+        written
+    }
 }
 
 fn collector() -> &'static Mutex<Collector> {
     static C: OnceLock<Mutex<Collector>> = OnceLock::new();
     C.get_or_init(|| {
-        Mutex::new(Collector { buf: VecDeque::new(), capacity: 4096, dropped: 0 })
+        Mutex::new(Collector {
+            buf: VecDeque::new(),
+            capacity: 4096,
+            dropped: 0,
+            flushed: 0,
+            writer: None,
+        })
     })
+}
+
+/// Locks the collector, shrugging off poisoning: spans record from
+/// sandbox threads that may panic mid-span, and the buffer is only
+/// ever mutated through complete push/drain operations.
+fn lock_collector() -> std::sync::MutexGuard<'static, Collector> {
+    collector().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn epoch() -> Instant {
@@ -99,10 +143,16 @@ impl SpanGuard {
             start_us: self.start_us,
             dur_us,
         };
-        let mut c = collector().lock().unwrap();
+        let mut c = lock_collector();
         if c.buf.len() >= c.capacity {
-            c.buf.pop_front();
-            c.dropped += 1;
+            if c.writer.is_some() {
+                // Streaming mode: flush the whole batch downstream
+                // instead of evicting — no span is ever lost.
+                c.flush_to_writer();
+            } else {
+                c.buf.pop_front();
+                c.dropped += 1;
+            }
         }
         c.buf.push_back(rec);
     }
@@ -118,7 +168,7 @@ impl Drop for SpanGuard {
 /// Caps the ring buffer at `capacity` records, evicting the oldest if
 /// already over. A capacity of 0 effectively disables span collection.
 pub fn set_span_capacity(capacity: usize) {
-    let mut c = collector().lock().unwrap();
+    let mut c = lock_collector();
     c.capacity = capacity;
     while c.buf.len() > capacity {
         c.buf.pop_front();
@@ -126,9 +176,48 @@ pub fn set_span_capacity(capacity: usize) {
     }
 }
 
+/// Installs a streaming span writer: from now on, a full buffer is
+/// serialized to `w` as a JSONL batch instead of evicting the oldest
+/// record, so no span is lost however long the process runs. Replaces
+/// any previously installed writer (after flushing the current buffer
+/// to it, so its output stays complete).
+pub fn install_span_writer(w: Box<dyn Write + Send>) {
+    let mut c = lock_collector();
+    c.flush_to_writer();
+    c.writer = Some(w);
+}
+
+/// Flushes all currently buffered spans to the installed writer.
+/// Returns the number of records written (0 when no writer is
+/// installed — buffered spans stay put for [`take_spans`]).
+pub fn flush_spans() -> usize {
+    lock_collector().flush_to_writer()
+}
+
+/// Flushes remaining buffered spans, uninstalls the writer, and
+/// returns it so the caller can close it (dropping a `File` writer
+/// closes the file). The collector reverts to bounded-ring mode.
+pub fn remove_span_writer() -> Option<Box<dyn Write + Send>> {
+    let mut c = lock_collector();
+    c.flush_to_writer();
+    c.writer.take()
+}
+
+/// Records streamed to a writer since process start, across all
+/// writers ever installed.
+pub fn spans_flushed() -> u64 {
+    lock_collector().flushed
+}
+
+/// Records lost since process start: ring evictions in writer-less
+/// mode plus any records a writer failed to persist.
+pub fn spans_dropped() -> u64 {
+    lock_collector().dropped
+}
+
 /// Drains and returns all buffered spans (oldest first).
 pub fn take_spans() -> Vec<SpanRecord> {
-    let mut c = collector().lock().unwrap();
+    let mut c = lock_collector();
     c.buf.drain(..).collect()
 }
 

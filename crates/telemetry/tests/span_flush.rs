@@ -1,0 +1,111 @@
+//! Streaming span export: a writer installed with
+//! `install_span_writer` must receive **every** span, even when the
+//! run overflows the bounded ring's capacity many times over — the
+//! regression suite for replacing end-of-run draining with incremental
+//! flush-on-full batches.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A writer that appends into a shared byte buffer — the test's stand-in
+/// for the `--trace-out` file.
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// The span collector is process-global; these tests install and remove
+// writers, so they must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn count_lines(bytes: &[u8], marker: &str) -> usize {
+    String::from_utf8(bytes.to_vec())
+        .unwrap()
+        .lines()
+        .filter(|l| l.contains(marker))
+        .count()
+}
+
+/// Overflow the old 4096-entry capacity and assert zero loss: every
+/// span lands in the writer, none are ring-evicted.
+#[test]
+fn overflowing_the_ring_capacity_loses_no_spans() {
+    let _g = serial();
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let _ = telemetry::take_spans(); // start from an empty buffer
+    telemetry::install_span_writer(Box::new(SharedBuf(Arc::clone(&sink))));
+    let dropped_before = telemetry::spans_dropped();
+
+    const TOTAL: usize = 5000; // > the 4096 default capacity
+    for _ in 0..TOTAL {
+        drop(telemetry::span("test.flood"));
+    }
+    telemetry::flush_spans();
+    drop(telemetry::remove_span_writer().expect("writer was installed"));
+
+    let n = count_lines(&sink.lock().unwrap(), "test.flood");
+    assert_eq!(n, TOTAL, "every span must reach the writer");
+    assert_eq!(
+        telemetry::spans_dropped(),
+        dropped_before,
+        "streaming mode must never evict"
+    );
+    // Each line must be a parseable record.
+    let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+    for line in text.lines().filter(|l| l.contains("test.flood")).take(10) {
+        let v = serde_json::parse(line).unwrap();
+        assert!(v.get("dur_us").is_some());
+    }
+}
+
+/// The flush is incremental — batches land as the buffer fills, not in
+/// one end-of-run drain. After capacity+1 spans, a full batch is
+/// already downstream before any explicit flush.
+#[test]
+fn batches_flush_as_the_buffer_fills_not_at_the_end() {
+    let _g = serial();
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let _ = telemetry::take_spans();
+    telemetry::install_span_writer(Box::new(SharedBuf(Arc::clone(&sink))));
+    telemetry::set_span_capacity(64);
+
+    for _ in 0..65 {
+        drop(telemetry::span("test.incremental"));
+    }
+    let mid = count_lines(&sink.lock().unwrap(), "test.incremental");
+    assert_eq!(mid, 64, "the full buffer streams out the moment it fills");
+
+    drop(telemetry::remove_span_writer().expect("writer was installed"));
+    telemetry::set_span_capacity(4096);
+    let end = count_lines(&sink.lock().unwrap(), "test.incremental");
+    assert_eq!(end, 65, "removal flushes the tail");
+}
+
+/// Without a writer the collector keeps its historical ring semantics:
+/// bounded memory, oldest evicted, evictions counted.
+#[test]
+fn writer_less_mode_still_ring_evicts() {
+    let _g = serial();
+    let _ = telemetry::take_spans();
+    assert!(telemetry::remove_span_writer().is_none());
+    telemetry::set_span_capacity(4);
+    let dropped_before = telemetry::spans_dropped();
+    for _ in 0..10 {
+        drop(telemetry::span("test.ring"));
+    }
+    let spans = telemetry::take_spans();
+    telemetry::set_span_capacity(4096);
+    assert_eq!(spans.len(), 4);
+    assert_eq!(telemetry::spans_dropped() - dropped_before, 6);
+}
