@@ -42,6 +42,13 @@ struct PhaseMedians {
     index_build_us: u64,
     fixpoint_us: u64,
     sink_scan_us: u64,
+    /// Sink-scan sub-phase: per-opcode detector sweeps + tainted-owner
+    /// scan.
+    detectors_us: u64,
+    /// Sink-scan sub-phase: effect-summary + branch-region detectors.
+    effects_us: u64,
+    /// Sink-scan sub-phase: the frozen composite-marker evaluation.
+    composite_us: u64,
     total_us: u64,
 }
 
@@ -113,6 +120,9 @@ fn engine_row(
         index_build_us: median(|t| t.index_build_us),
         fixpoint_us: median(|t| t.fixpoint_us),
         sink_scan_us: median(|t| t.sink_scan_us),
+        detectors_us: median(|t| t.detectors_us.unwrap_or(0)),
+        effects_us: median(|t| t.effects_us.unwrap_or(0)),
+        composite_us: median(|t| t.composite_us.unwrap_or(0)),
         total_us: median(|t| t.total_us),
     };
     let fixpoint_us = latency_summary(&mut fixpoint);

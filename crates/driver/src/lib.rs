@@ -598,6 +598,13 @@ pub fn analyze_one(bytecode: &[u8], config: &ethainter::Config) -> Status {
     telemetry::metrics::histogram("ethainter_phase_decompile_us").observe(decompile_us);
     telemetry::metrics::histogram("ethainter_phase_fixpoint_us")
         .observe(timings.fixpoint_us);
+    telemetry::metrics::histogram("ethainter_phase_sink_scan_us")
+        .observe(timings.sink_scan_us);
+    if let Some((detectors_us, effects_us, composite_us)) = timings.sink_scan_breakdown() {
+        telemetry::metrics::histogram("ethainter_phase_detectors_us").observe(detectors_us);
+        telemetry::metrics::histogram("ethainter_phase_effects_us").observe(effects_us);
+        telemetry::metrics::histogram("ethainter_phase_composite_us").observe(composite_us);
+    }
     telemetry::metrics::histogram("ethainter_phase_total_us").observe(timings.total_us);
     Status::Analyzed {
         findings: report.findings.len(),

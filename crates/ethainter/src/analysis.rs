@@ -20,24 +20,28 @@
 //!   attacker-reachable, which introduces more taint, which defeats more
 //!   guards — evaluated to mutual fixpoint.
 //!
-//! This module orchestrates; the fixpoint itself lives in the crate's
-//! private `engine` module, which offers two verdict-equivalent
-//! evaluation strategies selected by [`Config::engine`] — the naive
-//! `dense` re-scan and the worklist-driven `sparse` engine. Each
-//! pipeline phase is wall-clock timed into [`Stats::timings`].
+//! This module orchestrates over the reusable
+//! [`AnalysisArtifacts`](crate::artifacts::AnalysisArtifacts) layer:
+//! [`analyze`] builds the artifacts once, then evaluates — and the
+//! composite (✰) marker pass is a *second evaluation* (frozen fixpoint +
+//! detector sweep) over the very same artifacts, never a rebuild. The
+//! fixpoint itself lives in the crate's private `engine` module, which
+//! offers two verdict-equivalent evaluation strategies selected by
+//! [`Config::engine`] — the naive `dense` re-scan and the
+//! worklist-driven `sparse` engine. Each pipeline phase is wall-clock
+//! timed into [`Stats::timings`], with the sink scan further split into
+//! `detectors`/`effects`/`composite` sub-phases.
 
+use crate::artifacts::{AnalysisArtifacts, Inner};
 use crate::config::{Config, Engine};
-use crate::engine::indexes::SparseIndexes;
 use crate::engine::provenance::Provenance;
-use crate::engine::{self, Ctx, GuardKind, KeyClass, Prepared, State};
+use crate::engine::{self, KeyClass, Prepared, State};
 use crate::report::{FactCounts, Finding, Report, Stats, Vuln};
 use crate::timing::PhaseTimings;
 use crate::witness;
-use decompiler::{BlockId, DefUse, Dominators, Op, Program, Stmt, StmtId, Var};
+use decompiler::{BlockId, Op, Stmt, Var};
 use evm::opcode::Opcode;
-use evm::U256;
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 thread_local! {
@@ -72,128 +76,192 @@ pub(crate) fn deadline_exceeded() -> bool {
 }
 
 /// Runs the Ethainter analysis on a decompiled program.
-pub fn analyze(p: &Program, cfg: &Config) -> Report {
-    let mut report = Report {
-        timed_out: p.incomplete,
-        stats: Stats {
-            blocks: p.blocks.len(),
-            stmts: p.stmts.len(),
-            rounds: 0,
-            facts: FactCounts::default(),
-            timings: PhaseTimings::default(),
-        },
-        ..Report::default()
-    };
-    if p.incomplete || p.blocks.is_empty() {
-        return report;
+///
+/// Equivalent to `AnalysisArtifacts::build(p, cfg).evaluate(cfg)` —
+/// callers that evaluate the same program more than once (batch
+/// experiments sweeping evaluation-only config switches) should hold
+/// the artifacts and call [`AnalysisArtifacts::evaluate`] themselves.
+pub fn analyze(p: &decompiler::Program, cfg: &Config) -> Report {
+    AnalysisArtifacts::build(p, cfg).evaluate(cfg)
+}
+
+/// Dispatches the fixpoint to the configured engine over borrowed
+/// artifacts. The sparse indexes are memoized in the artifacts, so a
+/// second call (the frozen composite pass) never rebuilds them.
+fn run_engine(cfg: &Config, inner: &Inner<'_>, st: &mut State) {
+    match cfg.engine {
+        Engine::Sparse => engine::sparse::run(cfg, &inner.prep, inner.sparse_indexes(), st),
+        Engine::Dense => engine::dense::run(cfg, &inner.prep, st),
     }
+}
 
-    // ---- Index build: every one-time structure the engines share -------
-    let sp_index = telemetry::span("ethainter.index_build");
+impl AnalysisArtifacts<'_> {
+    /// Evaluates the analysis over the prebuilt artifacts: fixpoint,
+    /// detector sweeps, composite markers, and (opt-in) witnesses.
+    ///
+    /// `cfg` must agree with the build-time config on the switches the
+    /// build phase consumed (`guard_modeling`, `range_guards`); the
+    /// evaluation-only switches (`freeze_guards`, `storage_taint`,
+    /// `storage_model`, `engine`, `witness`) may differ freely.
+    pub fn evaluate(&self, cfg: &Config) -> Report {
+        let p = self.p;
+        let mut report = Report {
+            timed_out: p.incomplete,
+            stats: Stats {
+                blocks: p.blocks.len(),
+                stmts: p.stmts.len(),
+                rounds: 0,
+                facts: FactCounts::default(),
+                timings: PhaseTimings::default(),
+            },
+            ..Report::default()
+        };
+        let Some(inner) = &self.inner else {
+            return report;
+        };
+        assert!(
+            inner.built_for.guard_modeling == cfg.guard_modeling
+                && inner.built_for.range_guards == cfg.range_guards,
+            "artifacts built under incompatible config: \
+             guard_modeling/range_guards differ from the build-time config"
+        );
+        let prep = &inner.prep;
+        report.stats.timings.index_build_us = inner.build_us;
 
-    let dom = Dominators::compute(p);
+        // ---- Mutually-recursive fixpoint --------------------------------
+        let sp_fix = telemetry::span("ethainter.fixpoint");
+        let mut st = State::new(prep);
+        run_engine(cfg, inner, &mut st);
+        report.stats.timings.fixpoint_us = sp_fix.finish_us();
 
-    // Range-proven branch pruning: interval analysis proves some JumpI
-    // edges never taken; blocks only reachable through dead edges can
-    // never execute, so they are not attacker-reachable. This
-    // monotonically refines ReachableByAttacker (strictly fewer findings
-    // behind statically-decided branches).
-    let (live_block, n_dead_edges) = if cfg.range_guards {
-        let iv = decompiler::passes::intervals::analyze(p);
-        let dead: HashSet<(u32, usize)> =
-            iv.dead_edges.iter().map(|&(b, i)| (b.0, i)).collect();
-        let mut live = vec![false; p.blocks.len()];
-        let mut stack = vec![BlockId(0)];
-        while let Some(b) = stack.pop() {
-            let bi = b.0 as usize;
-            if live[bi] {
-                continue;
+        if st.timed_out {
+            report.timed_out = true;
+        }
+        report.stats.rounds = st.rounds;
+        report.stats.facts = FactCounts {
+            input_tainted: st.input_tainted.iter().filter(|&&t| t).count(),
+            storage_tainted: st.storage_tainted.iter().filter(|&&t| t).count(),
+            tainted_slots: st.tainted_slots.len(),
+            tainted_mappings: st.tainted_mappings.len(),
+            writable_mappings: st.writable_mappings.len(),
+            guards: prep.guards.len(),
+            defeated_guards: st.defeated.iter().filter(|&&d| d).count(),
+            consts: prep.ctx.consts.iter().filter(|c| c.is_some()).count(),
+            ds: prep.ctx.ds.iter().filter(|&&t| t).count(),
+            dsa: prep.ctx.dsa.iter().filter(|&&t| t).count(),
+            rba_blocks: st.rba.iter().filter(|&&t| t).count(),
+            dead_edges: prep.n_dead_edges,
+            origin_tainted: st.origin_tainted.iter().filter(|&&t| t).count(),
+            time_tainted: st.time_tainted.iter().filter(|&&t| t).count(),
+        };
+        report.defeated_guards = prep
+            .guards
+            .iter()
+            .zip(&st.defeated)
+            .filter(|(_, &d)| d)
+            .map(|(g, _)| g.pc)
+            .collect();
+        report.defeated_guards.sort_unstable();
+        report.defeated_guards.dedup();
+
+        // ---- Detectors + sink scan + composite markers ------------------
+        let sp_sink = telemetry::span("ethainter.sink_scan");
+
+        let (findings, detectors_us, effects_us) = detector_sweep(inner, cfg, &st);
+        report.findings = findings;
+        report.findings.sort_by_key(|f| (f.vuln, f.stmt));
+        report.findings.dedup();
+
+        // Exact composite (✰) markers: a finding is composite iff it
+        // does not survive single-transaction reasoning — guards cannot
+        // be defeated and taint cannot travel through storage across
+        // transactions. One extra *evaluation* over the same artifacts
+        // (frozen fixpoint + detector sweep — zero rebuilds), only when
+        // escalation can have happened.
+        let mut composite_us = 0;
+        if (st.any_defeat || cfg.storage_taint) && !cfg.freeze_guards {
+            let sp_comp = telemetry::span("ethainter.composite");
+            if composite_markers(inner, cfg, &mut report.findings) {
+                // The frozen fixpoint timed out: its relations are an
+                // under-approximation, so the markers are conservative
+                // (composite-biased), not exact — surface that.
+                report.timed_out = true;
             }
-            live[bi] = true;
-            for (i, &s) in p.blocks[bi].succs.iter().enumerate() {
-                if !dead.contains(&(b.0, i)) {
-                    stack.push(s);
-                }
+            composite_us = sp_comp.finish_us();
+        } else {
+            for f in &mut report.findings {
+                f.composite = false;
             }
         }
-        (live, dead.len())
-    } else {
-        (vec![true; p.blocks.len()], 0)
-    };
+        sp_sink.finish_us();
+        report.stats.timings.stamp_sink_scan(detectors_us, effects_us, composite_us);
 
-    let mut ctx = Ctx {
-        p,
-        du: DefUse::build(p),
-        consts: vec![None; p.n_vars as usize],
-        ds: vec![false; p.n_vars as usize],
-        dsa: vec![false; p.n_vars as usize],
-        saddr_cache: HashMap::new(),
-    };
-    ctx.compute_consts();
-    ctx.compute_ds();
-
-    // Guards (StaticallyGuardedStatement).
-    let guards = if cfg.guard_modeling { ctx.find_guards(&dom) } else { Vec::new() };
-
-    // Memory def-use: const offset → (store stmts, value vars).
-    let mut mem_stores: HashMap<U256, Vec<(StmtId, Var)>> = HashMap::new();
-    for s in p.iter_stmts() {
-        if s.op == Op::MStore {
-            if let Some(off) = ctx.consts[s.uses[0].0 as usize] {
-                mem_stores.entry(off).or_default().push((s.id, s.uses[1]));
-            }
+        // ---- Provenance witnesses (opt-in) ------------------------------
+        // Replay the fixpoint on the dense engine with a first-derivation
+        // recorder and backtrack each finding to its axioms. The replay
+        // starts from a fresh State and always runs dense, so witnesses
+        // are byte-identical whatever engine produced the verdicts above.
+        // Skipped for the composite-marker sub-analysis (`freeze_guards`)
+        // and for timed-out contracts (partial relations would make the
+        // paths misleading).
+        if cfg.witness && !cfg.freeze_guards && !report.timed_out {
+            let sp_wit = telemetry::span("ethainter.witness");
+            let mut wst = State::new(prep);
+            let mut prov = Provenance::new(prep);
+            engine::dense::run_recording(cfg, prep, &mut wst, &mut prov);
+            report.witnesses = Some(witness::build(&report.findings, prep, &wst, &prov));
+            report.stats.timings.witness_us = sp_wit.finish_us();
+            telemetry::metrics::counter("ethainter_witnesses_built_total")
+                .add(report.findings.len() as u64);
         }
-    }
 
-    // Intern the slot universe and resolve per-statement key
-    // classifications once; both engines then run atom-indexed.
-    let prep = Prepared::build(ctx, guards, dom, live_block, n_dead_edges, mem_stores);
-    let mut st = State::new(&prep);
-    // The sparse engine's edge maps are part of its index-build cost;
-    // the dense engine never pays for them.
-    let sparse_idx = (cfg.engine == Engine::Sparse).then(|| SparseIndexes::build(&prep));
-    report.stats.timings.index_build_us = sp_index.finish_us();
-
-    // ---- Mutually-recursive fixpoint ------------------------------------
-    let sp_fix = telemetry::span("ethainter.fixpoint");
-    match &sparse_idx {
-        Some(idx) => engine::sparse::run(cfg, &prep, idx, &mut st),
-        None => engine::dense::run(cfg, &prep, &mut st),
+        report.stats.timings.stamp_total();
+        report
     }
-    report.stats.timings.fixpoint_us = sp_fix.finish_us();
+}
 
-    if st.timed_out {
-        report.timed_out = true;
-    }
-    report.stats.rounds = st.rounds;
-    report.stats.facts = FactCounts {
-        input_tainted: st.input_tainted.iter().filter(|&&t| t).count(),
-        storage_tainted: st.storage_tainted.iter().filter(|&&t| t).count(),
-        tainted_slots: st.tainted_slots.len(),
-        tainted_mappings: st.tainted_mappings.len(),
-        writable_mappings: st.writable_mappings.len(),
-        guards: prep.guards.len(),
-        defeated_guards: st.defeated.iter().filter(|&&d| d).count(),
-        consts: prep.ctx.consts.iter().filter(|c| c.is_some()).count(),
-        ds: prep.ctx.ds.iter().filter(|&&t| t).count(),
-        dsa: prep.ctx.dsa.iter().filter(|&&t| t).count(),
-        rba_blocks: st.rba.iter().filter(|&&t| t).count(),
-        dead_edges: prep.n_dead_edges,
-        origin_tainted: st.origin_tainted.iter().filter(|&&t| t).count(),
-        time_tainted: st.time_tainted.iter().filter(|&&t| t).count(),
+/// The frozen composite-marker pass: re-runs the fixpoint under
+/// `freeze_guards = true, storage_taint = false` over the *same*
+/// artifacts, sweeps the detectors on the frozen state, and marks each
+/// finding composite iff it has no frozen (single-transaction)
+/// counterpart with the same `(vuln, stmt)`.
+///
+/// Returns whether the frozen fixpoint hit the cooperative deadline —
+/// in that case the frozen findings are an under-approximation and the
+/// markers degrade conservatively toward `composite = true`; the caller
+/// must propagate the flag into [`Report::timed_out`] (previously it
+/// was silently dropped).
+fn composite_markers(inner: &Inner<'_>, cfg: &Config, findings: &mut [Finding]) -> bool {
+    let frozen_cfg = Config {
+        freeze_guards: true,
+        storage_taint: false,
+        witness: false,
+        ..*cfg
     };
-    report.defeated_guards = prep
-        .guards
-        .iter()
-        .zip(&st.defeated)
-        .filter(|(_, &d)| d)
-        .map(|(g, _)| g.pc)
-        .collect();
-    report.defeated_guards.sort_unstable();
-    report.defeated_guards.dedup();
+    let mut fst = State::new(&inner.prep);
+    run_engine(&frozen_cfg, inner, &mut fst);
+    let (frozen, _, _) = detector_sweep(inner, &frozen_cfg, &fst);
+    for f in findings {
+        let direct = frozen.iter().any(|g| g.vuln == f.vuln && g.stmt == f.stmt);
+        f.composite = !direct;
+    }
+    fst.timed_out
+}
 
-    // ---- Detectors + sink scan + composite markers ----------------------
-    let sp_sink = telemetry::span("ethainter.sink_scan");
+/// All detector sweeps over one fixpoint state: the per-opcode sink
+/// sweeps + tainted-owner scan (`detectors` sub-phase) and the
+/// effect-summary + branch-region suite (`effects` sub-phase). Shared
+/// verbatim by the main evaluation and the frozen composite pass, so
+/// the two can never drift. Iterates the pre-bucketed statement lists
+/// in [`Prepared::sinks`] — no whole-program `iter_stmts` walks.
+///
+/// Findings are returned unsorted with `composite` tentatively set to
+/// `st.any_defeat` — the caller sorts, dedups, and overwrites the
+/// markers. Returns `(findings, detectors_us, effects_us)`.
+fn detector_sweep(inner: &Inner<'_>, cfg: &Config, st: &State) -> (Vec<Finding>, u64, u64) {
+    let prep = &inner.prep;
+    let p = prep.ctx.p;
+    let mut findings: Vec<Finding> = Vec::new();
 
     let selectors_of = |b: BlockId| -> Vec<u32> {
         p.block_functions.get(b.0 as usize).cloned().unwrap_or_default()
@@ -201,91 +269,77 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     let tainted =
         |v: Var| st.input_tainted[v.0 as usize] || st.storage_tainted[v.0 as usize];
 
-    for s in p.iter_stmts() {
-        match &s.op {
-            Op::SelfDestruct => {
-                if st.rba[s.block.0 as usize] {
-                    report.findings.push(Finding {
-                        vuln: Vuln::AccessibleSelfDestruct,
-                        stmt: s.id.0,
-                        pc: s.pc,
-                        selectors: selectors_of(s.block),
-                        composite: st.any_defeat,
-                    });
-                }
-                if tainted(s.uses[0]) {
-                    report.findings.push(Finding {
-                        vuln: Vuln::TaintedSelfDestruct,
-                        stmt: s.id.0,
-                        pc: s.pc,
-                        selectors: selectors_of(s.block),
-                        composite: st.any_defeat,
-                    });
-                }
-            }
-            Op::Call { kind: Opcode::DelegateCall }
-                // uses: [gas, target, in_off, in_len, out_off, out_len]
-                if tainted(s.uses[1]) => {
-                    report.findings.push(Finding {
-                        vuln: Vuln::TaintedDelegateCall,
-                        stmt: s.id.0,
-                        pc: s.pc,
-                        selectors: selectors_of(s.block),
-                        composite: st.any_defeat,
-                    });
-                }
-            Op::Call { kind: Opcode::StaticCall } => {
-                if let Some(f) = detect_unchecked_staticcall(
-                    &prep.ctx,
-                    s,
-                    &st.rba,
-                    &st.input_tainted,
-                    &st.storage_tainted,
-                    &prep.mem_stores,
-                ) {
-                    report.findings.push(Finding {
-                        selectors: selectors_of(s.block),
-                        composite: st.any_defeat,
-                        ..f
-                    });
-                }
-            }
-            _ => {}
+    let sp_det = telemetry::span("ethainter.detectors");
+
+    for &sid in &prep.sinks.selfdestructs {
+        let s = p.stmt(sid);
+        if st.rba[s.block.0 as usize] {
+            findings.push(Finding {
+                vuln: Vuln::AccessibleSelfDestruct,
+                stmt: s.id.0,
+                pc: s.pc,
+                selectors: selectors_of(s.block),
+                composite: st.any_defeat,
+            });
+        }
+        if tainted(s.uses[0]) {
+            findings.push(Finding {
+                vuln: Vuln::TaintedSelfDestruct,
+                stmt: s.id.0,
+                pc: s.pc,
+                selectors: selectors_of(s.block),
+                composite: st.any_defeat,
+            });
+        }
+    }
+    for &sid in &prep.sinks.delegatecalls {
+        let s = p.stmt(sid);
+        // uses: [gas, target, in_off, in_len, out_off, out_len]
+        if tainted(s.uses[1]) {
+            findings.push(Finding {
+                vuln: Vuln::TaintedDelegateCall,
+                stmt: s.id.0,
+                pc: s.pc,
+                selectors: selectors_of(s.block),
+                composite: st.any_defeat,
+            });
+        }
+    }
+    for &sid in &prep.sinks.staticcalls {
+        let s = p.stmt(sid);
+        if let Some(f) = detect_unchecked_staticcall(prep, s, st) {
+            findings.push(Finding {
+                selectors: selectors_of(s.block),
+                composite: st.any_defeat,
+                ..f
+            });
         }
     }
 
     // Tainted owner variable (§4.5): a slot compared against the sender
     // in some guard is a sink; attacker-reachable tainted writes to it
-    // are violations.
-    let guard_slots: HashSet<U256> = prep
-        .guards
-        .iter()
-        .flat_map(|g| {
-            g.cond_kind.kinds().iter().filter_map(|k| match k {
-                GuardKind::SenderEqSlot(v) => Some(*v),
-                _ => None,
-            })
-        })
-        .collect();
-    // Pre-filter via per-function storage write summaries: when no
-    // dispatched function can possibly write a guard slot, the
-    // per-statement sink scan below cannot fire and is skipped outright.
-    // (Summaries attribute statements in unowned blocks to every
-    // function and widen on unresolved keys, so skipping is sound.)
+    // are violations. Pre-filter via per-function storage write
+    // summaries (memoized in the artifacts): when no dispatched function
+    // can possibly write a guard slot, the per-statement sink scan below
+    // cannot fire and is skipped outright. (Summaries attribute
+    // statements in unowned blocks to every function and widen on
+    // unresolved keys, so skipping is sound.)
+    let guard_slots = &prep.guard_slots;
     let sink_scan_needed = if !cfg.guard_modeling {
         true
     } else if guard_slots.is_empty() {
         false
     } else {
-        let summaries = decompiler::passes::storage::summarize(p);
+        let summaries = inner.storage_summaries();
         summaries.is_empty()
             || summaries
                 .iter()
                 .any(|f| guard_slots.iter().any(|&slot| f.may_write(slot)))
     };
     if sink_scan_needed {
-        for s in p.iter_stmts() {
-            if s.op != Op::SStore || !st.rba[s.block.0 as usize] {
+        for &sid in &prep.sinks.sstores {
+            let s = p.stmt(sid);
+            if !st.rba[s.block.0 as usize] {
                 continue;
             }
             let Some(KeyClass::Const(a)) = prep.key_class[s.id.0 as usize].as_ref()
@@ -305,7 +359,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 || st.storage_tainted[s.uses[1].0 as usize]
                 || prep.ctx.ds[s.uses[1].0 as usize];
             if is_sink && value_attacker {
-                report.findings.push(Finding {
+                findings.push(Finding {
                     vuln: Vuln::TaintedOwnerVariable,
                     stmt: s.id.0,
                     pc: s.pc,
@@ -315,21 +369,20 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             }
         }
     }
+    let detectors_us = sp_det.finish_us();
 
     // ---- Detector suite v2: effect/ordering + origin/time detectors ----
-    // All four run over engine-independent inputs (the effect/ordering
-    // summaries and the shared fixpoint state), so dense and sparse
-    // verdicts stay byte-identical by construction.
+    // All four run over engine-independent inputs (the memoized
+    // effect/ordering summaries and the shared fixpoint state), so dense
+    // and sparse verdicts stay byte-identical by construction.
+    let sp_eff = telemetry::span("ethainter.effects");
 
     // Reentrancy + unchecked call return both need external-call sites;
     // the effect summary is only built when one exists (most contracts
-    // have none, and the sink scan is already the dominant phase).
-    let has_ext_call = p
-        .iter_stmts()
-        .any(|s| matches!(s.op, Op::Call { kind: Opcode::Call | Opcode::CallCode }));
-    if has_ext_call {
-        use decompiler::passes::effects;
-        let eff = effects::summarize(p);
+    // have none) — and at most once per program, shared with the frozen
+    // composite pass.
+    if prep.sinks.has_ext_call {
+        let eff = inner.effect_summary();
         // Unchecked call return: an attacker-reachable CALL whose
         // success flag never constrains a path or a storage write.
         for c in &eff.calls {
@@ -338,7 +391,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 && !c.checked
                 && st.rba[cs.block.0 as usize]
             {
-                report.findings.push(Finding {
+                findings.push(Finding {
                     vuln: Vuln::UncheckedCallReturn,
                     stmt: cs.id.0,
                     pc: cs.pc,
@@ -351,10 +404,10 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
         // the storage write of a cell that was read before the call
         // (checks-effects-interactions violation — the stale read is the
         // balance check a re-entrant caller exploits).
-        for v in effects::reordered_writes(p, &prep.dom, &eff) {
+        for v in inner.reordered_writes() {
             let cs = p.stmt(v.call);
             if st.rba[cs.block.0 as usize] {
-                report.findings.push(Finding {
+                findings.push(Finding {
                     vuln: Vuln::Reentrancy,
                     stmt: cs.id.0,
                     pc: cs.pc,
@@ -371,7 +424,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                 && st.time_tainted[cs.uses[2].0 as usize]
                 && st.rba[cs.block.0 as usize]
             {
-                report.findings.push(Finding {
+                findings.push(Finding {
                     vuln: Vuln::TimestampDependence,
                     stmt: cs.id.0,
                     pc: cs.pc,
@@ -390,7 +443,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
     let any_origin = st.origin_tainted.iter().any(|&t| t);
     let any_time = st.time_tainted.iter().any(|&t| t);
     if any_origin || any_time {
-        for r in prep.ctx.cond_regions(&prep.dom) {
+        for r in inner.cond_regions() {
             let js = p.stmt(r.stmt);
             if !st.rba[js.block.0 as usize] {
                 continue;
@@ -417,7 +470,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                     )
                 });
                 if gates_sink {
-                    report.findings.push(Finding {
+                    findings.push(Finding {
                         vuln: Vuln::TxOriginAuth,
                         stmt: js.id.0,
                         pc: js.pc,
@@ -437,7 +490,7 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
                     )
                 });
                 if gates_money {
-                    report.findings.push(Finding {
+                    findings.push(Finding {
                         vuln: Vuln::TimestampDependence,
                         stmt: js.id.0,
                         pc: js.pc,
@@ -448,72 +501,17 @@ pub fn analyze(p: &Program, cfg: &Config) -> Report {
             }
         }
     }
+    let effects_us = sp_eff.finish_us();
 
-    report.findings.sort_by_key(|f| (f.vuln, f.stmt));
-    report.findings.dedup();
-
-    // Exact composite (✰) markers: a finding is composite iff it does
-    // not survive single-transaction reasoning — guards cannot be
-    // defeated and taint cannot travel through storage across
-    // transactions. One extra pass, only when escalation happened. (The
-    // recursive run's own phase timings are discarded; its cost lands in
-    // this sink_scan phase.)
-    if (st.any_defeat || cfg.storage_taint) && !cfg.freeze_guards {
-        let frozen = analyze(
-            p,
-            &Config {
-                freeze_guards: true,
-                storage_taint: false,
-                witness: false,
-                ..*cfg
-            },
-        );
-        for f in &mut report.findings {
-            let direct = frozen
-                .findings
-                .iter()
-                .any(|g| g.vuln == f.vuln && g.stmt == f.stmt);
-            f.composite = !direct;
-        }
-    } else {
-        for f in &mut report.findings {
-            f.composite = false;
-        }
-    }
-    report.stats.timings.sink_scan_us = sp_sink.finish_us();
-
-    // ---- Provenance witnesses (opt-in) ----------------------------------
-    // Replay the fixpoint on the dense engine with a first-derivation
-    // recorder and backtrack each finding to its axioms. The replay
-    // starts from a fresh State and always runs dense, so witnesses are
-    // byte-identical whatever engine produced the verdicts above.
-    // Skipped for the composite-marker sub-analysis (`freeze_guards`)
-    // and for timed-out contracts (partial relations would make the
-    // paths misleading).
-    if cfg.witness && !cfg.freeze_guards && !report.timed_out {
-        let sp_wit = telemetry::span("ethainter.witness");
-        let mut wst = State::new(&prep);
-        let mut prov = Provenance::new(&prep);
-        engine::dense::run_recording(cfg, &prep, &mut wst, &mut prov);
-        report.witnesses =
-            Some(witness::build(&report.findings, &prep, &wst, &prov));
-        report.stats.timings.witness_us = sp_wit.finish_us();
-        telemetry::metrics::counter("ethainter_witnesses_built_total")
-            .add(report.findings.len() as u64);
-    }
-
-    report.stats.timings.stamp_total();
-    report
+    (findings, detectors_us, effects_us)
 }
 
 fn detect_unchecked_staticcall(
-    ctx: &Ctx<'_>,
+    prep: &Prepared<'_>,
     s: &Stmt,
-    rba: &[bool],
-    input_tainted: &[bool],
-    storage_tainted: &[bool],
-    mem_stores: &HashMap<U256, Vec<(StmtId, Var)>>,
+    st: &State,
 ) -> Option<Finding> {
+    let ctx = &prep.ctx;
     // uses: [gas, target, in_off, in_len, out_off, out_len]
     let in_off = ctx.consts[s.uses[2].0 as usize];
     let out_off = ctx.consts[s.uses[4].0 as usize];
@@ -523,37 +521,42 @@ fn detect_unchecked_staticcall(
         (Some(a), Some(b)) => a == b,
         _ => s.uses[2] == s.uses[4],
     };
-    if !overlap || out_len == Some(U256::ZERO) {
+    if !overlap || out_len == Some(evm::U256::ZERO) {
         return None;
     }
-    if !rba[s.block.0 as usize] {
+    if !st.rba[s.block.0 as usize] {
         return None;
     }
     // A RETURNDATASIZE check anywhere in the functions owning this call
     // counts as the fix (the Solidity-compiler-inserted pattern, §3.5).
-    let owners = ctx.p.block_functions.get(s.block.0 as usize);
-    let checked = ctx.p.iter_stmts().any(|t| {
-        t.op == Op::Env(Opcode::ReturnDataSize)
-            && match (owners, ctx.p.block_functions.get(t.block.0 as usize)) {
-                (Some(a), Some(b)) => a.iter().any(|x| b.contains(x)),
-                _ => t.block == s.block,
-            }
-    });
+    // The ownership lookup runs against the prebucketed RETURNDATASIZE
+    // data in `prep.sinks`: a selector-set intersection when both sides
+    // have ownership, block equality when either side has none —
+    // exactly the per-call whole-program scan it replaces.
+    let checked = match ctx.p.block_functions.get(s.block.0 as usize) {
+        Some(owners) => {
+            owners
+                .iter()
+                .any(|x| prep.sinks.rds_selectors.binary_search(x).is_ok())
+                || prep.sinks.rds_unowned_blocks.binary_search(&s.block).is_ok()
+        }
+        None => prep.sinks.rds_blocks.binary_search(&s.block).is_ok(),
+    };
     if checked {
         return None;
     }
     // The trusted buffer must be attacker-influenced: either the input
     // window holds tainted data, or the call target is tainted.
     let buffer_tainted = in_off
-        .and_then(|off| mem_stores.get(&off))
+        .and_then(|off| prep.mem_stores.get(&off))
         .map(|stores| {
             stores.iter().any(|(_, v)| {
-                input_tainted[v.0 as usize] || storage_tainted[v.0 as usize]
+                st.input_tainted[v.0 as usize] || st.storage_tainted[v.0 as usize]
             })
         })
         .unwrap_or(false);
-    let target_tainted =
-        input_tainted[s.uses[1].0 as usize] || storage_tainted[s.uses[1].0 as usize];
+    let target_tainted = st.input_tainted[s.uses[1].0 as usize]
+        || st.storage_tainted[s.uses[1].0 as usize];
     if !buffer_tainted && !target_tainted {
         return None;
     }
@@ -564,4 +567,105 @@ fn detect_unchecked_staticcall(
         selectors: Vec::new(),
         composite: false,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn composite_vulnerable_program() -> decompiler::Program {
+        // Unguarded owner write + owner-guarded selfdestruct: the guard
+        // is defeated through storage, so the composite machinery (and
+        // with it the frozen marker pass) engages.
+        let src = r#"
+        contract Bad {
+            address owner;
+            function initOwner(address o) public { owner = o; }
+            function kill() public {
+                require(msg.sender == owner);
+                selfdestruct(owner);
+            }
+        }"#;
+        let compiled = minisol::compile_source(src).unwrap();
+        let mut p = decompiler::decompile(&compiled.bytecode);
+        decompiler::optimize(&mut p, &decompiler::PassConfig::default());
+        p
+    }
+
+    #[test]
+    fn frozen_pass_timeout_is_propagated_not_dropped() {
+        let p = composite_vulnerable_program();
+        let cfg = Config::default();
+        // Build the artifacts and run the *frozen* pass alone under an
+        // already-expired deadline: the engines check the deadline on
+        // entry, so the frozen fixpoint deterministically times out —
+        // the exact scenario whose flag the recursive implementation
+        // silently dropped.
+        let art = AnalysisArtifacts::build(&p, &cfg);
+        let inner = art.inner.as_ref().expect("program is complete");
+        let mut findings = art.evaluate(&cfg).findings;
+        assert!(!findings.is_empty(), "fixture must produce findings");
+        let frozen_timed_out = with_deadline(Instant::now(), || {
+            composite_markers(inner, &cfg, &mut findings)
+        });
+        assert!(
+            frozen_timed_out,
+            "an expired deadline must surface from the frozen pass"
+        );
+        // With the frozen relations stuck at the initial state, the
+        // markers degrade conservatively: nothing the main run found is
+        // confirmed single-transaction except findings that need no
+        // taint at all.
+        for f in &findings {
+            if f.vuln != Vuln::AccessibleSelfDestruct {
+                assert!(f.composite, "under-approximated frozen run must bias composite");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_out_analysis_reports_the_flag_end_to_end() {
+        let p = composite_vulnerable_program();
+        let cfg = Config::default();
+        let report = with_deadline(Instant::now(), || analyze(&p, &cfg));
+        assert!(report.timed_out);
+    }
+
+    #[test]
+    fn artifacts_evaluate_twice_matches_analyze() {
+        // The artifact layer's contract: evaluations are pure functions
+        // of (artifacts, config) — evaluating twice gives byte-identical
+        // reports, each equal to a fresh monolithic analyze.
+        let p = composite_vulnerable_program();
+        for cfg in [
+            Config::default(),
+            Config { engine: Engine::Dense, ..Config::default() },
+            Config { witness: true, ..Config::default() },
+        ] {
+            let art = AnalysisArtifacts::build(&p, &cfg);
+            let mut a = art.evaluate(&cfg);
+            let mut b = art.evaluate(&cfg);
+            let mut c = analyze(&p, &cfg);
+            let json = |r: &mut Report| {
+                r.stats.timings = PhaseTimings::default();
+                serde_json::to_string(r).unwrap()
+            };
+            let (a, b, c) = (json(&mut a), json(&mut b), json(&mut c));
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn sink_scan_breakdown_is_stamped_and_sums() {
+        let p = composite_vulnerable_program();
+        let report = analyze(&p, &Config::default());
+        let (d, e, c) = report
+            .stats
+            .timings
+            .sink_scan_breakdown()
+            .expect("evaluate stamps the sink-scan sub-phases");
+        assert_eq!(report.stats.timings.sink_scan_us, d + e + c);
+        assert_eq!(report.stats.timings.total_us, report.stats.timings.phase_sum());
+    }
 }

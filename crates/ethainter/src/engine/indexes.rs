@@ -76,6 +76,7 @@ impl SparseIndexes {
     /// [`Prepared`], so this only distributes statement ids into the
     /// atom-indexed tables.
     pub fn build(prep: &Prepared<'_>) -> SparseIndexes {
+        telemetry::metrics::counter("ethainter_sparse_index_builds_total").inc();
         let p = prep.ctx.p;
         let n_stmts = p.stmts.len();
         let n_vars = p.n_vars as usize;

@@ -31,7 +31,7 @@ use datalog::{BitSet, Interner};
 use decompiler::{BlockId, DefUse, Dominators, Op, Program, StmtId, Var};
 use evm::opcode::Opcode;
 use evm::U256;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// How a guard scrutinizes the caller.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,6 +142,38 @@ pub(crate) struct Ctx<'a> {
     pub saddr_cache: HashMap<Var, SAddr>,
 }
 
+/// Per-opcode statement buckets for the detector sweeps, built once per
+/// program so neither the main evaluation nor the frozen composite
+/// re-run ever walks `iter_stmts()` again. Bucket order is statement
+/// order; the findings they feed are sorted by `(vuln, stmt)` before
+/// reporting, so bucket iteration order can never change output.
+#[derive(Default)]
+pub(crate) struct SinkIndex {
+    /// `SELFDESTRUCT` statements.
+    pub selfdestructs: Vec<StmtId>,
+    /// `DELEGATECALL` statements.
+    pub delegatecalls: Vec<StmtId>,
+    /// `STATICCALL` statements.
+    pub staticcalls: Vec<StmtId>,
+    /// `SSTORE` statements (the tainted-owner sink scan universe).
+    pub sstores: Vec<StmtId>,
+    /// Any `CALL`/`CALLCODE` exists — gates the effect-summary
+    /// detectors (most contracts have none).
+    pub has_ext_call: bool,
+    /// Selectors of functions owning a `RETURNDATASIZE` statement
+    /// (sorted, deduped) — the §3.5 compiler-inserted check that clears
+    /// an unchecked-staticcall finding.
+    pub rds_selectors: Vec<u32>,
+    /// Blocks holding a `RETURNDATASIZE` statement (sorted, deduped) —
+    /// the block-equality fallback when function ownership is
+    /// unavailable for the *call* site.
+    pub rds_blocks: Vec<BlockId>,
+    /// Blocks of `RETURNDATASIZE` statements whose own function
+    /// ownership is unavailable — the fallback when ownership is known
+    /// for the call but not for the check.
+    pub rds_unowned_blocks: Vec<BlockId>,
+}
+
 /// Everything the engines need, built once per program during the
 /// index-build phase: the static context, the discovered guards, CFG
 /// facts, and the constant-offset memory def-use edges.
@@ -166,6 +198,12 @@ pub(crate) struct Prepared<'a> {
     /// for `SLoad`/`SStore`), shared by both engines so neither pays
     /// the memoizing classifier during the fixpoint.
     pub key_class: Vec<Option<KeyClass>>,
+    /// Slots compared against `msg.sender` in some guard (§4.5 inferred
+    /// sinks), hoisted out of the sink scan so the frozen composite
+    /// re-run never recomputes them.
+    pub guard_slots: HashSet<U256>,
+    /// Per-opcode statement buckets for the detector sweeps.
+    pub sinks: SinkIndex,
 }
 
 impl<'a> Prepared<'a> {
@@ -180,12 +218,36 @@ impl<'a> Prepared<'a> {
         n_dead_edges: usize,
         mem_stores: HashMap<U256, Vec<(StmtId, Var)>>,
     ) -> Prepared<'a> {
+        telemetry::metrics::counter("ethainter_prepared_builds_total").inc();
         let mut slots = Interner::new();
+        let mut sinks = SinkIndex::default();
         let mut key_class: Vec<Option<KeyClass>> = vec![None; ctx.p.stmts.len()];
         for (id, kc) in key_class.iter_mut().enumerate() {
-            let s = ctx.p.stmt(StmtId(id as u32));
+            let sid = StmtId(id as u32);
+            let s = ctx.p.stmt(sid);
+            match &s.op {
+                Op::SelfDestruct => sinks.selfdestructs.push(sid),
+                Op::Call { kind: Opcode::DelegateCall } => {
+                    sinks.delegatecalls.push(sid)
+                }
+                Op::Call { kind: Opcode::StaticCall } => sinks.staticcalls.push(sid),
+                Op::Call { kind: Opcode::Call | Opcode::CallCode } => {
+                    sinks.has_ext_call = true
+                }
+                Op::Env(Opcode::ReturnDataSize) => {
+                    match ctx.p.block_functions.get(s.block.0 as usize) {
+                        Some(owners) => sinks.rds_selectors.extend(owners),
+                        None => sinks.rds_unowned_blocks.push(s.block),
+                    }
+                    sinks.rds_blocks.push(s.block);
+                }
+                _ => {}
+            }
             if !matches!(s.op, Op::SLoad | Op::SStore) {
                 continue;
+            }
+            if s.op == Op::SStore {
+                sinks.sstores.push(sid);
             }
             let key = s.uses[0];
             *kc = Some(match ctx.classify_addr(key) {
@@ -196,6 +258,21 @@ impl<'a> Prepared<'a> {
                 SAddr::Unknown => KeyClass::Unknown,
             });
         }
+        sinks.rds_selectors.sort_unstable();
+        sinks.rds_selectors.dedup();
+        sinks.rds_blocks.sort_unstable();
+        sinks.rds_blocks.dedup();
+        sinks.rds_unowned_blocks.sort_unstable();
+        sinks.rds_unowned_blocks.dedup();
+        let guard_slots: HashSet<U256> = guards
+            .iter()
+            .flat_map(|g| {
+                g.cond_kind.kinds().iter().filter_map(|k| match k {
+                    GuardKind::SenderEqSlot(v) => Some(*v),
+                    _ => None,
+                })
+            })
+            .collect();
         let guard_atoms = guards
             .iter()
             .map(|g| {
@@ -220,6 +297,8 @@ impl<'a> Prepared<'a> {
             mem_stores,
             slots,
             key_class,
+            guard_slots,
+            sinks,
         }
     }
 }

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod artifacts;
 pub mod config;
 mod engine;
 pub mod formalism;
@@ -40,6 +41,7 @@ pub mod timing;
 pub mod witness;
 
 pub use analysis::{analyze, with_deadline};
+pub use artifacts::AnalysisArtifacts;
 pub use config::{Config, Engine, StorageModel};
 pub use report::{FactCounts, Finding, Report, Stats, Vuln};
 pub use timing::{PhaseTimer, PhaseTimings};
@@ -51,7 +53,7 @@ pub use witness::{Witness, WitnessStep};
 /// change makes the analysis produce different reports for the same
 /// (bytecode, config) pair — decompiler limits, new rules, fixed rules —
 /// so previously cached results are invalidated instead of replayed.
-pub const ANALYZER_VERSION: &str = concat!("ethainter-rs/", env!("CARGO_PKG_VERSION"), "+a2");
+pub const ANALYZER_VERSION: &str = concat!("ethainter-rs/", env!("CARGO_PKG_VERSION"), "+a3");
 
 /// Decompiles `bytecode` and runs the analysis — the end-to-end entry
 /// point used by the CLI, the scanner, and Ethainter-Kill. With the
