@@ -509,9 +509,20 @@ where
 {
     let started = Instant::now();
     let (tx, rx) = mpsc::channel();
+    // Carry the caller's trace across the thread hop so sandbox spans
+    // stay attached to the job that caused them; sandboxes launched
+    // outside any trace (plain `ethainter batch`) mint their own per-
+    // contract id so concurrent sandboxes never share a trace.
+    let ctx = telemetry::trace::current();
     let spawned = std::thread::Builder::new()
         .name(format!("sandbox-{id}"))
         .spawn(move || {
+            let ctx = if ctx.trace.is_none() {
+                telemetry::trace::TraceContext { trace: telemetry::trace::mint(), parent_span: 0 }
+            } else {
+                ctx
+            };
+            let _trace = telemetry::trace::install(ctx);
             let result = catch_unwind(AssertUnwindSafe(|| work(item)));
             // The watchdog may have given up on us; a dead receiver is fine.
             let _ = tx.send(result);

@@ -44,6 +44,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "analyze" => cmd_analyze(rest),
         "explain" => cmd_explain(rest),
+        "trace" => cmd_trace(rest),
         "decompile" => cmd_decompile(rest),
         "cfg" => cmd_cfg(rest),
         "disasm" => cmd_disasm(rest),
@@ -75,6 +76,7 @@ ethainter — composite information-flow analysis for EVM contracts
 USAGE:
     ethainter analyze <file> [--json] [--no-guards] [--no-storage] [--conservative]
     ethainter explain <file> [config flags]
+    ethainter trace <file> [--json] [config flags]
     ethainter decompile <file>
     ethainter cfg <file>            # Graphviz dot of the TAC CFG
     ethainter disasm <file>
@@ -87,6 +89,7 @@ USAGE:
                     [--no-progress] [--metrics-out f.json] [--trace-out f.jsonl]
     ethainter serve [--addr host:port] [--jobs n] [--queue-depth n]
                     [--timeout-ms t] [--max-body-kb n] [--cache-dir d]
+                    [--max-done n] [--metrics-out f.json]
                     [--trace-out f.jsonl] [config flags]
     ethainter cache stats --cache-dir d [--json]
     ethainter lint [<file>...] [--corpus n] [--seed s] [--scale sc]
@@ -103,6 +106,12 @@ produce identical verdicts, and cached results stay warm across an
 engine switch. --witness attaches taint-provenance witnesses to each
 report: a replayable source→sink derivation for every finding
 (analyze --json includes them; batch outcome records carry them).
+
+trace analyzes one contract under a freshly minted trace context and
+renders its span tree: every phase (decompile → index_build → fixpoint
+→ detectors/effects/composite) with total and self time, nested as it
+actually ran — the offline twin of the daemon's GET /jobs/<id>/trace.
+--json emits the same TraceBody JSON the daemon serves.
 
 explain analyzes one contract with witnesses forced on and renders
 each finding's derivation as a numbered source→sink path through the
@@ -145,7 +154,15 @@ per-job timeout and panic containment as batch mode, all sharing the
 --cache-dir content-addressed cache: re-submitted bytecode is a cache
 hit, and N concurrent identical submissions cost one fresh analysis.
 SIGINT drains in-flight jobs before exiting (new submissions → 503;
-polls keep working during the drain).
+polls keep working during the drain). Every job runs under a trace
+context (trace id == job id): GET /jobs/<id>/trace returns its span
+tree, GET /events[?since=<seq>] long-polls the structured event feed
+(lifecycle, slow jobs, cache errors), and jobs slower than the live
+p99 land in that feed as slow_job events with their phase breakdown.
+--max-done n (default 4096) bounds retained completed records — the
+oldest age out (GET → 410 Gone) so week-long daemons stay flat.
+--metrics-out f persists a final metric-registry snapshot (JSON plus
+a .prom sibling) during the SIGINT drain, same writer as batch.
 
 lint runs the IR well-formedness validator over each input's raw
 decompiler output and exits non-zero if any violation is found —
@@ -199,6 +216,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("analyze: missing <file>")?;
     let code = load_bytecode(path)?;
     let cfg = parse_config(args)?;
+    // One minted trace per contract: spans this analysis records are
+    // attributable even when a --trace-out JSONL mixes several runs.
+    let _trace = telemetry::trace::root(telemetry::trace::mint());
     let report = ethainter::analyze_bytecode(&code, &cfg);
     if args.iter().any(|a| a == "--json") {
         out!(
@@ -262,6 +282,50 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         }
         out!("");
     }
+    Ok(())
+}
+
+/// `ethainter trace <file>` — analyze one contract under a minted
+/// trace context and render its span tree (total + self time per
+/// phase), offline: the same view `GET /jobs/<id>/trace` serves for a
+/// daemon job.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("trace: missing <file>")?;
+    let code = load_bytecode(path)?;
+    let cfg = parse_config(args)?;
+    let json = args.iter().any(|a| a == "--json");
+
+    let trace = telemetry::trace::mint();
+    telemetry::trace::retain(trace);
+    let report = {
+        let _ctx = telemetry::trace::root(trace);
+        let sp = telemetry::span("ethainter.contract");
+        let report = ethainter::analyze_bytecode(&code, &cfg);
+        sp.finish_us();
+        report
+    };
+    let records = telemetry::trace::spans_for(trace).unwrap_or_default();
+    let roots = telemetry::trace::build_tree(&records);
+    telemetry::trace::discard(trace);
+
+    if json {
+        let body = server::api::TraceBody {
+            id: trace.to_string(),
+            state: "done".to_string(),
+            span_count: records.len() as u64,
+            spans: roots,
+        };
+        out!("{}", serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    out!("trace {trace} — {path}");
+    print!("{}", telemetry::trace::render_tree(&roots));
+    out!(
+        "{} span(s); {} finding(s){}",
+        records.len(),
+        report.findings.len(),
+        if report.timed_out { "; analysis budget exhausted" } else { "" }
+    );
     Ok(())
 }
 
@@ -633,14 +697,7 @@ fn batch_plain(
 /// and the span trace (`--trace-out`, JSONL).
 fn write_telemetry_outputs(parsed: &BatchArgs) -> Result<(), String> {
     if let Some(path) = &parsed.metrics_out {
-        let snap = telemetry::metrics::snapshot();
-        std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
-        let prom = match path.strip_suffix(".json") {
-            Some(stem) => format!("{stem}.prom"),
-            None => format!("{path}.prom"),
-        };
-        std::fs::write(&prom, snap.to_prometheus())
-            .map_err(|e| format!("writing {prom}: {e}"))?;
+        let prom = write_metrics_snapshot(path)?;
         out!("  metrics: {path} (+ {prom})");
     }
     if let Some(path) = &parsed.trace_out {
@@ -653,6 +710,21 @@ fn write_telemetry_outputs(parsed: &BatchArgs) -> Result<(), String> {
             telemetry::spans_dropped());
     }
     Ok(())
+}
+
+/// Persists the live metric registry to `path` as JSON plus a
+/// Prometheus text sibling (`.prom`), returning the sibling's path —
+/// the one snapshot writer `batch --metrics-out` and
+/// `serve --metrics-out` share.
+fn write_metrics_snapshot(path: &str) -> Result<String, String> {
+    let snap = telemetry::metrics::snapshot();
+    std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    let prom = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.prom"),
+        None => format!("{path}.prom"),
+    };
+    std::fs::write(&prom, snap.to_prometheus()).map_err(|e| format!("writing {prom}: {e}"))?;
+    Ok(prom)
 }
 
 /// The checkpointed/cached batch path: a [`store::Scanner`] run with a
@@ -768,6 +840,7 @@ fn batch_with_store(
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = server::ServerConfig { analysis: parse_config(args)?, ..Default::default() };
     let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -796,7 +869,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 cfg.max_body = kb * 1024;
             }
             "--cache-dir" => cfg.cache_dir = Some(take("--cache-dir")?),
+            "--max-done" => {
+                cfg.max_done = take("--max-done")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-done: {e}"))?
+            }
             "--trace-out" => trace_out = Some(take("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(take("--metrics-out")?),
             "--no-guards" | "--no-storage" | "--conservative" | "--no-passes"
             | "--no-range-guards" | "--witness" => {} // parse_config reads these
             "--engine" => {
@@ -812,7 +891,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     server::install_sigint_handler();
     let handle = server::Server::start(cfg)?;
     out!("ethainter serve: listening on {}", handle.url());
-    out!("  POST /jobs | GET /jobs/<id> | GET /healthz | GET /metrics | GET /cache/stats");
+    out!("  POST /jobs | GET /jobs/<id> | GET /jobs/<id>/trace | GET /events");
+    out!("  GET /healthz | GET /metrics | GET /cache/stats");
     out!("  ^C drains in-flight jobs and exits");
     while !server::sigint_received() {
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -822,6 +902,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(path) = &trace_out {
         drop(telemetry::remove_span_writer());
         out!("  trace: {path} ({} span(s))", telemetry::spans_flushed());
+    }
+    if let Some(path) = &metrics_out {
+        // Snapshot after the drain so the final counters (including the
+        // jobs just drained) are all in the file.
+        let prom = write_metrics_snapshot(path)?;
+        out!("  metrics: {path} (+ {prom})");
     }
     out!(
         "drained{}: {} job(s) completed, cache flushed",

@@ -21,7 +21,7 @@
 //!   guards — evaluated to mutual fixpoint.
 //!
 //! This module orchestrates over the reusable
-//! [`AnalysisArtifacts`](crate::artifacts::AnalysisArtifacts) layer:
+//! [`AnalysisArtifacts`] layer:
 //! [`analyze`] builds the artifacts once, then evaluates — and the
 //! composite (✰) marker pass is a *second evaluation* (frozen fixpoint +
 //! detector sweep) over the very same artifacts, never a rebuild. The

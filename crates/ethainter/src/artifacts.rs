@@ -12,7 +12,7 @@
 //! This module splits the pipeline at its natural seam:
 //!
 //! - **Build** ([`AnalysisArtifacts::build`]) — everything derived from
-//!   the program alone: the [`Prepared`] structures (guards, dominators,
+//!   the program alone: the `Prepared` structures (guards, dominators,
 //!   live blocks, interned slots, key classes, per-opcode sink buckets,
 //!   guard slots), the sparse engine's indexes, and lazily-memoized
 //!   detector summaries (storage write summaries, effect/ordering
@@ -90,7 +90,7 @@ pub(crate) struct Inner<'a> {
 impl<'a> AnalysisArtifacts<'a> {
     /// Builds every program-derived artifact: dominators, interval
     /// branch pruning, constants, `DS`/`DSA`, guards, memory def-use,
-    /// the [`Prepared`] assembly, and (for the sparse engine) the
+    /// the `Prepared` assembly, and (for the sparse engine) the
     /// worklist indexes. Nothing here depends on
     /// `freeze_guards`/`storage_taint`/`witness`.
     pub fn build(p: &'a Program, cfg: &Config) -> AnalysisArtifacts<'a> {

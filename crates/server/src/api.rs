@@ -173,6 +173,34 @@ impl CacheStatsBody {
     }
 }
 
+/// Body of `GET /jobs/<id>/trace` — the job's span tree, assembled
+/// from the per-trace span store ([`telemetry::trace`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceBody {
+    /// The job id (== the trace id every span below carries).
+    pub id: String,
+    /// The job's lifecycle state at snapshot time: `"queued"`,
+    /// `"running"`, or `"done"` — a trace fetched before `done` is a
+    /// prefix of the final tree.
+    pub state: String,
+    /// Flat count of spans recorded under this trace so far.
+    pub span_count: u64,
+    /// The assembled span forest: roots in start order, each node with
+    /// total and self time and its children nested.
+    pub spans: Vec<telemetry::trace::SpanNode>,
+}
+
+/// Body of `GET /events[?since=<seq>]` — a page of the daemon's
+/// structured event feed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EventsBody {
+    /// The newest sequence number the bus has emitted; pass it back as
+    /// `since` to long-poll for what comes next.
+    pub latest: u64,
+    /// Buffered events newer than `since`, oldest first.
+    pub events: Vec<telemetry::events::Event>,
+}
+
 /// Body of every non-2xx response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ErrorBody {

@@ -3,13 +3,16 @@
 //! Every accepted submission gets a monotonically assigned [`JobId`]
 //! and a [`JobRecord`] in the [`Registry`], moving through exactly one
 //! path: `Queued → Running → Done`. The registry is the single source
-//! of truth `GET /jobs/<id>` reads, and it keeps completed records
-//! until shutdown — a poller that comes back late still finds its
-//! verdict (analysis results are small; the daemon's lifetime is a
-//! session, not a year).
+//! of truth `GET /jobs/<id>` reads. Completed records are retained so a
+//! poller that comes back late still finds its verdict — but only up to
+//! a bound (`max_done`, default 4096): a week-long daemon must not grow
+//! without limit, so the oldest `Done` records are FIFO-evicted beyond
+//! the bound (counted in `ethainter_server_jobs_evicted_total`) and a
+//! `GET` on an evicted id answers `410 Gone` rather than `404` — the
+//! job existed, its record aged out.
 
 use driver::Outcome;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -83,31 +86,75 @@ pub struct JobCounts {
     pub queued: u64,
     /// Jobs a worker is currently analyzing.
     pub running: u64,
-    /// Jobs in the terminal state.
+    /// Jobs in the terminal state (still retained).
     pub done: u64,
 }
 
-/// The id allocator + job table shared by acceptors and workers.
+/// What the registry knows about an id — the three-way answer behind
+/// `GET /jobs/<id>`'s 200 / 410 / 404 split.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// The job is tracked; here is its record (boxed: a `Done` record
+    /// carries a full outcome, and the marker variants carry nothing).
+    Found(Box<JobRecord>),
+    /// The job completed but its record aged out of the `Done` bound.
+    Evicted,
+    /// No such job was ever accepted (or its eviction marker also
+    /// aged out).
+    Unknown,
+}
+
+/// Eviction markers kept so a 410 stays distinguishable from a 404; a
+/// second-tier bound so even the markers cannot grow forever.
+const MAX_EVICTED_MARKERS: usize = 65_536;
+
 #[derive(Default)]
+struct Inner {
+    jobs: HashMap<u64, JobRecord>,
+    /// Completion order of retained `Done` records, oldest first.
+    done_order: VecDeque<u64>,
+    /// Ids whose `Done` record was evicted (bounded separately).
+    evicted: HashSet<u64>,
+    evicted_order: VecDeque<u64>,
+    /// Jobs ever completed, eviction-proof (feeds the drain report).
+    completed_total: u64,
+}
+
+/// The id allocator + job table shared by acceptors and workers.
 pub struct Registry {
     next: AtomicU64,
-    jobs: Mutex<HashMap<u64, JobRecord>>,
+    max_done: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new(Registry::DEFAULT_MAX_DONE)
+    }
 }
 
 impl Registry {
-    /// An empty registry starting at id 1.
-    pub fn new() -> Registry {
-        Registry { next: AtomicU64::new(1), jobs: Mutex::default() }
+    /// Default bound on retained `Done` records (`--max-done`).
+    pub const DEFAULT_MAX_DONE: usize = 4096;
+
+    /// An empty registry starting at id 1, retaining at most
+    /// `max_done` completed records (min 1).
+    pub fn new(max_done: usize) -> Registry {
+        Registry {
+            next: AtomicU64::new(1),
+            max_done: max_done.max(1),
+            inner: Mutex::default(),
+        }
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, JobRecord>> {
-        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Allocates an id and records the job as queued.
     pub fn create(&self) -> JobId {
         let id = JobId(self.next.fetch_add(1, Ordering::Relaxed));
-        self.lock().insert(
+        self.lock().jobs.insert(
             id.0,
             JobRecord { id, state: JobState::Queued, submitted: Instant::now() },
         );
@@ -117,41 +164,75 @@ impl Registry {
     /// Forgets a job whose enqueue was refused (it was never really
     /// accepted, so it must not linger as eternally `Queued`).
     pub fn forget(&self, id: JobId) {
-        self.lock().remove(&id.0);
+        self.lock().jobs.remove(&id.0);
     }
 
     /// Marks a job running; returns the time it spent queued (ms).
     pub fn mark_running(&self, id: JobId) -> u64 {
         let mut g = self.lock();
-        let Some(rec) = g.get_mut(&id.0) else { return 0 };
+        let Some(rec) = g.jobs.get_mut(&id.0) else { return 0 };
         let wait_ms = rec.submitted.elapsed().as_millis() as u64;
         rec.state = JobState::Running { wait_ms };
         wait_ms
     }
 
     /// Records the terminal state; returns acceptance-to-completion ms.
+    /// Beyond the `max_done` bound the oldest retained `Done` record is
+    /// evicted: removed from the table (its per-trace spans discarded),
+    /// marked so lookups answer `Evicted`, and counted.
     pub fn complete(&self, id: JobId, outcome: Outcome, cached: bool) -> u64 {
         let mut g = self.lock();
-        let Some(rec) = g.get_mut(&id.0) else { return 0 };
+        let Some(rec) = g.jobs.get_mut(&id.0) else { return 0 };
         let total_ms = rec.submitted.elapsed().as_millis() as u64;
         let wait_ms = match rec.state {
             JobState::Running { wait_ms } => wait_ms,
             _ => 0,
         };
         rec.state = JobState::Done { outcome, cached, wait_ms, total_ms };
+        g.completed_total += 1;
+        g.done_order.push_back(id.0);
+        while g.done_order.len() > self.max_done {
+            let Some(old) = g.done_order.pop_front() else { break };
+            if g.jobs.remove(&old).is_none() {
+                continue; // already forgotten some other way
+            }
+            telemetry::trace::discard(telemetry::trace::TraceId(old));
+            telemetry::metrics::counter("ethainter_server_jobs_evicted_total").inc();
+            if g.evicted.insert(old) {
+                g.evicted_order.push_back(old);
+                while g.evicted_order.len() > MAX_EVICTED_MARKERS {
+                    if let Some(stale) = g.evicted_order.pop_front() {
+                        g.evicted.remove(&stale);
+                    }
+                }
+            }
+        }
         total_ms
     }
 
-    /// A snapshot of one job.
+    /// A snapshot of one job (`None` for unknown *and* evicted ids —
+    /// use [`lookup`](Registry::lookup) to tell them apart).
     pub fn get(&self, id: JobId) -> Option<JobRecord> {
-        self.lock().get(&id.0).cloned()
+        self.lock().jobs.get(&id.0).cloned()
     }
 
-    /// How many jobs are in each state.
+    /// The three-way answer for one id: found, evicted, or unknown.
+    pub fn lookup(&self, id: JobId) -> Lookup {
+        let g = self.lock();
+        if let Some(rec) = g.jobs.get(&id.0) {
+            Lookup::Found(Box::new(rec.clone()))
+        } else if g.evicted.contains(&id.0) {
+            Lookup::Evicted
+        } else {
+            Lookup::Unknown
+        }
+    }
+
+    /// How many jobs are in each state (evicted records not counted).
     pub fn counts(&self) -> JobCounts {
         let g = self.lock();
         let mut c = JobCounts::default();
-        for rec in g.values() {
+        for rec in g.jobs.values() {
             match rec.state {
                 JobState::Queued => c.queued += 1,
                 JobState::Running { .. } => c.running += 1,
@@ -159,6 +240,12 @@ impl Registry {
             }
         }
         c
+    }
+
+    /// Jobs ever completed, unaffected by eviction — what the shutdown
+    /// report's `jobs_done` means.
+    pub fn completed_total(&self) -> u64 {
+        self.lock().completed_total
     }
 
     /// True when every accepted job has reached the terminal state —
@@ -185,7 +272,7 @@ mod tests {
 
     #[test]
     fn lifecycle_and_counts() {
-        let reg = Registry::new();
+        let reg = Registry::default();
         let a = reg.create();
         let b = reg.create();
         assert_ne!(a, b);
@@ -199,6 +286,7 @@ mod tests {
         reg.complete(b, outcome("b"), true);
         assert_eq!(reg.counts(), JobCounts { queued: 0, running: 0, done: 2 });
         assert!(reg.all_done());
+        assert_eq!(reg.completed_total(), 2);
 
         match reg.get(b).unwrap().state {
             JobState::Done { cached, .. } => assert!(cached),
@@ -217,10 +305,32 @@ mod tests {
 
     #[test]
     fn refused_jobs_are_forgotten() {
-        let reg = Registry::new();
+        let reg = Registry::default();
         let id = reg.create();
         reg.forget(id);
         assert!(reg.get(id).is_none());
         assert!(reg.all_done());
+    }
+
+    #[test]
+    fn done_records_evict_fifo_beyond_the_bound() {
+        let reg = Registry::new(2);
+        let ids: Vec<JobId> = (0..4).map(|_| reg.create()).collect();
+        for id in &ids {
+            reg.mark_running(*id);
+            reg.complete(*id, outcome(&id.to_string()), false);
+        }
+        // The two oldest aged out; the two newest are still readable.
+        assert!(matches!(reg.lookup(ids[0]), Lookup::Evicted));
+        assert!(matches!(reg.lookup(ids[1]), Lookup::Evicted));
+        assert!(matches!(reg.lookup(ids[2]), Lookup::Found(_)));
+        assert!(matches!(reg.lookup(ids[3]), Lookup::Found(_)));
+        assert!(matches!(reg.lookup(JobId(0xdead_beef)), Lookup::Unknown));
+        assert_eq!(reg.counts().done, 2);
+        // Eviction never forgets how many jobs actually finished.
+        assert_eq!(reg.completed_total(), 4);
+        // Queued/Running records are untouchable: only `Done` ages out.
+        let live = reg.create();
+        assert!(matches!(reg.lookup(live), Lookup::Found(_)));
     }
 }

@@ -24,6 +24,12 @@
 //!   or `done` with the full report (the same [`driver::Outcome`]
 //!   record a batch run writes per JSONL line, witness included when
 //!   requested).
+//! - `GET /jobs/<id>/trace` — [`api::TraceBody`]: the job's complete
+//!   span tree (trace id == job id), assembled from the per-trace span
+//!   store with self-time per phase; 410 after eviction.
+//! - `GET /events[?since=<seq>[&wait_ms=<ms>]]` — [`api::EventsBody`]:
+//!   the structured event feed (lifecycle, slow jobs, cache errors).
+//!   With `since`, long-polls until something newer arrives.
 //! - `GET /healthz` — [`api::Health`] liveness + queue/job counts.
 //! - `GET /metrics` — the live global metric registry as Prometheus
 //!   text ([`telemetry::metrics::snapshot`]), scrapeable mid-run.
@@ -88,6 +94,9 @@ pub struct ServerConfig {
     /// Directory for the shared content-addressed result cache;
     /// `None` runs cacheless (every job is a fresh analysis).
     pub cache_dir: Option<String>,
+    /// Bound on retained `Done` records (`--max-done`): beyond it the
+    /// oldest completed job ages out and its id answers `410 Gone`.
+    pub max_done: usize,
     /// Base analysis configuration; per-job patches apply on top.
     pub analysis: ethainter::Config,
 }
@@ -101,6 +110,7 @@ impl Default for ServerConfig {
             timeout: Duration::from_secs(120),
             max_body: 4 * 1024 * 1024,
             cache_dir: None,
+            max_done: Registry::DEFAULT_MAX_DONE,
             analysis: ethainter::Config::default(),
         }
     }
@@ -168,7 +178,7 @@ impl Server {
             n => n,
         };
         let shared = Arc::new(Shared {
-            registry: Registry::new(),
+            registry: Registry::new(config.max_done),
             job_queue: JobQueue::new(config.queue_depth),
             cache,
             config,
@@ -194,6 +204,12 @@ impl Server {
                 .map_err(|e| format!("spawning accept loop: {e}"))?
         };
         telemetry::metrics::gauge("ethainter_server_workers").set(worker_count as i64);
+        telemetry::events::emit(
+            telemetry::events::Severity::Info,
+            "server_started",
+            None,
+            vec![("workers".to_string(), worker_count as u64)],
+        );
         Ok(ServerHandle { addr, shared, accept: Some(accept), workers })
     }
 }
@@ -232,6 +248,12 @@ impl ServerHandle {
     /// until the drain finishes, then stop the accept loop, persist
     /// the cache stats, and flush any installed span writer.
     pub fn shutdown(mut self) -> ShutdownReport {
+        telemetry::events::emit(
+            telemetry::events::Severity::Info,
+            "server_draining",
+            None,
+            vec![("queued".to_string(), self.shared.registry.counts().queued)],
+        );
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.job_queue.close();
         for w in self.workers.drain(..) {
@@ -249,7 +271,7 @@ impl ServerHandle {
         telemetry::flush_spans();
         let counts = self.shared.registry.counts();
         ShutdownReport {
-            jobs_done: counts.done,
+            jobs_done: self.shared.registry.completed_total(),
             drained_cleanly: counts.queued == 0 && counts.running == 0,
         }
     }
@@ -257,6 +279,11 @@ impl ServerHandle {
 
 /// The worker loop: claim, analyze (through the shared cache when
 /// configured), record, repeat — until the queue closes and drains.
+///
+/// Each claimed job installs its [`telemetry::trace`] context (trace id
+/// == job id) and runs under a `server.job` root span, so everything
+/// the analysis records — across the sandbox thread hop included —
+/// assembles into one tree `GET /jobs/<id>/trace` can serve.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.job_queue.pop() {
         telemetry::metrics::gauge("ethainter_server_queue_depth")
@@ -264,6 +291,10 @@ fn worker_loop(shared: &Shared) {
         let wait_ms = shared.registry.mark_running(job.id);
         telemetry::metrics::histogram("ethainter_server_job_wait_ms").observe(wait_ms);
         telemetry::metrics::gauge("ethainter_server_jobs_running").add(1);
+
+        let trace = telemetry::trace::TraceId(job.id.0);
+        let ctx = telemetry::trace::root(trace);
+        let sp_job = telemetry::span("server.job");
 
         let driver_cfg = driver::DriverConfig { jobs: 1, timeout: shared.config.timeout };
         let (outcome, cached) = match &shared.cache {
@@ -279,6 +310,12 @@ fn worker_loop(shared: &Shared) {
                 if let Some(e) = &got.put_error {
                     eprintln!("warning: cache append failed: {e}");
                     telemetry::metrics::counter("ethainter_server_cache_put_errors_total").inc();
+                    telemetry::events::emit(
+                        telemetry::events::Severity::Error,
+                        format!("cache_put_failed: {e}"),
+                        Some(trace),
+                        vec![],
+                    );
                 }
                 let outcome = driver::Outcome {
                     index: 0,
@@ -295,11 +332,61 @@ fn worker_loop(shared: &Shared) {
         if cached {
             telemetry::metrics::counter("ethainter_server_jobs_cached_total").inc();
         }
+        // Close the root span (and release the context) *before* the
+        // job goes `Done`, so a trace fetched right after completion
+        // already contains the fully assembled tree.
+        let _job_us = sp_job.finish_us();
+        drop(ctx);
+        let phase_fields = phase_breakdown(&outcome.status);
         telemetry::metrics::gauge("ethainter_server_jobs_running").add(-1);
+
+        // Slow-job detection compares against the p99 *before* this
+        // sample lands (a job cannot dilute the threshold it is judged
+        // by), and only once enough history exists to mean anything.
+        let latency = telemetry::metrics::histogram("ethainter_server_job_latency_ms");
+        let before = latency.snapshot();
         let total_ms = shared.registry.complete(job.id, outcome, cached);
-        telemetry::metrics::histogram("ethainter_server_job_latency_ms").observe(total_ms);
+        latency.observe(total_ms);
         telemetry::metrics::counter("ethainter_server_jobs_completed_total").inc();
+        if before.count >= SLOW_JOB_MIN_SAMPLES && total_ms > before.quantile(0.99) {
+            telemetry::metrics::counter("ethainter_server_jobs_slow_total").inc();
+            let mut fields = phase_fields;
+            fields.push(("wait_ms".to_string(), wait_ms));
+            fields.push(("total_ms".to_string(), total_ms));
+            telemetry::events::emit(
+                telemetry::events::Severity::Warn,
+                "slow_job",
+                Some(trace),
+                fields,
+            );
+        }
     }
+}
+
+/// Samples `ethainter_server_job_latency_ms` must hold before the
+/// slow-job comparison fires — a p99 over three jobs is noise.
+const SLOW_JOB_MIN_SAMPLES: u64 = 16;
+
+/// The per-phase timing fields a `slow_job` event attaches, pulled from
+/// an analyzed outcome (empty for failed/timed-out jobs — the event's
+/// `total_ms` still tells the story).
+fn phase_breakdown(status: &driver::Status) -> Vec<(String, u64)> {
+    let driver::Status::Analyzed { timings, .. } = status else {
+        return Vec::new();
+    };
+    let mut fields = vec![
+        ("decompile_us".to_string(), timings.decompile_us),
+        ("index_build_us".to_string(), timings.index_build_us),
+        ("fixpoint_us".to_string(), timings.fixpoint_us),
+        ("sink_scan_us".to_string(), timings.sink_scan_us),
+        ("analysis_total_us".to_string(), timings.total_us),
+    ];
+    if let Some((detectors_us, effects_us, composite_us)) = timings.sink_scan_breakdown() {
+        fields.push(("detectors_us".to_string(), detectors_us));
+        fields.push(("effects_us".to_string(), effects_us));
+        fields.push(("composite_us".to_string(), composite_us));
+    }
+    fields
 }
 
 /// Polls the non-blocking listener, handing each connection to a short
@@ -355,19 +442,35 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     };
     telemetry::metrics::counter("ethainter_server_requests_total").inc();
 
-    match (req.method.as_str(), req.path.as_str()) {
+    // Split the query string off the path: `/events?since=3` routes as
+    // `/events` with `since=3` available to the handler.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+
+    match (req.method.as_str(), path) {
         ("POST", "/jobs") => submit_job(shared, &mut stream, &req.body),
-        ("GET", path) if path.strip_prefix("/jobs/").is_some() => {
-            let id = path.strip_prefix("/jobs/").unwrap_or("");
+        ("GET", p)
+            if p.starts_with("/jobs/")
+                && p.ends_with("/trace")
+                && p.len() >= "/jobs/".len() + "/trace".len() =>
+        {
+            let id = &p["/jobs/".len()..p.len() - "/trace".len()];
+            job_trace(shared, &mut stream, id);
+        }
+        ("GET", p) if p.strip_prefix("/jobs/").is_some() => {
+            let id = p.strip_prefix("/jobs/").unwrap_or("");
             job_status(shared, &mut stream, id);
         }
+        ("GET", "/events") => events(&mut stream, query),
         ("GET", "/healthz") => healthz(shared, &mut stream),
         ("GET", "/metrics") => {
             let text = telemetry::metrics::snapshot().to_prometheus();
             http::respond(&mut stream, 200, "text/plain; version=0.0.4", text.as_bytes());
         }
         ("GET", "/cache/stats") => cache_stats(shared, &mut stream),
-        (method, "/jobs" | "/healthz" | "/metrics" | "/cache/stats") => {
+        (method, "/jobs" | "/events" | "/healthz" | "/metrics" | "/cache/stats") => {
             http::respond_json(
                 &mut stream,
                 405,
@@ -427,6 +530,10 @@ fn submit_job(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
     };
 
     let id = shared.registry.create();
+    // Retain the job's trace from the moment it exists: spans recorded
+    // while it is still queued (none today, but the store is the
+    // contract) and everything the worker records land in its buffer.
+    telemetry::trace::retain(telemetry::trace::TraceId(id.0));
     let label = request.id.clone().unwrap_or_else(|| id.to_string());
     let spec = JobSpec { id, label, bytecode, analysis };
     match shared.job_queue.try_push(spec) {
@@ -442,6 +549,7 @@ fn submit_job(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
         }
         Err(PushError::Full(_)) => {
             shared.registry.forget(id);
+            telemetry::trace::discard(telemetry::trace::TraceId(id.0));
             telemetry::metrics::counter("ethainter_server_rejected_total").inc();
             http::respond_json(
                 stream,
@@ -454,6 +562,7 @@ fn submit_job(shared: &Arc<Shared>, stream: &mut TcpStream, body: &[u8]) {
         }
         Err(PushError::Closed(_)) => {
             shared.registry.forget(id);
+            telemetry::trace::discard(telemetry::trace::TraceId(id.0));
             http::respond_json(stream, 503, &api::ErrorBody::json("daemon is draining"));
         }
     }
@@ -468,9 +577,20 @@ fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, id_text: &str) {
             return;
         }
     };
-    let Some(record) = shared.registry.get(id) else {
-        http::respond_json(stream, 404, &api::ErrorBody::json(format!("no job {id}")));
-        return;
+    let record = match shared.registry.lookup(id) {
+        jobs::Lookup::Found(rec) => rec,
+        jobs::Lookup::Evicted => {
+            http::respond_json(
+                stream,
+                410,
+                &api::ErrorBody::json(format!("job {id} completed but its record was evicted")),
+            );
+            return;
+        }
+        jobs::Lookup::Unknown => {
+            http::respond_json(stream, 404, &api::ErrorBody::json(format!("no job {id}")));
+            return;
+        }
     };
     let body = match record.state {
         JobState::Queued => api::JobStatusBody {
@@ -498,6 +618,110 @@ fn job_status(shared: &Arc<Shared>, stream: &mut TcpStream, id_text: &str) {
             report: Some(outcome),
         },
     };
+    match serde_json::to_string(&body) {
+        Ok(json) => http::respond_json(stream, 200, &json),
+        Err(e) => http::respond_json(stream, 500, &api::ErrorBody::json(e.to_string())),
+    }
+}
+
+/// `GET /jobs/<id>/trace`: the job's span tree, assembled on demand
+/// from the per-trace store. Served at any lifecycle state — a trace
+/// fetched mid-run is a prefix of the final tree, and the `state`
+/// field says which you got.
+fn job_trace(shared: &Arc<Shared>, stream: &mut TcpStream, id_text: &str) {
+    let id = match JobId::parse(id_text) {
+        Ok(id) => id,
+        Err(e) => {
+            http::respond_json(stream, 400, &api::ErrorBody::json(e));
+            return;
+        }
+    };
+    let state = match shared.registry.lookup(id) {
+        jobs::Lookup::Found(rec) => match rec.state {
+            JobState::Queued => "queued",
+            JobState::Running { .. } => "running",
+            JobState::Done { .. } => "done",
+        },
+        jobs::Lookup::Evicted => {
+            http::respond_json(
+                stream,
+                410,
+                &api::ErrorBody::json(format!("job {id} completed but its trace was evicted")),
+            );
+            return;
+        }
+        jobs::Lookup::Unknown => {
+            http::respond_json(stream, 404, &api::ErrorBody::json(format!("no job {id}")));
+            return;
+        }
+    };
+    let records = telemetry::trace::spans_for(telemetry::trace::TraceId(id.0))
+        .unwrap_or_default();
+    let body = api::TraceBody {
+        id: id.to_string(),
+        state: state.to_string(),
+        span_count: records.len() as u64,
+        spans: telemetry::trace::build_tree(&records),
+    };
+    match serde_json::to_string(&body) {
+        Ok(json) => http::respond_json(stream, 200, &json),
+        Err(e) => http::respond_json(stream, 500, &api::ErrorBody::json(e.to_string())),
+    }
+}
+
+/// Ceiling on a `GET /events` long-poll, whatever `wait_ms` asks for —
+/// the connection read timeout must never fire first on the client.
+const EVENTS_WAIT_MAX: Duration = Duration::from_millis(30_000);
+/// Default long-poll window when `since` is given without `wait_ms`.
+const EVENTS_WAIT_DEFAULT: Duration = Duration::from_millis(15_000);
+
+/// `GET /events[?since=<seq>[&wait_ms=<ms>]]`: a page of the event
+/// feed. Without `since` it answers immediately with everything
+/// buffered (curl-friendly); with `since` it long-polls until an event
+/// newer than the cursor arrives or the window lapses.
+fn events(stream: &mut TcpStream, query: &str) {
+    let mut since: Option<u64> = None;
+    let mut wait = EVENTS_WAIT_DEFAULT;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "since" => match value.parse::<u64>() {
+                Ok(v) => since = Some(v),
+                Err(_) => {
+                    http::respond_json(
+                        stream,
+                        400,
+                        &api::ErrorBody::json(format!("bad since `{value}`")),
+                    );
+                    return;
+                }
+            },
+            "wait_ms" => match value.parse::<u64>() {
+                Ok(ms) => wait = Duration::from_millis(ms).min(EVENTS_WAIT_MAX),
+                Err(_) => {
+                    http::respond_json(
+                        stream,
+                        400,
+                        &api::ErrorBody::json(format!("bad wait_ms `{value}`")),
+                    );
+                    return;
+                }
+            },
+            other => {
+                http::respond_json(
+                    stream,
+                    400,
+                    &api::ErrorBody::json(format!("unknown query parameter `{other}`")),
+                );
+                return;
+            }
+        }
+    }
+    let (events, latest) = match since {
+        None => telemetry::events::events_since(0),
+        Some(cursor) => telemetry::events::wait_events_since(cursor, wait),
+    };
+    let body = api::EventsBody { latest, events };
     match serde_json::to_string(&body) {
         Ok(json) => http::respond_json(stream, 200, &json),
         Err(e) => http::respond_json(stream, 500, &api::ErrorBody::json(e.to_string())),

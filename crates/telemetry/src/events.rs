@@ -1,0 +1,313 @@
+//! A bounded, structured event bus: the daemon's live operational log.
+//!
+//! Metrics aggregate ("how many jobs were slow today"); events narrate
+//! ("job `000000000000002a` was slow *right now*, and here is its phase
+//! breakdown"). Each [`Event`] carries a severity, a message, the
+//! [`TraceId`] of the job that caused it (when
+//! one did), and a set of named numeric deltas — enough structure for a
+//! dashboard to chart without parsing prose.
+//!
+//! The bus is a bounded global ring with monotone sequence numbers:
+//! emitters never block, the oldest events are evicted when the ring
+//! fills (and counted — see [`events_dropped`]), and consumers page
+//! forward with [`events_since`] or long-poll with
+//! [`wait_events_since`], which is what `GET /events?since=<seq>`
+//! serves. A consumer that falls more than a ring behind loses the gap,
+//! not the bus.
+
+use crate::trace::TraceId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// How loud an event is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Lifecycle narration (startup, drain).
+    Info,
+    /// Something degraded but handled (a slow job, a rejected burst).
+    Warn,
+    /// Something failed (a cache append error).
+    Error,
+}
+
+impl Severity {
+    /// The lowercase wire form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the lowercase wire form.
+    pub fn parse(s: &str) -> Result<Severity, String> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warn" => Ok(Severity::Warn),
+            "error" => Ok(Severity::Error),
+            other => Err(format!("unknown severity `{other}`")),
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number (1-based, process-wide).
+    pub seq: u64,
+    /// How loud.
+    pub severity: Severity,
+    /// What happened, e.g. `"slow_job"` — a stable machine-matchable
+    /// kind, with detail in `fields`.
+    pub message: String,
+    /// The job/trace that caused it, when one did.
+    pub trace: Option<TraceId>,
+    /// Named numeric attachments (metric deltas, phase timings).
+    pub fields: Vec<(String, u64)>,
+}
+
+impl Serialize for Event {
+    fn serialize(&self) -> serde_json::Value {
+        let mut obj = vec![
+            ("seq".to_string(), serde_json::Value::UInt(self.seq)),
+            (
+                "severity".to_string(),
+                serde_json::Value::Str(self.severity.as_str().to_string()),
+            ),
+            ("message".to_string(), serde_json::Value::Str(self.message.clone())),
+        ];
+        if let Some(trace) = &self.trace {
+            obj.push(("trace".to_string(), Serialize::serialize(trace)));
+        }
+        obj.push((
+            "fields".to_string(),
+            serde_json::Value::Object(
+                self.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), serde_json::Value::UInt(*v)))
+                    .collect(),
+            ),
+        ));
+        serde_json::Value::Object(obj)
+    }
+}
+
+impl Deserialize for Event {
+    fn deserialize(v: &serde_json::Value) -> Result<Event, serde_json::Error> {
+        let uint = |val: &serde_json::Value, k: &str| match val {
+            serde_json::Value::UInt(n) => Ok(*n),
+            serde_json::Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            _ => Err(serde_json::Error::custom(format!("`{k}` must be a number"))),
+        };
+        let seq = uint(
+            v.get("seq").ok_or_else(|| serde_json::Error::custom("event missing `seq`"))?,
+            "seq",
+        )?;
+        let severity = match v.get("severity") {
+            Some(serde_json::Value::Str(s)) => {
+                Severity::parse(s).map_err(serde_json::Error::custom)?
+            }
+            _ => return Err(serde_json::Error::custom("event missing `severity`")),
+        };
+        let message = match v.get("message") {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            _ => return Err(serde_json::Error::custom("event missing `message`")),
+        };
+        let trace = match v.get("trace") {
+            Some(t) => Some(Deserialize::deserialize(t)?),
+            None => None,
+        };
+        let fields = match v.get("fields") {
+            Some(serde_json::Value::Object(kvs)) => kvs
+                .iter()
+                .map(|(k, val)| uint(val, k).map(|n| (k.clone(), n)))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err(serde_json::Error::custom("`fields` must be an object")),
+        };
+        Ok(Event { seq, severity, message, trace, fields })
+    }
+}
+
+struct Bus {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+fn bus() -> &'static (Mutex<Bus>, Condvar) {
+    static B: OnceLock<(Mutex<Bus>, Condvar)> = OnceLock::new();
+    B.get_or_init(|| {
+        (
+            Mutex::new(Bus { buf: VecDeque::new(), capacity: 1024, next_seq: 1, dropped: 0 }),
+            Condvar::new(),
+        )
+    })
+}
+
+fn lock_bus() -> std::sync::MutexGuard<'static, Bus> {
+    bus().0.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Emits one event; returns its sequence number. Never blocks: a full
+/// ring evicts its oldest event (counted in [`events_dropped`]).
+pub fn emit(
+    severity: Severity,
+    message: impl Into<String>,
+    trace: Option<TraceId>,
+    fields: Vec<(String, u64)>,
+) -> u64 {
+    let (lock, cvar) = bus();
+    let mut b = lock.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = b.next_seq;
+    b.next_seq += 1;
+    if b.buf.len() >= b.capacity {
+        b.buf.pop_front();
+        b.dropped += 1;
+    }
+    b.buf.push_back(Event { seq, severity, message: message.into(), trace, fields });
+    cvar.notify_all();
+    seq
+}
+
+/// Every buffered event with `seq > since` (oldest first), plus the
+/// newest sequence number emitted so far (0 when none ever was) — the
+/// cursor a consumer passes back on its next call.
+pub fn events_since(since: u64) -> (Vec<Event>, u64) {
+    let b = lock_bus();
+    let latest = b.next_seq - 1;
+    (b.buf.iter().filter(|e| e.seq > since).cloned().collect(), latest)
+}
+
+/// [`events_since`], but when nothing newer than `since` is buffered it
+/// blocks up to `timeout` for an emit — the long-poll primitive behind
+/// `GET /events?since=<seq>`.
+pub fn wait_events_since(since: u64, timeout: Duration) -> (Vec<Event>, u64) {
+    let (lock, cvar) = bus();
+    let mut b = lock.lock().unwrap_or_else(|e| e.into_inner());
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let latest = b.next_seq - 1;
+        if latest > since {
+            let events: Vec<Event> = b.buf.iter().filter(|e| e.seq > since).cloned().collect();
+            if !events.is_empty() {
+                return (events, latest);
+            }
+            // The gap was evicted before we looked: nothing to wait for.
+            return (Vec::new(), latest);
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return (Vec::new(), latest);
+        }
+        let (guard, _timed_out) = cvar
+            .wait_timeout(b, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        b = guard;
+    }
+}
+
+/// The newest sequence number emitted so far (0 when none ever was).
+pub fn latest_event_seq() -> u64 {
+    lock_bus().next_seq - 1
+}
+
+/// Events evicted unread since process start.
+pub fn events_dropped() -> u64 {
+    lock_bus().dropped
+}
+
+/// Caps the ring at `capacity` events, evicting the oldest if already
+/// over. (Used by tests; the default is 1024.)
+pub fn set_event_capacity(capacity: usize) {
+    let mut b = lock_bus();
+    b.capacity = capacity.max(1);
+    while b.buf.len() > b.capacity {
+        b.buf.pop_front();
+        b.dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One global bus per process: the tests in this module serialize.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn emit_and_page_forward() {
+        let _g = guard();
+        let first = emit(Severity::Info, "ev_a", None, vec![]);
+        let second =
+            emit(Severity::Warn, "ev_b", Some(TraceId(9)), vec![("ms".into(), 12)]);
+        let (events, latest) = events_since(first);
+        assert!(latest >= second);
+        let mine: Vec<&Event> = events.iter().filter(|e| e.message == "ev_b").collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].seq, second);
+        assert_eq!(mine[0].trace, Some(TraceId(9)));
+        assert_eq!(mine[0].fields, vec![("ms".to_string(), 12)]);
+
+        // Nothing newer than `latest`.
+        let (tail, _) = events_since(latest);
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let _g = guard();
+        set_event_capacity(4);
+        let before_dropped = events_dropped();
+        let mark = latest_event_seq();
+        for i in 0..10 {
+            emit(Severity::Info, format!("flood_{i}"), None, vec![]);
+        }
+        let (events, _) = events_since(mark);
+        assert_eq!(events.len(), 4, "ring keeps only the newest 4");
+        assert_eq!(events.last().unwrap().message, "flood_9");
+        assert!(events_dropped() >= before_dropped + 6);
+        set_event_capacity(1024);
+    }
+
+    #[test]
+    fn wait_times_out_empty_and_wakes_on_emit() {
+        let _g = guard();
+        let mark = latest_event_seq();
+        let started = std::time::Instant::now();
+        let (none, _) = wait_events_since(mark, Duration::from_millis(30));
+        assert!(none.is_empty());
+        assert!(started.elapsed() >= Duration::from_millis(25));
+
+        let waiter = std::thread::spawn(move || {
+            wait_events_since(mark, Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        emit(Severity::Error, "wakeup", None, vec![]);
+        let (events, _) = waiter.join().unwrap();
+        assert!(events.iter().any(|e| e.message == "wakeup"));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let ev = Event {
+            seq: 3,
+            severity: Severity::Warn,
+            message: "slow_job".into(),
+            trace: Some(TraceId(0x2a)),
+            fields: vec![("total_ms".into(), 400), ("fixpoint_us".into(), 90_000)],
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.contains("\"000000000000002a\""), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+}

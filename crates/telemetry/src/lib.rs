@@ -24,6 +24,18 @@
 //! - [`progress`] — a throttled, single-line stderr heartbeat for long
 //!   batch runs (done/total, throughput, ETA) that auto-disables when
 //!   stderr is not a TTY so CI logs never see `\r` control characters.
+//! - [`trace`] — job-scoped correlation across thread boundaries. A
+//!   [`trace::TraceContext`] captured before a thread hop and
+//!   re-installed on the far side makes every span carry the id of the
+//!   job that caused it; a bounded per-trace store ([`trace::retain`] /
+//!   [`trace::spans_for`]) keeps each retained job's *complete* span
+//!   set independent of the lossy global ring, and
+//!   [`trace::build_tree`] assembles it into a self-time-annotated
+//!   forest (`GET /jobs/<id>/trace`, `ethainter trace`).
+//! - [`events`] — a bounded structured event bus (severity + message +
+//!   trace id + numeric fields) with monotone sequence numbers and a
+//!   condvar long-poll ([`events::wait_events_since`]) — the feed
+//!   behind `GET /events?since=<seq>` and the slow-job log.
 //!
 //! Metric names follow `ethainter_<subsystem>_<what>[_<unit>][_total]`
 //! (Prometheus conventions): counters end in `_total`, durations carry
@@ -32,9 +44,11 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod metrics;
 pub mod progress;
 mod spans;
+pub mod trace;
 
 pub use progress::Progress;
 pub use spans::{

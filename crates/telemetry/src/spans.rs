@@ -20,6 +20,7 @@
 //!   streams span batches incrementally and **never loses a span** —
 //!   however far past the ring capacity a run grows.
 
+use crate::trace::TraceId;
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -34,6 +35,9 @@ pub struct SpanRecord {
     pub id: u64,
     /// Id of the enclosing span on the same thread, or 0 for roots.
     pub parent: u64,
+    /// The trace (job) this span was recorded under; [`TraceId::NONE`]
+    /// outside any installed [`crate::trace::TraceContext`].
+    pub trace: TraceId,
     /// Static span name, e.g. `"ethainter.fixpoint"`.
     pub name: String,
     /// Start offset in microseconds since the process trace epoch.
@@ -100,6 +104,28 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static CURRENT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static CURRENT_TRACE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The current span id on this thread (0 when no span is open) — what a
+/// [`crate::trace::TraceContext`] captures as its `parent_span`.
+pub(crate) fn current_span() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// Replaces the thread's current span id, returning the previous value.
+pub(crate) fn set_current_span(id: u64) -> u64 {
+    CURRENT.with(|c| c.replace(id))
+}
+
+/// The raw trace id installed on this thread (0 = none).
+pub(crate) fn current_trace() -> u64 {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Replaces the thread's trace id, returning the previous value.
+pub(crate) fn set_current_trace(id: u64) -> u64 {
+    CURRENT_TRACE.with(|c| c.replace(id))
 }
 
 /// An open span; records itself into the global collector when dropped
@@ -108,18 +134,22 @@ thread_local! {
 pub struct SpanGuard {
     id: u64,
     prev: u64,
+    trace: u64,
     name: &'static str,
     started: Instant,
     start_us: u64,
 }
 
-/// Opens a span named `name`, nested under the thread's current span.
+/// Opens a span named `name`, nested under the thread's current span
+/// and tagged with the thread's installed trace id (if any — see
+/// [`crate::trace::install`]).
 pub fn span(name: &'static str) -> SpanGuard {
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let prev = CURRENT.with(|c| c.replace(id));
+    let trace = CURRENT_TRACE.with(|c| c.get());
     let started = Instant::now();
     let start_us = started.duration_since(epoch()).as_micros() as u64;
-    SpanGuard { id, prev, name, started, start_us }
+    SpanGuard { id, prev, trace, name, started, start_us }
 }
 
 impl SpanGuard {
@@ -139,10 +169,14 @@ impl SpanGuard {
         let rec = SpanRecord {
             id: self.id,
             parent: self.prev,
+            trace: TraceId(self.trace),
             name: self.name.to_string(),
             start_us: self.start_us,
             dur_us,
         };
+        // Copy into the per-trace store first (it has its own lock and
+        // an atomic fast path when nothing is retained).
+        crate::trace::sink_record(&rec);
         let mut c = lock_collector();
         if c.buf.len() >= c.capacity {
             if c.writer.is_some() {

@@ -1,0 +1,154 @@
+//! Repo-wide metric-name lint: every `metrics::{counter,gauge,
+//! histogram}` call site must follow the registry's documented
+//! convention — `ethainter_<subsystem>_<what>[_<unit>][_total]` —
+//! so the Prometheus surface stays greppable and a dashboard written
+//! against one crate's names transfers to all of them.
+//!
+//! The lint is a test, not a build step: it walks the workspace source
+//! from this crate's manifest dir, extracts the string literal from
+//! each call site with plain text scanning (no regex dependency), and
+//! applies per-instrument suffix rules. Names starting `test_` are
+//! exempt — unit tests register throwaway instruments.
+
+use std::path::{Path, PathBuf};
+
+/// One extracted call site.
+struct CallSite {
+    file: PathBuf,
+    line: usize,
+    kind: &'static str,
+    name: String,
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping build output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name != "target" && name != ".git" {
+                rust_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts every `metrics::<kind>("<literal>"` occurrence in `text`.
+fn extract(file: &Path, text: &str, out: &mut Vec<CallSite>) {
+    for kind in ["counter", "gauge", "histogram"] {
+        let needle = format!("metrics::{kind}(\"");
+        for (lineno, line) in text.lines().enumerate() {
+            let mut rest = line;
+            let mut offset = 0;
+            while let Some(pos) = rest.find(&needle) {
+                let start = pos + needle.len();
+                let Some(end) = rest[start..].find('"') else { break };
+                out.push(CallSite {
+                    file: file.to_path_buf(),
+                    line: lineno + 1,
+                    kind,
+                    name: rest[start..start + end].to_string(),
+                });
+                offset += start + end;
+                rest = &line[offset..];
+            }
+        }
+    }
+}
+
+/// The convention check; returns a violation message or `None`.
+fn check(site: &CallSite) -> Option<String> {
+    let name = &site.name;
+    if name.starts_with("test_") {
+        return None; // unit-test instruments are exempt
+    }
+    let fail = |why: &str| {
+        Some(format!(
+            "{}:{}: {} `{}` {}",
+            site.file.display(),
+            site.line,
+            site.kind,
+            name,
+            why
+        ))
+    };
+    if !name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+        return fail("must be lowercase [a-z0-9_]");
+    }
+    let segments: Vec<&str> = name.split('_').collect();
+    if segments.len() < 3 || segments.iter().any(|s| s.is_empty()) {
+        return fail("needs at least ethainter_<subsystem>_<what>");
+    }
+    if segments[0] != "ethainter" {
+        return fail("must start with the `ethainter_` namespace");
+    }
+    match site.kind {
+        "counter" if !name.ends_with("_total") => {
+            fail("counters must end in `_total` (Prometheus convention)")
+        }
+        "gauge" if name.ends_with("_total") => {
+            fail("gauges must not end in `_total` — that suffix marks counters")
+        }
+        "histogram"
+            if !(name.ends_with("_us") || name.ends_with("_ms") || name.ends_with("_bytes")) =>
+        {
+            fail("histograms must carry a unit suffix (`_us`, `_ms`, or `_bytes`)")
+        }
+        _ => None,
+    }
+}
+
+#[test]
+fn every_metric_call_site_follows_the_naming_convention() {
+    // telemetry/../../ == the workspace root, wherever the test runs.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let crates = root.join("crates");
+    assert!(crates.is_dir(), "expected workspace layout at {}", root.display());
+
+    let mut files = Vec::new();
+    rust_files(&crates, &mut files);
+    assert!(!files.is_empty(), "found no Rust sources under {}", crates.display());
+
+    let mut sites = Vec::new();
+    for file in &files {
+        if let Ok(text) = std::fs::read_to_string(file) {
+            extract(file, &text, &mut sites);
+        }
+    }
+    // Tripwire against the extractor silently matching nothing: the
+    // workspace registers well over 30 instruments today.
+    assert!(
+        sites.len() >= 30,
+        "extractor found only {} call sites — pattern drift?",
+        sites.len()
+    );
+
+    let violations: Vec<String> = sites.iter().filter_map(check).collect();
+    assert!(
+        violations.is_empty(),
+        "metric naming violations:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn the_lint_itself_rejects_bad_names() {
+    let bad = |kind: &'static str, name: &str| CallSite {
+        file: PathBuf::from("x.rs"),
+        line: 1,
+        kind,
+        name: name.to_string(),
+    };
+    assert!(check(&bad("counter", "ethainter_cache_hits")).is_some(), "counter sans _total");
+    assert!(check(&bad("gauge", "ethainter_server_jobs_total")).is_some(), "gauge with _total");
+    assert!(check(&bad("histogram", "ethainter_phase_decompile")).is_some(), "unitless histogram");
+    assert!(check(&bad("counter", "cache_hits_total")).is_some(), "missing namespace");
+    assert!(check(&bad("counter", "ethainter_total")).is_some(), "too few segments");
+    assert!(check(&bad("counter", "Ethainter_Cache_Hits_total")).is_some(), "uppercase");
+    assert!(check(&bad("counter", "test_anything")).is_none(), "test_ names are exempt");
+    assert!(check(&bad("counter", "ethainter_cache_hits_total")).is_none(), "good counter");
+    assert!(check(&bad("histogram", "ethainter_phase_fixpoint_us")).is_none(), "good histogram");
+}

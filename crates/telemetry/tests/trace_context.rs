@@ -1,0 +1,188 @@
+//! Trace-context propagation across thread boundaries, and the
+//! per-trace span store under concurrency.
+//!
+//! The scenarios mirror the daemon's actual topology: a worker thread
+//! installs a job's context, hops to a sandbox thread that re-installs
+//! the captured context, and eight of those pipelines run at once over
+//! one global collector with a small ring and a streaming writer — the
+//! setup where spans would historically shatter (lost parents) or
+//! bleed (wrong trace id).
+
+use std::io::Write;
+use std::sync::{Arc, Barrier, Mutex};
+use telemetry::trace::{self, TraceId};
+
+/// A writer appending into a shared byte buffer — the `--trace-out`
+/// stand-in.
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// The span collector and trace store are process-global; tests that
+// drain or reconfigure them must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn context_rides_across_a_thread_hop_and_reparents() {
+    let _g = serial();
+    let id = trace::mint();
+    trace::retain(id);
+    {
+        let _ctx = trace::root(id);
+        let root = telemetry::span("test.hop_root");
+        // The hop: capture on this side, install on the far side —
+        // exactly what driver::isolate_one does around its sandbox.
+        let captured = trace::current();
+        std::thread::spawn(move || {
+            let _ctx = trace::install(captured);
+            drop(telemetry::span("test.hop_far"));
+        })
+        .join()
+        .unwrap();
+        drop(root);
+    }
+    let records = trace::spans_for(id).expect("trace was retained");
+    trace::discard(id);
+    let root = records.iter().find(|r| r.name == "test.hop_root").unwrap();
+    let far = records.iter().find(|r| r.name == "test.hop_far").unwrap();
+    assert_eq!(root.trace, id);
+    assert_eq!(far.trace, id, "the far side carries the captured trace");
+    assert_eq!(far.parent, root.id, "the far side parents under the captured span");
+    let tree = trace::build_tree(&records);
+    assert_eq!(tree.len(), 1, "one root: the far span nests under it");
+    assert_eq!(tree[0].children[0].name, "test.hop_far");
+}
+
+#[test]
+fn context_guard_restores_the_previous_context() {
+    let _g = serial();
+    assert_eq!(trace::current().trace, TraceId::NONE, "no ambient trace");
+    let outer = trace::mint();
+    let inner = trace::mint();
+    let _o = trace::root(outer);
+    assert_eq!(trace::current().trace, outer);
+    {
+        let _i = trace::root(inner);
+        assert_eq!(trace::current().trace, inner);
+    }
+    assert_eq!(trace::current().trace, outer, "dropping the guard restores");
+}
+
+#[test]
+fn untraced_spans_do_not_enter_a_retained_buffer() {
+    let _g = serial();
+    let id = trace::mint();
+    trace::retain(id);
+    drop(telemetry::span("test.ambient_noise")); // no context installed
+    let records = trace::spans_for(id).expect("trace was retained");
+    trace::discard(id);
+    assert!(
+        records.iter().all(|r| r.name != "test.ambient_noise"),
+        "spans with no trace must not land in anyone's buffer"
+    );
+}
+
+#[test]
+fn discarded_traces_stop_collecting() {
+    let _g = serial();
+    let id = trace::mint();
+    trace::retain(id);
+    {
+        let _ctx = trace::root(id);
+        drop(telemetry::span("test.before_discard"));
+    }
+    trace::discard(id);
+    assert!(trace::spans_for(id).is_none(), "discarded trace has no buffer");
+    {
+        let _ctx = trace::root(id);
+        drop(telemetry::span("test.after_discard"));
+    }
+    assert!(trace::spans_for(id).is_none(), "recording does not resurrect it");
+}
+
+/// The acceptance scenario for the span layer: 8 workers, each with its
+/// own trace, hammering one small ring with a streaming writer
+/// installed (flush-on-full firing constantly). Every worker's spans
+/// must land in its own per-trace buffer — exact count, no loss, no
+/// cross-trace bleed — and the writer must still see every span.
+#[test]
+fn eight_workers_share_the_ring_without_loss_or_bleed() {
+    const WORKERS: usize = 8;
+    const SPANS_PER_WORKER: usize = 200;
+
+    let _g = serial();
+    let _ = telemetry::take_spans();
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    telemetry::install_span_writer(Box::new(SharedBuf(Arc::clone(&sink))));
+    // A ring far smaller than the total span count: the flush-on-full
+    // path runs dozens of times under contention.
+    telemetry::set_span_capacity(16);
+    let flushed_before = telemetry::spans_flushed();
+    let dropped_before = telemetry::spans_dropped();
+
+    let ids: Vec<TraceId> = (0..WORKERS).map(|_| trace::mint()).collect();
+    for &id in &ids {
+        trace::retain(id);
+    }
+    let barrier = Arc::new(Barrier::new(WORKERS));
+    let handles: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let _ctx = trace::root(id);
+                let outer = telemetry::span("test.worker_root");
+                for _ in 0..SPANS_PER_WORKER - 1 {
+                    drop(telemetry::span("test.worker_item"));
+                }
+                drop(outer);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    telemetry::flush_spans();
+    drop(telemetry::remove_span_writer().expect("writer was installed"));
+    telemetry::set_span_capacity(4096);
+
+    for &id in &ids {
+        let records = trace::spans_for(id).expect("trace was retained");
+        assert_eq!(
+            records.len(),
+            SPANS_PER_WORKER,
+            "trace {id}: every span retained, none lost"
+        );
+        assert!(
+            records.iter().all(|r| r.trace == id),
+            "trace {id}: no span from another worker bled in"
+        );
+        // Items all parent under this worker's own root.
+        let root = records.iter().find(|r| r.name == "test.worker_root").unwrap();
+        assert!(records
+            .iter()
+            .filter(|r| r.name == "test.worker_item")
+            .all(|r| r.parent == root.id));
+        trace::discard(id);
+    }
+    assert_eq!(trace::retained_spans_dropped(), 0, "no per-trace buffer overflowed");
+    assert_eq!(telemetry::spans_dropped(), dropped_before, "streaming mode never evicts");
+    assert_eq!(
+        telemetry::spans_flushed() - flushed_before,
+        (WORKERS * SPANS_PER_WORKER) as u64,
+        "the writer saw every span exactly once"
+    );
+}
